@@ -1,0 +1,200 @@
+//! The set containment join `r1 ⋈_{b1 ⊇ b2} r2` over set-valued attributes.
+//!
+//! Section 2.2 of the paper contrasts the great divide with the set containment
+//! join: the join's operands are *not* in first normal form (the joined
+//! attributes hold sets), it preserves the join attributes in its output, and
+//! it permits empty sets. This module implements that operator so the
+//! differences listed in the paper can be demonstrated and tested (see
+//! `tests/figures.rs::figure_3_set_containment_join`).
+
+use crate::{AlgebraError, Relation, Result, Value};
+
+impl Relation {
+    /// Set containment join: all combinations of `t1 ∈ self` and `t2 ∈ other`
+    /// such that the set value `t1.left_attr` contains every element of the
+    /// set value `t2.right_attr`. The output schema is the concatenation of
+    /// both schemas (which must be attribute-disjoint).
+    ///
+    /// Both join attributes must hold [`Value::Set`] values in every tuple.
+    pub fn set_containment_join(
+        &self,
+        other: &Relation,
+        left_attr: &str,
+        right_attr: &str,
+    ) -> Result<Relation> {
+        let left_idx = self.schema().require(left_attr)?;
+        let right_idx = other.schema().require(right_attr)?;
+        let schema = self.schema().concat(other.schema())?;
+        let mut out = Relation::empty(schema);
+        for t1 in self.tuples() {
+            let left_set = match &t1.values()[left_idx] {
+                Value::Set(s) => s,
+                other_value => {
+                    return Err(AlgebraError::TypeError {
+                        reason: format!(
+                            "set containment join requires a set-valued attribute, but `{left_attr}` holds {} value `{other_value}`",
+                            other_value.kind_name()
+                        ),
+                    })
+                }
+            };
+            for t2 in other.tuples() {
+                let right_set = match &t2.values()[right_idx] {
+                    Value::Set(s) => s,
+                    other_value => {
+                        return Err(AlgebraError::TypeError {
+                            reason: format!(
+                                "set containment join requires a set-valued attribute, but `{right_attr}` holds {} value `{other_value}`",
+                                other_value.kind_name()
+                            ),
+                        })
+                    }
+                };
+                if right_set.is_subset(left_set) {
+                    out.insert(t1.concat(t2))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// "Nest" a flat relation into a set-valued representation: group on
+    /// `group_attrs` and collect the values of `set_attr` of each group into a
+    /// single set-valued attribute named `set_attr`.
+    ///
+    /// This converts the first-normal-form representation used by the division
+    /// operators (Figure 2) into the non-first-normal-form representation used
+    /// by the set containment join (Figure 3).
+    pub fn nest(&self, group_attrs: &[&str], set_attr: &str) -> Result<Relation> {
+        let set_idx = self.schema().require(set_attr)?;
+        let mut names: Vec<&str> = group_attrs.to_vec();
+        names.push(set_attr);
+        let out_schema = self.schema().project(&names)?;
+        let mut out = Relation::empty(out_schema);
+        for (key, members) in self.group_by(group_attrs)? {
+            let set_value = Value::Set(
+                members
+                    .iter()
+                    .map(|t| t.values()[set_idx].clone())
+                    .collect(),
+            );
+            let mut values = key.values().to_vec();
+            values.push(set_value);
+            out.insert(crate::Tuple::new(values))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{relation, Relation, Tuple, Value};
+
+    /// Figure 3 input r1: nested form of the Figure 1/2 dividend.
+    fn nested_r1() -> Relation {
+        Relation::from_rows(
+            ["a", "b1"],
+            vec![
+                vec![Value::Int(1), Value::set([1, 4])],
+                vec![Value::Int(2), Value::set([1, 2, 3, 4])],
+                vec![Value::Int(3), Value::set([1, 3, 4])],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Figure 3 input r2.
+    fn nested_r2() -> Relation {
+        Relation::from_rows(
+            ["b2", "c"],
+            vec![
+                vec![Value::set([1, 2, 4]), Value::Int(1)],
+                vec![Value::set([1, 3]), Value::Int(2)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure_3_set_containment_join() {
+        let r3 = nested_r1()
+            .set_containment_join(&nested_r2(), "b1", "b2")
+            .unwrap();
+        assert_eq!(r3.schema().names(), vec!["a", "b1", "b2", "c"]);
+        assert_eq!(r3.len(), 3);
+        assert!(r3.contains(&Tuple::new([
+            Value::Int(2),
+            Value::set([1, 2, 3, 4]),
+            Value::set([1, 2, 4]),
+            Value::Int(1),
+        ])));
+        assert!(r3.contains(&Tuple::new([
+            Value::Int(2),
+            Value::set([1, 2, 3, 4]),
+            Value::set([1, 3]),
+            Value::Int(2),
+        ])));
+        assert!(r3.contains(&Tuple::new([
+            Value::Int(3),
+            Value::set([1, 3, 4]),
+            Value::set([1, 3]),
+            Value::Int(2),
+        ])));
+    }
+
+    #[test]
+    fn empty_right_set_joins_with_everything() {
+        // Difference 3 in Section 2.2: the join allows empty sets.
+        let r1 = nested_r1();
+        let r2 = Relation::from_rows(
+            ["b2", "c"],
+            vec![vec![Value::Set(Default::default()), Value::Int(9)]],
+        )
+        .unwrap();
+        let r3 = r1.set_containment_join(&r2, "b1", "b2").unwrap();
+        assert_eq!(r3.len(), 3);
+    }
+
+    #[test]
+    fn non_set_attribute_is_a_type_error() {
+        let r1 = relation! { ["a", "b1"] => [1, 1] };
+        let r2 = nested_r2();
+        assert!(r1.set_containment_join(&r2, "b1", "b2").is_err());
+    }
+
+    #[test]
+    fn nest_groups_flat_relation_into_sets() {
+        let flat = relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4],
+            [2, 1], [2, 2], [2, 3], [2, 4],
+            [3, 1], [3, 3], [3, 4],
+        };
+        let nested = flat.nest(&["a"], "b").unwrap();
+        assert_eq!(nested.len(), 3);
+        assert!(nested.contains(&Tuple::new([Value::Int(1), Value::set([1, 4])])));
+    }
+
+    #[test]
+    fn nested_join_agrees_with_great_divide_on_figure_2() {
+        // The paper's point: both operators solve "find pairs of sets with
+        // s1 ⊇ s2"; after projecting away the set values and renaming, the
+        // set containment join gives exactly the great-divide quotient.
+        let flat_r1 = relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4],
+            [2, 1], [2, 2], [2, 3], [2, 4],
+            [3, 1], [3, 3], [3, 4],
+        };
+        let flat_r2 = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
+        let divide_result = flat_r1.great_divide(&flat_r2).unwrap();
+
+        let nested_left = flat_r1.nest(&["a"], "b").unwrap().rename_attribute("b", "b1").unwrap();
+        let nested_right = flat_r2.nest(&["c"], "b").unwrap().rename_attribute("b", "b2").unwrap();
+        let joined = nested_left
+            .set_containment_join(&nested_right, "b1", "b2")
+            .unwrap();
+        let projected = joined.project(&["a", "c"]).unwrap();
+        assert_eq!(projected, divide_result);
+    }
+}

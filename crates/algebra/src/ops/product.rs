@@ -1,0 +1,87 @@
+//! Cartesian product (`×`).
+
+use crate::{Relation, Result, Tuple};
+
+impl Relation {
+    /// Cartesian product `r1 × r2 = {t1 ∘ t2 | t1 ∈ r1 ∧ t2 ∈ r2}` where `∘`
+    /// is tuple concatenation.
+    ///
+    /// # Errors
+    ///
+    /// The operand schemas must be attribute-disjoint (as they always are in
+    /// the paper); otherwise a
+    /// [`DuplicateAttribute`](crate::AlgebraError::DuplicateAttribute) error is
+    /// returned and the caller should rename one side first.
+    pub fn product(&self, other: &Relation) -> Result<Relation> {
+        let schema = self.schema().concat(other.schema())?;
+        let mut out = Relation::empty(schema);
+        for t1 in self.tuples() {
+            for t2 in other.tuples() {
+                out.insert(t1.concat(t2))?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The one-tuple relation `(t)` used by Definition 4 and several proofs:
+    /// a relation over `names` containing exactly `tuple`.
+    pub fn singleton(names: &[&str], tuple: Tuple) -> Result<Relation> {
+        let schema = crate::Schema::new(names.iter().copied())?;
+        Relation::new(schema, [tuple])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{relation, Relation, Schema, Tuple};
+
+    #[test]
+    fn product_concatenates_tuples() {
+        // Figure 7(d): r*1 × r**1.
+        let r_star = relation! { ["a1"] => [1], [2] };
+        let r_star_star = relation! { ["a2", "b"] => [1, 1], [1, 2] };
+        let p = r_star.product(&r_star_star).unwrap();
+        assert_eq!(p.schema().names(), vec!["a1", "a2", "b"]);
+        assert_eq!(p.len(), 4);
+        assert!(p.contains(&Tuple::new([2, 1, 2])));
+    }
+
+    #[test]
+    fn product_cardinality_is_multiplicative() {
+        let r1 = relation! { ["a"] => [1], [2], [3] };
+        let r2 = relation! { ["b"] => [10], [20] };
+        assert_eq!(r1.product(&r2).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn product_with_empty_relation_is_empty() {
+        let r1 = relation! { ["a"] => [1] };
+        let empty = Relation::empty(Schema::of(["b"]));
+        assert!(r1.product(&empty).unwrap().is_empty());
+        assert!(empty.product(&r1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn product_rejects_shared_attribute_names() {
+        let r1 = relation! { ["a", "b"] => [1, 2] };
+        let r2 = relation! { ["b"] => [3] };
+        assert!(r1.product(&r2).is_err());
+    }
+
+    #[test]
+    fn product_is_associative_up_to_layout() {
+        let r1 = relation! { ["a"] => [1], [2] };
+        let r2 = relation! { ["b"] => [10] };
+        let r3 = relation! { ["c"] => [100], [200] };
+        let left = r1.product(&r2).unwrap().product(&r3).unwrap();
+        let right = r1.product(&r2.product(&r3).unwrap()).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn singleton_builds_one_tuple_relation() {
+        let s = Relation::singleton(&["c"], Tuple::new([2])).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.schema().names(), vec!["c"]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Projection (`π`) and selection (`σ`).
+
+use crate::{Predicate, Relation, Result, Tuple};
+use std::collections::BTreeSet;
+
+impl Relation {
+    /// Projection `π_A(r) = {t.A | t ∈ r}` with set semantics (duplicates that
+    /// arise from dropping attributes are eliminated).
+    pub fn project(&self, names: &[&str]) -> Result<Relation> {
+        let schema = self.schema().project(names)?;
+        let indices = self.schema().projection_indices(names)?;
+        let tuples: BTreeSet<Tuple> = self.tuples().map(|t| t.project(&indices)).collect();
+        Relation::new(schema, tuples)
+    }
+
+    /// Projection using owned attribute names (convenience for callers that
+    /// compute the attribute list, such as the evaluator).
+    pub fn project_owned(&self, names: &[String]) -> Result<Relation> {
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.project(&refs)
+    }
+
+    /// Selection `σ_θ(r) = {t | t ∈ r ∧ θ(t)}`.
+    pub fn select(&self, predicate: &Predicate) -> Result<Relation> {
+        let mut out = Relation::empty(self.schema().clone());
+        for t in self.tuples() {
+            if predicate.eval(self.schema(), t)? {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Selection on equality with a whole key tuple: `σ_{X = key}(r)` where `X`
+    /// is the attribute list `names`. This is the `σ_{B=t}` / `σ_{C=t}` form
+    /// used throughout the division definitions (Maier's Definition 3,
+    /// set-containment division Definition 4).
+    pub fn select_key(&self, names: &[&str], key: &Tuple) -> Result<Relation> {
+        let indices = self.schema().projection_indices(names)?;
+        let mut out = Relation::empty(self.schema().clone());
+        for t in self.tuples() {
+            if &t.project(&indices) == key {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{relation, CompareOp, Predicate, Tuple};
+
+    #[test]
+    fn projection_eliminates_duplicates() {
+        let r1 = relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4], [2, 1],
+        };
+        let p = r1.project(&["a"]).unwrap();
+        assert_eq!(p, relation! { ["a"] => [1], [2] });
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let r = relation! { ["a", "b", "c"] => [1, 2, 3] };
+        let p = r.project(&["c", "a"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["c", "a"]);
+        assert!(p.contains(&Tuple::new([3, 1])));
+    }
+
+    #[test]
+    fn projection_unknown_attribute_errors() {
+        let r = relation! { ["a"] => [1] };
+        assert!(r.project(&["z"]).is_err());
+    }
+
+    #[test]
+    fn selection_filters_by_predicate() {
+        // σ_{b<3}(r1) from Figure 6(b).
+        let r1 = relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4],
+            [2, 1], [2, 2], [2, 3], [2, 4],
+            [3, 1], [3, 3], [3, 4],
+            [4, 1], [4, 3],
+        };
+        let selected = r1
+            .select(&Predicate::cmp_value("b", CompareOp::Lt, 3))
+            .unwrap();
+        let expected = relation! {
+            ["a", "b"] =>
+            [1, 1], [2, 1], [2, 2], [3, 1], [4, 1],
+        };
+        assert_eq!(selected, expected);
+    }
+
+    #[test]
+    fn selection_true_and_false() {
+        let r = relation! { ["a"] => [1], [2] };
+        assert_eq!(r.select(&Predicate::True).unwrap(), r);
+        assert!(r.select(&Predicate::False).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_key_matches_whole_tuple() {
+        let r2 = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
+        let group = r2.select_key(&["c"], &Tuple::new([2])).unwrap();
+        assert_eq!(group, relation! { ["b", "c"] => [1, 2], [3, 2] });
+    }
+
+    #[test]
+    fn selection_composition_equals_conjunction() {
+        let r = relation! { ["a", "b"] => [1, 1], [1, 2], [2, 1], [2, 2] };
+        let p1 = Predicate::eq_value("a", 1);
+        let p2 = Predicate::eq_value("b", 2);
+        let sequential = r.select(&p1).unwrap().select(&p2).unwrap();
+        let conjunct = r.select(&p1.clone().and(p2)).unwrap();
+        assert_eq!(sequential, conjunct);
+    }
+}

@@ -1,0 +1,329 @@
+//! Relation schemas: ordered lists of named attributes.
+
+use crate::{AlgebraError, Result};
+use std::fmt;
+
+/// A single named attribute of a relation schema.
+///
+/// The paper names attributes `a`, `b1`, `s#`, `color`, …; an attribute here is
+/// simply its name. Attribute identity is name equality, which is exactly the
+/// convention the paper uses to define the attribute sets `A`, `B` and `C` of
+/// the division operators (e.g. the divisor attributes `B` are those attributes
+/// of the divisor that also occur in the dividend).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Attribute {
+    name: Box<str>,
+}
+
+impl Attribute {
+    /// Create a new attribute with the given name.
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        Attribute { name: name.into() }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+impl From<&str> for Attribute {
+    fn from(name: &str) -> Self {
+        Attribute::new(name)
+    }
+}
+
+impl From<String> for Attribute {
+    fn from(name: String) -> Self {
+        Attribute::new(name)
+    }
+}
+
+/// An ordered relation schema.
+///
+/// Order matters for tuple layout (the i-th value of a tuple belongs to the
+/// i-th attribute) but *not* for schema compatibility: two schemas are
+/// union-compatible when they contain the same attribute names, and operators
+/// reorder tuples as needed (see [`Schema::projection_indices`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Create a schema from attribute names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::DuplicateAttribute`] if a name repeats.
+    pub fn new<I, A>(names: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attribute>,
+    {
+        let attributes: Vec<Attribute> = names.into_iter().map(Into::into).collect();
+        for (i, attr) in attributes.iter().enumerate() {
+            if attributes[..i].iter().any(|a| a.name() == attr.name()) {
+                return Err(AlgebraError::DuplicateAttribute {
+                    attribute: attr.name().to_string(),
+                    operation: "schema construction",
+                });
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Create a schema from attribute names, panicking on duplicates.
+    ///
+    /// Intended for tests and examples where the schema is a literal.
+    pub fn of<I, A>(names: I) -> Self
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attribute>,
+    {
+        Self::new(names).expect("literal schema must not contain duplicate attributes")
+    }
+
+    /// An empty schema (zero attributes). Used for the one-tuple relation `(t)`
+    /// degenerate cases in proofs; normal relations always have attributes.
+    pub fn empty() -> Self {
+        Schema {
+            attributes: Vec::new(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// `true` if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Iterate over the attributes in declaration order.
+    pub fn attributes(&self) -> impl Iterator<Item = &Attribute> + '_ {
+        self.attributes.iter()
+    }
+
+    /// Attribute names in declaration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.attributes.iter().map(|a| a.name()).collect()
+    }
+
+    /// Position of `name` within the schema.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// Position of `name`, or an [`AlgebraError::UnknownAttribute`] error.
+    pub fn require(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| AlgebraError::UnknownAttribute {
+            attribute: name.to_string(),
+            schema: self.to_string(),
+        })
+    }
+
+    /// `true` if the schema contains an attribute with this name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// `true` when both schemas contain exactly the same attribute names
+    /// (in any order) — the paper's union compatibility.
+    pub fn is_compatible_with(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.attributes.iter().all(|a| other.contains(a.name()))
+    }
+
+    /// `true` when no attribute name is shared with `other`.
+    pub fn is_disjoint_from(&self, other: &Schema) -> bool {
+        self.attributes.iter().all(|a| !other.contains(a.name()))
+    }
+
+    /// Attribute names present in both schemas, in `self`'s order.
+    pub fn common_attributes(&self, other: &Schema) -> Vec<String> {
+        self.attributes
+            .iter()
+            .filter(|a| other.contains(a.name()))
+            .map(|a| a.name().to_string())
+            .collect()
+    }
+
+    /// Attribute names of `self` that are *not* in `other`, in `self`'s order.
+    ///
+    /// For a dividend schema `R1(A ∪ B)` and divisor schema `R2(B)` this is the
+    /// quotient attribute set `A`.
+    pub fn difference_attributes(&self, other: &Schema) -> Vec<String> {
+        self.attributes
+            .iter()
+            .filter(|a| !other.contains(a.name()))
+            .map(|a| a.name().to_string())
+            .collect()
+    }
+
+    /// The indices (into `self`) of the given attribute names, in the order the
+    /// names are given. This is the workhorse of projection and reordering.
+    pub fn projection_indices(&self, names: &[&str]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.require(n)).collect()
+    }
+
+    /// Schema resulting from projecting onto `names` (kept in the given order).
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        // Validate existence and preserve requested order.
+        let mut attributes = Vec::with_capacity(names.len());
+        for n in names {
+            self.require(n)?;
+            if attributes.iter().any(|a: &Attribute| a.name() == *n) {
+                return Err(AlgebraError::DuplicateAttribute {
+                    attribute: (*n).to_string(),
+                    operation: "projection",
+                });
+            }
+            attributes.push(Attribute::new(*n));
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Concatenate two schemas (Cartesian product schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgebraError::DuplicateAttribute`] if the operands share an
+    /// attribute name; the caller must rename first, exactly as in the paper
+    /// where product operands always have disjoint attribute sets.
+    pub fn concat(&self, other: &Schema) -> Result<Schema> {
+        let mut attributes = self.attributes.clone();
+        for attr in &other.attributes {
+            if self.contains(attr.name()) {
+                return Err(AlgebraError::DuplicateAttribute {
+                    attribute: attr.name().to_string(),
+                    operation: "cartesian product",
+                });
+            }
+            attributes.push(attr.clone());
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// Schema with each attribute renamed through `f`.
+    pub fn rename_with(&self, mut f: impl FnMut(&str) -> String) -> Result<Schema> {
+        Schema::new(self.attributes.iter().map(|a| f(a.name())))
+    }
+
+    /// Merge with another schema keeping each attribute once (natural-join
+    /// output schema): all of `self`'s attributes followed by `other`'s
+    /// attributes that are not already present.
+    pub fn natural_union(&self, other: &Schema) -> Schema {
+        let mut attributes = self.attributes.clone();
+        for attr in &other.attributes {
+            if !self.contains(attr.name()) {
+                attributes.push(attr.clone());
+            }
+        }
+        Schema { attributes }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, attr) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{attr}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(["a", "b", "a"]).unwrap_err();
+        assert!(matches!(err, AlgebraError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn index_and_contains() {
+        let s = Schema::of(["a", "b", "c"]);
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.contains("c"));
+        assert!(s.require("z").is_err());
+    }
+
+    #[test]
+    fn compatibility_ignores_order() {
+        let s1 = Schema::of(["a", "b"]);
+        let s2 = Schema::of(["b", "a"]);
+        let s3 = Schema::of(["a", "c"]);
+        assert!(s1.is_compatible_with(&s2));
+        assert!(!s1.is_compatible_with(&s3));
+    }
+
+    #[test]
+    fn disjointness_and_common_attributes() {
+        let r1 = Schema::of(["a", "b1", "b2"]);
+        let r2 = Schema::of(["b1", "b2", "c"]);
+        assert!(!r1.is_disjoint_from(&r2));
+        assert_eq!(r1.common_attributes(&r2), vec!["b1", "b2"]);
+        assert_eq!(r1.difference_attributes(&r2), vec!["a"]);
+        assert_eq!(r2.difference_attributes(&r1), vec!["c"]);
+        let r3 = Schema::of(["x", "y"]);
+        assert!(r1.is_disjoint_from(&r3));
+    }
+
+    #[test]
+    fn projection_preserves_requested_order() {
+        let s = Schema::of(["a", "b", "c"]);
+        let p = s.project(&["c", "a"]).unwrap();
+        assert_eq!(p.names(), vec!["c", "a"]);
+        assert!(s.project(&["c", "c"]).is_err());
+        assert!(s.project(&["q"]).is_err());
+    }
+
+    #[test]
+    fn concat_requires_disjoint_names() {
+        let s1 = Schema::of(["a"]);
+        let s2 = Schema::of(["b", "c"]);
+        assert_eq!(s1.concat(&s2).unwrap().names(), vec!["a", "b", "c"]);
+        let s3 = Schema::of(["a", "d"]);
+        assert!(matches!(
+            s1.concat(&s3).unwrap_err(),
+            AlgebraError::DuplicateAttribute { .. }
+        ));
+    }
+
+    #[test]
+    fn natural_union_keeps_shared_attributes_once() {
+        let s1 = Schema::of(["a", "b"]);
+        let s2 = Schema::of(["b", "c"]);
+        assert_eq!(s1.natural_union(&s2).names(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn rename_with_prefix() {
+        let s = Schema::of(["a", "b"]);
+        let renamed = s.rename_with(|n| format!("r1.{n}")).unwrap();
+        assert_eq!(renamed.names(), vec!["r1.a", "r1.b"]);
+    }
+
+    #[test]
+    fn display_is_tuple_style() {
+        let s = Schema::of(["s#", "p#"]);
+        assert_eq!(s.to_string(), "(s#, p#)");
+        assert_eq!(Schema::empty().to_string(), "()");
+    }
+}

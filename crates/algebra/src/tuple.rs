@@ -1,0 +1,137 @@
+//! Tuples: ordered sequences of values laid out according to a schema.
+
+use crate::Value;
+use std::fmt;
+
+/// A tuple of a relation.
+///
+/// A tuple is an ordered vector of [`Value`]s; the i-th value belongs to the
+/// i-th attribute of the owning relation's [`Schema`](crate::Schema). Tuples
+/// are plain data — all schema-aware operations (projection, concatenation for
+/// products, image sets for division) live on [`Relation`](crate::Relation).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// The empty tuple (arity 0).
+    pub fn empty() -> Self {
+        Tuple { values: Vec::new() }
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at position `idx`, if any.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values, in order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Project the tuple onto the given positions, in the order given.
+    ///
+    /// Panics if an index is out of bounds; callers obtain indices from
+    /// [`Schema::projection_indices`](crate::Schema::projection_indices),
+    /// which validates names first.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenate two tuples (used by the Cartesian product).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend_from_slice(&self.values);
+        values.extend_from_slice(&other.values);
+        Tuple { values }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::new([1, 2, 3]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(1), Some(&Value::Int(2)));
+        assert_eq!(t.get(3), None);
+        assert!(Tuple::empty().values().is_empty());
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = Tuple::new([10, 20, 30]);
+        assert_eq!(t.project(&[2, 0]), Tuple::new([30, 10]));
+        assert_eq!(t.project(&[1, 1]), Tuple::new([20, 20]));
+        assert_eq!(t.project(&[]), Tuple::empty());
+    }
+
+    #[test]
+    fn concat_appends_values() {
+        let t1 = Tuple::new([1]);
+        let t2 = Tuple::new(["x", "y"]);
+        let joined = t1.concat(&t2);
+        assert_eq!(joined.arity(), 3);
+        assert_eq!(joined.get(2), Some(&Value::str("y")));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Tuple::new([1, 2]);
+        let b = Tuple::new([1, 3]);
+        let c = Tuple::new([2, 0]);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_is_paren_list() {
+        assert_eq!(Tuple::new([2, 4]).to_string(), "(2, 4)");
+    }
+
+    #[test]
+    fn from_iterator_collects_values() {
+        let t: Tuple = vec![1, 2].into_iter().collect();
+        assert_eq!(t, Tuple::new([1, 2]));
+    }
+}

@@ -1,0 +1,86 @@
+//! Experiments E1 + E2: special-purpose division algorithms vs the
+//! basic-operator simulation, across dividend sizes and divisor sizes.
+//!
+//! Paper claim (Sections 1, 6; Leinders & Van den Bussche): the simulation
+//! materializes quadratic intermediate results and loses to every
+//! special-purpose algorithm; among the special-purpose algorithms,
+//! hash-division wins on unsorted inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::division_workload;
+use div_physical::division::{divide_with, DivisionAlgorithm};
+use div_physical::ExecStats;
+
+fn bench_by_dividend_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_E2_division_algorithms/by_groups");
+    for groups in [100i64, 400, 1_600] {
+        let (dividend, divisor) = division_workload(groups, 16, 3);
+        for algorithm in DivisionAlgorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), groups),
+                &groups,
+                |b, _| {
+                    b.iter(|| {
+                        let mut stats = ExecStats::default();
+                        divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_by_divisor_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E1_E2_division_algorithms/by_divisor");
+    for items in [4i64, 16, 64] {
+        let (dividend, divisor) = division_workload(300, items, 3);
+        for algorithm in DivisionAlgorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.name(), items),
+                &items,
+                |b, _| {
+                    b.iter(|| {
+                        let mut stats = ExecStats::default();
+                        divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Print the intermediate-result table the paper's argument is about (runs
+/// once; visible with `cargo bench -- --nocapture`-style output since it is
+/// plain stdout before the timing loops).
+fn report_intermediate_sizes() {
+    println!("\n# E1: largest intermediate result (tuples), dividend groups x divisor 16");
+    println!("groups  simulated  hash-division");
+    for groups in [100i64, 400, 1_600] {
+        let (dividend, divisor) = division_workload(groups, 16, 3);
+        let mut sim = ExecStats::default();
+        divide_with(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::SimulatedBasicOperators,
+            &mut sim,
+        )
+        .unwrap();
+        let mut hash = ExecStats::default();
+        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut hash).unwrap();
+        println!(
+            "{groups:>6}  {:>9}  {:>13}",
+            sim.max_intermediate, hash.max_intermediate
+        );
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    report_intermediate_sizes();
+    bench_by_dividend_size(c);
+    bench_by_divisor_size(c);
+}
+
+criterion_group!(division_algorithms, benches);
+criterion_main!(division_algorithms);

@@ -1,0 +1,66 @@
+//! Experiment E7 (Example 3): the multi-step rewrite that removes the
+//! theta-join from the dividend of `(r*1 ⋈_{b1<b2} r**1) ÷ r2`.
+//!
+//! Paper claim (Section 5.1.6): the rewritten plan avoids the join between
+//! r*1 and r**1 entirely, which pays off when r*1 is large and no indexes
+//! support the join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_rewrite::laws::examples::example3_derivation;
+use div_rewrite::RewriteContext;
+use division::prelude::*;
+
+fn catalog(outer: i64) -> Catalog {
+    let mut c = Catalog::new();
+    let mut rows = Vec::new();
+    for a in 0..outer {
+        for b1 in 0..10i64 {
+            if (a + b1) % 3 != 0 {
+                rows.push(vec![a, b1]);
+            }
+        }
+    }
+    c.register("r_star", Relation::from_rows(["a", "b1"], rows).unwrap());
+    c.register(
+        "r_star_star",
+        Relation::from_rows(["b2"], (0..12i64).map(|b2| vec![b2])).unwrap(),
+    );
+    c.register(
+        "r2",
+        Relation::from_rows(["b1", "b2"], (0..6i64).map(|i| vec![i, (i * 2) % 12])).unwrap(),
+    );
+    c
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E7_example3_join_elimination");
+    for outer in [200i64, 800] {
+        let catalog = catalog(outer);
+        let ctx = RewriteContext::with_catalog(&catalog);
+        let steps = example3_derivation(
+            &PlanBuilder::scan("r_star").build(),
+            &PlanBuilder::scan("r_star_star").build(),
+            &PlanBuilder::scan("r2").build(),
+            &ctx,
+        )
+        .unwrap();
+        let original = steps.first().unwrap().plan.clone();
+        let rewritten = steps.last().unwrap().plan.clone();
+        assert_eq!(
+            evaluate(&original, &catalog).unwrap(),
+            evaluate(&rewritten, &catalog).unwrap()
+        );
+        group.bench_with_input(BenchmarkId::new("original-with-join", outer), &outer, |b, _| {
+            b.iter(|| evaluate(&original, &catalog).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("example3-rewritten", outer),
+            &outer,
+            |b, _| b.iter(|| evaluate(&rewritten, &catalog).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(example3, benches);
+criterion_main!(example3);

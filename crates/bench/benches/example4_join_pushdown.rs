@@ -1,0 +1,46 @@
+//! Experiment E10b (Example 4): pushing a selective equi-join against the
+//! quotient into the dividend of a great divide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::great_divide_workload;
+use division::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let (dividend, divisor) = great_divide_workload(800, 20, 32, 6);
+    let mut group = c.benchmark_group("E10_example4_join_push_in");
+    for outer_size in [5i64, 50, 400] {
+        let outer =
+            Relation::from_rows(["a1"], (0..outer_size).map(|a| vec![a * 2])).unwrap();
+        let join = Predicate::eq_attrs("a1", "a");
+        let join_above = || {
+            outer
+                .theta_join(&dividend.great_divide(&divisor).unwrap(), &join)
+                .unwrap()
+        };
+        let pushed_in = || {
+            outer
+                .theta_join(&dividend, &join)
+                .unwrap()
+                .great_divide(&divisor)
+                .unwrap()
+        };
+        assert_eq!(
+            join_above().conform_to(pushed_in().schema()).unwrap(),
+            pushed_in()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("join-above-divide", outer_size),
+            &outer_size,
+            |b, _| b.iter(join_above),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("example4-join-pushed-in", outer_size),
+            &outer_size,
+            |b, _| b.iter(pushed_in),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(example4, benches);
+criterion_main!(example4);

@@ -1,0 +1,49 @@
+//! Experiment E4 (Law 2 + condition c2): degree-n parallel division of a
+//! dividend partitioned on the quotient attributes, vs the sequential run.
+//!
+//! Paper claim (Section 5.1.1): with disjoint partitions an RDBMS "can
+//! parallelize a query execution with degree 2" (and higher degrees with more
+//! partitions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::division_workload;
+use div_physical::division::{divide_with, DivisionAlgorithm};
+use div_physical::parallel::parallel_divide;
+use div_physical::ExecStats;
+
+fn benches(c: &mut Criterion) {
+    let (dividend, divisor) = division_workload(4_000, 24, 3);
+    let sequential = {
+        let mut stats = ExecStats::default();
+        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut stats).unwrap()
+    };
+
+    let mut group = c.benchmark_group("E4_law02_partition_parallel");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut stats).unwrap()
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        // Sanity: Law 2 under c2 preserves the quotient.
+        let (parallel_result, _) =
+            parallel_divide(&dividend, &divisor, DivisionAlgorithm::HashDivision, workers)
+                .unwrap();
+        assert_eq!(parallel_result, sequential);
+        group.bench_with_input(
+            BenchmarkId::new("law2-parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    parallel_divide(&dividend, &divisor, DivisionAlgorithm::HashDivision, workers)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(law02, benches);
+criterion_main!(law02);

@@ -1,0 +1,51 @@
+//! Experiment E5 (Law 7): when the two dividends have disjoint quotient
+//! prefixes, the second division of `(r'1 ÷ r2) − (r''1 ÷ r2)` can be skipped
+//! entirely. The paper's example: `σ_{a≤10}(r1) ÷ r2 − σ_{a>10}(r1) ÷ r2`
+//! where the second selection covers almost the whole table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::division_workload;
+use division::prelude::*;
+
+fn run_both_divisions(r1: &Relation, r2: &Relation, split: i64) -> Relation {
+    let low = r1
+        .select(&Predicate::cmp_value("a", CompareOp::LtEq, split))
+        .unwrap();
+    let high = r1
+        .select(&Predicate::cmp_value("a", CompareOp::Gt, split))
+        .unwrap();
+    low.divide(r2)
+        .unwrap()
+        .difference(&high.divide(r2).unwrap())
+        .unwrap()
+}
+
+fn run_law7(r1: &Relation, r2: &Relation, split: i64) -> Relation {
+    // Law 7: the prefixes are disjoint by construction, so only the first
+    // (cheap) division is needed.
+    r1.select(&Predicate::cmp_value("a", CompareOp::LtEq, split))
+        .unwrap()
+        .divide(r2)
+        .unwrap()
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5_law07_difference");
+    for groups in [1_000i64, 4_000] {
+        let (r1, r2) = division_workload(groups, 16, 3);
+        let split = 10; // only 11 of the `groups` quotient groups are cheap
+        assert_eq!(run_both_divisions(&r1, &r2, split), run_law7(&r1, &r2, split));
+        group.bench_with_input(
+            BenchmarkId::new("both-divisions", groups),
+            &groups,
+            |b, _| b.iter(|| run_both_divisions(&r1, &r2, split)),
+        );
+        group.bench_with_input(BenchmarkId::new("law7-skip-second", groups), &groups, |b, _| {
+            b.iter(|| run_law7(&r1, &r2, split))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(law07, benches);
+criterion_main!(law07);

@@ -1,0 +1,45 @@
+//! Experiment E8 (Laws 11/12): when the dividend is an aggregation result,
+//! the division degenerates into a semi-join plus projection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use division::prelude::*;
+
+/// r1 = aγsum(x)→b(r0) — one tuple per quotient group (Law 11 shape).
+fn workload(groups: i64) -> (Relation, Relation) {
+    let mut rows = Vec::new();
+    for a in 0..groups {
+        for x in 0..4i64 {
+            rows.push(vec![a, x + a % 7]);
+        }
+    }
+    let r0 = Relation::from_rows(["a", "x"], rows).unwrap();
+    let r1 = r0
+        .group_aggregate(&["a"], &[AggregateCall::sum("x", "b")])
+        .unwrap();
+    // A single-tuple divisor hitting one of the aggregate values.
+    let hit = r1.tuples().next().unwrap().values()[1].clone();
+    let r2 = Relation::from_rows(["b"], [vec![hit]]).unwrap();
+    (r1, r2)
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E8_law11_12_grouping");
+    for groups in [1_000i64, 10_000] {
+        let (r1, r2) = workload(groups);
+        let divide = r1.divide(&r2).unwrap();
+        let by_law = r1.semi_join(&r2).unwrap().project(&["a"]).unwrap();
+        assert_eq!(divide, by_law);
+        group.bench_with_input(BenchmarkId::new("small-divide", groups), &groups, |b, _| {
+            b.iter(|| r1.divide(&r2).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("law11-semijoin-project", groups),
+            &groups,
+            |b, _| b.iter(|| r1.semi_join(&r2).unwrap().project(&["a"]).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(law11_12, benches);
+criterion_main!(law11_12);

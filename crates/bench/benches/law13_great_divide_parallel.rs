@@ -1,0 +1,58 @@
+//! Experiment E9 (Law 13): hash-partitioning the divisor groups on `C` and
+//! running the great divide per partition in parallel, vs the sequential run.
+//!
+//! Paper claim (Section 5.2.1): with the dividend replicated on n nodes and
+//! the divisor hash-distributed on C, execution time drops to roughly 1/n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::great_divide_workload;
+use div_physical::great_divide::{great_divide_with, GreatDivideAlgorithm};
+use div_physical::parallel::parallel_great_divide;
+use div_physical::ExecStats;
+
+fn benches(c: &mut Criterion) {
+    let (dividend, divisor) = great_divide_workload(600, 20, 64, 6);
+    let sequential = {
+        let mut stats = ExecStats::default();
+        great_divide_with(&dividend, &divisor, GreatDivideAlgorithm::HashSets, &mut stats)
+            .unwrap()
+    };
+
+    let mut group = c.benchmark_group("E9_law13_great_divide_parallel");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut stats = ExecStats::default();
+            great_divide_with(&dividend, &divisor, GreatDivideAlgorithm::HashSets, &mut stats)
+                .unwrap()
+        })
+    });
+    for workers in [2usize, 4, 8] {
+        let (result, _) = parallel_great_divide(
+            &dividend,
+            &divisor,
+            GreatDivideAlgorithm::HashSets,
+            workers,
+        )
+        .unwrap();
+        assert_eq!(result, sequential);
+        group.bench_with_input(
+            BenchmarkId::new("law13-parallel", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    parallel_great_divide(
+                        &dividend,
+                        &divisor,
+                        GreatDivideAlgorithm::HashSets,
+                        workers,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(law13, benches);
+criterion_main!(law13);

@@ -1,0 +1,63 @@
+//! Experiment E10a (Laws 14/15/16): pushing selections below the great divide
+//! across a selectivity sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::great_divide_workload;
+use division::prelude::*;
+
+fn benches(c: &mut Criterion) {
+    let (dividend, divisor) = great_divide_workload(800, 20, 48, 6);
+    let mut group = c.benchmark_group("E10_law15_selection_pushdown");
+    // Selectivity sweep on the divisor group attribute c (Law 15).
+    for keep in [4i64, 16, 48] {
+        let p = Predicate::cmp_value("c", CompareOp::Lt, keep);
+        let unpushed = || {
+            dividend
+                .great_divide(&divisor)
+                .unwrap()
+                .select(&p)
+                .unwrap()
+        };
+        let pushed = || {
+            dividend
+                .great_divide(&divisor.select(&p).unwrap())
+                .unwrap()
+        };
+        assert_eq!(unpushed(), pushed());
+        group.bench_with_input(BenchmarkId::new("filter-above", keep), &keep, |b, _| {
+            b.iter(unpushed)
+        });
+        group.bench_with_input(BenchmarkId::new("law15-pushed", keep), &keep, |b, _| {
+            b.iter(pushed)
+        });
+    }
+    // Law 14: filter on the quotient attribute a.
+    for keep in [50i64, 400] {
+        let p = Predicate::cmp_value("a", CompareOp::Lt, keep);
+        let unpushed = || {
+            dividend
+                .great_divide(&divisor)
+                .unwrap()
+                .select(&p)
+                .unwrap()
+        };
+        let pushed = || {
+            dividend
+                .select(&p)
+                .unwrap()
+                .great_divide(&divisor)
+                .unwrap()
+        };
+        assert_eq!(unpushed(), pushed());
+        group.bench_with_input(BenchmarkId::new("law14-filter-above", keep), &keep, |b, _| {
+            b.iter(unpushed)
+        });
+        group.bench_with_input(BenchmarkId::new("law14-pushed", keep), &keep, |b, _| {
+            b.iter(pushed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(law15, benches);
+criterion_main!(law15);

@@ -1,0 +1,44 @@
+//! Experiment E13: the cost of running the rewrite engine and the cost-based
+//! optimizer themselves, across plan sizes — logical rewriting must stay cheap
+//! relative to execution for the laws to be worth implementing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_bench::suppliers_parts_catalog;
+use division::prelude::*;
+
+fn nested_plan(depth: usize) -> LogicalPlan {
+    let mut builder = PlanBuilder::scan("supplies").divide(
+        PlanBuilder::scan("parts")
+            .select(Predicate::eq_value("color", "blue"))
+            .project(["p#"]),
+    );
+    for i in 0..depth {
+        builder = builder.select(Predicate::cmp_value("s#", CompareOp::Gt, i as i64 - 100));
+    }
+    builder.build()
+}
+
+fn benches(c: &mut Criterion) {
+    let catalog = suppliers_parts_catalog(200, 40, 0.5);
+    let ctx = RewriteContext::with_catalog(&catalog);
+    let engine = RewriteEngine::with_default_rules();
+    let optimizer = Optimizer::new();
+
+    let mut group = c.benchmark_group("E13_rewrite_engine_overhead");
+    for depth in [1usize, 5, 15] {
+        let plan = nested_plan(depth);
+        group.bench_with_input(BenchmarkId::new("engine-fixpoint", depth), &depth, |b, _| {
+            b.iter(|| engine.rewrite(&plan, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("cost-based-optimize", depth), &depth, |b, _| {
+            b.iter(|| optimizer.optimize(&plan, &ctx).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("execute-unrewritten", depth), &depth, |b, _| {
+            b.iter(|| evaluate(&plan, &catalog).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(rewrite_engine, benches);
+criterion_main!(rewrite_engine);

@@ -1,0 +1,99 @@
+//! Shared workload builders for the Criterion benches (and the examples).
+//!
+//! Every experiment in `EXPERIMENTS.md` names one of the workloads below, so
+//! the benches, the integration tests and the examples all measure the same
+//! data shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use div_algebra::Relation;
+use div_datagen::suppliers_parts::{self, SuppliersPartsConfig};
+use div_expr::Catalog;
+
+/// A dividend/divisor pair for small-divide experiments:
+/// `groups` quotient-candidate groups over `items` shared values, where every
+/// `hit_every`-th group contains the whole divisor (and therefore qualifies).
+pub fn division_workload(groups: i64, items: i64, hit_every: i64) -> (Relation, Relation) {
+    let mut dividend_rows = Vec::new();
+    for g in 0..groups {
+        let keep_all = hit_every > 0 && g % hit_every == 0;
+        for i in 0..items {
+            if keep_all || i % 2 == 0 {
+                dividend_rows.push(vec![g, i]);
+            }
+        }
+    }
+    let divisor_rows: Vec<Vec<i64>> = (0..items).map(|i| vec![i]).collect();
+    (
+        Relation::from_rows(["a", "b"], dividend_rows).expect("valid dividend"),
+        Relation::from_rows(["b"], divisor_rows).expect("valid divisor"),
+    )
+}
+
+/// A dividend/divisor pair for great-divide experiments: the divisor holds
+/// `divisor_groups` groups of `group_size` shared values each.
+pub fn great_divide_workload(
+    groups: i64,
+    items: i64,
+    divisor_groups: i64,
+    group_size: i64,
+) -> (Relation, Relation) {
+    let (dividend, _) = division_workload(groups, items, 3);
+    let mut divisor_rows = Vec::new();
+    for c in 0..divisor_groups {
+        for k in 0..group_size.min(items) {
+            let b = (c + 2 * k) % items.max(1);
+            divisor_rows.push(vec![b, c]);
+        }
+    }
+    (
+        dividend,
+        Relation::from_rows(["b", "c"], divisor_rows).expect("valid divisor"),
+    )
+}
+
+/// A suppliers-parts catalog of the given scale, registered under the table
+/// names used by queries Q1–Q3 (`supplies`, `parts`).
+pub fn suppliers_parts_catalog(suppliers: usize, parts: usize, coverage: f64) -> Catalog {
+    let data = suppliers_parts::generate(&SuppliersPartsConfig {
+        suppliers,
+        parts,
+        colors: 4,
+        coverage,
+        full_suppliers: 0.05,
+        seed: 20_061_231,
+    });
+    let mut catalog = Catalog::new();
+    catalog.register("supplies", data.supplies);
+    catalog.register("parts", data.parts);
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn division_workload_has_expected_quotient() {
+        let (dividend, divisor) = division_workload(30, 10, 3);
+        let quotient = dividend.divide(&divisor).unwrap();
+        // Exactly the groups 0, 3, 6, … qualify.
+        assert_eq!(quotient.len(), 10);
+    }
+
+    #[test]
+    fn great_divide_workload_is_valid() {
+        let (dividend, divisor) = great_divide_workload(20, 8, 5, 3);
+        let quotient = dividend.great_divide(&divisor).unwrap();
+        assert_eq!(quotient.schema().names(), vec!["a", "c"]);
+        assert!(!quotient.is_empty());
+    }
+
+    #[test]
+    fn suppliers_parts_catalog_contains_both_tables() {
+        let catalog = suppliers_parts_catalog(20, 10, 0.6);
+        assert!(catalog.contains_table("supplies"));
+        assert!(catalog.contains_table("parts"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Market-basket workload for the frequent-itemset experiments of Section 3.
+//!
+//! Generates `transactions(tid, item)` with Zipf-skewed item popularity plus a
+//! set of "planted" frequent itemsets that are injected into a fraction of the
+//! transactions, so that the mining experiments have known frequent patterns
+//! to discover — the same style of synthetic data as the classic IBM Quest
+//! generator used by the association-rule literature the paper cites [2].
+
+use crate::zipf::ZipfSampler;
+use div_algebra::{Relation, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Configuration of the basket generator.
+#[derive(Debug, Clone, Copy)]
+pub struct BasketConfig {
+    /// Number of transactions.
+    pub transactions: usize,
+    /// Number of distinct items.
+    pub items: usize,
+    /// Average transaction length (random items per transaction).
+    pub avg_length: usize,
+    /// Zipf exponent for item popularity.
+    pub skew: f64,
+    /// Number of planted frequent itemsets.
+    pub planted_itemsets: usize,
+    /// Size of each planted itemset.
+    pub planted_size: usize,
+    /// Probability that a transaction contains a given planted itemset.
+    pub planted_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BasketConfig {
+    fn default() -> Self {
+        BasketConfig {
+            transactions: 1_000,
+            items: 100,
+            avg_length: 8,
+            skew: 1.0,
+            planted_itemsets: 3,
+            planted_size: 3,
+            planted_probability: 0.3,
+            seed: 7,
+        }
+    }
+}
+
+/// The generated workload.
+#[derive(Debug, Clone)]
+pub struct BasketData {
+    /// `transactions(tid, item)` in the "vertical" first-normal-form layout
+    /// the great-divide formulation of support counting needs.
+    pub transactions: Relation,
+    /// The itemsets that were planted (as sorted item lists); the mining tests
+    /// assert that these are found when the support threshold is low enough.
+    pub planted: Vec<Vec<i64>>,
+}
+
+/// Generate a market-basket workload.
+pub fn generate(config: &BasketConfig) -> BasketData {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let sampler = ZipfSampler::new(config.items.max(1), config.skew);
+
+    // Plant itemsets over the *popular* end of the item range so they remain
+    // frequent even with skewed noise.
+    let mut planted = Vec::new();
+    for p in 0..config.planted_itemsets {
+        let start = (p * config.planted_size) % config.items.max(1);
+        let itemset: Vec<i64> = (0..config.planted_size)
+            .map(|k| ((start + k) % config.items.max(1)) as i64)
+            .collect();
+        planted.push(itemset);
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for tid in 0..config.transactions {
+        let mut items: BTreeSet<i64> = BTreeSet::new();
+        // Planted patterns.
+        for itemset in &planted {
+            if rng.gen_bool(config.planted_probability.clamp(0.0, 1.0)) {
+                items.extend(itemset.iter().copied());
+            }
+        }
+        // Random noise items.
+        let length = if config.avg_length == 0 {
+            0
+        } else {
+            rng.gen_range(1..=config.avg_length * 2)
+        };
+        for _ in 0..length {
+            items.insert(sampler.sample(&mut rng) as i64);
+        }
+        for item in items {
+            rows.push(vec![Value::from(tid as i64), Value::from(item)]);
+        }
+    }
+    let transactions =
+        Relation::from_rows(["tid", "item"], rows).expect("valid transaction rows");
+    BasketData {
+        transactions,
+        planted,
+    }
+}
+
+/// Build the `candidates(item, itemset)` relation — the "vertical"
+/// representation of a collection of candidate itemsets that the great divide
+/// consumes — from explicit itemsets.
+pub fn candidates_relation(itemsets: &[Vec<i64>]) -> Relation {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (id, itemset) in itemsets.iter().enumerate() {
+        for item in itemset {
+            rows.push(vec![Value::from(*item), Value::from(id as i64)]);
+        }
+    }
+    Relation::from_rows(["item", "itemset"], rows).expect("valid candidate rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_produces_expected_shape() {
+        let config = BasketConfig {
+            transactions: 50,
+            items: 20,
+            ..BasketConfig::default()
+        };
+        let data = generate(&config);
+        assert_eq!(data.transactions.schema().names(), vec!["tid", "item"]);
+        assert_eq!(data.planted.len(), config.planted_itemsets);
+        let tids = data.transactions.column("tid").unwrap();
+        assert!(tids.len() <= 50);
+        assert!(!data.transactions.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = BasketConfig::default();
+        assert_eq!(
+            generate(&config).transactions,
+            generate(&config).transactions
+        );
+    }
+
+    #[test]
+    fn planted_itemsets_are_frequent() {
+        let config = BasketConfig {
+            transactions: 400,
+            items: 60,
+            planted_probability: 0.5,
+            ..BasketConfig::default()
+        };
+        let data = generate(&config);
+        let candidates = candidates_relation(&data.planted);
+        // Support counting via the great divide (Section 3).
+        let quotient = data.transactions.great_divide(&candidates).unwrap();
+        let support = quotient
+            .group_aggregate(&["itemset"], &[div_algebra::AggregateCall::count("tid", "n")])
+            .unwrap();
+        // Every planted itemset has support well above 10% of transactions.
+        assert_eq!(support.len(), data.planted.len());
+        for t in support.tuples() {
+            let n = t.values()[1].as_int().unwrap();
+            assert!(n >= 40, "planted itemset support too low: {n}");
+        }
+    }
+
+    #[test]
+    fn candidates_relation_layout() {
+        let rel = candidates_relation(&[vec![10, 30], vec![20]]);
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.schema().names(), vec!["item", "itemset"]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # div-datagen
+//!
+//! Workload generators for the *division-laws* benchmarks and property tests.
+//!
+//! Two scenario families appear in the paper:
+//!
+//! * the **suppliers-and-parts** database of Section 4 (queries Q1–Q3), and
+//! * the **market-basket** transactions/candidates tables of Section 3
+//!   (frequent itemset discovery).
+//!
+//! [`suppliers_parts`] and [`baskets`] generate those schemas at arbitrary
+//! scale with controllable selectivities and Zipf-skewed popularity, and
+//! [`partition`] provides the horizontal partitioning helpers used by the
+//! parallel-law experiments (Laws 2 and 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baskets;
+pub mod partition;
+pub mod suppliers_parts;
+pub mod zipf;
+
+pub use baskets::{BasketConfig, BasketData};
+pub use suppliers_parts::{SuppliersPartsConfig, SuppliersPartsData};
+pub use zipf::ZipfSampler;

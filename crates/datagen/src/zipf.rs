@@ -1,0 +1,106 @@
+//! A small Zipf-distribution sampler.
+//!
+//! Market-basket data is classically skewed: a few items occur in most
+//! transactions while the long tail is rare. The basket generator uses this
+//! sampler to draw item identifiers with probability `P(rank k) ∝ 1/k^s`.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `n` ranks with skew exponent `s`.
+    ///
+    /// `s = 0.0` degenerates to the uniform distribution; larger values skew
+    /// harder toward low ranks. `n` must be at least 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize to [0, 1].
+        for value in &mut cumulative {
+            *value /= total;
+        }
+        ZipfSampler { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// `true` if the sampler has exactly one rank (degenerate).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cumulative
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("probabilities are finite"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_in_range() {
+        let sampler = ZipfSampler::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 10);
+        }
+        assert_eq!(sampler.len(), 10);
+        assert!(!sampler.is_empty());
+    }
+
+    #[test]
+    fn skewed_sampler_prefers_low_ranks() {
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must be sampled far more often than rank 50.
+        assert!(counts[0] > counts[50] * 5);
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let sampler = ZipfSampler::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_rank() {
+        let sampler = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sampler.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Fluent construction of logical plans.
+
+use crate::LogicalPlan;
+use div_algebra::{AggregateCall, Predicate, Relation};
+
+/// A small fluent builder for [`LogicalPlan`] trees.
+///
+/// Each method consumes the builder and wraps the current plan in a new
+/// operator, so plans read top-down in the order the operators apply:
+///
+/// ```
+/// use div_expr::PlanBuilder;
+/// use div_algebra::Predicate;
+///
+/// let plan = PlanBuilder::scan("supplies")
+///     .divide(
+///         PlanBuilder::scan("parts")
+///             .select(Predicate::eq_value("color", "blue"))
+///             .project(["p#"]),
+///     )
+///     .build();
+/// assert!(plan.contains_division());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl PlanBuilder {
+    /// Start from a base-table scan.
+    pub fn scan(table: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Scan {
+                table: table.into(),
+            },
+        }
+    }
+
+    /// Start from an inline relation literal.
+    pub fn values(relation: Relation) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Values { relation },
+        }
+    }
+
+    /// Start from an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        PlanBuilder { plan }
+    }
+
+    /// Finish and return the plan.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+
+    /// Wrap in a selection.
+    pub fn select(self, predicate: Predicate) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Select {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project<I, S>(self, attributes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                attributes: attributes.into_iter().map(Into::into).collect(),
+            },
+        }
+    }
+
+    /// Wrap in a rename.
+    pub fn rename<I, S, T>(self, renames: I) -> Self
+    where
+        I: IntoIterator<Item = (S, T)>,
+        S: Into<String>,
+        T: Into<String>,
+    {
+        PlanBuilder {
+            plan: LogicalPlan::Rename {
+                input: Box::new(self.plan),
+                renames: renames
+                    .into_iter()
+                    .map(|(a, b)| (a.into(), b.into()))
+                    .collect(),
+            },
+        }
+    }
+
+    /// Union with another plan.
+    pub fn union(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Union {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Intersection with another plan.
+    pub fn intersect(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Intersect {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Difference with another plan.
+    pub fn difference(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Difference {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Cartesian product with another plan.
+    pub fn product(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Product {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Theta-join with another plan.
+    pub fn theta_join(self, other: PlanBuilder, predicate: Predicate) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::ThetaJoin {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+                predicate,
+            },
+        }
+    }
+
+    /// Natural join with another plan.
+    pub fn natural_join(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::NaturalJoin {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Left semi-join with another plan.
+    pub fn semi_join(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::SemiJoin {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Left anti-semi-join with another plan.
+    pub fn anti_semi_join(self, other: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::AntiSemiJoin {
+                left: Box::new(self.plan),
+                right: Box::new(other.plan),
+            },
+        }
+    }
+
+    /// Small divide: `self ÷ divisor`.
+    pub fn divide(self, divisor: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::SmallDivide {
+                dividend: Box::new(self.plan),
+                divisor: Box::new(divisor.plan),
+            },
+        }
+    }
+
+    /// Great divide: `self ÷* divisor`.
+    pub fn great_divide(self, divisor: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::GreatDivide {
+                dividend: Box::new(self.plan),
+                divisor: Box::new(divisor.plan),
+            },
+        }
+    }
+
+    /// Grouping with aggregation.
+    pub fn group_aggregate<I, S, A>(self, group_by: I, aggregates: A) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+        A: IntoIterator<Item = AggregateCall>,
+    {
+        PlanBuilder {
+            plan: LogicalPlan::GroupAggregate {
+                input: Box::new(self.plan),
+                group_by: group_by.into_iter().map(Into::into).collect(),
+                aggregates: aggregates.into_iter().collect(),
+            },
+        }
+    }
+}
+
+impl From<PlanBuilder> for LogicalPlan {
+    fn from(builder: PlanBuilder) -> Self {
+        builder.build()
+    }
+}
+
+impl From<LogicalPlan> for PlanBuilder {
+    fn from(plan: LogicalPlan) -> Self {
+        PlanBuilder::from_plan(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    #[test]
+    fn builder_produces_expected_tree_shape() {
+        let plan = PlanBuilder::scan("r1")
+            .select(Predicate::eq_value("a", 1))
+            .divide(PlanBuilder::scan("r2"))
+            .project(["a"])
+            .build();
+        assert_eq!(plan.name(), "Project");
+        assert_eq!(plan.node_count(), 5);
+    }
+
+    #[test]
+    fn all_binary_constructors_wire_children() {
+        let l = || PlanBuilder::scan("l");
+        let r = || PlanBuilder::scan("r");
+        for plan in [
+            l().union(r()).build(),
+            l().intersect(r()).build(),
+            l().difference(r()).build(),
+            l().product(r()).build(),
+            l().theta_join(r(), Predicate::True).build(),
+            l().natural_join(r()).build(),
+            l().semi_join(r()).build(),
+            l().anti_semi_join(r()).build(),
+            l().divide(r()).build(),
+            l().great_divide(r()).build(),
+        ] {
+            assert_eq!(plan.children().len(), 2, "{}", plan.name());
+            assert_eq!(plan.scanned_tables(), vec!["l", "r"], "{}", plan.name());
+        }
+    }
+
+    #[test]
+    fn values_and_conversions() {
+        let plan: LogicalPlan = PlanBuilder::values(relation! { ["x"] => [1], [2] }).into();
+        assert_eq!(plan.name(), "Values");
+        let back: PlanBuilder = plan.clone().into();
+        assert_eq!(back.build(), plan);
+    }
+
+    #[test]
+    fn group_aggregate_builder() {
+        let plan = PlanBuilder::scan("quotient")
+            .group_aggregate(["itemset"], [AggregateCall::count("tid", "support")])
+            .build();
+        match &plan {
+            LogicalPlan::GroupAggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                assert_eq!(group_by, &vec!["itemset".to_string()]);
+                assert_eq!(aggregates.len(), 1);
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The catalog: a named collection of base relations plus the integrity
+//! metadata some laws depend on.
+//!
+//! Laws 9, 11 and 12 have preconditions that cannot be read off the query
+//! alone: Law 12 requires that "`r2.B` is a foreign key referencing `r1.B`",
+//! Law 9's Example 3 uses the fact that "`r**1.b2` is a unique attribute and
+//! `r2.b2` is a foreign key that references `r**1`". The catalog therefore
+//! tracks declared unique keys and foreign keys alongside the table data so
+//! the rewrite rules can check these preconditions the way a real optimizer
+//! would (from schema metadata, not by scanning the data).
+
+use crate::{ExprError, Result, SchemaProvider};
+use div_algebra::{Relation, Schema};
+use std::collections::BTreeMap;
+
+/// A declared foreign-key constraint: `from_table.from_attributes` references
+/// `to_table.to_attributes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing table.
+    pub from_table: String,
+    /// Referencing attributes.
+    pub from_attributes: Vec<String>,
+    /// Referenced table.
+    pub to_table: String,
+    /// Referenced attributes.
+    pub to_attributes: Vec<String>,
+}
+
+/// An in-memory database: named relations plus integrity metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Relation>,
+    unique_keys: BTreeMap<String, Vec<Vec<String>>>,
+    foreign_keys: Vec<ForeignKey>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
+        self.tables.insert(name.into(), relation);
+        self
+    }
+
+    /// Look up a table.
+    pub fn table(&self, name: &str) -> Result<&Relation> {
+        self.tables.get(name).ok_or_else(|| ExprError::UnknownTable {
+            table: name.to_string(),
+        })
+    }
+
+    /// `true` if a table with this name is registered.
+    pub fn contains_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Iterate over `(name, relation)` pairs in name order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
+        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    /// Number of registered tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Declare a uniqueness constraint on `table(attributes)`.
+    ///
+    /// The constraint is validated against the current contents of the table
+    /// (a real system would enforce it on writes).
+    pub fn declare_unique(&mut self, table: &str, attributes: &[&str]) -> Result<()> {
+        let rel = self.table(table)?;
+        let projected = rel.project(attributes)?;
+        if projected.len() != rel.len() {
+            return Err(ExprError::invalid(format!(
+                "cannot declare {table}({}) unique: {} tuples share key values",
+                attributes.join(", "),
+                rel.len() - projected.len()
+            )));
+        }
+        self.unique_keys
+            .entry(table.to_string())
+            .or_default()
+            .push(attributes.iter().map(|s| s.to_string()).collect());
+        Ok(())
+    }
+
+    /// `true` if `attributes` is a declared unique key of `table`.
+    pub fn is_unique(&self, table: &str, attributes: &[&str]) -> bool {
+        self.unique_keys
+            .get(table)
+            .map(|keys| {
+                keys.iter().any(|key| {
+                    key.len() == attributes.len()
+                        && key.iter().all(|k| attributes.contains(&k.as_str()))
+                })
+            })
+            .unwrap_or(false)
+    }
+
+    /// Declare a foreign key and validate it against the current data.
+    pub fn declare_foreign_key(
+        &mut self,
+        from_table: &str,
+        from_attributes: &[&str],
+        to_table: &str,
+        to_attributes: &[&str],
+    ) -> Result<()> {
+        if from_attributes.len() != to_attributes.len() {
+            return Err(ExprError::invalid(
+                "foreign key attribute lists must have the same length",
+            ));
+        }
+        let from = self.table(from_table)?.project(from_attributes)?;
+        let to = self.table(to_table)?.project(to_attributes)?;
+        // Conform attribute names so the subset test can run.
+        let renamed = from.rename_with(|n| {
+            let idx = from_attributes.iter().position(|a| *a == n).expect("projected attr");
+            to_attributes[idx].to_string()
+        })?;
+        if !renamed.is_subset_of(&to)? {
+            return Err(ExprError::invalid(format!(
+                "foreign key violation: {from_table}({}) contains values not present in {to_table}({})",
+                from_attributes.join(", "),
+                to_attributes.join(", ")
+            )));
+        }
+        self.foreign_keys.push(ForeignKey {
+            from_table: from_table.to_string(),
+            from_attributes: from_attributes.iter().map(|s| s.to_string()).collect(),
+            to_table: to_table.to_string(),
+            to_attributes: to_attributes.iter().map(|s| s.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// `true` if a foreign key `from_table(from_attributes) → to_table(to_attributes)`
+    /// has been declared.
+    pub fn has_foreign_key(
+        &self,
+        from_table: &str,
+        from_attributes: &[&str],
+        to_table: &str,
+        to_attributes: &[&str],
+    ) -> bool {
+        self.foreign_keys.iter().any(|fk| {
+            fk.from_table == from_table
+                && fk.to_table == to_table
+                && fk.from_attributes.len() == from_attributes.len()
+                && fk
+                    .from_attributes
+                    .iter()
+                    .zip(to_attributes.iter())
+                    .count()
+                    == from_attributes.len()
+                && fk
+                    .from_attributes
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    == from_attributes
+                && fk
+                    .to_attributes
+                    .iter()
+                    .map(String::as_str)
+                    .collect::<Vec<_>>()
+                    == to_attributes
+        })
+    }
+
+    /// All declared foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+}
+
+impl SchemaProvider for Catalog {
+    fn table_schema(&self, name: &str) -> Option<Schema> {
+        self.tables.get(name).map(|r| r.schema().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
+        c.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "red"] });
+        c
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let c = catalog();
+        assert_eq!(c.table_count(), 2);
+        assert!(c.contains_table("parts"));
+        assert_eq!(c.table("supplies").unwrap().len(), 3);
+        assert!(matches!(
+            c.table("nope").unwrap_err(),
+            ExprError::UnknownTable { .. }
+        ));
+    }
+
+    #[test]
+    fn schema_provider_reports_schemas() {
+        let c = catalog();
+        assert_eq!(
+            c.table_schema("parts").unwrap().names(),
+            vec!["p#", "color"]
+        );
+        assert!(c.table_schema("nope").is_none());
+    }
+
+    #[test]
+    fn unique_declaration_is_validated() {
+        let mut c = catalog();
+        c.declare_unique("parts", &["p#"]).unwrap();
+        assert!(c.is_unique("parts", &["p#"]));
+        assert!(!c.is_unique("parts", &["color"]));
+        // s# is not unique in supplies (supplier 1 appears twice).
+        assert!(c.declare_unique("supplies", &["s#"]).is_err());
+    }
+
+    #[test]
+    fn foreign_key_declaration_is_validated() {
+        let mut c = catalog();
+        c.declare_foreign_key("supplies", &["p#"], "parts", &["p#"])
+            .unwrap();
+        assert!(c.has_foreign_key("supplies", &["p#"], "parts", &["p#"]));
+        assert!(!c.has_foreign_key("parts", &["p#"], "supplies", &["p#"]));
+        // Violated foreign key: parts.color -> supplies.s# makes no sense.
+        assert!(c
+            .declare_foreign_key("parts", &["color"], "supplies", &["s#"])
+            .is_err());
+    }
+
+    #[test]
+    fn tables_iterates_in_name_order() {
+        let c = catalog();
+        let names: Vec<&str> = c.tables().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["parts", "supplies"]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Checking that two plans are equivalent on a given database.
+//!
+//! An algebraic law is "a logical equivalence between two different
+//! representations of an algebraic expression: both representations describe
+//! the same set of tuples for every possible database content" (Section 1.1).
+//! Full semantic equivalence cannot be decided by testing, but the law tests
+//! in this workspace check equivalence on many concrete databases — the
+//! paper's own figures plus thousands of randomly generated ones — which is
+//! how the property tests falsify incorrect rewrites.
+
+use crate::{evaluate, Catalog, LogicalPlan, Result};
+use div_algebra::Relation;
+
+/// The outcome of comparing two plans on one catalog.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Result of the left plan.
+    pub left: Relation,
+    /// Result of the right plan.
+    pub right: Relation,
+    /// Whether the two results are the same set of tuples (after conforming
+    /// attribute order).
+    pub equivalent: bool,
+}
+
+impl EquivalenceReport {
+    /// Human-readable summary used in test failure messages.
+    pub fn describe(&self) -> String {
+        if self.equivalent {
+            format!("equivalent ({} tuples)", self.left.len())
+        } else {
+            format!(
+                "NOT equivalent.\nleft ({} tuples):\n{}\nright ({} tuples):\n{}",
+                self.left.len(),
+                self.left.to_table_string(),
+                self.right.len(),
+                self.right.to_table_string()
+            )
+        }
+    }
+}
+
+/// Evaluate both plans on `catalog` and compare their results as sets of
+/// tuples. Attribute order may differ between the two plans (e.g. a rewrite
+/// that moves a projection); the right result is conformed to the left
+/// result's attribute order before comparing.
+pub fn plans_equivalent_on(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    catalog: &Catalog,
+) -> Result<EquivalenceReport> {
+    let left_result = evaluate(left, catalog)?;
+    let right_result = evaluate(right, catalog)?;
+    let equivalent = if left_result.schema().is_compatible_with(right_result.schema()) {
+        right_result.conform_to(left_result.schema())? == left_result
+    } else {
+        false
+    };
+    Ok(EquivalenceReport {
+        left: left_result,
+        right: right_result,
+        equivalent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlanBuilder;
+    use div_algebra::{relation, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "r1",
+            relation! {
+                ["a", "b"] =>
+                [1, 1], [1, 4],
+                [2, 1], [2, 2], [2, 3], [2, 4],
+                [3, 1], [3, 3], [3, 4],
+            },
+        );
+        c.register("r2", relation! { ["b"] => [1], [3] });
+        c
+    }
+
+    #[test]
+    fn law3_instance_is_equivalent() {
+        // σ_{a=2}(r1 ÷ r2) = σ_{a=2}(r1) ÷ r2 (Law 3 on Figure 1 data).
+        let c = catalog();
+        let left = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .select(Predicate::eq_value("a", 2))
+            .build();
+        let right = PlanBuilder::scan("r1")
+            .select(Predicate::eq_value("a", 2))
+            .divide(PlanBuilder::scan("r2"))
+            .build();
+        let report = plans_equivalent_on(&left, &right, &c).unwrap();
+        assert!(report.equivalent, "{}", report.describe());
+    }
+
+    #[test]
+    fn different_results_are_reported() {
+        let c = catalog();
+        let left = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2")).build();
+        let right = PlanBuilder::scan("r1").project(["a"]).build();
+        let report = plans_equivalent_on(&left, &right, &c).unwrap();
+        assert!(!report.equivalent);
+        assert!(report.describe().contains("NOT equivalent"));
+    }
+
+    #[test]
+    fn attribute_order_differences_are_tolerated() {
+        let c = catalog();
+        let left = PlanBuilder::scan("r1").project(["a", "b"]).build();
+        let right = PlanBuilder::scan("r1").project(["b", "a"]).build();
+        let report = plans_equivalent_on(&left, &right, &c).unwrap();
+        assert!(report.equivalent);
+    }
+
+    #[test]
+    fn incompatible_schemas_are_not_equivalent() {
+        let c = catalog();
+        let left = PlanBuilder::scan("r1").project(["a"]).build();
+        let right = PlanBuilder::scan("r1").project(["b"]).build();
+        let report = plans_equivalent_on(&left, &right, &c).unwrap();
+        assert!(!report.equivalent);
+    }
+
+    #[test]
+    fn evaluation_errors_propagate() {
+        let c = catalog();
+        let bad = PlanBuilder::scan("missing").build();
+        let good = PlanBuilder::scan("r1").build();
+        assert!(plans_equivalent_on(&bad, &good, &c).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Errors raised while building, validating or evaluating logical plans.
+
+use div_algebra::AlgebraError;
+use std::fmt;
+
+/// Error type of the `div-expr` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A scan referenced a table that is not registered in the catalog.
+    UnknownTable {
+        /// The missing table name.
+        table: String,
+    },
+    /// A plan node is structurally invalid (e.g. a projection references an
+    /// attribute its input does not produce).
+    InvalidPlan {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// An error bubbled up from the algebra layer while evaluating.
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownTable { table } => {
+                write!(f, "unknown table `{table}` (not registered in the catalog)")
+            }
+            ExprError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            ExprError::Algebra(err) => write!(f, "algebra error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExprError::Algebra(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for ExprError {
+    fn from(err: AlgebraError) -> Self {
+        ExprError::Algebra(err)
+    }
+}
+
+impl ExprError {
+    /// Shorthand constructor for [`ExprError::InvalidPlan`].
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        ExprError::InvalidPlan {
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_contain_context() {
+        let e = ExprError::UnknownTable {
+            table: "parts".into(),
+        };
+        assert!(e.to_string().contains("parts"));
+        let e = ExprError::invalid("projection references `z`");
+        assert!(e.to_string().contains("projection"));
+    }
+
+    #[test]
+    fn algebra_errors_convert_and_chain() {
+        let inner = AlgebraError::ArityMismatch {
+            expected: 2,
+            actual: 3,
+        };
+        let e: ExprError = inner.clone().into();
+        assert_eq!(e, ExprError::Algebra(inner));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,307 @@
+//! Output schema inference for logical plans.
+
+use crate::{ExprError, LogicalPlan, Result};
+use div_algebra::Schema;
+
+/// Source of base-table schemas, implemented by [`Catalog`](crate::Catalog)
+/// and by the planner test fixtures.
+pub trait SchemaProvider {
+    /// The schema of the named base table, if it exists.
+    fn table_schema(&self, name: &str) -> Option<Schema>;
+}
+
+/// A schema provider with no tables (useful for plans built purely from
+/// [`LogicalPlan::Values`] nodes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyProvider;
+
+impl SchemaProvider for EmptyProvider {
+    fn table_schema(&self, _name: &str) -> Option<Schema> {
+        None
+    }
+}
+
+/// Infer the output schema of `plan`, validating attribute references and the
+/// schema preconditions of every operator along the way.
+///
+/// The division nodes enforce the schema rules of Section 2 of the paper:
+/// for `SmallDivide` every divisor attribute must occur in the dividend and the
+/// quotient attribute set `A` must be nonempty; for `GreatDivide` the shared
+/// attribute set `B` must be nonempty and the output schema is `A ∪ C`.
+pub fn infer_schema(plan: &LogicalPlan, provider: &dyn SchemaProvider) -> Result<Schema> {
+    match plan {
+        LogicalPlan::Scan { table } => provider
+            .table_schema(table)
+            .ok_or_else(|| ExprError::UnknownTable {
+                table: table.clone(),
+            }),
+        LogicalPlan::Values { relation } => Ok(relation.schema().clone()),
+        LogicalPlan::Select { input, predicate } => {
+            let schema = infer_schema(input, provider)?;
+            for attr in predicate.referenced_attributes() {
+                if !schema.contains(&attr) {
+                    return Err(ExprError::invalid(format!(
+                        "selection predicate references `{attr}` which is not in the input schema {schema}"
+                    )));
+                }
+            }
+            Ok(schema)
+        }
+        LogicalPlan::Project { input, attributes } => {
+            let schema = infer_schema(input, provider)?;
+            let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+            schema.project(&refs).map_err(ExprError::from)
+        }
+        LogicalPlan::Rename { input, renames } => {
+            let schema = infer_schema(input, provider)?;
+            for (from, _) in renames {
+                if !schema.contains(from) {
+                    return Err(ExprError::invalid(format!(
+                        "rename references `{from}` which is not in the input schema {schema}"
+                    )));
+                }
+            }
+            schema
+                .rename_with(|name| {
+                    renames
+                        .iter()
+                        .find(|(from, _)| from == name)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| name.to_string())
+                })
+                .map_err(ExprError::from)
+        }
+        LogicalPlan::Union { left, right }
+        | LogicalPlan::Intersect { left, right }
+        | LogicalPlan::Difference { left, right } => {
+            let ls = infer_schema(left, provider)?;
+            let rs = infer_schema(right, provider)?;
+            if !ls.is_compatible_with(&rs) {
+                return Err(ExprError::invalid(format!(
+                    "{} operands must be union-compatible, got {ls} and {rs}",
+                    plan.name()
+                )));
+            }
+            Ok(ls)
+        }
+        LogicalPlan::Product { left, right } | LogicalPlan::ThetaJoin { left, right, .. } => {
+            let ls = infer_schema(left, provider)?;
+            let rs = infer_schema(right, provider)?;
+            let combined = ls.concat(&rs).map_err(ExprError::from)?;
+            if let LogicalPlan::ThetaJoin { predicate, .. } = plan {
+                for attr in predicate.referenced_attributes() {
+                    if !combined.contains(&attr) {
+                        return Err(ExprError::invalid(format!(
+                            "join predicate references `{attr}` which is not in the combined schema {combined}"
+                        )));
+                    }
+                }
+            }
+            Ok(combined)
+        }
+        LogicalPlan::NaturalJoin { left, right } => {
+            let ls = infer_schema(left, provider)?;
+            let rs = infer_schema(right, provider)?;
+            Ok(ls.natural_union(&rs))
+        }
+        LogicalPlan::SemiJoin { left, right } | LogicalPlan::AntiSemiJoin { left, right } => {
+            // Output schema is the left schema; the right operand only filters.
+            let ls = infer_schema(left, provider)?;
+            infer_schema(right, provider)?;
+            Ok(ls)
+        }
+        LogicalPlan::SmallDivide { dividend, divisor } => {
+            let ds = infer_schema(dividend, provider)?;
+            let vs = infer_schema(divisor, provider)?;
+            if vs.is_empty() {
+                return Err(ExprError::invalid(
+                    "small divide requires a divisor with at least one attribute",
+                ));
+            }
+            for b in vs.names() {
+                if !ds.contains(b) {
+                    return Err(ExprError::invalid(format!(
+                        "divisor attribute `{b}` does not occur in the dividend schema {ds}"
+                    )));
+                }
+            }
+            let quotient = ds.difference_attributes(&vs);
+            if quotient.is_empty() {
+                return Err(ExprError::invalid(
+                    "small divide requires the dividend to have at least one attribute of its own (A nonempty)",
+                ));
+            }
+            let refs: Vec<&str> = quotient.iter().map(String::as_str).collect();
+            ds.project(&refs).map_err(ExprError::from)
+        }
+        LogicalPlan::GreatDivide { dividend, divisor } => {
+            let ds = infer_schema(dividend, provider)?;
+            let vs = infer_schema(divisor, provider)?;
+            let shared = ds.common_attributes(&vs);
+            if shared.is_empty() {
+                return Err(ExprError::invalid(
+                    "great divide requires the dividend and divisor to share at least one attribute (B nonempty)",
+                ));
+            }
+            let quotient = ds.difference_attributes(&vs);
+            if quotient.is_empty() {
+                return Err(ExprError::invalid(
+                    "great divide requires the dividend to have at least one attribute of its own (A nonempty)",
+                ));
+            }
+            let group = vs.difference_attributes(&ds);
+            let mut names: Vec<&str> = quotient.iter().map(String::as_str).collect();
+            names.extend(group.iter().map(String::as_str));
+            Schema::new(names).map_err(ExprError::from)
+        }
+        LogicalPlan::GroupAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let schema = infer_schema(input, provider)?;
+            for g in group_by {
+                if !schema.contains(g) {
+                    return Err(ExprError::invalid(format!(
+                        "grouping attribute `{g}` is not in the input schema {schema}"
+                    )));
+                }
+            }
+            for agg in aggregates {
+                if !schema.contains(&agg.input) {
+                    return Err(ExprError::invalid(format!(
+                        "aggregate input `{}` is not in the input schema {schema}",
+                        agg.input
+                    )));
+                }
+            }
+            let mut names: Vec<String> = group_by.clone();
+            names.extend(aggregates.iter().map(|a| a.output.clone()));
+            Schema::new(names).map_err(ExprError::from)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Catalog, PlanBuilder};
+    use div_algebra::{relation, AggregateCall, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("supplies", relation! { ["s#", "p#"] => [1, 1] });
+        c.register("parts", relation! { ["p#", "color"] => [1, "blue"] });
+        c
+    }
+
+    #[test]
+    fn scan_and_project_schema() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("supplies").project(["s#"]).build();
+        assert_eq!(infer_schema(&plan, &c).unwrap().names(), vec!["s#"]);
+        let missing = PlanBuilder::scan("nope").build();
+        assert!(matches!(
+            infer_schema(&missing, &c).unwrap_err(),
+            ExprError::UnknownTable { .. }
+        ));
+    }
+
+    #[test]
+    fn select_validates_predicate_attributes() {
+        let c = catalog();
+        let good = PlanBuilder::scan("parts")
+            .select(Predicate::eq_value("color", "blue"))
+            .build();
+        assert!(infer_schema(&good, &c).is_ok());
+        let bad = PlanBuilder::scan("parts")
+            .select(Predicate::eq_value("weight", 1))
+            .build();
+        assert!(infer_schema(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn small_divide_schema_is_quotient_attributes() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("supplies")
+            .divide(PlanBuilder::scan("parts").project(["p#"]))
+            .build();
+        assert_eq!(infer_schema(&plan, &c).unwrap().names(), vec!["s#"]);
+    }
+
+    #[test]
+    fn small_divide_rejects_bad_schemas() {
+        let c = catalog();
+        // Divisor attribute `color` not in dividend.
+        let bad = PlanBuilder::scan("supplies")
+            .divide(PlanBuilder::scan("parts"))
+            .build();
+        assert!(infer_schema(&bad, &c).is_err());
+        // Quotient would be empty.
+        let empty_quotient = PlanBuilder::scan("supplies")
+            .project(["p#"])
+            .divide(PlanBuilder::scan("parts").project(["p#"]))
+            .build();
+        assert!(infer_schema(&empty_quotient, &c).is_err());
+    }
+
+    #[test]
+    fn great_divide_schema_is_a_union_c() {
+        let mut c = Catalog::new();
+        c.register("transactions", relation! { ["tid", "item"] => [1, 1] });
+        c.register("candidates", relation! { ["item", "itemset"] => [1, 10] });
+        let plan = PlanBuilder::scan("transactions")
+            .great_divide(PlanBuilder::scan("candidates"))
+            .build();
+        assert_eq!(
+            infer_schema(&plan, &c).unwrap().names(),
+            vec!["tid", "itemset"]
+        );
+    }
+
+    #[test]
+    fn set_operations_require_union_compatibility() {
+        let c = catalog();
+        let bad = PlanBuilder::scan("supplies")
+            .union(PlanBuilder::scan("parts"))
+            .build();
+        assert!(infer_schema(&bad, &c).is_err());
+        let good = PlanBuilder::scan("supplies")
+            .union(PlanBuilder::scan("supplies"))
+            .build();
+        assert!(infer_schema(&good, &c).is_ok());
+    }
+
+    #[test]
+    fn rename_and_aggregate_schemas() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("supplies")
+            .rename([("p#", "part")])
+            .group_aggregate(["s#"], [AggregateCall::count("part", "n")])
+            .build();
+        assert_eq!(infer_schema(&plan, &c).unwrap().names(), vec!["s#", "n"]);
+        let bad = PlanBuilder::scan("supplies").rename([("zz", "q")]).build();
+        assert!(infer_schema(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("supplies")
+            .semi_join(PlanBuilder::scan("parts"))
+            .build();
+        assert_eq!(
+            infer_schema(&plan, &c).unwrap().names(),
+            vec!["s#", "p#"]
+        );
+    }
+
+    #[test]
+    fn values_nodes_need_no_provider() {
+        let plan = PlanBuilder::values(relation! { ["x"] => [1] }).build();
+        assert_eq!(
+            infer_schema(&plan, &EmptyProvider).unwrap().names(),
+            vec!["x"]
+        );
+    }
+}

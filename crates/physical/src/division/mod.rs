@@ -1,0 +1,287 @@
+//! Physical algorithms for the small divide.
+//!
+//! The paper (Section 1.1, Section 6) refers to the algorithm families studied
+//! by Graefe [14], Graefe & Cole [16] and Rantzau et al. [36]; this module
+//! implements one representative of each family plus the negative baseline:
+//!
+//! | Algorithm | Family | Characteristics |
+//! |-----------|--------|-----------------|
+//! | [`DivisionAlgorithm::NestedLoop`] | naive | no preprocessing, `O(|A| · |r2| · |r1|)` probes |
+//! | [`DivisionAlgorithm::HashDivision`] | hash-division (Graefe) | one pass over the dividend, divisor hash table + per-candidate bitmaps |
+//! | [`DivisionAlgorithm::MergeSortDivision`] | merge-/sort-based | sorts both inputs, merges group-wise; group-preserving |
+//! | [`DivisionAlgorithm::CountingDivision`] | aggregate counting (Graefe & Cole) | semi-join + per-group match counting against `|r2|` |
+//! | [`DivisionAlgorithm::SimulatedBasicOperators`] | baseline | Healy's `π/×/−` expression; quadratic intermediate results |
+//!
+//! Every algorithm produces exactly the relation that
+//! [`div_algebra::Relation::divide`] produces; the unit tests and the
+//! cross-crate property tests enforce this.
+
+pub mod counting;
+pub mod hash;
+pub mod merge_sort;
+pub mod nested_loop;
+pub mod simulated;
+
+use crate::stats::ExecStats;
+use crate::Result;
+use div_algebra::{Relation, Schema, Tuple};
+use div_expr::ExprError;
+
+/// The available small-divide algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DivisionAlgorithm {
+    /// Naive nested-loop division.
+    NestedLoop,
+    /// Graefe's hash-division.
+    HashDivision,
+    /// Sort/merge-based division (group-preserving).
+    MergeSortDivision,
+    /// Counting-based division (semi-join plus group counting).
+    CountingDivision,
+    /// Simulation with basic operators (Healy's Definition 2) — the baseline
+    /// whose intermediate results grow quadratically.
+    SimulatedBasicOperators,
+}
+
+impl DivisionAlgorithm {
+    /// All algorithms, useful for exhaustive comparisons in tests and benches.
+    pub const ALL: [DivisionAlgorithm; 5] = [
+        DivisionAlgorithm::NestedLoop,
+        DivisionAlgorithm::HashDivision,
+        DivisionAlgorithm::MergeSortDivision,
+        DivisionAlgorithm::CountingDivision,
+        DivisionAlgorithm::SimulatedBasicOperators,
+    ];
+
+    /// Short display name (used in benchmark output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DivisionAlgorithm::NestedLoop => "nested-loop",
+            DivisionAlgorithm::HashDivision => "hash-division",
+            DivisionAlgorithm::MergeSortDivision => "merge-sort-division",
+            DivisionAlgorithm::CountingDivision => "counting-division",
+            DivisionAlgorithm::SimulatedBasicOperators => "simulated-basic-operators",
+        }
+    }
+}
+
+/// Pre-resolved attribute information shared by all algorithms.
+#[derive(Debug, Clone)]
+pub struct DivisionContext {
+    /// Quotient attribute names `A` (dividend order).
+    pub quotient_names: Vec<String>,
+    /// Shared attribute names `B`.
+    pub shared_names: Vec<String>,
+    /// Indices of `A` in the dividend schema.
+    pub dividend_a: Vec<usize>,
+    /// Indices of `B` in the dividend schema.
+    pub dividend_b: Vec<usize>,
+    /// Indices of `B` in the divisor schema (matching `shared_names` order).
+    pub divisor_b: Vec<usize>,
+    /// Output schema (the quotient attributes).
+    pub output_schema: Schema,
+}
+
+impl DivisionContext {
+    /// Resolve the attribute partition for `dividend ÷ divisor`.
+    pub fn resolve(dividend: &Relation, divisor: &Relation) -> Result<Self> {
+        let attrs = dividend
+            .division_attributes(divisor)
+            .map_err(ExprError::from)?;
+        let quotient_refs: Vec<&str> = attrs.quotient.iter().map(String::as_str).collect();
+        let shared_refs: Vec<&str> = attrs.shared.iter().map(String::as_str).collect();
+        let dividend_a = dividend
+            .schema()
+            .projection_indices(&quotient_refs)
+            .map_err(ExprError::from)?;
+        let dividend_b = dividend
+            .schema()
+            .projection_indices(&shared_refs)
+            .map_err(ExprError::from)?;
+        let divisor_b = divisor
+            .schema()
+            .projection_indices(&shared_refs)
+            .map_err(ExprError::from)?;
+        let output_schema = dividend
+            .schema()
+            .project(&quotient_refs)
+            .map_err(ExprError::from)?;
+        Ok(DivisionContext {
+            quotient_names: attrs.quotient,
+            shared_names: attrs.shared,
+            dividend_a,
+            dividend_b,
+            divisor_b,
+            output_schema,
+        })
+    }
+
+    /// The divisor tuples projected onto `B` in dividend attribute order.
+    pub fn divisor_b_tuples(&self, divisor: &Relation) -> Vec<Tuple> {
+        let mut tuples: Vec<Tuple> = divisor
+            .tuples()
+            .map(|t| t.project(&self.divisor_b))
+            .collect();
+        tuples.sort();
+        tuples.dedup();
+        tuples
+    }
+}
+
+/// Execute `dividend ÷ divisor` with the chosen algorithm, recording
+/// probe/intermediate statistics into `stats`.
+pub fn divide_with(
+    dividend: &Relation,
+    divisor: &Relation,
+    algorithm: DivisionAlgorithm,
+    stats: &mut ExecStats,
+) -> Result<Relation> {
+    let ctx = DivisionContext::resolve(dividend, divisor)?;
+    match algorithm {
+        DivisionAlgorithm::NestedLoop => nested_loop::divide(&ctx, dividend, divisor, stats),
+        DivisionAlgorithm::HashDivision => hash::divide(&ctx, dividend, divisor, stats),
+        DivisionAlgorithm::MergeSortDivision => merge_sort::divide(&ctx, dividend, divisor, stats),
+        DivisionAlgorithm::CountingDivision => counting::divide(&ctx, dividend, divisor, stats),
+        DivisionAlgorithm::SimulatedBasicOperators => {
+            simulated::divide(&ctx, dividend, divisor, stats)
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared fixtures for the per-algorithm tests.
+
+    use div_algebra::{relation, Relation};
+
+    /// Figure 1 dividend.
+    pub fn figure1_dividend() -> Relation {
+        relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4],
+            [2, 1], [2, 2], [2, 3], [2, 4],
+            [3, 1], [3, 3], [3, 4],
+        }
+    }
+
+    /// Figure 1 divisor.
+    pub fn figure1_divisor() -> Relation {
+        relation! { ["b"] => [1], [3] }
+    }
+
+    /// Figure 1 quotient.
+    pub fn figure1_quotient() -> Relation {
+        relation! { ["a"] => [2], [3] }
+    }
+
+    /// A wider workload: `groups` quotient groups over `items` shared values,
+    /// where every third group contains the full divisor.
+    pub fn synthetic(groups: i64, items: i64) -> (Relation, Relation) {
+        let mut dividend_rows = Vec::new();
+        for g in 0..groups {
+            let keep_all = g % 3 == 0;
+            for i in 0..items {
+                if keep_all || i % 2 == 0 {
+                    dividend_rows.push(vec![g, i]);
+                }
+            }
+        }
+        let divisor_rows: Vec<Vec<i64>> = (0..items).map(|i| vec![i]).collect();
+        (
+            Relation::from_rows(["a", "b"], dividend_rows).unwrap(),
+            Relation::from_rows(["b"], divisor_rows).unwrap(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn all_algorithms_agree_on_figure_1() {
+        let dividend = figure1_dividend();
+        let divisor = figure1_divisor();
+        for algorithm in DivisionAlgorithm::ALL {
+            let mut stats = ExecStats::default();
+            let result = divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
+            assert_eq!(result, figure1_quotient(), "algorithm {}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_synthetic_workloads() {
+        for (groups, items) in [(1, 1), (5, 4), (20, 7), (33, 10)] {
+            let (dividend, divisor) = synthetic(groups, items);
+            let expected = dividend.divide(&divisor).unwrap();
+            for algorithm in DivisionAlgorithm::ALL {
+                let mut stats = ExecStats::default();
+                let result = divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
+                assert_eq!(
+                    result,
+                    expected,
+                    "algorithm {} on ({groups}, {items})",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_handle_empty_inputs() {
+        let dividend = figure1_dividend();
+        let empty_divisor = Relation::empty(div_algebra::Schema::of(["b"]));
+        let empty_dividend = Relation::empty(div_algebra::Schema::of(["a", "b"]));
+        for algorithm in DivisionAlgorithm::ALL {
+            let mut stats = ExecStats::default();
+            let all_groups =
+                divide_with(&dividend, &empty_divisor, algorithm, &mut stats).unwrap();
+            assert_eq!(
+                all_groups,
+                dividend.project(&["a"]).unwrap(),
+                "empty divisor, algorithm {}",
+                algorithm.name()
+            );
+            let none = divide_with(&empty_dividend, &figure1_divisor(), algorithm, &mut stats)
+                .unwrap();
+            assert!(none.is_empty(), "empty dividend, algorithm {}", algorithm.name());
+        }
+    }
+
+    #[test]
+    fn context_resolution_validates_schemas() {
+        let dividend = figure1_dividend();
+        let bad_divisor = div_algebra::relation! { ["z"] => [1] };
+        assert!(DivisionContext::resolve(&dividend, &bad_divisor).is_err());
+        let ctx = DivisionContext::resolve(&dividend, &figure1_divisor()).unwrap();
+        assert_eq!(ctx.quotient_names, vec!["a"]);
+        assert_eq!(ctx.shared_names, vec!["b"]);
+        assert_eq!(ctx.output_schema.names(), vec!["a"]);
+        assert_eq!(ctx.divisor_b_tuples(&figure1_divisor()).len(), 2);
+    }
+
+    #[test]
+    fn simulation_produces_more_intermediate_tuples_than_hash_division() {
+        let (dividend, divisor) = synthetic(60, 12);
+        let mut hash_stats = ExecStats::default();
+        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut hash_stats)
+            .unwrap();
+        let mut sim_stats = ExecStats::default();
+        divide_with(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::SimulatedBasicOperators,
+            &mut sim_stats,
+        )
+        .unwrap();
+        assert!(
+            sim_stats.intermediate_tuples > hash_stats.intermediate_tuples,
+            "simulation {} vs hash {}",
+            sim_stats.intermediate_tuples,
+            hash_stats.intermediate_tuples
+        );
+        // The simulation's π_A(r1) × r2 step alone is |A-groups| * |r2|.
+        assert!(sim_stats.max_intermediate >= 60 * 12 / 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! The physical executor.
+//!
+//! Every operator fully materializes its result (the workspace targets
+//! correctness measurement of algorithms and intermediate-result volumes, not
+//! raw throughput), but the *algorithms* used inside the operators are the
+//! real ones: hash joins build hash tables, the division nodes dispatch to the
+//! special-purpose algorithms of [`crate::division`] and
+//! [`crate::great_divide`], and the executor records per-operator row counts
+//! into [`ExecStats`].
+
+use crate::division;
+use crate::great_divide;
+use crate::plan::PhysicalPlan;
+use crate::stats::ExecStats;
+use crate::Result;
+use div_algebra::{Relation, Tuple};
+use div_expr::{Catalog, ExprError};
+use std::collections::HashMap;
+
+/// Execute a physical plan against a catalog.
+pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
+    let mut stats = ExecStats::default();
+    exec_node(plan, catalog, &mut stats, true)
+}
+
+/// Execute a physical plan and return the execution statistics as well.
+pub fn execute_with_stats(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+) -> Result<(Relation, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let result = exec_node(plan, catalog, &mut stats, true)?;
+    Ok((result, stats))
+}
+
+fn exec_node(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+    is_root: bool,
+) -> Result<Relation> {
+    let result = match plan {
+        PhysicalPlan::TableScan { table } => catalog.table(table)?.clone(),
+        PhysicalPlan::Values { relation } => relation.clone(),
+        PhysicalPlan::Filter { input, predicate } => {
+            exec_node(input, catalog, stats, false)?.select(predicate)?
+        }
+        PhysicalPlan::Project { input, attributes } => {
+            exec_node(input, catalog, stats, false)?.project_owned(attributes)?
+        }
+        PhysicalPlan::Rename { input, renames } => {
+            let rel = exec_node(input, catalog, stats, false)?;
+            rel.rename_with(|name| {
+                renames
+                    .iter()
+                    .find(|(from, _)| from == name)
+                    .map(|(_, to)| to.clone())
+                    .unwrap_or_else(|| name.to_string())
+            })?
+        }
+        PhysicalPlan::Union { left, right } => {
+            exec_node(left, catalog, stats, false)?.union(&exec_node(right, catalog, stats, false)?)?
+        }
+        PhysicalPlan::Intersect { left, right } => exec_node(left, catalog, stats, false)?
+            .intersect(&exec_node(right, catalog, stats, false)?)?,
+        PhysicalPlan::Difference { left, right } => exec_node(left, catalog, stats, false)?
+            .difference(&exec_node(right, catalog, stats, false)?)?,
+        PhysicalPlan::CrossProduct { left, right } => exec_node(left, catalog, stats, false)?
+            .product(&exec_node(right, catalog, stats, false)?)?,
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = exec_node(left, catalog, stats, false)?;
+            let r = exec_node(right, catalog, stats, false)?;
+            stats.add_probes(l.len() * r.len());
+            l.theta_join(&r, predicate)?
+        }
+        PhysicalPlan::HashJoin { left, right } => {
+            let l = exec_node(left, catalog, stats, false)?;
+            let r = exec_node(right, catalog, stats, false)?;
+            hash_natural_join(&l, &r, stats)?
+        }
+        PhysicalPlan::HashSemiJoin { left, right } => {
+            let l = exec_node(left, catalog, stats, false)?;
+            let r = exec_node(right, catalog, stats, false)?;
+            hash_semi_join(&l, &r, stats, false)?
+        }
+        PhysicalPlan::HashAntiSemiJoin { left, right } => {
+            let l = exec_node(left, catalog, stats, false)?;
+            let r = exec_node(right, catalog, stats, false)?;
+            hash_semi_join(&l, &r, stats, true)?
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let rel = exec_node(input, catalog, stats, false)?;
+            let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            rel.group_aggregate(&refs, aggregates)?
+        }
+        PhysicalPlan::Divide {
+            dividend,
+            divisor,
+            algorithm,
+        } => {
+            let d = exec_node(dividend, catalog, stats, false)?;
+            let v = exec_node(divisor, catalog, stats, false)?;
+            division::divide_with(&d, &v, *algorithm, stats)?
+        }
+        PhysicalPlan::GreatDivide {
+            dividend,
+            divisor,
+            algorithm,
+        } => {
+            let d = exec_node(dividend, catalog, stats, false)?;
+            let v = exec_node(divisor, catalog, stats, false)?;
+            great_divide::great_divide_with(&d, &v, *algorithm, stats)?
+        }
+    };
+    let is_scan = matches!(
+        plan,
+        PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
+    );
+    stats.record(&plan.label(), result.len(), is_scan, is_root);
+    Ok(result)
+}
+
+/// Hash-based natural join: build a hash table over the right input keyed by
+/// the common attributes, probe with the left input.
+fn hash_natural_join(left: &Relation, right: &Relation, stats: &mut ExecStats) -> Result<Relation> {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left
+        .schema()
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let right_key = right
+        .schema()
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let right_extra: Vec<&str> = right
+        .schema()
+        .names()
+        .into_iter()
+        .filter(|n| !left.schema().contains(n))
+        .collect();
+    let right_extra_idx = right
+        .schema()
+        .projection_indices(&right_extra)
+        .map_err(ExprError::from)?;
+
+    // Build.
+    let mut table: HashMap<Tuple, Vec<Tuple>> = HashMap::new();
+    for t in right.tuples() {
+        table
+            .entry(t.project(&right_key))
+            .or_default()
+            .push(t.project(&right_extra_idx));
+    }
+    // Probe.
+    let out_schema = left.schema().natural_union(right.schema());
+    let mut out = Relation::empty(out_schema);
+    let mut probes = 0usize;
+    for t in left.tuples() {
+        probes += 1;
+        if let Some(matches) = table.get(&t.project(&left_key)) {
+            for extra in matches {
+                out.insert(t.concat(extra)).map_err(ExprError::from)?;
+            }
+        }
+    }
+    stats.add_probes(probes);
+    Ok(out)
+}
+
+/// Hash-based semi-join (`anti = false`) or anti-semi-join (`anti = true`).
+fn hash_semi_join(
+    left: &Relation,
+    right: &Relation,
+    stats: &mut ExecStats,
+    anti: bool,
+) -> Result<Relation> {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left
+        .schema()
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let right_key = right
+        .schema()
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let keys: std::collections::HashSet<Tuple> =
+        right.tuples().map(|t| t.project(&right_key)).collect();
+    let mut out = Relation::empty(left.schema().clone());
+    let mut probes = 0usize;
+    for t in left.tuples() {
+        probes += 1;
+        let matched = keys.contains(&t.project(&left_key));
+        if matched != anti {
+            out.insert(t.clone()).map_err(ExprError::from)?;
+        }
+    }
+    stats.add_probes(probes);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::division::DivisionAlgorithm;
+    use crate::great_divide::GreatDivideAlgorithm;
+    use div_algebra::{relation, AggregateCall, CompareOp, Predicate};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "supplies",
+            relation! {
+                ["s#", "p#"] =>
+                [1, 1], [1, 2],
+                [2, 1], [2, 2], [2, 3],
+                [3, 2],
+            },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] },
+        );
+        c
+    }
+
+    #[test]
+    fn hash_join_matches_reference_natural_join() {
+        let c = catalog();
+        let plan = PhysicalPlan::HashJoin {
+            left: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            right: Box::new(PhysicalPlan::TableScan {
+                table: "parts".into(),
+            }),
+        };
+        let result = execute(&plan, &c).unwrap();
+        let expected = c
+            .table("supplies")
+            .unwrap()
+            .natural_join(c.table("parts").unwrap())
+            .unwrap();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn semi_and_anti_joins_partition_the_left_input() {
+        let c = catalog();
+        let semi = PhysicalPlan::HashSemiJoin {
+            left: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            right: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "parts".into(),
+                }),
+                predicate: Predicate::eq_value("color", "red"),
+            }),
+        };
+        let anti = PhysicalPlan::HashAntiSemiJoin {
+            left: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            right: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "parts".into(),
+                }),
+                predicate: Predicate::eq_value("color", "red"),
+            }),
+        };
+        let semi_result = execute(&semi, &c).unwrap();
+        let anti_result = execute(&anti, &c).unwrap();
+        assert_eq!(semi_result.len() + anti_result.len(), 6);
+        assert_eq!(semi_result, relation! { ["s#", "p#"] => [2, 3] });
+    }
+
+    #[test]
+    fn full_query_with_division_and_aggregation() {
+        // Suppliers supplying all blue parts, counted per supplier-less query:
+        // π_{s#}(supplies ÷ π_{p#}(σ_{color=blue}(parts))).
+        let c = catalog();
+        let plan = PhysicalPlan::Divide {
+            dividend: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            divisor: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::TableScan {
+                        table: "parts".into(),
+                    }),
+                    predicate: Predicate::eq_value("color", "blue"),
+                }),
+                attributes: vec!["p#".into()],
+            }),
+            algorithm: DivisionAlgorithm::MergeSortDivision,
+        };
+        let (result, stats) = execute_with_stats(&plan, &c).unwrap();
+        assert_eq!(result, relation! { ["s#"] => [1], [2] });
+        assert_eq!(stats.output_rows, 2);
+        assert!(stats.rows_scanned >= 9);
+        assert!(stats.rows_per_operator.contains_key("MergeSortDivision"));
+
+        // Aggregate the quotient (how many qualifying suppliers?).
+        let agg = PhysicalPlan::HashAggregate {
+            input: Box::new(plan),
+            group_by: vec![],
+            aggregates: vec![AggregateCall::count("s#", "n")],
+        };
+        let result = execute(&agg, &c).unwrap();
+        assert_eq!(result, relation! { ["n"] => [2] });
+    }
+
+    #[test]
+    fn great_divide_node_executes() {
+        let c = catalog();
+        let plan = PhysicalPlan::GreatDivide {
+            dividend: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            divisor: Box::new(PhysicalPlan::TableScan {
+                table: "parts".into(),
+            }),
+            algorithm: GreatDivideAlgorithm::HashSets,
+        };
+        let result = execute(&plan, &c).unwrap();
+        let expected = relation! {
+            ["s#", "color"] =>
+            [1, "blue"], [2, "blue"], [2, "red"],
+        };
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn set_operators_and_filters_compose() {
+        let c = catalog();
+        let plan = PhysicalPlan::Difference {
+            left: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::TableScan {
+                    table: "supplies".into(),
+                }),
+                attributes: vec!["s#".into()],
+            }),
+            right: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::TableScan {
+                        table: "supplies".into(),
+                    }),
+                    predicate: Predicate::cmp_value("p#", CompareOp::GtEq, 3),
+                }),
+                attributes: vec!["s#".into()],
+            }),
+        };
+        let result = execute(&plan, &c).unwrap();
+        assert_eq!(result, relation! { ["s#"] => [1], [3] });
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let c = catalog();
+        let plan = PhysicalPlan::TableScan {
+            table: "nope".into(),
+        };
+        assert!(execute(&plan, &c).is_err());
+    }
+}

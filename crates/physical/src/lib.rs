@@ -1,0 +1,50 @@
+//! # div-physical
+//!
+//! The physical execution layer of the *division-laws* workspace.
+//!
+//! The paper's premise — backed by Leinders & Van den Bussche (PODS 2005) and
+//! by the algorithm studies it cites (Graefe, ICDE 1989; Graefe & Cole, TODS
+//! 1995; Rantzau et al., Information Systems 2003) — is that relational
+//! division must be executed by *special-purpose physical operators*: any
+//! simulation through the basic algebra produces intermediate results of
+//! quadratic size. This crate provides those operators and the scaffolding to
+//! run whole plans with them:
+//!
+//! * [`division`] — four genuine small-divide algorithms (nested-loop,
+//!   hash-division, merge-sort division, counting division) plus the
+//!   basic-operator *simulation* baseline whose intermediate blow-up the
+//!   benchmarks measure,
+//! * [`great_divide`] — group-loop, hash and sort-based algorithms for the
+//!   great divide,
+//! * [`plan`] / [`exec`] — a physical plan tree and an executor that tracks
+//!   per-operator row counts and intermediate-result sizes,
+//! * [`planner`] — lowering from [`div_expr::LogicalPlan`] with a configurable
+//!   choice of division/join algorithm,
+//! * [`parallel`] — partition-parallel division following the strategies the
+//!   paper attaches to Law 2 (dividend range partitioning under condition
+//!   `c2`) and Law 13 (divisor hash partitioning on the group attributes `C`).
+//!
+//! All algorithms are validated against the reference semantics of
+//! [`div_algebra`] by unit tests here and by the cross-crate property tests in
+//! `tests/physical_vs_reference.rs`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod division;
+pub mod exec;
+pub mod great_divide;
+pub mod parallel;
+pub mod plan;
+pub mod planner;
+pub mod stats;
+
+pub use division::DivisionAlgorithm;
+pub use exec::{execute, execute_with_stats};
+pub use great_divide::GreatDivideAlgorithm;
+pub use plan::PhysicalPlan;
+pub use planner::{plan_query, PlannerConfig};
+pub use stats::ExecStats;
+
+/// Convenient result alias (errors come from the algebra / plan layers).
+pub type Result<T> = std::result::Result<T, div_expr::ExprError>;

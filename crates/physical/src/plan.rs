@@ -1,0 +1,262 @@
+//! The physical plan tree.
+
+use crate::division::DivisionAlgorithm;
+use crate::great_divide::GreatDivideAlgorithm;
+use div_algebra::{AggregateCall, Predicate, Relation};
+use std::fmt;
+
+/// A physical execution plan.
+///
+/// The shape mirrors [`div_expr::LogicalPlan`], but every node is a concrete
+/// algorithm: joins are hash- or nested-loop based, and the division nodes
+/// carry the [`DivisionAlgorithm`] / [`GreatDivideAlgorithm`] the planner
+/// selected — the paper's "mapping of logical operators to physical
+/// operators" (Section 7).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Scan of a catalog table.
+    TableScan {
+        /// Table name.
+        table: String,
+    },
+    /// An inline constant relation.
+    Values {
+        /// The relation.
+        relation: Relation,
+    },
+    /// Predicate filter.
+    Filter {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Filter predicate.
+        predicate: Predicate,
+    },
+    /// Projection with duplicate elimination.
+    Project {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output attributes.
+        attributes: Vec<String>,
+    },
+    /// Attribute renaming.
+    Rename {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// `(old, new)` pairs.
+        renames: Vec<(String, String)>,
+    },
+    /// Set union.
+    Union {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Set intersection.
+    Intersect {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Set difference.
+    Difference {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Cartesian product.
+    CrossProduct {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Nested-loop theta-join.
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Join predicate over the concatenated schema.
+        predicate: Predicate,
+    },
+    /// Hash-based natural join on all common attributes.
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Hash-based left semi-join.
+    HashSemiJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Hash-based left anti-semi-join.
+    HashAntiSemiJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Grouping attributes.
+        group_by: Vec<String>,
+        /// Aggregate list.
+        aggregates: Vec<AggregateCall>,
+    },
+    /// Small divide with an explicit algorithm choice.
+    Divide {
+        /// Dividend input.
+        dividend: Box<PhysicalPlan>,
+        /// Divisor input.
+        divisor: Box<PhysicalPlan>,
+        /// Selected algorithm.
+        algorithm: DivisionAlgorithm,
+    },
+    /// Great divide with an explicit algorithm choice.
+    GreatDivide {
+        /// Dividend input.
+        dividend: Box<PhysicalPlan>,
+        /// Divisor input.
+        divisor: Box<PhysicalPlan>,
+        /// Selected algorithm.
+        algorithm: GreatDivideAlgorithm,
+    },
+}
+
+impl PhysicalPlan {
+    /// Operator label used in statistics and explain output.
+    pub fn label(&self) -> String {
+        match self {
+            PhysicalPlan::TableScan { table } => format!("TableScan({table})"),
+            PhysicalPlan::Values { relation } => format!("Values({} rows)", relation.len()),
+            PhysicalPlan::Filter { predicate, .. } => format!("Filter({predicate})"),
+            PhysicalPlan::Project { attributes, .. } => {
+                format!("Project({})", attributes.join(", "))
+            }
+            PhysicalPlan::Rename { .. } => "Rename".to_string(),
+            PhysicalPlan::Union { .. } => "Union".to_string(),
+            PhysicalPlan::Intersect { .. } => "Intersect".to_string(),
+            PhysicalPlan::Difference { .. } => "Difference".to_string(),
+            PhysicalPlan::CrossProduct { .. } => "CrossProduct".to_string(),
+            PhysicalPlan::NestedLoopJoin { predicate, .. } => {
+                format!("NestedLoopJoin({predicate})")
+            }
+            PhysicalPlan::HashJoin { .. } => "HashJoin".to_string(),
+            PhysicalPlan::HashSemiJoin { .. } => "HashSemiJoin".to_string(),
+            PhysicalPlan::HashAntiSemiJoin { .. } => "HashAntiSemiJoin".to_string(),
+            PhysicalPlan::HashAggregate { group_by, .. } => {
+                format!("HashAggregate({})", group_by.join(", "))
+            }
+            PhysicalPlan::Divide { algorithm, .. } => format!("Divide[{}]", algorithm.name()),
+            PhysicalPlan::GreatDivide { algorithm, .. } => {
+                format!("GreatDivide[{}]", algorithm.name())
+            }
+        }
+    }
+
+    /// Children of this node, left to right.
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Rename { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. } => vec![input],
+            PhysicalPlan::Union { left, right }
+            | PhysicalPlan::Intersect { left, right }
+            | PhysicalPlan::Difference { left, right }
+            | PhysicalPlan::CrossProduct { left, right }
+            | PhysicalPlan::NestedLoopJoin { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right }
+            | PhysicalPlan::HashSemiJoin { left, right }
+            | PhysicalPlan::HashAntiSemiJoin { left, right } => vec![left, right],
+            PhysicalPlan::Divide {
+                dividend, divisor, ..
+            }
+            | PhysicalPlan::GreatDivide {
+                dividend, divisor, ..
+            } => vec![dividend, divisor],
+        }
+    }
+
+    /// Number of operators in the plan.
+    pub fn operator_count(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.operator_count())
+            .sum::<usize>()
+    }
+
+    /// Render the plan as an indented explain tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(&self.label());
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PhysicalPlan {
+        PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::Divide {
+                dividend: Box::new(PhysicalPlan::TableScan {
+                    table: "supplies".into(),
+                }),
+                divisor: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::TableScan {
+                        table: "parts".into(),
+                    }),
+                    predicate: Predicate::eq_value("color", "blue"),
+                }),
+                algorithm: DivisionAlgorithm::HashDivision,
+            }),
+            attributes: vec!["s#".into()],
+        }
+    }
+
+    #[test]
+    fn labels_and_counts() {
+        let plan = sample();
+        assert_eq!(plan.operator_count(), 5);
+        assert!(plan.label().starts_with("Project"));
+        assert!(plan.explain().contains("Divide[hash-division]"));
+        assert!(plan.to_string().contains("TableScan(parts)"));
+    }
+
+    #[test]
+    fn children_are_ordered_left_to_right() {
+        let plan = sample();
+        let divide = plan.children()[0];
+        let kids = divide.children();
+        assert_eq!(kids[0].label(), "TableScan(supplies)");
+        assert!(kids[1].label().starts_with("Filter"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Execution statistics.
+//!
+//! The metric the paper cares about is the *size of intermediate results*
+//! (Section 6: any basic-algebra simulation of division must produce
+//! quadratic intermediates). Every physical operator therefore reports the
+//! number of tuples it consumed and produced, and the executor aggregates the
+//! peak and total intermediate volumes so benches and tests can compare
+//! algorithms on exactly that axis.
+
+use std::collections::BTreeMap;
+
+/// Aggregated execution statistics for one plan execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples read from base tables.
+    pub rows_scanned: usize,
+    /// Tuples produced by intermediate (non-root, non-scan) operators.
+    pub intermediate_tuples: usize,
+    /// Largest single intermediate result.
+    pub max_intermediate: usize,
+    /// Tuples produced by the root operator (the query result size).
+    pub output_rows: usize,
+    /// Total tuple comparisons / hash probes performed by division and join
+    /// algorithms (a proxy for CPU work).
+    pub probes: usize,
+    /// Tuples produced per operator label.
+    pub rows_per_operator: BTreeMap<String, usize>,
+    /// Number of operators executed.
+    pub operators: usize,
+}
+
+impl ExecStats {
+    /// Record one operator execution.
+    pub fn record(&mut self, label: &str, output_rows: usize, is_scan: bool, is_root: bool) {
+        self.operators += 1;
+        if is_scan {
+            self.rows_scanned += output_rows;
+        } else if !is_root {
+            self.intermediate_tuples += output_rows;
+            self.max_intermediate = self.max_intermediate.max(output_rows);
+        }
+        if is_root {
+            self.output_rows = output_rows;
+        }
+        *self.rows_per_operator.entry(label.to_string()).or_insert(0) += output_rows;
+    }
+
+    /// Record probe/comparison work done inside an operator.
+    pub fn add_probes(&mut self, probes: usize) {
+        self.probes += probes;
+    }
+
+    /// Merge statistics from a sub-execution (e.g. a parallel partition).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.intermediate_tuples += other.intermediate_tuples;
+        self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
+        self.probes += other.probes;
+        self.operators += other.operators;
+        for (label, rows) in &other.rows_per_operator {
+            *self.rows_per_operator.entry(label.clone()).or_insert(0) += rows;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_distinguishes_scans_intermediates_and_root() {
+        let mut stats = ExecStats::default();
+        stats.record("TableScan(r1)", 100, true, false);
+        stats.record("HashDivision", 40, false, false);
+        stats.record("Filter", 10, false, true);
+        assert_eq!(stats.rows_scanned, 100);
+        assert_eq!(stats.intermediate_tuples, 40);
+        assert_eq!(stats.max_intermediate, 40);
+        assert_eq!(stats.output_rows, 10);
+        assert_eq!(stats.operators, 3);
+        assert_eq!(stats.rows_per_operator["HashDivision"], 40);
+    }
+
+    #[test]
+    fn merge_accumulates_and_takes_max() {
+        let mut a = ExecStats::default();
+        a.record("scan", 10, true, false);
+        a.record("div", 5, false, false);
+        a.add_probes(7);
+        let mut b = ExecStats::default();
+        b.record("scan", 20, true, false);
+        b.record("div", 50, false, false);
+        b.add_probes(3);
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 30);
+        assert_eq!(a.intermediate_tuples, 55);
+        assert_eq!(a.max_intermediate, 50);
+        assert_eq!(a.probes, 10);
+        assert_eq!(a.rows_per_operator["div"], 55);
+    }
+}

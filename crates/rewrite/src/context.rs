@@ -1,0 +1,173 @@
+//! The context available to rewrite rules: schemas, integrity metadata and
+//! (optionally) the data itself for data-dependent preconditions.
+
+use crate::Result;
+use div_algebra::{Relation, Schema};
+use div_expr::{evaluate, infer_schema, Catalog, LogicalPlan, SchemaProvider};
+
+/// Everything a rewrite rule may consult while deciding whether it applies.
+///
+/// The paper distinguishes between laws whose side conditions are purely
+/// structural (e.g. Law 3: the predicate mentions only quotient attributes)
+/// and laws whose side conditions depend on the database (e.g. Law 2's `c1`,
+/// Law 7's disjoint quotient prefixes, Law 9's `π_{B2}(r2) ⊆ r**1`). The
+/// former need only schemas; the latter are checked here either from declared
+/// integrity constraints or — if [`RewriteContext::allow_data_checks`] is set,
+/// the moral equivalent of an optimizer consulting statistics or running a
+/// cheap subquery — by evaluating the relevant subplans.
+pub struct RewriteContext<'a> {
+    catalog: Option<&'a Catalog>,
+    allow_data_checks: bool,
+}
+
+impl<'a> RewriteContext<'a> {
+    /// A context with no catalog at all: only purely structural rules fire.
+    pub fn schema_only() -> Self {
+        RewriteContext {
+            catalog: None,
+            allow_data_checks: false,
+        }
+    }
+
+    /// A context backed by a catalog, with data-dependent checks enabled.
+    pub fn with_catalog(catalog: &'a Catalog) -> Self {
+        RewriteContext {
+            catalog: Some(catalog),
+            allow_data_checks: true,
+        }
+    }
+
+    /// A context backed by a catalog whose *data* must not be consulted — only
+    /// schemas and declared constraints (what a production optimizer would see
+    /// at plan time).
+    pub fn with_metadata_only(catalog: &'a Catalog) -> Self {
+        RewriteContext {
+            catalog: Some(catalog),
+            allow_data_checks: false,
+        }
+    }
+
+    /// The underlying catalog, if any.
+    pub fn catalog(&self) -> Option<&Catalog> {
+        self.catalog
+    }
+
+    /// Whether rules may evaluate subplans to check data-dependent
+    /// preconditions.
+    pub fn allow_data_checks(&self) -> bool {
+        self.allow_data_checks && self.catalog.is_some()
+    }
+
+    /// Infer the output schema of `plan`. Returns `None` when the schema
+    /// cannot be resolved (e.g. a scan of an unregistered table in a
+    /// schema-only context) — rules treat that as "rule does not apply".
+    pub fn schema_of(&self, plan: &LogicalPlan) -> Option<Schema> {
+        match self.catalog {
+            Some(catalog) => infer_schema(plan, catalog).ok(),
+            None => infer_schema(plan, &NoTables).ok(),
+        }
+    }
+
+    /// Evaluate `plan` for a data-dependent precondition check. Returns
+    /// `Ok(None)` when data checks are disabled; rules must then decline.
+    pub fn try_evaluate(&self, plan: &LogicalPlan) -> Result<Option<Relation>> {
+        if !self.allow_data_checks() {
+            return Ok(None);
+        }
+        let catalog = self.catalog.expect("allow_data_checks implies catalog");
+        Ok(Some(evaluate(plan, catalog)?))
+    }
+
+    /// `true` if `attributes` is a declared unique key of the base table
+    /// scanned by `plan` (only recognised when `plan` is a plain scan).
+    pub fn is_unique_key(&self, plan: &LogicalPlan, attributes: &[&str]) -> bool {
+        match (self.catalog, plan) {
+            (Some(catalog), LogicalPlan::Scan { table }) => catalog.is_unique(table, attributes),
+            _ => false,
+        }
+    }
+
+    /// `true` if a foreign key from the base table scanned by `from` to the
+    /// base table scanned by `to` has been declared over the given attributes.
+    pub fn has_foreign_key(
+        &self,
+        from: &LogicalPlan,
+        from_attributes: &[&str],
+        to: &LogicalPlan,
+        to_attributes: &[&str],
+    ) -> bool {
+        match (self.catalog, from, to) {
+            (Some(catalog), LogicalPlan::Scan { table: from_table }, LogicalPlan::Scan { table: to_table }) => {
+                catalog.has_foreign_key(from_table, from_attributes, to_table, to_attributes)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Schema provider with no tables, used when the context has no catalog.
+struct NoTables;
+
+impl SchemaProvider for NoTables {
+    fn table_schema(&self, _name: &str) -> Option<Schema> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+    use div_expr::PlanBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register("r1", relation! { ["a", "b"] => [1, 1], [2, 1] });
+        c.register("r2", relation! { ["b"] => [1] });
+        c.declare_unique("r2", &["b"]).unwrap();
+        c.declare_foreign_key("r1", &["b"], "r2", &["b"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn schema_only_context_resolves_values_but_not_scans() {
+        let ctx = RewriteContext::schema_only();
+        let values = PlanBuilder::values(relation! { ["x"] => [1] }).build();
+        assert!(ctx.schema_of(&values).is_some());
+        let scan = PlanBuilder::scan("r1").build();
+        assert!(ctx.schema_of(&scan).is_none());
+        assert!(!ctx.allow_data_checks());
+        assert!(ctx.try_evaluate(&values).unwrap().is_none());
+    }
+
+    #[test]
+    fn catalog_context_resolves_schemas_and_evaluates() {
+        let c = catalog();
+        let ctx = RewriteContext::with_catalog(&c);
+        let scan = PlanBuilder::scan("r1").build();
+        assert_eq!(ctx.schema_of(&scan).unwrap().names(), vec!["a", "b"]);
+        let rel = ctx.try_evaluate(&scan).unwrap().unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn metadata_only_context_blocks_data_checks() {
+        let c = catalog();
+        let ctx = RewriteContext::with_metadata_only(&c);
+        assert!(!ctx.allow_data_checks());
+        let scan = PlanBuilder::scan("r1").build();
+        assert!(ctx.try_evaluate(&scan).unwrap().is_none());
+        // ... but still exposes declared constraints.
+        let r2 = PlanBuilder::scan("r2").build();
+        assert!(ctx.is_unique_key(&r2, &["b"]));
+        assert!(ctx.has_foreign_key(&scan, &["b"], &r2, &["b"]));
+    }
+
+    #[test]
+    fn constraint_lookups_require_plain_scans() {
+        let c = catalog();
+        let ctx = RewriteContext::with_catalog(&c);
+        let projected = PlanBuilder::scan("r2").project(["b"]).build();
+        assert!(!ctx.is_unique_key(&projected, &["b"]));
+    }
+}

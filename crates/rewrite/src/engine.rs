@@ -1,0 +1,266 @@
+//! The heuristic rewrite engine: applies the law rule set to a plan until a
+//! fixpoint (or an iteration budget) is reached, the way a rule-based
+//! optimizer such as Starburst or Cascades drives its transformation rules
+//! (Section 1.1 of the paper).
+
+use crate::context::RewriteContext;
+use crate::rule::RuleSet;
+use crate::Result;
+use div_expr::{LogicalPlan, Transformed};
+
+/// A record of one successful rule application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedRule {
+    /// Machine-readable rule name.
+    pub rule: String,
+    /// Paper reference of the rule.
+    pub reference: String,
+    /// Engine pass (1-based) in which the rule fired.
+    pub pass: usize,
+    /// Node count of the whole plan before the application.
+    pub nodes_before: usize,
+    /// Node count of the whole plan after the application.
+    pub nodes_after: usize,
+}
+
+/// The result of running the engine.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The rewritten plan (equal to the input when no rule fired).
+    pub plan: LogicalPlan,
+    /// Every rule application, in the order it happened.
+    pub applied: Vec<AppliedRule>,
+    /// Number of passes executed (including the final pass that found nothing
+    /// to rewrite).
+    pub passes: usize,
+    /// `true` when the engine stopped because the pass budget was exhausted
+    /// rather than because a fixpoint was reached.
+    pub budget_exhausted: bool,
+}
+
+impl RewriteOutcome {
+    /// `true` when at least one rule fired.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+
+    /// A compact human-readable trace of the applied rules.
+    pub fn trace(&self) -> String {
+        if self.applied.is_empty() {
+            return "no rewrite rules applied".to_string();
+        }
+        self.applied
+            .iter()
+            .map(|a| format!("pass {}: {} ({})", a.pass, a.rule, a.reference))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The fixpoint rewrite engine.
+#[derive(Debug, Clone)]
+pub struct RewriteEngine {
+    rules: RuleSet,
+    max_passes: usize,
+}
+
+impl RewriteEngine {
+    /// Engine over an explicit rule set.
+    pub fn new(rules: RuleSet) -> Self {
+        RewriteEngine {
+            rules,
+            max_passes: 10,
+        }
+    }
+
+    /// Engine with the full default rule set (all laws of the paper).
+    pub fn with_default_rules() -> Self {
+        Self::new(RuleSet::default_rules())
+    }
+
+    /// Change the maximum number of passes (each pass walks the whole plan
+    /// once per rule).
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes.max(1);
+        self
+    }
+
+    /// The rule set the engine runs.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Apply the rule set to `plan` until no rule fires anymore (or the pass
+    /// budget runs out), returning the rewritten plan and the application
+    /// trace.
+    pub fn rewrite(&self, plan: &LogicalPlan, ctx: &RewriteContext<'_>) -> Result<RewriteOutcome> {
+        let mut current = plan.clone();
+        let mut applied = Vec::new();
+        let mut passes = 0;
+        let mut budget_exhausted = false;
+
+        loop {
+            passes += 1;
+            let mut changed_this_pass = false;
+
+            for rule in self.rules.rules() {
+                // Walk the plan bottom-up, applying this rule wherever it
+                // matches. Bottom-up keeps inner divisions simplified before
+                // outer operators are considered.
+                let before_nodes = current.node_count();
+                let mut fired = false;
+                let transformed = current.transform_up(&mut |node| {
+                    match rule.apply(&node, ctx)? {
+                        Some(new_node) => {
+                            fired = true;
+                            Ok(Transformed::Yes(new_node))
+                        }
+                        None => Ok(Transformed::No(node)),
+                    }
+                })?;
+                if fired {
+                    current = transformed.into_plan();
+                    applied.push(AppliedRule {
+                        rule: rule.name().to_string(),
+                        reference: rule.reference().to_string(),
+                        pass: passes,
+                        nodes_before: before_nodes,
+                        nodes_after: current.node_count(),
+                    });
+                    changed_this_pass = true;
+                }
+            }
+
+            if !changed_this_pass {
+                break;
+            }
+            if passes >= self.max_passes {
+                budget_exhausted = true;
+                break;
+            }
+        }
+
+        Ok(RewriteOutcome {
+            plan: current,
+            applied,
+            passes,
+            budget_exhausted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::{relation, CompareOp, Predicate};
+    use div_expr::{evaluate, Catalog, PlanBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "r1",
+            relation! {
+                ["a", "b"] =>
+                [1, 1], [1, 4],
+                [2, 1], [2, 2], [2, 3], [2, 4],
+                [3, 1], [3, 3], [3, 4],
+                [4, 1], [4, 3],
+            },
+        );
+        c.register("r2", relation! { ["b"] => [1], [3] });
+        c.register(
+            "r2_groups",
+            relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] },
+        );
+        c
+    }
+
+    #[test]
+    fn engine_reaches_fixpoint_on_selection_pushdown() {
+        let catalog = catalog();
+        let ctx = RewriteContext::with_catalog(&catalog);
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .select(Predicate::cmp_value("a", CompareOp::Gt, 2))
+            .build();
+        let engine = RewriteEngine::with_default_rules();
+        let outcome = engine.rewrite(&plan, &ctx).unwrap();
+        assert!(outcome.changed());
+        assert!(!outcome.budget_exhausted);
+        assert!(outcome.trace().contains("law-03"));
+        assert_eq!(
+            evaluate(&outcome.plan, &catalog).unwrap(),
+            evaluate(&plan, &catalog).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_is_identity_when_nothing_matches() {
+        let catalog = catalog();
+        let ctx = RewriteContext::with_catalog(&catalog);
+        let plan = PlanBuilder::scan("r1").project(["a"]).build();
+        let engine = RewriteEngine::with_default_rules();
+        let outcome = engine.rewrite(&plan, &ctx).unwrap();
+        assert!(!outcome.changed());
+        assert_eq!(outcome.plan, plan);
+        assert_eq!(outcome.trace(), "no rewrite rules applied");
+    }
+
+    #[test]
+    fn engine_chains_multiple_laws() {
+        // σ_{a>2}(σ_{c=2}(r1 ÷* r2)) needs Law 15 for the c filter and
+        // Law 14 for the a filter.
+        let catalog = catalog();
+        let ctx = RewriteContext::with_catalog(&catalog);
+        let plan = PlanBuilder::scan("r1")
+            .great_divide(PlanBuilder::scan("r2_groups"))
+            .select(Predicate::eq_value("c", 2))
+            .select(Predicate::cmp_value("a", CompareOp::Gt, 2))
+            .build();
+        let engine = RewriteEngine::with_default_rules();
+        let outcome = engine.rewrite(&plan, &ctx).unwrap();
+        let names: Vec<&str> = outcome.applied.iter().map(|a| a.rule.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("law-14")));
+        assert!(names.iter().any(|n| n.starts_with("law-15")));
+        // The root of the rewritten plan is the great divide itself.
+        assert!(matches!(outcome.plan, LogicalPlan::GreatDivide { .. }));
+        assert_eq!(
+            evaluate(&outcome.plan, &catalog).unwrap(),
+            evaluate(&plan, &catalog).unwrap()
+        );
+    }
+
+    #[test]
+    fn engine_terminates_within_pass_budget() {
+        let catalog = catalog();
+        let ctx = RewriteContext::with_catalog(&catalog);
+        // Law 4 has a termination guard; the engine must reach a fixpoint and
+        // not exhaust its budget.
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2").select(Predicate::eq_value("b", 1)))
+            .build();
+        let engine = RewriteEngine::with_default_rules().with_max_passes(4);
+        let outcome = engine.rewrite(&plan, &ctx).unwrap();
+        assert!(!outcome.budget_exhausted);
+        assert_eq!(
+            evaluate(&outcome.plan, &catalog).unwrap(),
+            evaluate(&plan, &catalog).unwrap()
+        );
+    }
+
+    #[test]
+    fn applied_rules_record_pass_and_node_counts() {
+        let catalog = catalog();
+        let ctx = RewriteContext::with_catalog(&catalog);
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .select(Predicate::eq_value("a", 2))
+            .build();
+        let outcome = RewriteEngine::with_default_rules().rewrite(&plan, &ctx).unwrap();
+        let first = &outcome.applied[0];
+        assert!(first.pass >= 1);
+        assert!(first.nodes_before >= 3);
+        assert!(first.nodes_after >= 3);
+        assert!(first.reference.contains("Law"));
+    }
+}

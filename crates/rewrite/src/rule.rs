@@ -1,0 +1,152 @@
+//! The rewrite-rule abstraction and the default rule set.
+
+use crate::context::RewriteContext;
+use crate::laws;
+use crate::Result;
+use div_expr::LogicalPlan;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single transformation rule derived from one of the paper's laws.
+///
+/// A rule is asked to rewrite one plan *node* (it can inspect the node's whole
+/// subtree). It returns `Ok(Some(new_plan))` when it applies, `Ok(None)` when
+/// it does not; it must only return a plan that is equivalent to the input on
+/// every database satisfying the rule's preconditions — the property tests in
+/// `tests/law_properties.rs` enforce exactly this.
+pub trait RewriteRule: Send + Sync {
+    /// Stable machine-readable name, e.g. `"law-03-selection-pushdown"`.
+    fn name(&self) -> &'static str;
+
+    /// Where in the paper the rule comes from, e.g. `"Law 3, Section 5.1.2"`.
+    fn reference(&self) -> &'static str;
+
+    /// Try to apply the rule at `plan`'s root node.
+    fn apply(&self, plan: &LogicalPlan, ctx: &RewriteContext<'_>) -> Result<Option<LogicalPlan>>;
+}
+
+impl fmt::Debug for dyn RewriteRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RewriteRule({})", self.name())
+    }
+}
+
+/// An ordered collection of rules.
+#[derive(Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Arc<dyn RewriteRule>>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn empty() -> Self {
+        RuleSet { rules: Vec::new() }
+    }
+
+    /// The full default rule set: every law of the paper in its useful
+    /// direction, ordered so that cheap, always-beneficial rules (selection
+    /// push-down, divide-elimination) run before the structural ones.
+    pub fn default_rules() -> Self {
+        let mut set = RuleSet::empty();
+        // Selection push-down / replication (Laws 3, 4, 14, 15, 16).
+        set.add(laws::small_divide_selection::Law3SelectionPushdown);
+        set.add(laws::small_divide_selection::Law4DivisorSelectionReplication);
+        set.add(laws::great_divide::Law14SelectionPushdownQuotient);
+        set.add(laws::great_divide::Law15SelectionPushdownGroup);
+        set.add(laws::great_divide::Law16DivisorSelectionReplication);
+        // Division elimination via grouping metadata (Laws 11, 12).
+        set.add(laws::small_divide_grouping::Law11SingleTupleGroups);
+        set.add(laws::small_divide_grouping::Law12SingleTupleDivisorGroups);
+        // Skip work entirely (Law 7).
+        set.add(laws::small_divide_set_ops::Law7DisjointDifference);
+        // Structure-changing rules (Laws 1, 2, 5, 6, 8, 9, 13, 17).
+        set.add(laws::small_divide_union::Law1DivisorUnionToPipeline);
+        set.add(laws::small_divide_union::Law2DividendUnionSplit);
+        set.add(laws::small_divide_set_ops::Law5IntersectionSplit);
+        set.add(laws::small_divide_set_ops::Law6DifferenceSplit);
+        set.add(laws::small_divide_product::Law8ProductPushthrough);
+        set.add(laws::small_divide_product::Law9ProductElimination);
+        set.add(laws::small_divide_product::Example2CommonFactorElimination);
+        set.add(laws::great_divide::Law13DivisorUnionSplit);
+        set.add(laws::great_divide::Law17ProductPushthrough);
+        // Join interaction (Law 10, Example 4).
+        set.add(laws::small_divide_join::Law10SemiJoinCommute);
+        set.add(laws::great_divide::Example4JoinPushIn);
+        set
+    }
+
+    /// Add a rule to the end of the set.
+    pub fn add(&mut self, rule: impl RewriteRule + 'static) -> &mut Self {
+        self.rules.push(Arc::new(rule));
+        self
+    }
+
+    /// Iterate over the rules in order.
+    pub fn rules(&self) -> impl Iterator<Item = &Arc<dyn RewriteRule>> + '_ {
+        self.rules.iter()
+    }
+
+    /// Number of rules in the set.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Find a rule by its machine-readable name.
+    pub fn find(&self, name: &str) -> Option<&Arc<dyn RewriteRule>> {
+        self.rules.iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list()
+            .entries(self.rules.iter().map(|r| r.name()))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rule_set_contains_all_seventeen_laws() {
+        let set = RuleSet::default_rules();
+        assert!(set.len() >= 17, "expected at least 17 rules, got {}", set.len());
+        for law in [
+            "law-01", "law-02", "law-03", "law-04", "law-05", "law-06", "law-07", "law-08",
+            "law-09", "law-10", "law-11", "law-12", "law-13", "law-14", "law-15", "law-16",
+            "law-17",
+        ] {
+            assert!(
+                set.rules().any(|r| r.name().starts_with(law)),
+                "missing rule for {law}"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_have_paper_references() {
+        for rule in RuleSet::default_rules().rules() {
+            assert!(
+                rule.reference().contains("Law") || rule.reference().contains("Example"),
+                "rule {} has no paper reference",
+                rule.name()
+            );
+        }
+    }
+
+    #[test]
+    fn find_locates_rules_by_name() {
+        let set = RuleSet::default_rules();
+        assert!(set.find("law-03-selection-pushdown").is_some());
+        assert!(set.find("not-a-rule").is_none());
+        assert!(!set.is_empty());
+        assert!(RuleSet::empty().is_empty());
+    }
+}

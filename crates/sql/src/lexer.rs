@@ -1,0 +1,199 @@
+//! Tokenizer for the SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are recognized case-insensitively by
+    /// the parser; the original spelling is preserved here).
+    Ident(String),
+    /// Integer literal.
+    Number(i64),
+    /// Single-quoted string literal (quotes removed).
+    String(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LeftParen,
+    /// `)`
+    RightParen,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::String(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::LeftParen => write!(f, "("),
+            Token::RightParen => write!(f, ")"),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::NotEq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::LtEq => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::GtEq => write!(f, ">="),
+        }
+    }
+}
+
+/// Tokenize an SQL string.
+///
+/// Identifiers may contain `#` (for the textbook attribute names `s#`, `p#`)
+/// and `_`. Errors are reported as a message naming the offending character.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LeftParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RightParen);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err("unterminated string literal".to_string());
+                }
+                i += 1; // closing quote
+                tokens.push(Token::String(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    n.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Number(n.parse().map_err(|e| format!("bad number: {e}"))?));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '#')
+                {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(format!("unexpected character `{other}`")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_q2_style_query() {
+        let tokens = tokenize(
+            "SELECT s# FROM supplies AS s DIVIDE BY (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+        )
+        .unwrap();
+        assert!(tokens.contains(&Token::Ident("DIVIDE".into())));
+        assert!(tokens.contains(&Token::Ident("s#".into())));
+        assert!(tokens.contains(&Token::String("blue".into())));
+        assert!(tokens.contains(&Token::LeftParen));
+        assert!(tokens.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn tokenizes_comparison_operators() {
+        let tokens = tokenize("a <= 1 AND b <> 2 AND c >= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
+        assert!(tokens.contains(&Token::LtEq));
+        assert!(tokens.contains(&Token::GtEq));
+        assert_eq!(tokens.iter().filter(|t| **t == Token::NotEq).count(), 2);
+        assert!(tokens.contains(&Token::Lt));
+        assert!(tokens.contains(&Token::Gt));
+    }
+
+    #[test]
+    fn reports_errors() {
+        assert!(tokenize("SELECT 'unterminated").is_err());
+        assert!(tokenize("SELECT ?").is_err());
+    }
+
+    #[test]
+    fn numbers_and_display() {
+        let tokens = tokenize("42").unwrap();
+        assert_eq!(tokens, vec![Token::Number(42)]);
+        assert_eq!(Token::Ident("x".into()).to_string(), "x");
+        assert_eq!(Token::String("y".into()).to_string(), "'y'");
+        assert_eq!(Token::NotEq.to_string(), "<>");
+    }
+}

@@ -1,0 +1,54 @@
+//! # div-sql
+//!
+//! A small SQL dialect implementing the hypothetical syntax extension of
+//! Section 4 of the paper:
+//!
+//! ```text
+//! <table reference> ::= <table factor> | <joined table> | <quotient>
+//! <quotient>        ::= <table reference> DIVIDE BY <table reference>
+//!                       ON <search condition>
+//! ```
+//!
+//! The crate provides a lexer, a recursive-descent parser for the
+//! `SELECT … FROM … [WHERE …]` subset needed by the paper's queries Q1–Q3
+//! (including derived tables and `NOT EXISTS` subqueries), and a translator to
+//! [`div_expr::LogicalPlan`]s:
+//!
+//! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`]
+//!   when every divisor attribute appears in the `ON` clause as a conjunction
+//!   of equi-joins (the rule stated in Section 4), and a
+//!   [`LogicalPlan::GreatDivide`] otherwise;
+//! * the double-`NOT EXISTS` formulation of universal quantification (query
+//!   Q3) is *detected* and rewritten into a great divide — the rewrite the
+//!   paper describes as hard for general optimizers and therefore a major
+//!   motivation for first-class division syntax.
+//!
+//! ```
+//! use div_algebra::relation;
+//! use div_expr::{evaluate, Catalog};
+//! use div_sql::{parse_query, translate_query};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
+//! catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "blue"] });
+//!
+//! let query = parse_query(
+//!     "SELECT s# FROM supplies AS s DIVIDE BY (SELECT p# FROM parts WHERE color = 'blue') AS p \
+//!      ON s.p# = p.p#",
+//! ).unwrap();
+//! let plan = translate_query(&query, &catalog).unwrap();
+//! assert_eq!(evaluate(&plan, &catalog).unwrap(), relation! { ["s#"] => [1] });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{Query, SelectItem, SqlCondition, SqlOperand, TableFactor, TableReference};
+pub use lexer::{tokenize, Token};
+pub use lower::translate_query;
+pub use parser::{parse_query, ParseError};

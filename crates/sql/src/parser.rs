@@ -1,0 +1,387 @@
+//! Recursive-descent parser for the SQL subset with `DIVIDE BY`.
+
+use crate::ast::{
+    ColumnRef, Query, SelectItem, SqlCompareOp, SqlCondition, SqlLiteral, SqlOperand, TableFactor,
+    TableReference,
+};
+use crate::lexer::{tokenize, Token};
+use std::fmt;
+
+/// A parse error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse one `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(sql).map_err(ParseError::new)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.parse_query()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError::new(format!(
+            "unexpected trailing input starting at `{}`",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn peek_keyword(&self, keyword: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(keyword))
+    }
+
+    fn eat_keyword(&mut self, keyword: &str) -> bool {
+        if self.peek_keyword(keyword) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, keyword: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(keyword) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected keyword `{keyword}`, found `{}`",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn expect_token(&mut self, token: &Token) -> Result<(), ParseError> {
+        match self.advance() {
+            Some(t) if &t == token => Ok(()),
+            other => Err(ParseError::new(format!(
+                "expected `{token}`, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn is_reserved(word: &str) -> bool {
+        const RESERVED: [&str; 13] = [
+            "SELECT", "DISTINCT", "FROM", "WHERE", "AS", "DIVIDE", "BY", "ON", "AND", "OR", "NOT",
+            "EXISTS", "GROUP",
+        ];
+        RESERVED.iter().any(|k| k.eq_ignore_ascii_case(word))
+    }
+
+    fn parse_identifier(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) if !Self::is_reserved(&s) => Ok(s),
+            Some(other) => Err(ParseError::new(format!(
+                "expected identifier, found `{other}`"
+            ))),
+            None => Err(ParseError::new("expected identifier, found end of input")),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<Query, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let select = self.parse_select_list()?;
+        self.expect_keyword("FROM")?;
+        let from = self.parse_from_list()?;
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_condition()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+        })
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            if matches!(self.peek(), Some(Token::Star)) {
+                self.advance();
+                items.push(SelectItem::Wildcard);
+            } else {
+                items.push(SelectItem::Column(self.parse_column_ref()?));
+            }
+            if !matches!(self.peek(), Some(Token::Comma)) {
+                break;
+            }
+            self.advance();
+        }
+        Ok(items)
+    }
+
+    fn parse_column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let first = self.parse_identifier()?;
+        if matches!(self.peek(), Some(Token::Dot)) {
+            self.advance();
+            let column = self.parse_identifier()?;
+            Ok(ColumnRef::qualified(first, column))
+        } else {
+            Ok(ColumnRef::bare(first))
+        }
+    }
+
+    fn parse_from_list(&mut self) -> Result<Vec<TableReference>, ParseError> {
+        let mut refs = vec![self.parse_table_reference()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.advance();
+            refs.push(self.parse_table_reference()?);
+        }
+        Ok(refs)
+    }
+
+    fn parse_table_reference(&mut self) -> Result<TableReference, ParseError> {
+        let factor = TableReference::Factor(self.parse_table_factor()?);
+        if self.peek_keyword("DIVIDE") {
+            self.advance();
+            self.expect_keyword("BY")?;
+            let divisor = TableReference::Factor(self.parse_table_factor()?);
+            self.expect_keyword("ON")?;
+            let condition = self.parse_condition()?;
+            return Ok(TableReference::DivideBy {
+                dividend: Box::new(factor),
+                divisor: Box::new(divisor),
+                condition,
+            });
+        }
+        Ok(factor)
+    }
+
+    fn parse_table_factor(&mut self) -> Result<TableFactor, ParseError> {
+        if matches!(self.peek(), Some(Token::LeftParen)) {
+            self.advance();
+            let query = self.parse_query()?;
+            self.expect_token(&Token::RightParen)?;
+            let alias = self.parse_optional_alias()?;
+            return Ok(TableFactor::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.parse_identifier()?;
+        let alias = self.parse_optional_alias()?;
+        Ok(TableFactor::Table { name, alias })
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>, ParseError> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        // Implicit alias: a bare, non-reserved identifier directly after the
+        // table factor.
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !Self::is_reserved(s) {
+                let alias = s.clone();
+                self.advance();
+                return Ok(Some(alias));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_condition(&mut self) -> Result<SqlCondition, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<SqlCondition, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = SqlCondition::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlCondition, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = SqlCondition::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<SqlCondition, ParseError> {
+        if self.eat_keyword("NOT") {
+            let inner = self.parse_not()?;
+            return Ok(SqlCondition::Not(Box::new(inner)));
+        }
+        self.parse_primary_condition()
+    }
+
+    fn parse_primary_condition(&mut self) -> Result<SqlCondition, ParseError> {
+        if self.eat_keyword("EXISTS") {
+            self.expect_token(&Token::LeftParen)?;
+            let query = self.parse_query()?;
+            self.expect_token(&Token::RightParen)?;
+            return Ok(SqlCondition::Exists(Box::new(query)));
+        }
+        if matches!(self.peek(), Some(Token::LeftParen)) {
+            self.advance();
+            let cond = self.parse_condition()?;
+            self.expect_token(&Token::RightParen)?;
+            return Ok(cond);
+        }
+        let left = self.parse_operand()?;
+        let op = self.parse_compare_op()?;
+        let right = self.parse_operand()?;
+        Ok(SqlCondition::Comparison { left, op, right })
+    }
+
+    fn parse_operand(&mut self) -> Result<SqlOperand, ParseError> {
+        match self.peek() {
+            Some(Token::Number(n)) => {
+                let n = *n;
+                self.advance();
+                Ok(SqlOperand::Literal(SqlLiteral::Number(n)))
+            }
+            Some(Token::String(s)) => {
+                let s = s.clone();
+                self.advance();
+                Ok(SqlOperand::Literal(SqlLiteral::String(s)))
+            }
+            _ => Ok(SqlOperand::Column(self.parse_column_ref()?)),
+        }
+    }
+
+    fn parse_compare_op(&mut self) -> Result<SqlCompareOp, ParseError> {
+        match self.advance() {
+            Some(Token::Eq) => Ok(SqlCompareOp::Eq),
+            Some(Token::NotEq) => Ok(SqlCompareOp::NotEq),
+            Some(Token::Lt) => Ok(SqlCompareOp::Lt),
+            Some(Token::LtEq) => Ok(SqlCompareOp::LtEq),
+            Some(Token::Gt) => Ok(SqlCompareOp::Gt),
+            Some(Token::GtEq) => Ok(SqlCompareOp::GtEq),
+            other => Err(ParseError::new(format!(
+                "expected comparison operator, found `{}`",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse_query(
+            "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#",
+        )
+        .unwrap();
+        assert!(!q.distinct);
+        assert_eq!(q.select.len(), 2);
+        assert!(q.uses_divide_by());
+        assert!(q.where_clause.is_none());
+    }
+
+    #[test]
+    fn parses_q2_with_derived_divisor() {
+        let q = parse_query(
+            "SELECT s# FROM supplies AS s DIVIDE BY (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+        )
+        .unwrap();
+        match &q.from[0] {
+            TableReference::DivideBy { divisor, .. } => match divisor.as_ref() {
+                TableReference::Factor(TableFactor::Derived { alias, query }) => {
+                    assert_eq!(alias.as_deref(), Some("p"));
+                    assert!(query.where_clause.is_some());
+                }
+                other => panic!("unexpected divisor {other:?}"),
+            },
+            other => panic!("unexpected table reference {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_q3_double_not_exists() {
+        let q = parse_query(
+            "SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 \
+             WHERE NOT EXISTS ( SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND \
+             NOT EXISTS ( SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p# AND s2.s# = s1.s# ))",
+        )
+        .unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.from.len(), 2);
+        assert!(q.uses_exists());
+        assert!(!q.uses_divide_by());
+    }
+
+    #[test]
+    fn parses_conjunctive_on_clause() {
+        let q = parse_query(
+            "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b AND r1.c = r2.c",
+        )
+        .unwrap();
+        match &q.from[0] {
+            TableReference::DivideBy { condition, .. } => {
+                assert_eq!(condition.conjuncts().len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_helpful_errors() {
+        assert!(parse_query("SELECT").is_err());
+        assert!(parse_query("SELECT a FROM").is_err());
+        assert!(parse_query("SELECT a FROM r1 DIVIDE r2").is_err());
+        assert!(parse_query("SELECT a FROM r1 WHERE a").is_err());
+        assert!(parse_query("SELECT a FROM r1 extra junk ,").is_err());
+        let err = parse_query("SELECT a FROM r1 DIVIDE BY r2").unwrap_err();
+        assert!(err.to_string().contains("ON"));
+    }
+
+    #[test]
+    fn implicit_aliases_and_wildcards() {
+        let q = parse_query("SELECT * FROM supplies s WHERE s.p# >= 2").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Wildcard]);
+        match &q.from[0] {
+            TableReference::Factor(TableFactor::Table { alias, .. }) => {
+                assert_eq!(alias.as_deref(), Some("s"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

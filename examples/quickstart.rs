@@ -1,0 +1,59 @@
+//! Quickstart: build the paper's Figure 1 relations, run the small and great
+//! divide, apply a law with the rewrite engine, and execute the plan with a
+//! special-purpose physical operator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use division::prelude::*;
+
+fn main() {
+    // Figure 1: r1 ÷ r2 = r3.
+    let r1 = relation! {
+        ["a", "b"] =>
+        [1, 1], [1, 4],
+        [2, 1], [2, 2], [2, 3], [2, 4],
+        [3, 1], [3, 3], [3, 4],
+    };
+    let r2 = relation! { ["b"] => [1], [3] };
+    println!("r1 (dividend):\n{r1}");
+    println!("r2 (divisor):\n{r2}");
+    println!("r1 ÷ r2 (small divide):\n{}", r1.divide(&r2).unwrap());
+
+    // Figure 2: the great divide groups the divisor by c.
+    let r2_groups = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
+    println!("r2 with groups (divisor):\n{r2_groups}");
+    println!(
+        "r1 ÷* r2 (great divide):\n{}",
+        r1.great_divide(&r2_groups).unwrap()
+    );
+
+    // The same query as a logical plan, rewritten by the laws and executed by
+    // a physical division algorithm.
+    let mut catalog = Catalog::new();
+    catalog.register("r1", r1);
+    catalog.register("r2", r2);
+    let plan = PlanBuilder::scan("r1")
+        .divide(PlanBuilder::scan("r2"))
+        .select(Predicate::eq_value("a", 2))
+        .build();
+    println!("original logical plan:\n{plan}");
+
+    let engine = RewriteEngine::with_default_rules();
+    let ctx = RewriteContext::with_catalog(&catalog);
+    let outcome = engine.rewrite(&plan, &ctx).unwrap();
+    println!("applied rules:\n{}\n", outcome.trace());
+    println!("rewritten logical plan (Law 3 pushed the filter down):\n{}", outcome.plan);
+
+    let physical = plan_query(
+        &outcome.plan,
+        &PlannerConfig::with_division_algorithm(DivisionAlgorithm::HashDivision),
+    )
+    .unwrap();
+    println!("physical plan:\n{physical}");
+    let (result, stats) = execute_with_stats(&physical, &catalog).unwrap();
+    println!("result:\n{result}");
+    println!(
+        "executed {} operators, scanned {} rows, produced {} intermediate tuples",
+        stats.operators, stats.rows_scanned, stats.intermediate_tuples
+    );
+}

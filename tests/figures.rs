@@ -1,0 +1,332 @@
+//! Tuple-for-tuple reproduction of every figure in the paper (Figures 1–11).
+//!
+//! Each test builds the figure's input relations as printed in the paper,
+//! evaluates the operator or law the figure illustrates, and compares against
+//! the printed output — including the intermediate tables where the figure
+//! shows them. These are the paper's only "result tables", so they double as
+//! the golden dataset for EXPERIMENTS.md.
+
+use division::prelude::*;
+
+/// The dividend used by Figures 1 and 2.
+fn figure1_r1() -> Relation {
+    relation! {
+        ["a", "b"] =>
+        [1, 1], [1, 4],
+        [2, 1], [2, 2], [2, 3], [2, 4],
+        [3, 1], [3, 3], [3, 4],
+    }
+}
+
+/// The extended dividend used by Figures 4 and 6 (11 tuples).
+fn figure4_r1() -> Relation {
+    relation! {
+        ["a", "b"] =>
+        [1, 1], [1, 4],
+        [2, 1], [2, 2], [2, 3], [2, 4],
+        [3, 1], [3, 3], [3, 4],
+        [4, 1], [4, 3],
+    }
+}
+
+#[test]
+fn figure_1_small_divide() {
+    let r1 = figure1_r1();
+    let r2 = relation! { ["b"] => [1], [3] };
+    let r3 = relation! { ["a"] => [2], [3] };
+    assert_eq!(r1.divide(&r2).unwrap(), r3);
+    // All three published definitions agree on the figure.
+    assert_eq!(r1.divide_codd(&r2).unwrap(), r3);
+    assert_eq!(r1.divide_healy(&r2).unwrap(), r3);
+    assert_eq!(r1.divide_maier(&r2).unwrap(), r3);
+}
+
+#[test]
+fn figure_2_generalized_division() {
+    let r1 = figure1_r1();
+    let r2 = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
+    let r3 = relation! { ["a", "c"] => [2, 1], [2, 2], [3, 2] };
+    assert_eq!(r1.great_divide(&r2).unwrap(), r3);
+    assert_eq!(r1.great_divide_set_containment(&r2).unwrap(), r3);
+    assert_eq!(
+        r1.great_divide_demolombe(&r2).unwrap().conform_to(r3.schema()).unwrap(),
+        r3
+    );
+    assert_eq!(
+        r1.great_divide_todd(&r2).unwrap().conform_to(r3.schema()).unwrap(),
+        r3
+    );
+}
+
+#[test]
+fn figure_3_set_containment_join() {
+    // The nested (non-first-normal-form) representation of the same data.
+    let r1 = Relation::from_rows(
+        ["a", "b1"],
+        vec![
+            vec![Value::Int(1), Value::set([1, 4])],
+            vec![Value::Int(2), Value::set([1, 2, 3, 4])],
+            vec![Value::Int(3), Value::set([1, 3, 4])],
+        ],
+    )
+    .unwrap();
+    let r2 = Relation::from_rows(
+        ["b2", "c"],
+        vec![
+            vec![Value::set([1, 2, 4]), Value::Int(1)],
+            vec![Value::set([1, 3]), Value::Int(2)],
+        ],
+    )
+    .unwrap();
+    let r3 = r1.set_containment_join(&r2, "b1", "b2").unwrap();
+    assert_eq!(r3.len(), 3);
+    assert_eq!(r3.schema().names(), vec!["a", "b1", "b2", "c"]);
+    // Projecting away the set-valued attributes gives Figure 2's quotient.
+    assert_eq!(
+        r3.project(&["a", "c"]).unwrap(),
+        relation! { ["a", "c"] => [2, 1], [2, 2], [3, 2] }
+    );
+}
+
+#[test]
+fn figure_4_law_1_intermediates() {
+    let r1 = figure4_r1();
+    let r2 = relation! { ["b"] => [1], [3], [4] };
+    let r2_prime = relation! { ["b"] => [1], [3] };
+    let r2_double = relation! { ["b"] => [3], [4] };
+    // The two partitions overlap (both contain b = 3) and their union is r2.
+    assert_eq!(r2_prime.union(&r2_double).unwrap(), r2);
+
+    // (e) r1 ÷ r'2 = {2, 3, 4}.
+    let inner = r1.divide(&r2_prime).unwrap();
+    assert_eq!(inner, relation! { ["a"] => [2], [3], [4] });
+
+    // (f) r1 ⋉ (r1 ÷ r'2): the nine tuples shown in the figure.
+    let shrunk = r1.semi_join(&inner).unwrap();
+    let expected_f = relation! {
+        ["a", "b"] =>
+        [2, 1], [2, 2], [2, 3], [2, 4],
+        [3, 1], [3, 3], [3, 4],
+        [4, 1], [4, 3],
+    };
+    assert_eq!(shrunk, expected_f);
+
+    // (g) r3: both sides of Law 1 produce {2, 3}.
+    let expected_g = relation! { ["a"] => [2], [3] };
+    assert_eq!(r1.divide(&r2).unwrap(), expected_g);
+    assert_eq!(shrunk.divide(&r2_double).unwrap(), expected_g);
+}
+
+#[test]
+fn figure_5_law_2_precondition_violation() {
+    let r1_prime = relation! { ["a", "b"] => [1, 1], [1, 2], [1, 3] };
+    let r1_double = relation! { ["a", "b"] => [1, 2], [1, 4] };
+    let r2 = relation! { ["b"] => [1], [4] };
+    // Each partition alone divides to the empty set ...
+    assert!(r1_prime.divide(&r2).unwrap().is_empty());
+    assert!(r1_double.divide(&r2).unwrap().is_empty());
+    // ... but the union does not: exactly the situation Law 2 must exclude.
+    let union = r1_prime.union(&r1_double).unwrap();
+    assert_eq!(union.divide(&r2).unwrap(), relation! { ["a"] => [1] });
+    // And condition c1 indeed rejects the decomposition.
+    assert!(!div_rewrite::preconditions::c1(&r1_prime, &r1_double, &r2).unwrap());
+}
+
+#[test]
+fn figure_6_example_1_intermediates() {
+    let r1 = figure4_r1();
+    let r2 = relation! { ["b"] => [1], [3], [4] };
+    let p = Predicate::cmp_value("b", CompareOp::Lt, 3);
+
+    // (b) σ_{b<3}(r1).
+    let selected = r1.select(&p).unwrap();
+    assert_eq!(
+        selected,
+        relation! { ["a", "b"] => [1, 1], [2, 1], [2, 2], [3, 1], [4, 1] }
+    );
+    // (d) σ_{b<3}(r2).
+    let selected_divisor = r2.select(&p).unwrap();
+    assert_eq!(selected_divisor, relation! { ["b"] => [1] });
+    // (e) σ_{b<3}(r1) ÷ r2 = ∅.
+    assert!(selected.divide(&r2).unwrap().is_empty());
+    // (f) σ_{b<3}(r1) ÷ σ_{b<3}(r2) = {1, 2, 3, 4}.
+    assert_eq!(
+        selected.divide(&selected_divisor).unwrap(),
+        relation! { ["a"] => [1], [2], [3], [4] }
+    );
+    // (g)/(h) π_a(r1) × σ_{b≥3}(r2), then its projection on a.
+    let switch = r1
+        .project(&["a"])
+        .unwrap()
+        .product(&r2.select(&p.negate()).unwrap())
+        .unwrap();
+    assert_eq!(switch.len(), 8);
+    let switch_a = switch.project(&["a"]).unwrap();
+    assert_eq!(switch_a, relation! { ["a"] => [1], [2], [3], [4] });
+    // (i) the difference of (f) and (h) is empty, matching (e).
+    let rewritten = selected
+        .divide(&selected_divisor)
+        .unwrap()
+        .difference(&switch_a)
+        .unwrap();
+    assert!(rewritten.is_empty());
+}
+
+#[test]
+fn figure_7_law_8_intermediates() {
+    let r_star = relation! { ["a1"] => [1], [2] };
+    let r_star_star = relation! {
+        ["a2", "b"] =>
+        [1, 1], [1, 2], [1, 3],
+        [2, 1], [2, 3],
+        [3, 2], [3, 3],
+    };
+    let r2 = relation! { ["b"] => [2], [3] };
+    // (d) the product has 14 tuples.
+    let product = r_star.product(&r_star_star).unwrap();
+    assert_eq!(product.len(), 14);
+    // (e) r**1 ÷ r2 = {1, 3}.
+    assert_eq!(
+        r_star_star.divide(&r2).unwrap(),
+        relation! { ["a2"] => [1], [3] }
+    );
+    // (f) both sides of Law 8 produce the same four tuples.
+    let expected = relation! { ["a1", "a2"] => [1, 1], [1, 3], [2, 1], [2, 3] };
+    assert_eq!(product.divide(&r2).unwrap(), expected);
+    assert_eq!(
+        r_star.product(&r_star_star.divide(&r2).unwrap()).unwrap(),
+        expected
+    );
+}
+
+#[test]
+fn figure_8_law_9_intermediates() {
+    let r_star = relation! {
+        ["a", "b1"] =>
+        [1, 1], [1, 2], [1, 3],
+        [2, 2], [2, 3],
+        [3, 1], [3, 3], [3, 4],
+    };
+    let r_star_star = relation! { ["b2"] => [1], [2] };
+    let r2 = relation! { ["b1", "b2"] => [1, 2], [3, 1], [3, 2] };
+    // (d) the product has 16 tuples.
+    let product = r_star.product(&r_star_star).unwrap();
+    assert_eq!(product.len(), 16);
+    // (e) π_{b1}(r2) = {1, 3}; (f) π_{b2}(r2) = {1, 2} ⊆ r**1.
+    assert_eq!(r2.project(&["b1"]).unwrap(), relation! { ["b1"] => [1], [3] });
+    assert_eq!(r2.project(&["b2"]).unwrap(), relation! { ["b2"] => [1], [2] });
+    assert!(r2
+        .project(&["b2"])
+        .unwrap()
+        .is_subset_of(&r_star_star)
+        .unwrap());
+    // (g) both sides of Law 9 produce {1, 3}.
+    let expected = relation! { ["a"] => [1], [3] };
+    assert_eq!(product.divide(&r2).unwrap(), expected);
+    assert_eq!(
+        r_star.divide(&r2.project(&["b1"]).unwrap()).unwrap(),
+        expected
+    );
+}
+
+#[test]
+fn figure_9_example_3_intermediates() {
+    let r_star = relation! {
+        ["a", "b1"] =>
+        [1, 1], [1, 2], [1, 3],
+        [2, 2], [2, 3],
+        [3, 1], [3, 3], [3, 4],
+    };
+    let r_star_star = relation! { ["b2"] => [1], [2], [4] };
+    let r2 = relation! { ["b1", "b2"] => [1, 4], [3, 4] };
+    // (d) r*1 ⋈_{b1<b2} r**1: the nine tuples of the figure.
+    let joined = r_star
+        .theta_join(&r_star_star, &Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"))
+        .unwrap();
+    let expected_join = relation! {
+        ["a", "b1", "b2"] =>
+        [1, 1, 2], [1, 1, 4], [1, 2, 4], [1, 3, 4],
+        [2, 2, 4], [2, 3, 4],
+        [3, 1, 2], [3, 1, 4], [3, 3, 4],
+    };
+    assert_eq!(joined, expected_join);
+    // (e) π_{b1}(σ_{b1<b2}(r2)) = {1, 3}.
+    let pushed = r2
+        .select(&Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"))
+        .unwrap()
+        .project(&["b1"])
+        .unwrap();
+    assert_eq!(pushed, relation! { ["b1"] => [1], [3] });
+    // (f) r3 = {1, 3}: the original expression and the fully rewritten one agree.
+    let expected = relation! { ["a"] => [1], [3] };
+    assert_eq!(joined.divide(&r2).unwrap(), expected);
+    let rewritten = r_star
+        .divide(&pushed)
+        .unwrap()
+        .difference(
+            &r_star
+                .project(&["a"])
+                .unwrap()
+                .product(
+                    &r2.select(&Predicate::cmp_attrs("b1", CompareOp::GtEq, "b2"))
+                        .unwrap(),
+                )
+                .unwrap()
+                .project(&["a"])
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(rewritten, expected);
+}
+
+#[test]
+fn figure_10_law_11_intermediates() {
+    let r0 = relation! {
+        ["a", "x"] =>
+        [1, 1], [1, 2], [1, 3],
+        [2, 1], [2, 3],
+        [3, 1], [3, 3], [3, 4],
+    };
+    // (b) r1 = aγsum(x)→b(r0).
+    let r1 = r0
+        .group_aggregate(&["a"], &[AggregateCall::sum("x", "b")])
+        .unwrap();
+    assert_eq!(r1, relation! { ["a", "b"] => [1, 6], [2, 4], [3, 8] });
+    let r2 = relation! { ["b"] => [4] };
+    // (d) r1 ⋉ r2 and (e) its projection on a.
+    let semi = r1.semi_join(&r2).unwrap();
+    assert_eq!(semi, relation! { ["a", "b"] => [2, 4] });
+    let projected = semi.project(&["a"]).unwrap();
+    assert_eq!(projected, relation! { ["a"] => [2] });
+    // Law 11, case |r2| = 1: the projection is exactly the quotient.
+    assert_eq!(r1.divide(&r2).unwrap(), projected);
+}
+
+#[test]
+fn figure_11_law_12_intermediates() {
+    let r0 = relation! {
+        ["x", "b"] =>
+        [1, 1], [1, 2], [1, 3],
+        [2, 1], [2, 3],
+        [3, 1], [3, 3], [3, 4],
+    };
+    // (b) r1 = bγsum(x)→a(r0) (the figure prints the columns as (a, b)).
+    let r1 = r0
+        .group_aggregate(&["b"], &[AggregateCall::sum("x", "a")])
+        .unwrap();
+    assert_eq!(
+        r1.conform_to(&Schema::of(["a", "b"])).unwrap(),
+        relation! { ["a", "b"] => [6, 1], [1, 2], [6, 3], [3, 4] }
+    );
+    let r2 = relation! { ["b"] => [1], [3] };
+    // (d) r1 ⋉ r2 and (e) its projection on a.
+    let semi = r1.semi_join(&r2).unwrap();
+    assert_eq!(
+        semi.conform_to(&Schema::of(["a", "b"])).unwrap(),
+        relation! { ["a", "b"] => [6, 1], [6, 3] }
+    );
+    let projected = semi.project(&["a"]).unwrap();
+    assert_eq!(projected, relation! { ["a"] => [6] });
+    // Law 12: the single-tuple projection is the quotient.
+    assert_eq!(r1.divide(&r2).unwrap(), projected);
+}

@@ -1,0 +1,86 @@
+//! Property and example tests for the three theorems of the paper.
+
+use div_rewrite::theorems;
+use division::prelude::*;
+use proptest::prelude::*;
+
+fn ab_pairs(max_rows: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..6i64, 0..5i64), 0..max_rows)
+}
+
+fn bc_pairs(max_rows: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..5i64, 0..4i64), 0..max_rows)
+}
+
+fn rel(names: [&str; 2], pairs: &[(i64, i64)]) -> Relation {
+    Relation::from_rows(names, pairs.iter().map(|(x, y)| vec![*x, *y])).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Theorem 1: set containment division, Demolombe's generalized division
+    /// and Todd's great divide coincide on arbitrary relations.
+    #[test]
+    fn theorem1_definitions_agree(r1 in ab_pairs(24), r2 in bc_pairs(12)) {
+        let dividend = rel(["a", "b"], &r1);
+        let divisor = rel(["b", "c"], &r2);
+        prop_assert!(theorems::theorem1_holds_on(&dividend, &divisor).unwrap());
+    }
+
+    /// Theorem 2: whenever r1 ÷ r2 is well-typed, the swapped expression is
+    /// not, so the operator cannot be commutative.
+    #[test]
+    fn theorem2_swapped_operands_are_invalid(r1 in ab_pairs(20), d in prop::collection::vec(0..5i64, 0..6)) {
+        let dividend = rel(["a", "b"], &r1);
+        let divisor = Relation::from_rows(["b"], d.iter().map(|b| vec![*b])).unwrap();
+        prop_assert!(theorems::theorem2_swapped_is_invalid(&dividend, &divisor).unwrap());
+    }
+}
+
+#[test]
+fn theorem1_on_multi_attribute_schemas() {
+    // Two shared attributes and two group attributes.
+    let r1 = relation! {
+        ["a", "b1", "b2"] =>
+        [1, 1, 10], [1, 2, 20], [2, 1, 10], [2, 3, 30],
+    };
+    let r2 = relation! {
+        ["b1", "b2", "c1", "c2"] =>
+        [1, 10, 7, 70], [2, 20, 7, 70], [1, 10, 8, 80],
+    };
+    assert!(theorems::theorem1_holds_on(&r1, &r2).unwrap());
+}
+
+#[test]
+fn theorem3_schema_argument_and_counterexample() {
+    // The schema sets of the paper's proof: any attribute shared by all three
+    // relations breaks associativity.
+    assert!(theorems::theorem3_schemas_differ(
+        &["a", "b", "c"],
+        &["b", "c"],
+        &["c"]
+    ));
+    assert!(!theorems::theorem3_schemas_differ(&["a"], &["b"], &["c"]));
+
+    let (r1, r2, r3, left_nesting, right_inner) = theorems::theorem3_counterexample();
+    // The left nesting r1 ÷ (r2 ÷ r3) is well-typed and yields (a, c) pairs.
+    assert_eq!(left_nesting.schema().names(), vec!["a", "c"]);
+    // The only well-typed right-hand parse (r1 ÷ r2) has a different schema,
+    // so the two nestings cannot be equal for these relations.
+    assert_ne!(left_nesting.schema(), right_inner.schema());
+    // Sanity: the counterexample relations are the documented ones.
+    assert_eq!(r1.len(), 3);
+    assert_eq!(r2.len(), 2);
+    assert_eq!(r3.len(), 1);
+}
+
+#[test]
+fn theorem2_concrete_schema_sizes() {
+    // The proof argument: the dividend has m + n attributes, the divisor n,
+    // with m > 0 — swapping makes the "dividend" narrower than the "divisor".
+    let r1 = relation! { ["a", "b", "c"] => [1, 2, 3] };
+    let r2 = relation! { ["b", "c"] => [2, 3] };
+    assert!(r1.divide(&r2).is_ok());
+    assert!(r2.divide(&r1).is_err());
+}
