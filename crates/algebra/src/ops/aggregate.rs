@@ -35,20 +35,24 @@ impl AggregateFunction {
                 }
                 Ok(Value::Int(total))
             }
-            AggregateFunction::Min => values
-                .iter()
-                .min()
-                .cloned()
-                .ok_or_else(|| AlgebraError::InvalidAggregate {
-                    reason: "MIN over an empty group".to_string(),
-                }),
-            AggregateFunction::Max => values
-                .iter()
-                .max()
-                .cloned()
-                .ok_or_else(|| AlgebraError::InvalidAggregate {
-                    reason: "MAX over an empty group".to_string(),
-                }),
+            AggregateFunction::Min => {
+                values
+                    .iter()
+                    .min()
+                    .cloned()
+                    .ok_or_else(|| AlgebraError::InvalidAggregate {
+                        reason: "MIN over an empty group".to_string(),
+                    })
+            }
+            AggregateFunction::Max => {
+                values
+                    .iter()
+                    .max()
+                    .cloned()
+                    .ok_or_else(|| AlgebraError::InvalidAggregate {
+                        reason: "MAX over an empty group".to_string(),
+                    })
+            }
         }
     }
 
@@ -102,7 +106,13 @@ impl AggregateCall {
 
 impl std::fmt::Display for AggregateCall {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}({}) -> {}", self.function.name(), self.input, self.output)
+        write!(
+            f,
+            "{}({}) -> {}",
+            self.function.name(),
+            self.input,
+            self.output
+        )
     }
 }
 

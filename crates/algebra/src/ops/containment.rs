@@ -189,8 +189,16 @@ mod tests {
         let flat_r2 = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
         let divide_result = flat_r1.great_divide(&flat_r2).unwrap();
 
-        let nested_left = flat_r1.nest(&["a"], "b").unwrap().rename_attribute("b", "b1").unwrap();
-        let nested_right = flat_r2.nest(&["c"], "b").unwrap().rename_attribute("b", "b2").unwrap();
+        let nested_left = flat_r1
+            .nest(&["a"], "b")
+            .unwrap()
+            .rename_attribute("b", "b1")
+            .unwrap();
+        let nested_right = flat_r2
+            .nest(&["c"], "b")
+            .unwrap()
+            .rename_attribute("b", "b2")
+            .unwrap();
         let joined = nested_left
             .set_containment_join(&nested_right, "b1", "b2")
             .unwrap();

@@ -62,7 +62,12 @@ impl Relation {
     /// Determine the `A`/`B` attribute sets for `self ÷ divisor` and validate
     /// the schema preconditions of Section 2.1.
     pub fn division_attributes(&self, divisor: &Relation) -> Result<DivisionAttributes> {
-        let shared: Vec<String> = divisor.schema().names().iter().map(|s| s.to_string()).collect();
+        let shared: Vec<String> = divisor
+            .schema()
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         if shared.is_empty() {
             return Err(AlgebraError::InvalidDivision {
                 reason: "the divisor must have at least one attribute (B nonempty)".to_string(),
@@ -81,8 +86,9 @@ impl Relation {
         let quotient = self.schema().difference_attributes(divisor.schema());
         if quotient.is_empty() {
             return Err(AlgebraError::InvalidDivision {
-                reason: "the dividend must have at least one attribute not in the divisor (A nonempty)"
-                    .to_string(),
+                reason:
+                    "the dividend must have at least one attribute not in the divisor (A nonempty)"
+                        .to_string(),
             });
         }
         Ok(DivisionAttributes { quotient, shared })
@@ -262,7 +268,8 @@ impl Relation {
         let mut out = Relation::empty(out_schema);
 
         for (c_value, members) in divisor.group_by_indices(&dsr_c_idx) {
-            let divisor_b: BTreeSet<Tuple> = members.iter().map(|t| t.project(&dsr_b_idx)).collect();
+            let divisor_b: BTreeSet<Tuple> =
+                members.iter().map(|t| t.project(&dsr_b_idx)).collect();
             for (a_value, b_set) in &dividend_groups {
                 if divisor_b.is_subset(b_set) {
                     out.insert(a_value.concat(&c_value))?;

@@ -96,7 +96,10 @@ mod tests {
         };
         let r_star_star = relation! { ["b2"] => [1], [2], [4] };
         let joined = r_star
-            .theta_join(&r_star_star, &Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"))
+            .theta_join(
+                &r_star_star,
+                &Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"),
+            )
             .unwrap();
         let expected = relation! {
             ["a", "b1", "b2"] =>
@@ -135,10 +138,7 @@ mod tests {
     fn natural_join_without_common_attributes_is_product() {
         let r1 = relation! { ["a"] => [1], [2] };
         let r2 = relation! { ["b"] => [10] };
-        assert_eq!(
-            r1.natural_join(&r2).unwrap(),
-            r1.product(&r2).unwrap()
-        );
+        assert_eq!(r1.natural_join(&r2).unwrap(), r1.product(&r2).unwrap());
     }
 
     #[test]

@@ -392,9 +392,13 @@ mod tests {
     fn predicate_eval_on_tuple() {
         let s = schema();
         let t = Tuple::new([1, 5, 3]);
-        assert!(Predicate::cmp_value("b", CompareOp::Lt, 10).eval(&s, &t).unwrap());
+        assert!(Predicate::cmp_value("b", CompareOp::Lt, 10)
+            .eval(&s, &t)
+            .unwrap());
         assert!(!Predicate::eq_value("a", 2).eval(&s, &t).unwrap());
-        assert!(Predicate::cmp_attrs("a", CompareOp::Lt, "c").eval(&s, &t).unwrap());
+        assert!(Predicate::cmp_attrs("a", CompareOp::Lt, "c")
+            .eval(&s, &t)
+            .unwrap());
         let p = Predicate::eq_value("a", 1).and(Predicate::cmp_value("b", CompareOp::Gt, 4));
         assert!(p.eval(&s, &t).unwrap());
         assert!(p.negate().eval(&s, &t).map(|v| !v).unwrap());
@@ -411,8 +415,7 @@ mod tests {
 
     #[test]
     fn referenced_attributes_and_only_references() {
-        let p = Predicate::eq_value("a", 1)
-            .and(Predicate::cmp_attrs("b", CompareOp::Lt, "c"));
+        let p = Predicate::eq_value("a", 1).and(Predicate::cmp_attrs("b", CompareOp::Lt, "c"));
         let attrs = p.referenced_attributes();
         assert_eq!(attrs.len(), 3);
         assert!(p.only_references(&["a", "b", "c", "d"]));
@@ -423,10 +426,7 @@ mod tests {
     fn negation_pushes_through_comparisons() {
         // σ_{b<3} negated is σ_{b>=3}, as used in Example 1 / Figure 6.
         let p = Predicate::cmp_value("b", CompareOp::Lt, 3);
-        assert_eq!(
-            p.negate(),
-            Predicate::cmp_value("b", CompareOp::GtEq, 3)
-        );
+        assert_eq!(p.negate(), Predicate::cmp_value("b", CompareOp::GtEq, 3));
         // Double negation returns the original.
         assert_eq!(p.negate().negate(), p);
     }
@@ -447,7 +447,10 @@ mod tests {
         let p = Predicate::eq_attrs("b", "b2").and(Predicate::eq_attrs("c", "c2"));
         assert_eq!(
             p.as_equi_join_pairs().unwrap(),
-            vec![("b".to_string(), "b2".to_string()), ("c".to_string(), "c2".to_string())]
+            vec![
+                ("b".to_string(), "b2".to_string()),
+                ("c".to_string(), "c2".to_string())
+            ]
         );
         let q = Predicate::eq_attrs("b", "b2").and(Predicate::cmp_value("c", CompareOp::Lt, 3));
         assert!(q.as_equi_join_pairs().is_none());

@@ -161,7 +161,13 @@ impl Relation {
     /// Rename a single attribute.
     pub fn rename_attribute(&self, from: &str, to: &str) -> Result<Relation> {
         self.schema.require(from)?;
-        self.rename_with(|n| if n == from { to.to_string() } else { n.to_string() })
+        self.rename_with(|n| {
+            if n == from {
+                to.to_string()
+            } else {
+                n.to_string()
+            }
+        })
     }
 
     /// The *image set* of the paper (Definition 1): the set of `B`-projections
@@ -169,7 +175,12 @@ impl Relation {
     ///
     /// `a_indices`/`b_indices` are positions of the `A` and `B` attributes in
     /// this relation's schema.
-    pub fn image_set(&self, a_indices: &[usize], b_indices: &[usize], key: &Tuple) -> BTreeSet<Tuple> {
+    pub fn image_set(
+        &self,
+        a_indices: &[usize],
+        b_indices: &[usize],
+        key: &Tuple,
+    ) -> BTreeSet<Tuple> {
         self.tuples
             .iter()
             .filter(|t| &t.project(a_indices) == key)
@@ -184,7 +195,10 @@ impl Relation {
     pub fn group_by_indices(&self, key_indices: &[usize]) -> BTreeMap<Tuple, BTreeSet<Tuple>> {
         let mut groups: BTreeMap<Tuple, BTreeSet<Tuple>> = BTreeMap::new();
         for t in &self.tuples {
-            groups.entry(t.project(key_indices)).or_default().insert(t.clone());
+            groups
+                .entry(t.project(key_indices))
+                .or_default()
+                .insert(t.clone());
         }
         groups
     }

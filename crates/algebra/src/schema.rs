@@ -125,10 +125,11 @@ impl Schema {
 
     /// Position of `name`, or an [`AlgebraError::UnknownAttribute`] error.
     pub fn require(&self, name: &str) -> Result<usize> {
-        self.index_of(name).ok_or_else(|| AlgebraError::UnknownAttribute {
-            attribute: name.to_string(),
-            schema: self.to_string(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| AlgebraError::UnknownAttribute {
+                attribute: name.to_string(),
+                schema: self.to_string(),
+            })
     }
 
     /// `true` if the schema contains an attribute with this name.

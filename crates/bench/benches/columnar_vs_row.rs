@@ -1,0 +1,149 @@
+//! Row vs columnar execution backend, end to end and kernel-level.
+//!
+//! The claim under test (ROADMAP north star + the motivation for
+//! `div-columnar`): the row executor's per-tuple allocation and enum dispatch
+//! drown out the algorithmic differences the other benches measure, and a
+//! batch-at-a-time executor over primitive column slices removes that
+//! overhead. Three experiments:
+//!
+//! * whole Q2 plans (suppliers-parts, Section 4) on both backends,
+//! * whole great-divide plans (market baskets, Section 3) on both backends,
+//! * the bare small-divide kernel against the row hash-division algorithm,
+//!   with conversion costs excluded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::Predicate;
+use div_bench::{division_workload, suppliers_parts_catalog};
+use div_columnar::{kernels, ColumnarBatch};
+use div_datagen::baskets::{self, candidates_relation};
+use div_datagen::BasketConfig;
+use div_expr::{Catalog, PlanBuilder};
+use div_physical::division::{divide_with, DivisionAlgorithm};
+use div_physical::{
+    execute_on_backend, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
+};
+
+fn q2_plan() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("supplies")
+        .divide(
+            PlanBuilder::scan("parts")
+                .select(Predicate::eq_value("color", "blue"))
+                .project(["p#"]),
+        )
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+fn baskets_catalog(transactions: usize) -> Catalog {
+    let data = baskets::generate(&BasketConfig {
+        transactions,
+        items: 60,
+        planted_probability: 0.4,
+        ..BasketConfig::default()
+    });
+    let mut catalog = Catalog::new();
+    catalog.register("transactions", data.transactions);
+    catalog.register("candidates", candidates_relation(&data.planted));
+    catalog
+}
+
+fn bench_q2_suppliers_parts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_vs_row/q2_suppliers_parts");
+    let plan = q2_plan();
+    for suppliers in [100usize, 400, 1_600] {
+        let catalog = suppliers_parts_catalog(suppliers, 50, 0.5);
+        for backend in ExecutionBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), suppliers),
+                &suppliers,
+                |b, _| b.iter(|| execute_on_backend(&plan, &catalog, backend).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_baskets_great_divide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_vs_row/baskets_great_divide");
+    let logical = PlanBuilder::scan("transactions")
+        .great_divide(PlanBuilder::scan("candidates"))
+        .build();
+    let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+    for transactions in [200usize, 800, 3_200] {
+        let catalog = baskets_catalog(transactions);
+        for backend in ExecutionBackend::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(backend.name(), transactions),
+                &transactions,
+                |b, _| b.iter(|| execute_on_backend(&plan, &catalog, backend).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_divide_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_vs_row/divide_kernel");
+    for groups in [100i64, 400, 1_600] {
+        let (dividend, divisor) = division_workload(groups, 16, 3);
+        let dividend_batch = ColumnarBatch::from_relation(&dividend);
+        let divisor_batch = ColumnarBatch::from_relation(&divisor);
+        group.bench_with_input(
+            BenchmarkId::new("row-hash-division", groups),
+            &groups,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    divide_with(
+                        &dividend,
+                        &divisor,
+                        DivisionAlgorithm::HashDivision,
+                        &mut stats,
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("columnar-hash-divide", groups),
+            &groups,
+            |b, _| b.iter(|| kernels::hash_divide(&dividend_batch, &divisor_batch).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Print the cross-backend sanity table (results must agree; statistics must
+/// report the same output cardinality).
+fn report_backend_agreement() {
+    println!("\n# columnar_vs_row: backend agreement on Q2 (suppliers=400)");
+    println!("backend    output_rows  probes  max_intermediate");
+    let catalog = suppliers_parts_catalog(400, 50, 0.5);
+    let plan = q2_plan();
+    let mut outputs = Vec::new();
+    for backend in ExecutionBackend::ALL {
+        let (result, stats) = execute_on_backend(&plan, &catalog, backend).unwrap();
+        println!(
+            "{:<10} {:>11}  {:>6}  {:>16}",
+            backend.name(),
+            stats.output_rows,
+            stats.probes,
+            stats.max_intermediate
+        );
+        outputs.push(result);
+    }
+    assert!(
+        outputs.windows(2).all(|w| w[0] == w[1]),
+        "backends disagree on Q2"
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    report_backend_agreement();
+    bench_q2_suppliers_parts(c);
+    bench_baskets_great_divide(c);
+    bench_divide_kernel(c);
+}
+
+criterion_group!(columnar_vs_row, benches);
+criterion_main!(columnar_vs_row);

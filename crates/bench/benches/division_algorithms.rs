@@ -36,16 +36,12 @@ fn bench_by_divisor_size(c: &mut Criterion) {
     for items in [4i64, 16, 64] {
         let (dividend, divisor) = division_workload(300, items, 3);
         for algorithm in DivisionAlgorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(algorithm.name(), items),
-                &items,
-                |b, _| {
-                    b.iter(|| {
-                        let mut stats = ExecStats::default();
-                        divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algorithm.name(), items), &items, |b, _| {
+                b.iter(|| {
+                    let mut stats = ExecStats::default();
+                    divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap()
+                })
+            });
         }
     }
     group.finish();
@@ -68,7 +64,13 @@ fn report_intermediate_sizes() {
         )
         .unwrap();
         let mut hash = ExecStats::default();
-        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut hash).unwrap();
+        divide_with(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::HashDivision,
+            &mut hash,
+        )
+        .unwrap();
         println!(
             "{groups:>6}  {:>9}  {:>13}",
             sim.max_intermediate, hash.max_intermediate

@@ -50,9 +50,11 @@ fn benches(c: &mut Criterion) {
             evaluate(&original, &catalog).unwrap(),
             evaluate(&rewritten, &catalog).unwrap()
         );
-        group.bench_with_input(BenchmarkId::new("original-with-join", outer), &outer, |b, _| {
-            b.iter(|| evaluate(&original, &catalog).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("original-with-join", outer),
+            &outer,
+            |b, _| b.iter(|| evaluate(&original, &catalog).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("example3-rewritten", outer),
             &outer,

@@ -9,8 +9,7 @@ fn benches(c: &mut Criterion) {
     let (dividend, divisor) = great_divide_workload(800, 20, 32, 6);
     let mut group = c.benchmark_group("E10_example4_join_push_in");
     for outer_size in [5i64, 50, 400] {
-        let outer =
-            Relation::from_rows(["a1"], (0..outer_size).map(|a| vec![a * 2])).unwrap();
+        let outer = Relation::from_rows(["a1"], (0..outer_size).map(|a| vec![a * 2])).unwrap();
         let join = Predicate::eq_attrs("a1", "a");
         let join_above = || {
             outer

@@ -18,7 +18,13 @@ fn run_union_form(dividend: &Relation, partitions: &[Relation]) -> Relation {
         divisor = divisor.union(p).unwrap();
     }
     let mut stats = ExecStats::default();
-    divide_with(dividend, &divisor, DivisionAlgorithm::MergeSortDivision, &mut stats).unwrap()
+    divide_with(
+        dividend,
+        &divisor,
+        DivisionAlgorithm::MergeSortDivision,
+        &mut stats,
+    )
+    .unwrap()
 }
 
 fn run_pipelined_form(dividend: &Relation, partitions: &[Relation]) -> Relation {
@@ -35,8 +41,13 @@ fn run_pipelined_form(dividend: &Relation, partitions: &[Relation]) -> Relation 
     .unwrap();
     for p in &partitions[1..] {
         current = current.semi_join(&quotient).unwrap();
-        quotient = divide_with(&current, p, DivisionAlgorithm::MergeSortDivision, &mut stats)
-            .unwrap();
+        quotient = divide_with(
+            &current,
+            p,
+            DivisionAlgorithm::MergeSortDivision,
+            &mut stats,
+        )
+        .unwrap();
     }
     quotient
 }

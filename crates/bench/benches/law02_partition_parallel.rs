@@ -15,29 +15,50 @@ fn benches(c: &mut Criterion) {
     let (dividend, divisor) = division_workload(4_000, 24, 3);
     let sequential = {
         let mut stats = ExecStats::default();
-        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut stats).unwrap()
+        divide_with(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::HashDivision,
+            &mut stats,
+        )
+        .unwrap()
     };
 
     let mut group = c.benchmark_group("E4_law02_partition_parallel");
     group.bench_function("sequential", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();
-            divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut stats).unwrap()
+            divide_with(
+                &dividend,
+                &divisor,
+                DivisionAlgorithm::HashDivision,
+                &mut stats,
+            )
+            .unwrap()
         })
     });
     for workers in [2usize, 4, 8] {
         // Sanity: Law 2 under c2 preserves the quotient.
-        let (parallel_result, _) =
-            parallel_divide(&dividend, &divisor, DivisionAlgorithm::HashDivision, workers)
-                .unwrap();
+        let (parallel_result, _) = parallel_divide(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::HashDivision,
+            workers,
+        )
+        .unwrap();
         assert_eq!(parallel_result, sequential);
         group.bench_with_input(
             BenchmarkId::new("law2-parallel", workers),
             &workers,
             |b, &workers| {
                 b.iter(|| {
-                    parallel_divide(&dividend, &divisor, DivisionAlgorithm::HashDivision, workers)
-                        .unwrap()
+                    parallel_divide(
+                        &dividend,
+                        &divisor,
+                        DivisionAlgorithm::HashDivision,
+                        workers,
+                    )
+                    .unwrap()
                 })
             },
         );

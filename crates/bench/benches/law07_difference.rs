@@ -34,15 +34,20 @@ fn benches(c: &mut Criterion) {
     for groups in [1_000i64, 4_000] {
         let (r1, r2) = division_workload(groups, 16, 3);
         let split = 10; // only 11 of the `groups` quotient groups are cheap
-        assert_eq!(run_both_divisions(&r1, &r2, split), run_law7(&r1, &r2, split));
+        assert_eq!(
+            run_both_divisions(&r1, &r2, split),
+            run_law7(&r1, &r2, split)
+        );
         group.bench_with_input(
             BenchmarkId::new("both-divisions", groups),
             &groups,
             |b, _| b.iter(|| run_both_divisions(&r1, &r2, split)),
         );
-        group.bench_with_input(BenchmarkId::new("law7-skip-second", groups), &groups, |b, _| {
-            b.iter(|| run_law7(&r1, &r2, split))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("law7-skip-second", groups),
+            &groups,
+            |b, _| b.iter(|| run_law7(&r1, &r2, split)),
+        );
     }
     group.finish();
 }

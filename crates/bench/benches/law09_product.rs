@@ -16,8 +16,7 @@ fn workload(outer: i64, factor: i64) -> (Relation, Relation, Relation) {
         }
     }
     let r_star = Relation::from_rows(["a", "b1"], r_star_rows).unwrap();
-    let r_star_star =
-        Relation::from_rows(["b2"], (0..factor).map(|b2| vec![b2])).unwrap();
+    let r_star_star = Relation::from_rows(["b2"], (0..factor).map(|b2| vec![b2])).unwrap();
     let r2 = Relation::from_rows(
         ["b1", "b2"],
         (0..4i64).flat_map(|b1| (0..factor).map(move |b2| vec![b1 * 2, b2])),
@@ -52,11 +51,9 @@ fn benches(c: &mut Criterion) {
             &outer,
             |b, _| b.iter(|| direct(&r_star, &r_star_star, &r2)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("law9-eliminated", &id),
-            &outer,
-            |b, _| b.iter(|| law8(&r_star, &r_star_star, &r2)),
-        );
+        group.bench_with_input(BenchmarkId::new("law9-eliminated", &id), &outer, |b, _| {
+            b.iter(|| law8(&r_star, &r_star_star, &r2))
+        });
     }
     group.finish();
 }

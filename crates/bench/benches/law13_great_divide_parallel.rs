@@ -14,26 +14,32 @@ fn benches(c: &mut Criterion) {
     let (dividend, divisor) = great_divide_workload(600, 20, 64, 6);
     let sequential = {
         let mut stats = ExecStats::default();
-        great_divide_with(&dividend, &divisor, GreatDivideAlgorithm::HashSets, &mut stats)
-            .unwrap()
+        great_divide_with(
+            &dividend,
+            &divisor,
+            GreatDivideAlgorithm::HashSets,
+            &mut stats,
+        )
+        .unwrap()
     };
 
     let mut group = c.benchmark_group("E9_law13_great_divide_parallel");
     group.bench_function("sequential", |b| {
         b.iter(|| {
             let mut stats = ExecStats::default();
-            great_divide_with(&dividend, &divisor, GreatDivideAlgorithm::HashSets, &mut stats)
-                .unwrap()
+            great_divide_with(
+                &dividend,
+                &divisor,
+                GreatDivideAlgorithm::HashSets,
+                &mut stats,
+            )
+            .unwrap()
         })
     });
     for workers in [2usize, 4, 8] {
-        let (result, _) = parallel_great_divide(
-            &dividend,
-            &divisor,
-            GreatDivideAlgorithm::HashSets,
-            workers,
-        )
-        .unwrap();
+        let (result, _) =
+            parallel_great_divide(&dividend, &divisor, GreatDivideAlgorithm::HashSets, workers)
+                .unwrap();
         assert_eq!(result, sequential);
         group.bench_with_input(
             BenchmarkId::new("law13-parallel", workers),

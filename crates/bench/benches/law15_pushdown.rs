@@ -11,18 +11,8 @@ fn benches(c: &mut Criterion) {
     // Selectivity sweep on the divisor group attribute c (Law 15).
     for keep in [4i64, 16, 48] {
         let p = Predicate::cmp_value("c", CompareOp::Lt, keep);
-        let unpushed = || {
-            dividend
-                .great_divide(&divisor)
-                .unwrap()
-                .select(&p)
-                .unwrap()
-        };
-        let pushed = || {
-            dividend
-                .great_divide(&divisor.select(&p).unwrap())
-                .unwrap()
-        };
+        let unpushed = || dividend.great_divide(&divisor).unwrap().select(&p).unwrap();
+        let pushed = || dividend.great_divide(&divisor.select(&p).unwrap()).unwrap();
         assert_eq!(unpushed(), pushed());
         group.bench_with_input(BenchmarkId::new("filter-above", keep), &keep, |b, _| {
             b.iter(unpushed)
@@ -34,24 +24,14 @@ fn benches(c: &mut Criterion) {
     // Law 14: filter on the quotient attribute a.
     for keep in [50i64, 400] {
         let p = Predicate::cmp_value("a", CompareOp::Lt, keep);
-        let unpushed = || {
-            dividend
-                .great_divide(&divisor)
-                .unwrap()
-                .select(&p)
-                .unwrap()
-        };
-        let pushed = || {
-            dividend
-                .select(&p)
-                .unwrap()
-                .great_divide(&divisor)
-                .unwrap()
-        };
+        let unpushed = || dividend.great_divide(&divisor).unwrap().select(&p).unwrap();
+        let pushed = || dividend.select(&p).unwrap().great_divide(&divisor).unwrap();
         assert_eq!(unpushed(), pushed());
-        group.bench_with_input(BenchmarkId::new("law14-filter-above", keep), &keep, |b, _| {
-            b.iter(unpushed)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("law14-filter-above", keep),
+            &keep,
+            |b, _| b.iter(unpushed),
+        );
         group.bench_with_input(BenchmarkId::new("law14-pushed", keep), &keep, |b, _| {
             b.iter(pushed)
         });

@@ -27,15 +27,21 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("E13_rewrite_engine_overhead");
     for depth in [1usize, 5, 15] {
         let plan = nested_plan(depth);
-        group.bench_with_input(BenchmarkId::new("engine-fixpoint", depth), &depth, |b, _| {
-            b.iter(|| engine.rewrite(&plan, &ctx).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("cost-based-optimize", depth), &depth, |b, _| {
-            b.iter(|| optimizer.optimize(&plan, &ctx).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("execute-unrewritten", depth), &depth, |b, _| {
-            b.iter(|| evaluate(&plan, &catalog).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("engine-fixpoint", depth),
+            &depth,
+            |b, _| b.iter(|| engine.rewrite(&plan, &ctx).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cost-based-optimize", depth),
+            &depth,
+            |b, _| b.iter(|| optimizer.optimize(&plan, &ctx).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("execute-unrewritten", depth),
+            &depth,
+            |b, _| b.iter(|| evaluate(&plan, &catalog).unwrap()),
+        );
     }
     group.finish();
 }

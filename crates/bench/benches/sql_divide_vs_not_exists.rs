@@ -36,7 +36,8 @@ fn not_exists_baseline(catalog: &Catalog) -> Relation {
                     continue 'colors;
                 }
             }
-            out.insert(Tuple::new([supplier.clone(), color.clone()])).unwrap();
+            out.insert(Tuple::new([supplier.clone(), color.clone()]))
+                .unwrap();
         }
     }
     out

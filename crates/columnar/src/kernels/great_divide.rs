@@ -1,0 +1,258 @@
+//! Batch-native great divide (`÷*`).
+//!
+//! Counting formulation: give every distinct shared `B`-value a dense id,
+//! group the divisor by its `C` attributes into id-sets, invert that into a
+//! `B-id -> divisor groups` index, then stream the dividend once — each
+//! dividend row bumps a counter for every divisor group its `B`-value belongs
+//! to. A `(dividend group, divisor group)` pair qualifies exactly when its
+//! counter reaches the divisor group's size. Work is proportional to
+//! `|dividend| * avg(groups per B-value)` instead of the pairwise
+//! `|A-groups| * |C-groups|` subset tests of the row algorithms.
+
+use crate::batch::ColumnarBatch;
+use crate::kernels::divide::hash_divide;
+use crate::kernels::join::KernelOutput;
+use crate::keys::RowKey;
+use crate::Result;
+use div_algebra::{AlgebraError, Schema};
+use std::collections::{HashMap, HashSet};
+
+struct GreatDivideLayout {
+    dividend_a: Vec<usize>,
+    dividend_b: Vec<usize>,
+    divisor_b: Vec<usize>,
+    divisor_c: Vec<usize>,
+    quotient: Vec<String>,
+    group: Vec<String>,
+}
+
+impl GreatDivideLayout {
+    /// Mirror of [`div_algebra::Relation::great_division_attributes`] over
+    /// batch schemas.
+    fn resolve(dividend: &Schema, divisor: &Schema) -> Result<Self> {
+        let shared = dividend.common_attributes(divisor);
+        if shared.is_empty() {
+            return Err(AlgebraError::InvalidDivision {
+                reason: "dividend and divisor must share at least one attribute (B nonempty)"
+                    .to_string(),
+            });
+        }
+        let quotient = dividend.difference_attributes(divisor);
+        if quotient.is_empty() {
+            return Err(AlgebraError::InvalidDivision {
+                reason: "the dividend must have at least one attribute of its own (A nonempty)"
+                    .to_string(),
+            });
+        }
+        let group = divisor.difference_attributes(dividend);
+        let shared_refs: Vec<&str> = shared.iter().map(String::as_str).collect();
+        let quotient_refs: Vec<&str> = quotient.iter().map(String::as_str).collect();
+        let group_refs: Vec<&str> = group.iter().map(String::as_str).collect();
+        Ok(GreatDivideLayout {
+            dividend_a: dividend.projection_indices(&quotient_refs)?,
+            dividend_b: dividend.projection_indices(&shared_refs)?,
+            divisor_b: divisor.projection_indices(&shared_refs)?,
+            divisor_c: divisor.projection_indices(&group_refs)?,
+            quotient,
+            group,
+        })
+    }
+}
+
+/// Batch-native great divide `dividend ÷* divisor`.
+pub fn hash_great_divide(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+) -> Result<KernelOutput> {
+    let layout = GreatDivideLayout::resolve(dividend.schema(), divisor.schema())?;
+    if layout.group.is_empty() {
+        // Darwen & Date: with no group attributes `C` the operator *is* the
+        // small divide.
+        return hash_divide(dividend, divisor);
+    }
+
+    // Dense ids for the distinct shared `B` values of the divisor.
+    let mut b_ids: HashMap<RowKey, u32> = HashMap::new();
+    // Divisor groups: C-key -> (group id, first divisor row, member count).
+    let mut c_groups: HashMap<RowKey, u32> = HashMap::new();
+    let mut c_first_row: Vec<usize> = Vec::new();
+    let mut c_size: Vec<u32> = Vec::new();
+    // Inverted index: B id -> divisor group ids containing it.
+    let mut groups_of_b: Vec<Vec<u32>> = Vec::new();
+    let mut seen_divisor: HashSet<(u32, u32)> = HashSet::new();
+    for i in 0..divisor.num_rows() {
+        let b_key = divisor.key_at(i, &layout.divisor_b);
+        let next_b = b_ids.len() as u32;
+        let b_id = *b_ids.entry(b_key).or_insert(next_b);
+        if b_id as usize == groups_of_b.len() {
+            groups_of_b.push(Vec::new());
+        }
+        let c_key = divisor.key_at(i, &layout.divisor_c);
+        let next_c = c_groups.len() as u32;
+        let c_gid = *c_groups.entry(c_key).or_insert(next_c);
+        if c_gid as usize == c_first_row.len() {
+            c_first_row.push(i);
+            c_size.push(0);
+        }
+        // Count each (B, C) combination once: batches fed through the public
+        // kernel API may transiently hold duplicate rows.
+        if seen_divisor.insert((b_id, c_gid)) {
+            c_size[c_gid as usize] += 1;
+            groups_of_b[b_id as usize].push(c_gid);
+        }
+    }
+
+    // Stream the dividend: assign dividend group ids on first sight and bump
+    // the (dividend group, divisor group) counters.
+    let mut a_groups: HashMap<RowKey, u32> = HashMap::new();
+    let mut a_first_row: Vec<usize> = Vec::new();
+    let mut counters: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut seen_dividend: HashSet<(u32, u32)> = HashSet::new();
+    let rows = dividend.num_rows();
+    for row in 0..rows {
+        let a_key = dividend.key_at(row, &layout.dividend_a);
+        let next_a = a_groups.len() as u32;
+        let a_gid = *a_groups.entry(a_key).or_insert(next_a);
+        if a_gid as usize == a_first_row.len() {
+            a_first_row.push(row);
+        }
+        let b_key = dividend.key_at(row, &layout.dividend_b);
+        if let Some(&b_id) = b_ids.get(&b_key) {
+            // Likewise, a duplicate (A, B) dividend row must not inflate the
+            // coverage counters.
+            if seen_dividend.insert((a_gid, b_id)) {
+                for &c_gid in &groups_of_b[b_id as usize] {
+                    *counters.entry((a_gid, c_gid)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    // Qualifying pairs, in deterministic (dividend group, divisor group)
+    // order.
+    let mut qualifying: Vec<(u32, u32)> = counters
+        .into_iter()
+        .filter_map(|((a_gid, c_gid), count)| {
+            (count == c_size[c_gid as usize]).then_some((a_gid, c_gid))
+        })
+        .collect();
+    qualifying.sort_unstable();
+
+    // Assemble the output: A columns gathered from dividend group
+    // representatives, C columns from divisor group representatives.
+    let dividend_rows: Vec<usize> = qualifying
+        .iter()
+        .map(|&(a_gid, _)| a_first_row[a_gid as usize])
+        .collect();
+    let divisor_rows: Vec<usize> = qualifying
+        .iter()
+        .map(|&(_, c_gid)| c_first_row[c_gid as usize])
+        .collect();
+    let mut out_names: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
+    out_names.extend(layout.group.iter().map(String::as_str));
+    let out_schema = Schema::new(out_names)?;
+    // Gather only the output columns (A from the dividend, C from the
+    // divisor); the B columns never need to move.
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    for &c in &layout.dividend_a {
+        columns.push(dividend.column(c).gather(&dividend_rows));
+    }
+    for &c in &layout.divisor_c {
+        columns.push(divisor.column(c).gather(&divisor_rows));
+    }
+    let out_rows = qualifying.len();
+    Ok(KernelOutput {
+        batch: ColumnarBatch::from_parts(out_schema, columns, out_rows),
+        probes: rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::{relation, Relation};
+
+    fn check(dividend: &Relation, divisor: &Relation) {
+        let expected = dividend.great_divide(divisor).unwrap();
+        let out = hash_great_divide(
+            &ColumnarBatch::from_relation(dividend),
+            &ColumnarBatch::from_relation(divisor),
+        )
+        .unwrap();
+        assert_eq!(out.batch.to_relation().unwrap(), expected);
+    }
+
+    #[test]
+    fn figure2_quotient() {
+        let dividend = relation! {
+            ["a", "b"] =>
+            [1, 1], [1, 4],
+            [2, 1], [2, 2], [2, 3], [2, 4],
+            [3, 1], [3, 3], [3, 4],
+        };
+        let divisor = relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] };
+        check(&dividend, &divisor);
+    }
+
+    #[test]
+    fn mining_workload_counts_mixed_size_candidates() {
+        let transactions = relation! {
+            ["tid", "item"] =>
+            [1, 10], [1, 20], [1, 30],
+            [2, 10], [2, 30],
+            [3, 20], [3, 30],
+            [4, 10], [4, 20], [4, 30], [4, 40],
+        };
+        let candidates = relation! {
+            ["item", "itemset"] =>
+            [10, 1], [30, 1],
+            [20, 2], [30, 2],
+            [40, 3],
+        };
+        check(&transactions, &candidates);
+    }
+
+    #[test]
+    fn degenerate_divisor_is_the_small_divide() {
+        let dividend = relation! { ["a", "b"] => [1, 1], [1, 2], [2, 1] };
+        let divisor = relation! { ["b"] => [1], [2] };
+        check(&dividend, &divisor);
+    }
+
+    #[test]
+    fn empty_divisor_produces_empty_quotient() {
+        let dividend = relation! { ["a", "b"] => [1, 1] };
+        let divisor = Relation::empty(div_algebra::Schema::of(["b", "c"]));
+        check(&dividend, &divisor);
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_inflate_coverage_counters() {
+        // Batches built through the public API may hold duplicate rows; a
+        // duplicated (a, b) pair must not make a group look like it covers
+        // more of a divisor group than it does. Group a=1 covers only b=1,
+        // so it must NOT qualify for the two-element divisor group c=9.
+        let dividend = ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 1] });
+        let doubled_dividend = dividend.gather(&[0, 0]);
+        let divisor = ColumnarBatch::from_relation(&relation! { ["b", "c"] => [1, 9], [2, 9] });
+        let out = hash_great_divide(&doubled_dividend, &divisor).unwrap();
+        assert_eq!(out.batch.num_rows(), 0);
+
+        // Symmetrically, duplicated divisor rows must not inflate the group
+        // size and suppress genuine quotient pairs.
+        let dividend = ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 1], [1, 2] });
+        let doubled_divisor = divisor.gather(&[0, 0, 1]);
+        let out = hash_great_divide(&dividend, &doubled_divisor).unwrap();
+        assert_eq!(
+            out.batch.to_relation().unwrap(),
+            relation! { ["a", "c"] => [1, 9] }
+        );
+    }
+
+    #[test]
+    fn disjoint_schemas_are_rejected() {
+        let dividend = ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 1] });
+        let disjoint = ColumnarBatch::from_relation(&relation! { ["x", "y"] => [1, 1] });
+        assert!(hash_great_divide(&dividend, &disjoint).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Batch-native hash joins.
+
+use crate::batch::ColumnarBatch;
+use crate::keys::RowKey;
+use crate::Result;
+use std::collections::{HashMap, HashSet};
+
+/// A kernel result: the output batch plus the probe count the executor feeds
+/// into [`ExecStats`](https://docs.rs/div-physical) (one probe per left row,
+/// matching the row backend's accounting).
+#[derive(Debug, Clone)]
+pub struct KernelOutput {
+    /// The produced batch.
+    pub batch: ColumnarBatch,
+    /// Hash probes performed.
+    pub probes: usize,
+}
+
+/// Hash-based natural join on all common attributes: build on the right,
+/// probe with the left. Mirrors the row executor's `hash_natural_join`
+/// (including the output schema: left attributes, then right-only
+/// attributes).
+pub fn hash_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<KernelOutput> {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left.projection_indices(&common_refs)?;
+    let right_key = right.projection_indices(&common_refs)?;
+    let right_extra: Vec<&str> = right
+        .schema()
+        .names()
+        .into_iter()
+        .filter(|n| !left.schema().contains(n))
+        .collect();
+    let right_extra_idx = right.projection_indices(&right_extra)?;
+
+    // Build: key -> right row indices.
+    let mut table: HashMap<RowKey, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for i in 0..right.num_rows() {
+        table
+            .entry(right.key_at(i, &right_key))
+            .or_default()
+            .push(i);
+    }
+
+    // Probe: emit (left row, right row) index pairs.
+    let mut left_indices: Vec<usize> = Vec::new();
+    let mut right_indices: Vec<usize> = Vec::new();
+    let mut probes = 0usize;
+    for i in 0..left.num_rows() {
+        probes += 1;
+        if let Some(matches) = table.get(&left.key_at(i, &left_key)) {
+            for &j in matches {
+                left_indices.push(i);
+                right_indices.push(j);
+            }
+        }
+    }
+
+    // Assemble: all left columns gathered by the left indices, right-only
+    // columns gathered by the right indices.
+    let out_schema = left.schema().natural_union(right.schema());
+    let gathered_left = left.gather(&left_indices);
+    let gathered_right = right.gather(&right_indices);
+    let mut columns = gathered_left.columns().to_vec();
+    columns.extend(
+        right_extra_idx
+            .iter()
+            .map(|&c| gathered_right.column(c).clone()),
+    );
+    let rows = left_indices.len();
+    Ok(KernelOutput {
+        batch: ColumnarBatch::from_parts(out_schema, columns, rows),
+        probes,
+    })
+}
+
+/// Hash-based left semi-join (`anti = false`) or anti-semi-join
+/// (`anti = true`) on all common attributes.
+pub fn hash_semi_join(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    anti: bool,
+) -> Result<KernelOutput> {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left.projection_indices(&common_refs)?;
+    let right_key = right.projection_indices(&common_refs)?;
+    let keys: HashSet<RowKey> = (0..right.num_rows())
+        .map(|i| right.key_at(i, &right_key))
+        .collect();
+    let mut mask = Vec::with_capacity(left.num_rows());
+    let mut probes = 0usize;
+    for i in 0..left.num_rows() {
+        probes += 1;
+        let matched = keys.contains(&left.key_at(i, &left_key));
+        mask.push(matched != anti);
+    }
+    Ok(KernelOutput {
+        batch: left.select_by_mask(&mask),
+        probes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    fn inputs() -> (ColumnarBatch, ColumnarBatch) {
+        (
+            ColumnarBatch::from_relation(&relation! {
+                ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 3], [3, 2]
+            }),
+            ColumnarBatch::from_relation(&relation! {
+                ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"]
+            }),
+        )
+    }
+
+    #[test]
+    fn natural_join_matches_reference() {
+        let (supplies, parts) = inputs();
+        let expected = supplies
+            .to_relation()
+            .unwrap()
+            .natural_join(&parts.to_relation().unwrap())
+            .unwrap();
+        let out = hash_natural_join(&supplies, &parts).unwrap();
+        assert_eq!(out.batch.to_relation().unwrap(), expected);
+        assert_eq!(out.probes, supplies.num_rows());
+    }
+
+    #[test]
+    fn semi_joins_partition_the_left_input() {
+        let (supplies, parts) = inputs();
+        let semi = hash_semi_join(&supplies, &parts, false).unwrap();
+        let anti = hash_semi_join(&supplies, &parts, true).unwrap();
+        assert_eq!(
+            semi.batch.num_rows() + anti.batch.num_rows(),
+            supplies.num_rows()
+        );
+        let l = supplies.to_relation().unwrap();
+        let r = parts.to_relation().unwrap();
+        assert_eq!(semi.batch.to_relation().unwrap(), l.semi_join(&r).unwrap());
+        assert_eq!(
+            anti.batch.to_relation().unwrap(),
+            l.anti_semi_join(&r).unwrap()
+        );
+    }
+
+    #[test]
+    fn string_keyed_join_works_through_dictionaries() {
+        let l = ColumnarBatch::from_relation(&relation! {
+            ["name", "v"] => ["x", 1], ["y", 2]
+        });
+        let r = ColumnarBatch::from_relation(&relation! {
+            ["name", "w"] => ["x", 10], ["z", 30]
+        });
+        let out = hash_natural_join(&l, &r).unwrap();
+        let expected = l
+            .to_relation()
+            .unwrap()
+            .natural_join(&r.to_relation().unwrap())
+            .unwrap();
+        assert_eq!(out.batch.to_relation().unwrap(), expected);
+    }
+}

@@ -1,0 +1,18 @@
+//! Batch-native operator kernels.
+//!
+//! Every kernel consumes and produces [`ColumnarBatch`](crate::ColumnarBatch)
+//! values and mirrors the semantics (including the output schema and the
+//! error conditions) of the corresponding `div-algebra` reference operator,
+//! so an executor can swap a kernel in for a row operator node-by-node.
+
+pub mod divide;
+pub mod filter;
+pub mod great_divide;
+pub mod join;
+pub mod project;
+
+pub use divide::hash_divide;
+pub use filter::filter;
+pub use great_divide::hash_great_divide;
+pub use join::{hash_natural_join, hash_semi_join, KernelOutput};
+pub use project::{project, rename, union};

@@ -1,0 +1,46 @@
+//! # div-columnar
+//!
+//! Columnar vectorized execution backend for the *division-laws* workspace.
+//!
+//! The row executor in `div-physical` materializes `Vec<Tuple>`-style
+//! relations at every operator, so per-row allocation and enum dispatch
+//! dominate the very measurements (per-tuple work, intermediate-result
+//! volume) the paper cares about. This crate provides the batch-at-a-time
+//! alternative:
+//!
+//! * [`ColumnarBatch`] — a schema plus typed column vectors
+//!   ([`Column`]): `i64` slices, dictionary-encoded strings
+//!   ([`StrColumn`]), booleans, each with an optional validity mask, and a
+//!   lossless `Mixed` fallback so **every** [`div_algebra::Relation`]
+//!   round-trips exactly ([`ColumnarBatch::from_relation`] /
+//!   [`ColumnarBatch::to_relation`]);
+//! * [`kernels`] — batch-native operators: vectorized filtering (string
+//!   predicates evaluated once per dictionary entry), projection with
+//!   set-semantics deduplication, hash natural/semi/anti joins, union, and
+//!   the two division operators — a Graefe-style bitmap
+//!   [hash divide](kernels::hash_divide) and a counting
+//!   [great divide](kernels::hash_great_divide) — all working on column
+//!   slices with a primitive `i64` fast path;
+//! * [`RowKey`] — encoding-independent hashable row keys, so keys extracted
+//!   from differently-encoded batches compare correctly.
+//!
+//! The executor that walks physical plans and falls back to row execution
+//! for non-vectorized operators lives in `div-physical`
+//! (`ExecutionBackend::Columnar`); this crate deliberately depends only on
+//! `div-algebra` so the physical layer can layer on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod column;
+pub mod kernels;
+pub mod keys;
+
+pub use batch::ColumnarBatch;
+pub use column::{Column, StrColumn};
+pub use keys::RowKey;
+
+/// Result alias: columnar kernels report the same errors as the reference
+/// algebra operators they mirror.
+pub type Result<T> = std::result::Result<T, div_algebra::AlgebraError>;

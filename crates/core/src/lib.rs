@@ -13,7 +13,9 @@
 //! * [`rewrite`] — the seventeen algebraic laws, theorems, rewrite engine and
 //!   cost-based optimizer,
 //! * [`physical`] — special-purpose division algorithms, physical planner,
-//!   partition-parallel execution,
+//!   partition-parallel execution, and the row/columnar backend selector,
+//! * [`columnar`] — the columnar batch representation and vectorized
+//!   division kernels behind `ExecutionBackend::Columnar`,
 //! * [`sql`] — the `DIVIDE BY … ON` SQL dialect of Section 4,
 //! * [`mining`] — frequent itemset discovery via the great divide (Section 3),
 //! * [`datagen`] — workload generators used by the examples, tests and
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub use div_algebra as algebra;
+pub use div_columnar as columnar;
 pub use div_datagen as datagen;
 pub use div_expr as expr;
 pub use div_mining as mining;
@@ -48,13 +51,14 @@ pub mod prelude {
         relation, AggregateCall, AggregateFunction, CompareOp, Predicate, Relation, Schema, Tuple,
         Value,
     };
+    pub use div_columnar::ColumnarBatch;
     pub use div_expr::{evaluate, plans_equivalent_on, Catalog, LogicalPlan, PlanBuilder};
     pub use div_physical::{
-        execute, execute_with_stats, plan_query, DivisionAlgorithm, GreatDivideAlgorithm,
-        PlannerConfig,
+        execute, execute_on_backend, execute_with_config, execute_with_stats, plan_query,
+        DivisionAlgorithm, ExecutionBackend, GreatDivideAlgorithm, PlannerConfig,
     };
     pub use div_rewrite::{Optimizer, RewriteContext, RewriteEngine, RuleSet};
-    pub use div_sql::{parse_query, translate_query};
+    pub use div_sql::{parse_query, run_query, translate_query};
 }
 
 #[cfg(test)]
@@ -66,7 +70,9 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register("r1", relation! { ["a", "b"] => [1, 1], [1, 2], [2, 1] });
         catalog.register("r2", relation! { ["b"] => [1], [2] });
-        let plan = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2")).build();
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .build();
         // Logical evaluation, rewriting and physical execution all agree.
         let logical = evaluate(&plan, &catalog).unwrap();
         let engine = RewriteEngine::with_default_rules();

@@ -97,8 +97,7 @@ pub fn generate(config: &BasketConfig) -> BasketData {
             rows.push(vec![Value::from(tid as i64), Value::from(item)]);
         }
     }
-    let transactions =
-        Relation::from_rows(["tid", "item"], rows).expect("valid transaction rows");
+    let transactions = Relation::from_rows(["tid", "item"], rows).expect("valid transaction rows");
     BasketData {
         transactions,
         planted,
@@ -159,7 +158,10 @@ mod tests {
         // Support counting via the great divide (Section 3).
         let quotient = data.transactions.great_divide(&candidates).unwrap();
         let support = quotient
-            .group_aggregate(&["itemset"], &[div_algebra::AggregateCall::count("tid", "n")])
+            .group_aggregate(
+                &["itemset"],
+                &[div_algebra::AggregateCall::count("tid", "n")],
+            )
             .unwrap();
         // Every planted itemset has support well above 10% of transactions.
         assert_eq!(support.len(), data.planted.len());

@@ -34,10 +34,7 @@ pub fn range_partition(
 /// Split a relation into `n` partitions round-robin (no disjointness
 /// guarantees — used as the *negative* fixture for precondition tests, e.g. to
 /// produce partitions that violate `c2`).
-pub fn round_robin_partition(
-    relation: &Relation,
-    n: usize,
-) -> Result<Vec<Relation>, AlgebraError> {
+pub fn round_robin_partition(relation: &Relation, n: usize) -> Result<Vec<Relation>, AlgebraError> {
     let n = n.max(1);
     let mut partitions = vec![Relation::empty(relation.schema().clone()); n];
     for (i, t) in relation.tuples().enumerate() {

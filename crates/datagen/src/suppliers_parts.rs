@@ -109,10 +109,7 @@ mod tests {
     fn generation_is_deterministic_per_seed() {
         let config = SuppliersPartsConfig::default();
         assert_eq!(generate(&config).supplies, generate(&config).supplies);
-        let other = SuppliersPartsConfig {
-            seed: 43,
-            ..config
-        };
+        let other = SuppliersPartsConfig { seed: 43, ..config };
         assert_ne!(generate(&config).supplies, generate(&other).supplies);
     }
 

@@ -49,9 +49,11 @@ impl Catalog {
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Relation> {
-        self.tables.get(name).ok_or_else(|| ExprError::UnknownTable {
-            table: name.to_string(),
-        })
+        self.tables
+            .get(name)
+            .ok_or_else(|| ExprError::UnknownTable {
+                table: name.to_string(),
+            })
     }
 
     /// `true` if a table with this name is registered.
@@ -120,7 +122,10 @@ impl Catalog {
         let to = self.table(to_table)?.project(to_attributes)?;
         // Conform attribute names so the subset test can run.
         let renamed = from.rename_with(|n| {
-            let idx = from_attributes.iter().position(|a| *a == n).expect("projected attr");
+            let idx = from_attributes
+                .iter()
+                .position(|a| *a == n)
+                .expect("projected attr");
             to_attributes[idx].to_string()
         })?;
         if !renamed.is_subset_of(&to)? {
@@ -152,11 +157,7 @@ impl Catalog {
             fk.from_table == from_table
                 && fk.to_table == to_table
                 && fk.from_attributes.len() == from_attributes.len()
-                && fk
-                    .from_attributes
-                    .iter()
-                    .zip(to_attributes.iter())
-                    .count()
+                && fk.from_attributes.iter().zip(to_attributes.iter()).count()
                     == from_attributes.len()
                 && fk
                     .from_attributes
@@ -192,8 +193,14 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        c.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
-        c.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "red"] });
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "red"] },
+        );
         c
     }
 

@@ -51,7 +51,10 @@ pub fn plans_equivalent_on(
 ) -> Result<EquivalenceReport> {
     let left_result = evaluate(left, catalog)?;
     let right_result = evaluate(right, catalog)?;
-    let equivalent = if left_result.schema().is_compatible_with(right_result.schema()) {
+    let equivalent = if left_result
+        .schema()
+        .is_compatible_with(right_result.schema())
+    {
         right_result.conform_to(left_result.schema())? == left_result
     } else {
         false
@@ -103,7 +106,9 @@ mod tests {
     #[test]
     fn different_results_are_reported() {
         let c = catalog();
-        let left = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2")).build();
+        let left = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .build();
         let right = PlanBuilder::scan("r1").project(["a"]).build();
         let report = plans_equivalent_on(&left, &right, &c).unwrap();
         assert!(!report.equivalent);

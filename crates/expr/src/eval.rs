@@ -207,7 +207,11 @@ mod tests {
         // produces a product of size |π_A(r1)| * |r2|.
         let simulation = PlanBuilder::scan("supplies")
             .project(["s#"])
-            .product(PlanBuilder::scan("parts").project(["p#"]).rename([("p#", "pp")]))
+            .product(
+                PlanBuilder::scan("parts")
+                    .project(["p#"])
+                    .rename([("p#", "pp")]),
+            )
             .build();
         let (_, stats) = evaluate_with_stats(&simulation, &catalog).unwrap();
         assert_eq!(stats.tuples_per_operator["Product"], 9);

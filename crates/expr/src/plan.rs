@@ -375,7 +375,11 @@ impl LogicalPlan {
         match self {
             LogicalPlan::Scan { table } => format!("Scan: {table}"),
             LogicalPlan::Values { relation } => {
-                format!("Values: {} tuple(s), schema {}", relation.len(), relation.schema())
+                format!(
+                    "Values: {} tuple(s), schema {}",
+                    relation.len(),
+                    relation.schema()
+                )
             }
             LogicalPlan::Select { predicate, .. } => format!("Select: {predicate}"),
             LogicalPlan::Project { attributes, .. } => {

@@ -30,11 +30,13 @@ impl SchemaProvider for EmptyProvider {
 /// attribute set `B` must be nonempty and the output schema is `A ∪ C`.
 pub fn infer_schema(plan: &LogicalPlan, provider: &dyn SchemaProvider) -> Result<Schema> {
     match plan {
-        LogicalPlan::Scan { table } => provider
-            .table_schema(table)
-            .ok_or_else(|| ExprError::UnknownTable {
-                table: table.clone(),
-            }),
+        LogicalPlan::Scan { table } => {
+            provider
+                .table_schema(table)
+                .ok_or_else(|| ExprError::UnknownTable {
+                    table: table.clone(),
+                })
+        }
         LogicalPlan::Values { relation } => Ok(relation.schema().clone()),
         LogicalPlan::Select { input, predicate } => {
             let schema = infer_schema(input, provider)?;
@@ -290,10 +292,7 @@ mod tests {
         let plan = PlanBuilder::scan("supplies")
             .semi_join(PlanBuilder::scan("parts"))
             .build();
-        assert_eq!(
-            infer_schema(&plan, &c).unwrap().names(),
-            vec!["s#", "p#"]
-        );
+        assert_eq!(infer_schema(&plan, &c).unwrap().names(), vec!["s#", "p#"]);
     }
 
     #[test]

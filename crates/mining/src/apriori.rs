@@ -48,7 +48,10 @@ pub struct MiningResult {
 impl MiningResult {
     /// The frequent itemsets of a specific size.
     pub fn of_size(&self, k: usize) -> Vec<&FrequentItemset> {
-        self.itemsets.iter().filter(|i| i.items.len() == k).collect()
+        self.itemsets
+            .iter()
+            .filter(|i| i.items.len() == k)
+            .collect()
     }
 
     /// `true` if `items` (in any order) was found frequent.
@@ -109,7 +112,10 @@ pub fn mine_frequent_itemsets(
             }
         }
         frequent_now.sort();
-        frequent_prev = frequent_now.iter().map(|(items, _)| items.clone()).collect();
+        frequent_prev = frequent_now
+            .iter()
+            .map(|(items, _)| items.clone())
+            .collect();
         for (items, support) in frequent_now {
             itemsets.push(FrequentItemset { items, support });
         }
@@ -138,15 +144,18 @@ fn single_item_counts(transactions: &Relation) -> Result<BTreeMap<i64, usize>, E
         .require("item")
         .map_err(ExprError::from)?;
     for t in transactions.tuples() {
-        let tid = t.values()[tid_idx].as_int().ok_or_else(|| {
-            ExprError::invalid("transactions.tid must be an integer attribute")
-        })?;
-        let item = t.values()[item_idx].as_int().ok_or_else(|| {
-            ExprError::invalid("transactions.item must be an integer attribute")
-        })?;
+        let tid = t.values()[tid_idx]
+            .as_int()
+            .ok_or_else(|| ExprError::invalid("transactions.tid must be an integer attribute"))?;
+        let item = t.values()[item_idx]
+            .as_int()
+            .ok_or_else(|| ExprError::invalid("transactions.item must be an integer attribute"))?;
         seen.entry(item).or_default().insert(tid);
     }
-    Ok(seen.into_iter().map(|(item, tids)| (item, tids.len())).collect())
+    Ok(seen
+        .into_iter()
+        .map(|(item, tids)| (item, tids.len()))
+        .collect())
 }
 
 /// Apriori candidate generation: join frequent (k−1)-itemsets sharing the
@@ -288,10 +297,6 @@ mod tests {
     #[test]
     fn invalid_transaction_schema_is_reported() {
         let bad = relation! { ["a", "b"] => [1, 1] };
-        assert!(mine_frequent_itemsets(
-            &bad,
-            &config(SupportCounting::PerCandidateScan)
-        )
-        .is_err());
+        assert!(mine_frequent_itemsets(&bad, &config(SupportCounting::PerCandidateScan)).is_err());
     }
 }

@@ -52,9 +52,7 @@ pub fn count_support(
 }
 
 /// Build the vertical `candidates(item, itemset)` relation of Section 3.
-pub fn candidates_to_relation(
-    candidates: &BTreeMap<i64, Vec<i64>>,
-) -> Result<Relation, ExprError> {
+pub fn candidates_to_relation(candidates: &BTreeMap<i64, Vec<i64>>) -> Result<Relation, ExprError> {
     let mut rows: Vec<Vec<Value>> = Vec::new();
     for (id, items) in candidates {
         for item in items {

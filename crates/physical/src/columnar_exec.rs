@@ -1,0 +1,236 @@
+//! The columnar (batch-at-a-time) executor.
+//!
+//! Walks the same [`PhysicalPlan`] tree as the row executor of
+//! [`crate::exec`], but keeps data in [`ColumnarBatch`]es and evaluates the
+//! vectorizable operators — scan, filter, project, rename, union, the hash
+//! join family and both division operators — with the batch kernels of
+//! [`div_columnar`]. Operators without a vectorized kernel yet (set
+//! intersection/difference, Cartesian product, nested-loop theta-join, hash
+//! aggregation) fall back to the row executor for their whole subtree and the
+//! resulting relation is converted back into a batch, so every plan the row
+//! backend can run, this backend can run too — with identical results.
+//!
+//! Statistics discipline matches the row executor: every operator records its
+//! output cardinality under its plan label, scans count into `rows_scanned`,
+//! the root into `output_rows`, and the division/join kernels report one
+//! probe per input row. Division nodes additionally record the columnar
+//! kernel that actually ran (e.g. `ColumnarHashDivision`), since the
+//! [`DivisionAlgorithm`](crate::DivisionAlgorithm) chosen by the planner
+//! selects among *row* algorithms and is not consulted here.
+
+use crate::plan::PhysicalPlan;
+use crate::stats::ExecStats;
+use crate::Result;
+use div_algebra::Relation;
+use div_columnar::{kernels, ColumnarBatch};
+use div_expr::{Catalog, ExprError};
+
+/// Execute a physical plan on the columnar backend.
+pub fn execute_columnar(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
+    Ok(execute_columnar_with_stats(plan, catalog)?.0)
+}
+
+/// Execute a physical plan on the columnar backend, returning statistics.
+pub fn execute_columnar_with_stats(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+) -> Result<(Relation, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let batch = exec_batch(plan, catalog, &mut stats, true)?;
+    let relation = batch.to_relation().map_err(ExprError::from)?;
+    Ok((relation, stats))
+}
+
+fn exec_batch(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    stats: &mut ExecStats,
+    is_root: bool,
+) -> Result<ColumnarBatch> {
+    let batch = match plan {
+        PhysicalPlan::TableScan { table } => ColumnarBatch::from_relation(catalog.table(table)?),
+        PhysicalPlan::Values { relation } => ColumnarBatch::from_relation(relation),
+        PhysicalPlan::Filter { input, predicate } => {
+            let child = exec_batch(input, catalog, stats, false)?;
+            kernels::filter(&child, predicate).map_err(ExprError::from)?
+        }
+        PhysicalPlan::Project { input, attributes } => {
+            let child = exec_batch(input, catalog, stats, false)?;
+            let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+            kernels::project(&child, &refs).map_err(ExprError::from)?
+        }
+        PhysicalPlan::Rename { input, renames } => {
+            let child = exec_batch(input, catalog, stats, false)?;
+            kernels::rename(&child, renames).map_err(ExprError::from)?
+        }
+        PhysicalPlan::Union { left, right } => {
+            let l = exec_batch(left, catalog, stats, false)?;
+            let r = exec_batch(right, catalog, stats, false)?;
+            kernels::union(&l, &r).map_err(ExprError::from)?
+        }
+        PhysicalPlan::HashJoin { left, right } => {
+            let l = exec_batch(left, catalog, stats, false)?;
+            let r = exec_batch(right, catalog, stats, false)?;
+            let out = kernels::hash_natural_join(&l, &r).map_err(ExprError::from)?;
+            stats.add_probes(out.probes);
+            out.batch
+        }
+        PhysicalPlan::HashSemiJoin { left, right } => {
+            let l = exec_batch(left, catalog, stats, false)?;
+            let r = exec_batch(right, catalog, stats, false)?;
+            let out = kernels::hash_semi_join(&l, &r, false).map_err(ExprError::from)?;
+            stats.add_probes(out.probes);
+            out.batch
+        }
+        PhysicalPlan::HashAntiSemiJoin { left, right } => {
+            let l = exec_batch(left, catalog, stats, false)?;
+            let r = exec_batch(right, catalog, stats, false)?;
+            let out = kernels::hash_semi_join(&l, &r, true).map_err(ExprError::from)?;
+            stats.add_probes(out.probes);
+            out.batch
+        }
+        PhysicalPlan::Divide {
+            dividend, divisor, ..
+        } => {
+            let d = exec_batch(dividend, catalog, stats, false)?;
+            let v = exec_batch(divisor, catalog, stats, false)?;
+            let out = kernels::hash_divide(&d, &v).map_err(ExprError::from)?;
+            stats.add_probes(out.probes);
+            stats.record("ColumnarHashDivision", out.batch.num_rows(), false, false);
+            out.batch
+        }
+        PhysicalPlan::GreatDivide {
+            dividend, divisor, ..
+        } => {
+            let d = exec_batch(dividend, catalog, stats, false)?;
+            let v = exec_batch(divisor, catalog, stats, false)?;
+            let out = kernels::hash_great_divide(&d, &v).map_err(ExprError::from)?;
+            stats.add_probes(out.probes);
+            stats.record(
+                "ColumnarCountingGreatDivision",
+                out.batch.num_rows(),
+                false,
+                false,
+            );
+            out.batch
+        }
+        // Not vectorized yet: run the whole subtree on the row executor
+        // (which records its own statistics, including for this node) and
+        // convert the result.
+        PhysicalPlan::Intersect { .. }
+        | PhysicalPlan::Difference { .. }
+        | PhysicalPlan::CrossProduct { .. }
+        | PhysicalPlan::NestedLoopJoin { .. }
+        | PhysicalPlan::HashAggregate { .. } => {
+            let relation = crate::exec::exec_node(plan, catalog, stats, is_root)?;
+            return Ok(ColumnarBatch::from_relation(&relation));
+        }
+    };
+    let is_scan = matches!(
+        plan,
+        PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
+    );
+    stats.record(&plan.label(), batch.num_rows(), is_scan, is_root);
+    Ok(batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_with_stats;
+    use crate::planner::{plan_query, PlannerConfig};
+    use div_algebra::{relation, AggregateCall, Predicate};
+    use div_expr::{evaluate, PlanBuilder};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 2], [2, 3], [3, 2] },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] },
+        );
+        c
+    }
+
+    fn q2_physical() -> PhysicalPlan {
+        let logical = PlanBuilder::scan("supplies")
+            .divide(
+                PlanBuilder::scan("parts")
+                    .select(Predicate::eq_value("color", "blue"))
+                    .project(["p#"]),
+            )
+            .build();
+        plan_query(&logical, &PlannerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn q2_matches_row_backend_and_reference() {
+        let c = catalog();
+        let plan = q2_physical();
+        let (row_result, row_stats) = execute_with_stats(&plan, &c).unwrap();
+        let (col_result, col_stats) = execute_columnar_with_stats(&plan, &c).unwrap();
+        assert_eq!(col_result, row_result);
+        assert_eq!(col_stats.output_rows, row_stats.output_rows);
+        assert_eq!(col_stats.rows_scanned, row_stats.rows_scanned);
+        assert!(col_stats
+            .rows_per_operator
+            .contains_key("ColumnarHashDivision"));
+    }
+
+    #[test]
+    fn fallback_operators_still_execute() {
+        // Aggregation is not vectorized: the subtree runs on the row backend.
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .group_aggregate(["s#"], [AggregateCall::count("p#", "n")])
+            .build();
+        let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        let expected = evaluate(&logical, &c).unwrap();
+        let (result, stats) = execute_columnar_with_stats(&plan, &c).unwrap();
+        assert_eq!(result, expected);
+        assert_eq!(stats.output_rows, expected.len());
+    }
+
+    #[test]
+    fn mixed_vectorized_and_fallback_plan() {
+        // Projection (vectorized) over an aggregate (fallback); the whole
+        // aggregate subtree, including the join below it, runs row-at-a-time.
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .natural_join(PlanBuilder::scan("parts"))
+            .group_aggregate(["color"], [AggregateCall::count("s#", "n")])
+            .project(["color"])
+            .build();
+        let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        let expected = evaluate(&logical, &c).unwrap();
+        let (result, _) = execute_columnar_with_stats(&plan, &c).unwrap();
+        assert_eq!(result, expected);
+    }
+
+    #[test]
+    fn great_divide_node_matches_row_backend() {
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .great_divide(PlanBuilder::scan("parts"))
+            .build();
+        let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        let (row_result, _) = execute_with_stats(&plan, &c).unwrap();
+        let (col_result, col_stats) = execute_columnar_with_stats(&plan, &c).unwrap();
+        assert_eq!(col_result, row_result);
+        assert!(col_stats
+            .rows_per_operator
+            .contains_key("ColumnarCountingGreatDivision"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let c = catalog();
+        let plan = PhysicalPlan::TableScan {
+            table: "nope".into(),
+        };
+        assert!(execute_columnar(&plan, &c).is_err());
+    }
+}

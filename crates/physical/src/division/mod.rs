@@ -235,17 +235,20 @@ mod tests {
         let empty_dividend = Relation::empty(div_algebra::Schema::of(["a", "b"]));
         for algorithm in DivisionAlgorithm::ALL {
             let mut stats = ExecStats::default();
-            let all_groups =
-                divide_with(&dividend, &empty_divisor, algorithm, &mut stats).unwrap();
+            let all_groups = divide_with(&dividend, &empty_divisor, algorithm, &mut stats).unwrap();
             assert_eq!(
                 all_groups,
                 dividend.project(&["a"]).unwrap(),
                 "empty divisor, algorithm {}",
                 algorithm.name()
             );
-            let none = divide_with(&empty_dividend, &figure1_divisor(), algorithm, &mut stats)
-                .unwrap();
-            assert!(none.is_empty(), "empty dividend, algorithm {}", algorithm.name());
+            let none =
+                divide_with(&empty_dividend, &figure1_divisor(), algorithm, &mut stats).unwrap();
+            assert!(
+                none.is_empty(),
+                "empty dividend, algorithm {}",
+                algorithm.name()
+            );
         }
     }
 
@@ -265,8 +268,13 @@ mod tests {
     fn simulation_produces_more_intermediate_tuples_than_hash_division() {
         let (dividend, divisor) = synthetic(60, 12);
         let mut hash_stats = ExecStats::default();
-        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut hash_stats)
-            .unwrap();
+        divide_with(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::HashDivision,
+            &mut hash_stats,
+        )
+        .unwrap();
         let mut sim_stats = ExecStats::default();
         divide_with(
             &dividend,

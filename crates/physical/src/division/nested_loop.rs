@@ -22,7 +22,10 @@ pub fn divide(
     let divisor_tuples = ctx.divisor_b_tuples(divisor);
     // Distinct quotient candidates.
     let candidates: Vec<Tuple> = {
-        let mut c: Vec<Tuple> = dividend.tuples().map(|t| t.project(&ctx.dividend_a)).collect();
+        let mut c: Vec<Tuple> = dividend
+            .tuples()
+            .map(|t| t.project(&ctx.dividend_a))
+            .collect();
         c.sort();
         c.dedup();
         c

@@ -11,29 +11,56 @@
 use crate::division;
 use crate::great_divide;
 use crate::plan::PhysicalPlan;
+use crate::planner::{ExecutionBackend, PlannerConfig};
 use crate::stats::ExecStats;
 use crate::Result;
 use div_algebra::{Relation, Tuple};
 use div_expr::{Catalog, ExprError};
 use std::collections::HashMap;
 
-/// Execute a physical plan against a catalog.
+/// Execute a physical plan against a catalog (row backend).
 pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
     let mut stats = ExecStats::default();
     exec_node(plan, catalog, &mut stats, true)
 }
 
-/// Execute a physical plan and return the execution statistics as well.
-pub fn execute_with_stats(
-    plan: &PhysicalPlan,
-    catalog: &Catalog,
-) -> Result<(Relation, ExecStats)> {
-    let mut stats = ExecStats::default();
-    let result = exec_node(plan, catalog, &mut stats, true)?;
-    Ok((result, stats))
+/// Execute a physical plan and return the execution statistics as well
+/// (row backend).
+pub fn execute_with_stats(plan: &PhysicalPlan, catalog: &Catalog) -> Result<(Relation, ExecStats)> {
+    execute_on_backend(plan, catalog, ExecutionBackend::RowAtATime)
 }
 
-fn exec_node(
+/// Execute a physical plan on an explicitly chosen backend.
+///
+/// Both backends return identical relations; the statistics differ only in
+/// the backend-internal operator labels (see [`crate::columnar_exec`]).
+pub fn execute_on_backend(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    backend: ExecutionBackend,
+) -> Result<(Relation, ExecStats)> {
+    match backend {
+        ExecutionBackend::RowAtATime => {
+            let mut stats = ExecStats::default();
+            let result = exec_node(plan, catalog, &mut stats, true)?;
+            Ok((result, stats))
+        }
+        ExecutionBackend::Columnar => {
+            crate::columnar_exec::execute_columnar_with_stats(plan, catalog)
+        }
+    }
+}
+
+/// Execute a physical plan on the backend the [`PlannerConfig`] selects.
+pub fn execute_with_config(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+) -> Result<(Relation, ExecStats)> {
+    execute_on_backend(plan, catalog, config.backend)
+}
+
+pub(crate) fn exec_node(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     stats: &mut ExecStats,
@@ -58,9 +85,8 @@ fn exec_node(
                     .unwrap_or_else(|| name.to_string())
             })?
         }
-        PhysicalPlan::Union { left, right } => {
-            exec_node(left, catalog, stats, false)?.union(&exec_node(right, catalog, stats, false)?)?
-        }
+        PhysicalPlan::Union { left, right } => exec_node(left, catalog, stats, false)?
+            .union(&exec_node(right, catalog, stats, false)?)?,
         PhysicalPlan::Intersect { left, right } => exec_node(left, catalog, stats, false)?
             .intersect(&exec_node(right, catalog, stats, false)?)?,
         PhysicalPlan::Difference { left, right } => exec_node(left, catalog, stats, false)?

@@ -143,12 +143,8 @@ fn group_loop(
     let b_refs: Vec<&str> = ctx.shared_names.iter().map(String::as_str).collect();
     for (c_value, members) in divisor.group_by_indices(&ctx.divisor_c) {
         // Build the per-group divisor relation over B.
-        let mut group = Relation::empty(
-            divisor
-                .schema()
-                .project(&b_refs)
-                .map_err(ExprError::from)?,
-        );
+        let mut group =
+            Relation::empty(divisor.schema().project(&b_refs).map_err(ExprError::from)?);
         for t in &members {
             group
                 .insert(t.project(&ctx.divisor_b))
@@ -158,7 +154,8 @@ fn group_loop(
         let quotient =
             division::divide_with(dividend, &group, DivisionAlgorithm::HashDivision, stats)?;
         for a_value in quotient.tuples() {
-            out.insert(a_value.concat(&c_value)).map_err(ExprError::from)?;
+            out.insert(a_value.concat(&c_value))
+                .map_err(ExprError::from)?;
         }
     }
     stats.record("GroupLoopGreatDivision", out.len(), false, false);
@@ -193,7 +190,8 @@ fn hash_sets(
         for (a_value, have) in &dividend_groups {
             probes += needed.len();
             if needed.iter().all(|b| have.contains(b)) {
-                out.insert(a_value.concat(c_value)).map_err(ExprError::from)?;
+                out.insert(a_value.concat(c_value))
+                    .map_err(ExprError::from)?;
             }
         }
     }
@@ -253,7 +251,8 @@ fn sort_merge(
                 }
             }
             if contained {
-                out.insert(a_value.concat(c_value)).map_err(ExprError::from)?;
+                out.insert(a_value.concat(c_value))
+                    .map_err(ExprError::from)?;
             }
         }
     }
@@ -285,8 +284,7 @@ mod tests {
         let expected = relation! { ["a", "c"] => [2, 1], [2, 2], [3, 2] };
         for algorithm in GreatDivideAlgorithm::ALL {
             let mut stats = ExecStats::default();
-            let result =
-                great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
+            let result = great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
             assert_eq!(result, expected, "algorithm {}", algorithm.name());
         }
     }
@@ -322,8 +320,7 @@ mod tests {
         let divisor = relation! { ["b"] => [1], [2] };
         for algorithm in GreatDivideAlgorithm::ALL {
             let mut stats = ExecStats::default();
-            let result =
-                great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
+            let result = great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
             assert_eq!(result, relation! { ["a"] => [1] });
         }
     }
@@ -334,8 +331,7 @@ mod tests {
         let divisor = Relation::empty(Schema::of(["b", "c"]));
         for algorithm in GreatDivideAlgorithm::ALL {
             let mut stats = ExecStats::default();
-            let result =
-                great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
+            let result = great_divide_with(&dividend, &divisor, algorithm, &mut stats).unwrap();
             assert!(result.is_empty(), "algorithm {}", algorithm.name());
         }
     }

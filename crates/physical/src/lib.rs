@@ -22,7 +22,11 @@
 //!   choice of division/join algorithm,
 //! * [`parallel`] — partition-parallel division following the strategies the
 //!   paper attaches to Law 2 (dividend range partitioning under condition
-//!   `c2`) and Law 13 (divisor hash partitioning on the group attributes `C`).
+//!   `c2`) and Law 13 (divisor hash partitioning on the group attributes `C`),
+//! * [`columnar_exec`] — the batch-at-a-time executor over
+//!   [`div_columnar::ColumnarBatch`]es, selected through
+//!   [`planner::ExecutionBackend::Columnar`] and falling back to row
+//!   execution for operators without a vectorized kernel.
 //!
 //! All algorithms are validated against the reference semantics of
 //! [`div_algebra`] by unit tests here and by the cross-crate property tests in
@@ -31,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar_exec;
 pub mod division;
 pub mod exec;
 pub mod great_divide;
@@ -39,11 +44,12 @@ pub mod plan;
 pub mod planner;
 pub mod stats;
 
+pub use columnar_exec::{execute_columnar, execute_columnar_with_stats};
 pub use division::DivisionAlgorithm;
-pub use exec::{execute, execute_with_stats};
+pub use exec::{execute, execute_on_backend, execute_with_config, execute_with_stats};
 pub use great_divide::GreatDivideAlgorithm;
 pub use plan::PhysicalPlan;
-pub use planner::{plan_query, PlannerConfig};
+pub use planner::{plan_query, ExecutionBackend, PlannerConfig};
 pub use stats::ExecStats;
 
 /// Convenient result alias (errors come from the algebra / plan layers).

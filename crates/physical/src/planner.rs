@@ -13,6 +13,39 @@ use crate::plan::PhysicalPlan;
 use crate::Result;
 use div_expr::LogicalPlan;
 
+/// The executor a plan runs on.
+///
+/// The physical plan tree is backend-neutral; the backend decides *how* each
+/// operator is evaluated. [`ExecutionBackend::RowAtATime`] is the original
+/// tuple-materializing executor of [`crate::exec`];
+/// [`ExecutionBackend::Columnar`] routes vectorizable operators (scan,
+/// filter, project, rename, union, hash joins, small and great divide)
+/// through the batch kernels of [`div_columnar`] and falls back to row
+/// execution for the rest. Both backends produce identical relations and
+/// compatible [`crate::ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionBackend {
+    /// Tuple-at-a-time execution over materialized [`div_algebra::Relation`]s.
+    #[default]
+    RowAtATime,
+    /// Batch-at-a-time execution over [`div_columnar::ColumnarBatch`]es.
+    Columnar,
+}
+
+impl ExecutionBackend {
+    /// Both backends, for exhaustive differential testing.
+    pub const ALL: [ExecutionBackend; 2] =
+        [ExecutionBackend::RowAtATime, ExecutionBackend::Columnar];
+
+    /// Short display name (used in benchmark output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecutionBackend::RowAtATime => "row",
+            ExecutionBackend::Columnar => "columnar",
+        }
+    }
+}
+
 /// Configuration of the logical-to-physical mapping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlannerConfig {
@@ -20,6 +53,9 @@ pub struct PlannerConfig {
     pub division_algorithm: DivisionAlgorithm,
     /// Algorithm used for every great-divide node.
     pub great_divide_algorithm: GreatDivideAlgorithm,
+    /// Executor the plan is intended to run on (consumed by
+    /// [`crate::exec::execute_with_config`]).
+    pub backend: ExecutionBackend,
 }
 
 impl Default for PlannerConfig {
@@ -27,6 +63,7 @@ impl Default for PlannerConfig {
         PlannerConfig {
             division_algorithm: DivisionAlgorithm::HashDivision,
             great_divide_algorithm: GreatDivideAlgorithm::HashSets,
+            backend: ExecutionBackend::RowAtATime,
         }
     }
 }
@@ -46,6 +83,20 @@ impl PlannerConfig {
             great_divide_algorithm: algorithm,
             ..PlannerConfig::default()
         }
+    }
+
+    /// Default configuration with a specific execution backend.
+    pub fn with_backend(backend: ExecutionBackend) -> Self {
+        PlannerConfig {
+            backend,
+            ..PlannerConfig::default()
+        }
+    }
+
+    /// This configuration with the backend replaced.
+    pub fn backend(mut self, backend: ExecutionBackend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -178,7 +229,12 @@ mod tests {
         for algorithm in DivisionAlgorithm::ALL {
             let physical =
                 plan_query(&logical, &PlannerConfig::with_division_algorithm(algorithm)).unwrap();
-            assert_eq!(execute(&physical, &c).unwrap(), expected, "{}", algorithm.name());
+            assert_eq!(
+                execute(&physical, &c).unwrap(),
+                expected,
+                "{}",
+                algorithm.name()
+            );
         }
     }
 
@@ -191,10 +247,7 @@ mod tests {
         assert!(matches!(hash, PhysicalPlan::HashJoin { .. }));
         // The physical join produces the same rows as the reference semantics.
         let c = catalog();
-        assert_eq!(
-            execute(&hash, &c).unwrap(),
-            evaluate(&logical, &c).unwrap()
-        );
+        assert_eq!(execute(&hash, &c).unwrap(), evaluate(&logical, &c).unwrap());
     }
 
     #[test]
@@ -210,7 +263,12 @@ mod tests {
                 &PlannerConfig::with_great_divide_algorithm(algorithm),
             )
             .unwrap();
-            assert_eq!(execute(&physical, &c).unwrap(), expected, "{}", algorithm.name());
+            assert_eq!(
+                execute(&physical, &c).unwrap(),
+                expected,
+                "{}",
+                algorithm.name()
+            );
         }
     }
 
@@ -222,7 +280,9 @@ mod tests {
             .project(["s#", "part"])
             .union(PlanBuilder::scan("supplies").rename([("p#", "part")]))
             .intersect(PlanBuilder::scan("supplies").rename([("p#", "part")]))
-            .difference(PlanBuilder::values(relation! { ["s#", "part"] => [99, 99] }))
+            .difference(PlanBuilder::values(
+                relation! { ["s#", "part"] => [99, 99] },
+            ))
             .semi_join(PlanBuilder::scan("parts").rename([("p#", "part")]))
             .anti_semi_join(PlanBuilder::values(relation! { ["s#"] => [3] }))
             .group_aggregate(["s#"], [div_algebra::AggregateCall::count("part", "n")])

@@ -97,9 +97,11 @@ impl<'a> RewriteContext<'a> {
         to_attributes: &[&str],
     ) -> bool {
         match (self.catalog, from, to) {
-            (Some(catalog), LogicalPlan::Scan { table: from_table }, LogicalPlan::Scan { table: to_table }) => {
-                catalog.has_foreign_key(from_table, from_attributes, to_table, to_attributes)
-            }
+            (
+                Some(catalog),
+                LogicalPlan::Scan { table: from_table },
+                LogicalPlan::Scan { table: to_table },
+            ) => catalog.has_foreign_key(from_table, from_attributes, to_table, to_attributes),
             _ => false,
         }
     }

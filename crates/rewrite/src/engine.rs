@@ -109,15 +109,14 @@ impl RewriteEngine {
                 // outer operators are considered.
                 let before_nodes = current.node_count();
                 let mut fired = false;
-                let transformed = current.transform_up(&mut |node| {
-                    match rule.apply(&node, ctx)? {
+                let transformed =
+                    current.transform_up(&mut |node| match rule.apply(&node, ctx)? {
                         Some(new_node) => {
                             fired = true;
                             Ok(Transformed::Yes(new_node))
                         }
                         None => Ok(Transformed::No(node)),
-                    }
-                })?;
+                    })?;
                 if fired {
                     current = transformed.into_plan();
                     applied.push(AppliedRule {
@@ -256,7 +255,9 @@ mod tests {
             .divide(PlanBuilder::scan("r2"))
             .select(Predicate::eq_value("a", 2))
             .build();
-        let outcome = RewriteEngine::with_default_rules().rewrite(&plan, &ctx).unwrap();
+        let outcome = RewriteEngine::with_default_rules()
+            .rewrite(&plan, &ctx)
+            .unwrap();
         let first = &outcome.applied[0];
         assert!(first.pass >= 1);
         assert!(first.nodes_before >= 3);

@@ -270,7 +270,8 @@ pub fn example3_derivation(
         }),
     };
     steps.push(DerivationStep {
-        justification: "projection simplification (a ∈ R*1, a ∉ R**1) — final plan, no join on the dividend",
+        justification:
+            "projection simplification (a ∈ R*1, a ∉ R**1) — final plan, no join on the dividend",
         plan: final_plan,
     });
     Ok(steps)

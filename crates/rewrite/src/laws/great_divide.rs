@@ -218,7 +218,11 @@ impl RewriteRule for Law17ProductPushthrough {
             return Ok(None);
         };
         // The left factor must not share any attribute with the divisor.
-        if divisor_schema.names().iter().any(|b| left_schema.contains(b)) {
+        if divisor_schema
+            .names()
+            .iter()
+            .any(|b| left_schema.contains(b))
+        {
             return Ok(None);
         }
         // The right factor alone must still form a valid great divide.
@@ -412,8 +416,14 @@ mod tests {
         // b is a shared attribute; neither Law 14 nor Law 15 applies (and b is
         // not even in the output schema — the plan is invalid, so both rules
         // must simply decline).
-        assert!(Law15SelectionPushdownGroup.apply(&plan, &ctx).unwrap().is_none());
-        assert!(Law14SelectionPushdownQuotient.apply(&plan, &ctx).unwrap().is_none());
+        assert!(Law15SelectionPushdownGroup
+            .apply(&plan, &ctx)
+            .unwrap()
+            .is_none());
+        assert!(Law14SelectionPushdownQuotient
+            .apply(&plan, &ctx)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -71,7 +71,9 @@ impl RewriteRule for Law11SingleTupleGroups {
             return Ok(None);
         }
         if aggregates.len() != attrs.shared.len()
-            || !aggregates.iter().all(|agg| attrs.shared.contains(&agg.output))
+            || !aggregates
+                .iter()
+                .all(|agg| attrs.shared.contains(&agg.output))
         {
             return Ok(None);
         }
@@ -240,7 +242,9 @@ mod tests {
     fn law11_single_tuple_divisor_becomes_semi_join() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = figure10_dividend().divide(PlanBuilder::scan("r2_fig10")).build();
+        let plan = figure10_dividend()
+            .divide(PlanBuilder::scan("r2_fig10"))
+            .build();
         let rewritten = Law11SingleTupleGroups
             .apply(&plan, &ctx)
             .unwrap()
@@ -256,7 +260,9 @@ mod tests {
     fn law11_empty_divisor_keeps_all_groups() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = figure10_dividend().divide(PlanBuilder::scan("r2_empty")).build();
+        let plan = figure10_dividend()
+            .divide(PlanBuilder::scan("r2_empty"))
+            .build();
         let rewritten = Law11SingleTupleGroups.apply(&plan, &ctx).unwrap().unwrap();
         let expected = relation! { ["a"] => [1], [2], [3] };
         assert_eq!(evaluate(&plan, &catalog).unwrap(), expected);
@@ -267,7 +273,9 @@ mod tests {
     fn law11_multi_tuple_divisor_is_empty() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = figure10_dividend().divide(PlanBuilder::scan("r2_two")).build();
+        let plan = figure10_dividend()
+            .divide(PlanBuilder::scan("r2_two"))
+            .build();
         let rewritten = Law11SingleTupleGroups.apply(&plan, &ctx).unwrap().unwrap();
         assert!(evaluate(&plan, &catalog).unwrap().is_empty());
         assert!(evaluate(&rewritten, &catalog).unwrap().is_empty());
@@ -278,22 +286,32 @@ mod tests {
     fn law11_requires_data_access_and_matching_shape() {
         let catalog = catalog();
         let meta_ctx = RewriteContext::with_metadata_only(&catalog);
-        let plan = figure10_dividend().divide(PlanBuilder::scan("r2_fig10")).build();
-        assert!(Law11SingleTupleGroups.apply(&plan, &meta_ctx).unwrap().is_none());
+        let plan = figure10_dividend()
+            .divide(PlanBuilder::scan("r2_fig10"))
+            .build();
+        assert!(Law11SingleTupleGroups
+            .apply(&plan, &meta_ctx)
+            .unwrap()
+            .is_none());
         // A non-aggregated dividend never matches.
         let ctx = RewriteContext::with_catalog(&catalog);
         let plain = PlanBuilder::scan("r0_fig10")
             .rename([("x", "b")])
             .divide(PlanBuilder::scan("r2_fig10"))
             .build();
-        assert!(Law11SingleTupleGroups.apply(&plain, &ctx).unwrap().is_none());
+        assert!(Law11SingleTupleGroups
+            .apply(&plain, &ctx)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn law12_matches_figure_11() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = figure11_dividend().divide(PlanBuilder::scan("r2_fig11")).build();
+        let plan = figure11_dividend()
+            .divide(PlanBuilder::scan("r2_fig11"))
+            .build();
         let rewritten = Law12SingleTupleDivisorGroups
             .apply(&plan, &ctx)
             .unwrap()
@@ -340,7 +358,9 @@ mod tests {
     fn law12_declines_for_law11_shape() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = figure10_dividend().divide(PlanBuilder::scan("r2_fig10")).build();
+        let plan = figure10_dividend()
+            .divide(PlanBuilder::scan("r2_fig10"))
+            .build();
         assert!(Law12SingleTupleDivisorGroups
             .apply(&plan, &ctx)
             .unwrap()

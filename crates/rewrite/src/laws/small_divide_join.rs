@@ -123,7 +123,9 @@ mod tests {
     fn law10_declines_when_left_is_not_a_division() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = PlanBuilder::scan("r1").semi_join(PlanBuilder::scan("r3")).build();
+        let plan = PlanBuilder::scan("r1")
+            .semi_join(PlanBuilder::scan("r3"))
+            .build();
         assert!(Law10SemiJoinCommute.apply(&plan, &ctx).unwrap().is_none());
     }
 

@@ -40,7 +40,11 @@ impl RewriteRule for Law8ProductPushthrough {
         };
         // Every divisor attribute must come from the right factor, i.e. none
         // from the left factor (A1 ∩ B = ∅).
-        if divisor_schema.names().iter().any(|b| left_schema.contains(b)) {
+        if divisor_schema
+            .names()
+            .iter()
+            .any(|b| left_schema.contains(b))
+        {
             return Ok(None);
         }
         // The right factor must itself be a valid dividend for the divisor
@@ -172,9 +176,16 @@ impl RewriteRule for Example2CommonFactorElimination {
         let LogicalPlan::SmallDivide { dividend, divisor } = plan else {
             return Ok(None);
         };
-        let (LogicalPlan::Product { left: d_left, right: d_right },
-             LogicalPlan::Product { left: v_left, right: v_right }) =
-            (dividend.as_ref(), divisor.as_ref())
+        let (
+            LogicalPlan::Product {
+                left: d_left,
+                right: d_right,
+            },
+            LogicalPlan::Product {
+                left: v_left,
+                right: v_right,
+            },
+        ) = (dividend.as_ref(), divisor.as_ref())
         else {
             return Ok(None);
         };
@@ -349,7 +360,9 @@ mod tests {
         // The cancelled plan is exactly r1 ÷ r2.
         assert_eq!(
             rewritten,
-            PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2")).build()
+            PlanBuilder::scan("r1")
+                .divide(PlanBuilder::scan("r2"))
+                .build()
         );
     }
 

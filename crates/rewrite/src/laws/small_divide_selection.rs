@@ -189,9 +189,7 @@ mod tests {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
         let plan = PlanBuilder::scan("r1")
-            .divide(
-                PlanBuilder::scan("r2").select(Predicate::cmp_value("b", CompareOp::Lt, 3)),
-            )
+            .divide(PlanBuilder::scan("r2").select(Predicate::cmp_value("b", CompareOp::Lt, 3)))
             .build();
         let rewritten = Law4DivisorSelectionReplication
             .apply(&plan, &ctx)
@@ -231,7 +229,9 @@ mod tests {
     fn law4_declines_when_no_selection_on_divisor() {
         let catalog = catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2")).build();
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2"))
+            .build();
         assert!(Law4DivisorSelectionReplication
             .apply(&plan, &ctx)
             .unwrap()

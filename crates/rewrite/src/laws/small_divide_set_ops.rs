@@ -89,9 +89,16 @@ impl RewriteRule for Law6DifferenceSplit {
             return Ok(None);
         }
         // Recognize σ_{p'(A)}(r) and σ_{p''(A)}(r) over the same input.
-        let (LogicalPlan::Select { input: in_l, predicate: p_prime },
-             LogicalPlan::Select { input: in_r, predicate: p_double }) =
-            (left.as_ref(), right.as_ref())
+        let (
+            LogicalPlan::Select {
+                input: in_l,
+                predicate: p_prime,
+            },
+            LogicalPlan::Select {
+                input: in_r,
+                predicate: p_double,
+            },
+        ) = (left.as_ref(), right.as_ref())
         else {
             return Ok(None);
         };
@@ -103,16 +110,13 @@ impl RewriteRule for Law6DifferenceSplit {
             return Ok(None);
         }
         // Establish r''1 ⊆ r'1.
-        let contained = if p_double.conjuncts().iter().any(|c| *c == p_prime)
-            && p_double.conjuncts().len() > 1
+        let contained = if p_double.conjuncts().contains(&p_prime) && p_double.conjuncts().len() > 1
         {
             // p'' = p' ∧ … ⇒ σ_{p''} ⊆ σ_{p'}.
             true
         } else {
             match (ctx.try_evaluate(left)?, ctx.try_evaluate(right)?) {
-                (Some(l), Some(r)) => {
-                    preconditions::subset_of(&r, &l).map_err(ExprError::from)?
-                }
+                (Some(l), Some(r)) => preconditions::subset_of(&r, &l).map_err(ExprError::from)?,
                 _ => false,
             }
         };
@@ -159,9 +163,16 @@ impl RewriteRule for Law7DisjointDifference {
         let LogicalPlan::Difference { left, right } = plan else {
             return Ok(None);
         };
-        let (LogicalPlan::SmallDivide { dividend: d1, divisor: v1 },
-             LogicalPlan::SmallDivide { dividend: d2, divisor: v2 }) =
-            (left.as_ref(), right.as_ref())
+        let (
+            LogicalPlan::SmallDivide {
+                dividend: d1,
+                divisor: v1,
+            },
+            LogicalPlan::SmallDivide {
+                dividend: d2,
+                divisor: v2,
+            },
+        ) = (left.as_ref(), right.as_ref())
         else {
             return Ok(None);
         };
@@ -237,7 +248,9 @@ mod tests {
         // be enough for the rule to fire.
         let ctx = RewriteContext::with_metadata_only(&catalog);
         let p_prime = Predicate::cmp_value("a", CompareOp::Gt, 1);
-        let p_double = p_prime.clone().and(Predicate::cmp_value("a", CompareOp::Gt, 9));
+        let p_double = p_prime
+            .clone()
+            .and(Predicate::cmp_value("a", CompareOp::Gt, 9));
         let plan = PlanBuilder::scan("r1")
             .select(p_prime)
             .difference(PlanBuilder::scan("r1").select(p_double))
@@ -268,7 +281,10 @@ mod tests {
         assert!(Law6DifferenceSplit.apply(&plan, &ctx).unwrap().is_some());
         // Without data access the rule must decline for these predicates.
         let meta_ctx = RewriteContext::with_metadata_only(&catalog);
-        assert!(Law6DifferenceSplit.apply(&plan, &meta_ctx).unwrap().is_none());
+        assert!(Law6DifferenceSplit
+            .apply(&plan, &meta_ctx)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -278,7 +294,11 @@ mod tests {
         // a <= 2 is not contained in a > 1.
         let plan = PlanBuilder::scan("r1")
             .select(Predicate::cmp_value("a", CompareOp::Gt, 1))
-            .difference(PlanBuilder::scan("r1").select(Predicate::cmp_value("a", CompareOp::LtEq, 2)))
+            .difference(PlanBuilder::scan("r1").select(Predicate::cmp_value(
+                "a",
+                CompareOp::LtEq,
+                2,
+            )))
             .divide(PlanBuilder::scan("r2"))
             .build();
         assert!(Law6DifferenceSplit.apply(&plan, &ctx).unwrap().is_none());
@@ -321,7 +341,10 @@ mod tests {
                     .divide(PlanBuilder::scan("r2")),
             )
             .build();
-        assert!(Law7DisjointDifference.apply(&overlapping, &ctx).unwrap().is_none());
+        assert!(Law7DisjointDifference
+            .apply(&overlapping, &ctx)
+            .unwrap()
+            .is_none());
         // Different divisors.
         let different = PlanBuilder::scan("r1")
             .select(Predicate::cmp_value("a", CompareOp::LtEq, 10))
@@ -332,6 +355,9 @@ mod tests {
                     .divide(PlanBuilder::scan("r2").select(Predicate::eq_value("b", 1))),
             )
             .build();
-        assert!(Law7DisjointDifference.apply(&different, &ctx).unwrap().is_none());
+        assert!(Law7DisjointDifference
+            .apply(&different, &ctx)
+            .unwrap()
+            .is_none());
     }
 }

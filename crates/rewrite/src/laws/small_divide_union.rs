@@ -157,8 +157,7 @@ pub fn partition_dividend_for_law2(
         }
         let hi = ((i + 1) * chunk).min(values.len());
         let lower = &values[lo];
-        let mut predicate =
-            Predicate::cmp_value(first_a.clone(), CompareOp::GtEq, lower.clone());
+        let mut predicate = Predicate::cmp_value(first_a.clone(), CompareOp::GtEq, lower.clone());
         if hi < values.len() {
             let upper = &values[hi];
             predicate = predicate.and(Predicate::cmp_value(
@@ -231,8 +230,13 @@ mod tests {
     fn law1_ignores_non_union_divisors() {
         let catalog = figure4_catalog();
         let ctx = RewriteContext::with_catalog(&catalog);
-        let plan = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2_prime")).build();
-        assert!(Law1DivisorUnionToPipeline.apply(&plan, &ctx).unwrap().is_none());
+        let plan = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2_prime"))
+            .build();
+        assert!(Law1DivisorUnionToPipeline
+            .apply(&plan, &ctx)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -301,7 +305,9 @@ mod tests {
         let partitioned = partition_dividend_for_law2(&dividend, &divisor, 2, &ctx)
             .unwrap()
             .expect("partitioning should succeed");
-        let original = PlanBuilder::scan("r1").divide(PlanBuilder::scan("r2_prime")).build();
+        let original = PlanBuilder::scan("r1")
+            .divide(PlanBuilder::scan("r2_prime"))
+            .build();
         assert_eq!(
             evaluate(&partitioned, &catalog).unwrap(),
             evaluate(&original, &catalog).unwrap()

@@ -104,7 +104,9 @@ impl CostModel {
                 self.cardinality(left, ctx) + self.cardinality(right, ctx)
             }
             LogicalPlan::Intersect { left, right } => {
-                self.cardinality(left, ctx).min(self.cardinality(right, ctx)) * 0.5
+                self.cardinality(left, ctx)
+                    .min(self.cardinality(right, ctx))
+                    * 0.5
             }
             LogicalPlan::Difference { left, right } => {
                 let l = self.cardinality(left, ctx);
@@ -125,7 +127,8 @@ impl CostModel {
             }
             LogicalPlan::NaturalJoin { left, right } => {
                 // Assume a key/foreign-key style join.
-                self.cardinality(left, ctx).max(self.cardinality(right, ctx))
+                self.cardinality(left, ctx)
+                    .max(self.cardinality(right, ctx))
             }
             LogicalPlan::SemiJoin { left, right } | LogicalPlan::AntiSemiJoin { left, right } => {
                 let _ = right;
@@ -134,8 +137,11 @@ impl CostModel {
             LogicalPlan::SmallDivide { dividend, divisor } => {
                 let groups = (self.cardinality(dividend, ctx) / 4.0).max(1.0);
                 let divisor_card = self.cardinality(divisor, ctx).max(1.0);
-                (groups * self.division_survival_per_divisor_tuple.powf(divisor_card.log2().max(1.0)))
-                    .max(1.0)
+                (groups
+                    * self
+                        .division_survival_per_divisor_tuple
+                        .powf(divisor_card.log2().max(1.0)))
+                .max(1.0)
             }
             LogicalPlan::GreatDivide { dividend, divisor } => {
                 let groups = (self.cardinality(dividend, ctx) / 4.0).max(1.0);
@@ -205,9 +211,7 @@ impl CostModel {
                     _ => self.range_selectivity,
                 }
             }
-            Predicate::And(l, r) => {
-                self.predicate_selectivity(l) * self.predicate_selectivity(r)
-            }
+            Predicate::And(l, r) => self.predicate_selectivity(l) * self.predicate_selectivity(r),
             Predicate::Or(l, r) => {
                 (self.predicate_selectivity(l) + self.predicate_selectivity(r)).min(1.0)
             }
@@ -309,11 +313,7 @@ impl Optimizer {
 
     /// All plans reachable from `plan` by one application of one rule at one
     /// node.
-    fn neighbours(
-        &self,
-        plan: &LogicalPlan,
-        ctx: &RewriteContext<'_>,
-    ) -> Result<Vec<LogicalPlan>> {
+    fn neighbours(&self, plan: &LogicalPlan, ctx: &RewriteContext<'_>) -> Result<Vec<LogicalPlan>> {
         let mut out = Vec::new();
         for rule in self.rules.rules() {
             // Apply the rule at each node independently: enumerate by walking
@@ -355,7 +355,10 @@ mod tests {
                 rows.push(vec![a, b]);
             }
         }
-        c.register("r1", div_algebra::Relation::from_rows(["a", "b"], rows).unwrap());
+        c.register(
+            "r1",
+            div_algebra::Relation::from_rows(["a", "b"], rows).unwrap(),
+        );
         c.register("r2", relation! { ["b"] => [0], [1], [2], [3] });
         c
     }

@@ -117,7 +117,11 @@ mod tests {
     #[test]
     fn default_rule_set_contains_all_seventeen_laws() {
         let set = RuleSet::default_rules();
-        assert!(set.len() >= 17, "expected at least 17 rules, got {}", set.len());
+        assert!(
+            set.len() >= 17,
+            "expected at least 17 rules, got {}",
+            set.len()
+        );
         for law in [
             "law-01", "law-02", "law-03", "law-04", "law-05", "law-06", "law-07", "law-08",
             "law-09", "law-10", "law-11", "law-12", "law-13", "law-14", "law-15", "law-16",

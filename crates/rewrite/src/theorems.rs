@@ -53,7 +53,7 @@ pub fn theorem3_schemas_differ(a1: &[&str], a2: &[&str], a3: &[&str]) -> bool {
     let s3: BTreeSet<&str> = a3.iter().copied().collect();
     let left: BTreeSet<&str> = s1
         .iter()
-        .filter(|x| !(s2.contains(**x) && !s3.contains(**x)))
+        .filter(|x| !s2.contains(**x) || s3.contains(**x))
         .copied()
         .collect();
     let right: BTreeSet<&str> = s1
@@ -134,7 +134,11 @@ mod tests {
     #[test]
     fn theorem3_schema_argument() {
         // A shared attribute in all three sets breaks associativity.
-        assert!(theorem3_schemas_differ(&["a", "b", "c"], &["b", "c"], &["c"]));
+        assert!(theorem3_schemas_differ(
+            &["a", "b", "c"],
+            &["b", "c"],
+            &["c"]
+        ));
         // With pairwise-disjoint inner sets both nestings would coincide.
         assert!(!theorem3_schemas_differ(&["a"], &["b"], &["c"]));
     }

@@ -137,7 +137,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                     n.push(chars[i]);
                     i += 1;
                 }
-                tokens.push(Token::Number(n.parse().map_err(|e| format!("bad number: {e}"))?));
+                tokens.push(Token::Number(
+                    n.parse().map_err(|e| format!("bad number: {e}"))?,
+                ));
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -174,7 +176,8 @@ mod tests {
 
     #[test]
     fn tokenizes_comparison_operators() {
-        let tokens = tokenize("a <= 1 AND b <> 2 AND c >= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
+        let tokens =
+            tokenize("a <= 1 AND b <> 2 AND c >= 3 AND d != 4 AND e < 5 AND f > 6").unwrap();
         assert!(tokens.contains(&Token::LtEq));
         assert!(tokens.contains(&Token::GtEq));
         assert_eq!(tokens.iter().filter(|t| **t == Token::NotEq).count(), 2);

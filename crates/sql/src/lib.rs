@@ -47,8 +47,10 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod run;
 
 pub use ast::{Query, SelectItem, SqlCondition, SqlOperand, TableFactor, TableReference};
 pub use lexer::{tokenize, Token};
 pub use lower::translate_query;
 pub use parser::{parse_query, ParseError};
+pub use run::{compile_query, run_query};

@@ -378,10 +378,12 @@ fn translate_condition(
                 )),
             }
         }
-        SqlCondition::And(l, r) => Ok(translate_condition(l, bindings)?
-            .and(translate_condition(r, bindings)?)),
-        SqlCondition::Or(l, r) => Ok(translate_condition(l, bindings)?
-            .or(translate_condition(r, bindings)?)),
+        SqlCondition::And(l, r) => {
+            Ok(translate_condition(l, bindings)?.and(translate_condition(r, bindings)?))
+        }
+        SqlCondition::Or(l, r) => {
+            Ok(translate_condition(l, bindings)?.or(translate_condition(r, bindings)?))
+        }
         SqlCondition::Not(inner) => Ok(translate_condition(inner, bindings)?.negate()),
         SqlCondition::Exists(_) => Err(ExprError::invalid(
             "EXISTS subqueries are only supported in the double NOT EXISTS pattern",
@@ -451,7 +453,9 @@ pub fn detect_double_not_exists(query: &Query, catalog: &Catalog) -> Result<Opti
     }
     let mut attributes = Vec::new();
     for item in &query.select {
-        let SelectItem::Column(col) = item else { continue };
+        let SelectItem::Column(col) = item else {
+            continue;
+        };
         let name = match &col.qualifier {
             Some(q) if *q == pattern.outer_alias => pattern.dividend_key.clone(),
             Some(q) if *q == pattern.inner_alias => pattern.group_key.clone(),
@@ -475,10 +479,9 @@ fn single_table(from: &[TableReference]) -> Option<(String, String)> {
         return None;
     }
     match &from[0] {
-        TableReference::Factor(TableFactor::Table { name, alias }) => Some((
-            name.clone(),
-            alias.clone().unwrap_or_else(|| name.clone()),
-        )),
+        TableReference::Factor(TableFactor::Table { name, alias }) => {
+            Some((name.clone(), alias.clone().unwrap_or_else(|| name.clone())))
+        }
         _ => None,
     }
 }
@@ -638,10 +641,9 @@ mod tests {
     #[test]
     fn q1_lowers_to_a_great_divide() {
         let c = catalog();
-        let q = parse_query(
-            "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#")
+                .unwrap();
         let plan = translate_query(&q, &c).unwrap();
         assert!(format!("{plan}").contains("GreatDivide"));
         let expected = relation! {
@@ -688,10 +690,9 @@ mod tests {
     #[test]
     fn q1_and_q3_agree() {
         let c = catalog();
-        let q1 = parse_query(
-            "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#",
-        )
-        .unwrap();
+        let q1 =
+            parse_query("SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#")
+                .unwrap();
         let q3 = parse_query(
             "SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 \
              WHERE NOT EXISTS ( SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND \
@@ -717,9 +718,13 @@ mod tests {
     #[test]
     fn conjunctive_multi_attribute_on_clause_gives_small_divide() {
         let mut c = Catalog::new();
-        c.register("r1", relation! { ["a", "b", "c"] => [1, 1, 10], [1, 2, 20], [2, 1, 10] });
+        c.register(
+            "r1",
+            relation! { ["a", "b", "c"] => [1, 1, 10], [1, 2, 20], [2, 1, 10] },
+        );
         c.register("r2", relation! { ["b", "c"] => [1, 10], [2, 20] });
-        let q = parse_query("SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b AND r1.c = r2.c").unwrap();
+        let q =
+            parse_query("SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b AND r1.c = r2.c").unwrap();
         let plan = translate_query(&q, &c).unwrap();
         assert!(format!("{plan}").contains("SmallDivide"));
         assert_eq!(evaluate(&plan, &c).unwrap(), relation! { ["a"] => [1] });
@@ -728,12 +733,14 @@ mod tests {
     #[test]
     fn divisor_join_column_with_different_name_is_renamed() {
         let mut c = Catalog::new();
-        c.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] },
+        );
         c.register("wanted", relation! { ["part_id"] => [1], [2] });
-        let q = parse_query(
-            "SELECT s# FROM supplies AS s DIVIDE BY wanted AS w ON s.p# = w.part_id",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT s# FROM supplies AS s DIVIDE BY wanted AS w ON s.p# = w.part_id")
+                .unwrap();
         let plan = translate_query(&q, &c).unwrap();
         assert_eq!(evaluate(&plan, &c).unwrap(), relation! { ["s#"] => [1] });
     }
@@ -744,8 +751,8 @@ mod tests {
         let q = parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#")
             .unwrap();
         assert!(translate_query(&q, &c).is_err());
-        let q = parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# = 3")
-            .unwrap();
+        let q =
+            parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# = 3").unwrap();
         assert!(translate_query(&q, &c).is_err());
     }
 

@@ -81,7 +81,9 @@ impl Parser {
         } else {
             Err(ParseError::new(format!(
                 "expected keyword `{keyword}`, found `{}`",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -91,7 +93,9 @@ impl Parser {
             Some(t) if &t == token => Ok(()),
             other => Err(ParseError::new(format!(
                 "expected `{token}`, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -294,7 +298,9 @@ impl Parser {
             Some(Token::GtEq) => Ok(SqlCompareOp::GtEq),
             other => Err(ParseError::new(format!(
                 "expected comparison operator, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -306,10 +312,9 @@ mod tests {
 
     #[test]
     fn parses_q1() {
-        let q = parse_query(
-            "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#")
+                .unwrap();
         assert!(!q.distinct);
         assert_eq!(q.select.len(), 2);
         assert!(q.uses_divide_by());
@@ -350,10 +355,8 @@ mod tests {
 
     #[test]
     fn parses_conjunctive_on_clause() {
-        let q = parse_query(
-            "SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b AND r1.c = r2.c",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT a FROM r1 DIVIDE BY r2 ON r1.b = r2.b AND r1.c = r2.c").unwrap();
         match &q.from[0] {
             TableReference::DivideBy { condition, .. } => {
                 assert_eq!(condition.conjuncts().len(), 2);

@@ -1,0 +1,76 @@
+//! End-to-end SQL execution: parse → translate → plan → execute.
+//!
+//! The paper's pipeline in one call: a `DIVIDE BY … ON` query string goes
+//! through the parser and the logical translator of this crate, the physical
+//! planner of `div-physical`, and finally one of the two execution backends
+//! ([`ExecutionBackend::RowAtATime`] or [`ExecutionBackend::Columnar`]),
+//! chosen by the [`PlannerConfig`]. Both backends return identical relations;
+//! sweeping the backend (and the division algorithms) over the same SQL text
+//! is how the benchmarks compare executor architectures end to end.
+
+use crate::{parse_query, translate_query};
+use div_algebra::Relation;
+use div_expr::{Catalog, ExprError};
+use div_physical::{execute_with_config, plan_query, ExecStats, PhysicalPlan, PlannerConfig};
+
+type Result<T> = std::result::Result<T, ExprError>;
+
+/// Compile a SQL query string down to a physical plan.
+pub fn compile_query(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Result<PhysicalPlan> {
+    let query = parse_query(sql).map_err(|e| ExprError::invalid(e.to_string()))?;
+    let logical = translate_query(&query, catalog)?;
+    plan_query(&logical, config)
+}
+
+/// Parse, translate, plan and execute a SQL query on the backend selected by
+/// `config`, returning the result and the execution statistics.
+pub fn run_query(
+    sql: &str,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+) -> Result<(Relation, ExecStats)> {
+    let physical = compile_query(sql, catalog, config)?;
+    execute_with_config(&physical, catalog, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+    use div_physical::ExecutionBackend;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 2], [2, 3], [3, 2] },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] },
+        );
+        c
+    }
+
+    const Q2: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                      (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
+
+    #[test]
+    fn q2_runs_identically_on_both_backends() {
+        let c = catalog();
+        let expected = relation! { ["s#"] => [1], [2] };
+        for backend in ExecutionBackend::ALL {
+            let config = PlannerConfig::with_backend(backend);
+            let (result, stats) = run_query(Q2, &c, &config).unwrap();
+            assert_eq!(result, expected, "backend {}", backend.name());
+            assert_eq!(stats.output_rows, 2, "backend {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn parse_errors_surface_as_expr_errors() {
+        let c = catalog();
+        assert!(run_query("SELECT FROM WHERE", &c, &PlannerConfig::default()).is_err());
+        assert!(run_query("SELECT x FROM missing", &c, &PlannerConfig::default()).is_err());
+    }
+}

@@ -47,7 +47,10 @@ fn main() {
         optimized.alternatives_considered,
     );
     let report = plans_equivalent_on(&plan, &optimized.plan, &catalog).unwrap();
-    println!("optimized plan equivalent to original: {}\n", report.equivalent);
+    println!(
+        "optimized plan equivalent to original: {}\n",
+        report.equivalent
+    );
 
     // Example 3: the derivation that removes the theta-join from the dividend.
     let mut figure9 = Catalog::new();
@@ -79,8 +82,5 @@ fn main() {
             result.len()
         );
     }
-    println!(
-        "final plan:\n{}",
-        steps.last().unwrap().plan
-    );
+    println!("final plan:\n{}", steps.last().unwrap().plan);
 }

@@ -16,8 +16,13 @@ fn main() {
     let (dividend, divisor) = division_workload(20_000, 24, 3);
     let start = Instant::now();
     let mut stats = ExecStats::default();
-    let sequential =
-        divide_with(&dividend, &divisor, DivisionAlgorithm::HashDivision, &mut stats).unwrap();
+    let sequential = divide_with(
+        &dividend,
+        &divisor,
+        DivisionAlgorithm::HashDivision,
+        &mut stats,
+    )
+    .unwrap();
     let sequential_time = start.elapsed();
     println!(
         "  sequential: {} quotient tuples in {:?}",
@@ -26,9 +31,13 @@ fn main() {
     );
     for workers in [2usize, 4, 8] {
         let start = Instant::now();
-        let (result, _) =
-            parallel_divide(&dividend, &divisor, DivisionAlgorithm::HashDivision, workers)
-                .unwrap();
+        let (result, _) = parallel_divide(
+            &dividend,
+            &divisor,
+            DivisionAlgorithm::HashDivision,
+            workers,
+        )
+        .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(result, sequential);
         println!(
@@ -42,9 +51,13 @@ fn main() {
     let (dividend, divisor) = great_divide_workload(2_000, 24, 96, 8);
     let start = Instant::now();
     let mut stats = ExecStats::default();
-    let sequential =
-        great_divide_with(&dividend, &divisor, GreatDivideAlgorithm::HashSets, &mut stats)
-            .unwrap();
+    let sequential = great_divide_with(
+        &dividend,
+        &divisor,
+        GreatDivideAlgorithm::HashSets,
+        &mut stats,
+    )
+    .unwrap();
     let sequential_time = start.elapsed();
     println!(
         "  sequential: {} quotient tuples in {:?}",
@@ -53,13 +66,9 @@ fn main() {
     );
     for workers in [2usize, 4, 8] {
         let start = Instant::now();
-        let (result, _) = parallel_great_divide(
-            &dividend,
-            &divisor,
-            GreatDivideAlgorithm::HashSets,
-            workers,
-        )
-        .unwrap();
+        let (result, _) =
+            parallel_great_divide(&dividend, &divisor, GreatDivideAlgorithm::HashSets, workers)
+                .unwrap();
         let elapsed = start.elapsed();
         assert_eq!(result, sequential);
         println!(

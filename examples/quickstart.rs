@@ -42,7 +42,10 @@ fn main() {
     let ctx = RewriteContext::with_catalog(&catalog);
     let outcome = engine.rewrite(&plan, &ctx).unwrap();
     println!("applied rules:\n{}\n", outcome.trace());
-    println!("rewritten logical plan (Law 3 pushed the filter down):\n{}", outcome.plan);
+    println!(
+        "rewritten logical plan (Law 3 pushed the filter down):\n{}",
+        outcome.plan
+    );
 
     let physical = plan_query(
         &outcome.plan,

@@ -49,11 +49,17 @@ fn figure_2_generalized_division() {
     assert_eq!(r1.great_divide(&r2).unwrap(), r3);
     assert_eq!(r1.great_divide_set_containment(&r2).unwrap(), r3);
     assert_eq!(
-        r1.great_divide_demolombe(&r2).unwrap().conform_to(r3.schema()).unwrap(),
+        r1.great_divide_demolombe(&r2)
+            .unwrap()
+            .conform_to(r3.schema())
+            .unwrap(),
         r3
     );
     assert_eq!(
-        r1.great_divide_todd(&r2).unwrap().conform_to(r3.schema()).unwrap(),
+        r1.great_divide_todd(&r2)
+            .unwrap()
+            .conform_to(r3.schema())
+            .unwrap(),
         r3
     );
 }
@@ -213,8 +219,14 @@ fn figure_8_law_9_intermediates() {
     let product = r_star.product(&r_star_star).unwrap();
     assert_eq!(product.len(), 16);
     // (e) π_{b1}(r2) = {1, 3}; (f) π_{b2}(r2) = {1, 2} ⊆ r**1.
-    assert_eq!(r2.project(&["b1"]).unwrap(), relation! { ["b1"] => [1], [3] });
-    assert_eq!(r2.project(&["b2"]).unwrap(), relation! { ["b2"] => [1], [2] });
+    assert_eq!(
+        r2.project(&["b1"]).unwrap(),
+        relation! { ["b1"] => [1], [3] }
+    );
+    assert_eq!(
+        r2.project(&["b2"]).unwrap(),
+        relation! { ["b2"] => [1], [2] }
+    );
     assert!(r2
         .project(&["b2"])
         .unwrap()
@@ -241,7 +253,10 @@ fn figure_9_example_3_intermediates() {
     let r2 = relation! { ["b1", "b2"] => [1, 4], [3, 4] };
     // (d) r*1 ⋈_{b1<b2} r**1: the nine tuples of the figure.
     let joined = r_star
-        .theta_join(&r_star_star, &Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"))
+        .theta_join(
+            &r_star_star,
+            &Predicate::cmp_attrs("b1", CompareOp::Lt, "b2"),
+        )
         .unwrap();
     let expected_join = relation! {
         ["a", "b1", "b2"] =>

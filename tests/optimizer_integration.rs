@@ -83,24 +83,31 @@ fn law_exercising_plans() -> Vec<LogicalPlan> {
             .select(Predicate::eq_value("c", 2))
             .build(),
         PlanBuilder::scan("r1")
-            .great_divide(
-                PlanBuilder::scan("r2_groups").select(Predicate::cmp_value("b", CompareOp::Lt, 3)),
-            )
+            .great_divide(PlanBuilder::scan("r2_groups").select(Predicate::cmp_value(
+                "b",
+                CompareOp::Lt,
+                3,
+            )))
             .build(),
         // Laws 5, 6, 7: set operations.
         PlanBuilder::scan("r1")
             .select(Predicate::cmp_value("a", CompareOp::LtEq, 3))
-            .intersect(PlanBuilder::scan("r1").select(Predicate::cmp_value("b", CompareOp::LtEq, 3)))
+            .intersect(PlanBuilder::scan("r1").select(Predicate::cmp_value(
+                "b",
+                CompareOp::LtEq,
+                3,
+            )))
             .divide(PlanBuilder::scan("r2"))
             .build(),
         PlanBuilder::scan("r1")
             .select(Predicate::cmp_value("a", CompareOp::Gt, 1))
-            .difference(
-                PlanBuilder::scan("r1").select(
-                    Predicate::cmp_value("a", CompareOp::Gt, 1)
-                        .and(Predicate::cmp_value("a", CompareOp::Gt, 3)),
-                ),
-            )
+            .difference(PlanBuilder::scan("r1").select(
+                Predicate::cmp_value("a", CompareOp::Gt, 1).and(Predicate::cmp_value(
+                    "a",
+                    CompareOp::Gt,
+                    3,
+                )),
+            ))
             .divide(PlanBuilder::scan("r2"))
             .build(),
         PlanBuilder::scan("r1")
@@ -172,9 +179,25 @@ fn every_default_rule_fires_on_some_plan_and_preserves_semantics() {
         );
     }
     for law in [
-        "law-01", "law-02", "law-03", "law-04", "law-05", "law-06", "law-07", "law-08", "law-09",
-        "law-10", "law-11", "law-12", "law-13", "law-14", "law-15", "law-16", "law-17",
-        "example-2", "example-4",
+        "law-01",
+        "law-02",
+        "law-03",
+        "law-04",
+        "law-05",
+        "law-06",
+        "law-07",
+        "law-08",
+        "law-09",
+        "law-10",
+        "law-11",
+        "law-12",
+        "law-13",
+        "law-14",
+        "law-15",
+        "law-16",
+        "law-17",
+        "example-2",
+        "example-4",
     ] {
         assert!(
             fired.iter().any(|name| name.starts_with(law)),
@@ -251,11 +274,7 @@ fn example3_derivation_holds_on_generated_data() {
     );
     catalog.register(
         "r2",
-        Relation::from_rows(
-            ["b1", "b2"],
-            (0..8i64).map(|i| vec![i % 10, (i * 3) % 12]),
-        )
-        .unwrap(),
+        Relation::from_rows(["b1", "b2"], (0..8i64).map(|i| vec![i % 10, (i * 3) % 12])).unwrap(),
     );
     let ctx = RewriteContext::with_catalog(&catalog);
     let steps = example3_derivation(

@@ -127,7 +127,8 @@ fn sql_plans_benefit_from_the_rewrite_engine() {
 fn unsupported_sql_is_rejected_with_errors() {
     let catalog = textbook_catalog();
     // Non-equi ON clause.
-    let bad = parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#").unwrap();
+    let bad =
+        parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#").unwrap();
     assert!(translate_query(&bad, &catalog).is_err());
     // Unknown table.
     let bad = parse_query("SELECT x FROM missing").unwrap();

@@ -1,0 +1,66 @@
+//! A minimal stand-in for `crossbeam::scope`, implemented with
+//! `std::thread::scope` (stabilized in Rust 1.63, after crossbeam's scoped
+//! threads were designed).
+//!
+//! The container this workspace builds in has no network access to a crate
+//! registry, so the real `crossbeam` cannot be fetched. API differences kept
+//! for compatibility: the spawn closure receives a scope handle argument
+//! (unused by this workspace), and `scope` returns a `Result` even though
+//! `std::thread::scope` converts child panics into a panic of the parent.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// Error payload of a panicking scope (never produced by this stand-in;
+/// `std::thread::scope` resumes the panic instead).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Handle passed to [`scope`]'s closure and to every spawned closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a scope handle so nested
+    /// spawns are possible, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller.
+///
+/// All spawned threads are joined before `scope` returns. If a child thread
+/// panics, the panic is resumed on the caller (so the `Err` variant is never
+/// actually returned; callers that `.expect(..)` the result behave the same
+/// as with crossbeam).
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scope;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("threads must not panic");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! A minimal stand-in for the parts of the crates.io `parking_lot` API this
+//! workspace uses (`Mutex::new`, `lock`, `into_inner`), implemented on top of
+//! `std::sync::Mutex`.
+//!
+//! The container this workspace builds in has no network access to a crate
+//! registry, so the real `parking_lot` cannot be fetched. The semantic
+//! difference that matters here is poisoning: `parking_lot` has none, so this
+//! wrapper transparently recovers the data from a poisoned std mutex.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+
+/// A mutex whose `lock` never returns a poison error.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, ignoring poisoning like `parking_lot` does.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner_roundtrip() {
+        let m = Mutex::new(vec![1, 2]);
+        m.lock().push(3);
+        assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+}

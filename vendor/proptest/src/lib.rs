@@ -1,0 +1,263 @@
+//! A minimal, dependency-free stand-in for the parts of the crates.io
+//! `proptest` API this workspace uses: the [`proptest!`] macro, range and
+//! tuple [`Strategy`]s, `prop::collection::vec`, [`ProptestConfig`] and the
+//! `prop_assert*` macros.
+//!
+//! The container this workspace builds in has no network access to a crate
+//! registry, so the real `proptest` cannot be fetched. This stand-in runs
+//! each property for `ProptestConfig::cases` deterministic pseudo-random
+//! cases. It does not implement shrinking: a failing case panics with the
+//! ordinary `assert!` message, which is enough for the property tests here
+//! because every generated value is small and printed by the assertion.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Execution parameters of a property, set via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The deterministic generator driving the properties.
+pub mod test_runner {
+    /// SplitMix64 with a fixed seed: every `cargo test` run replays the same
+    /// cases, so failures are reproducible without persistence files.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fresh deterministic generator.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5eed_cafe_f00d_d1ce,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A value generator. The real proptest `Strategy` also carries a value tree
+/// for shrinking; this stand-in only generates.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i64, u64, usize, i32, u32);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Strategy combinators, mirroring the `proptest::prop` module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.size.end - self.size.start).max(1) as u64;
+                let len = self.size.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Define property tests.
+///
+/// Supports the subset of the real macro's grammar used in this workspace:
+/// an optional `#![proptest_config(expr)]` header followed by `#[test]`
+/// functions whose parameters are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        @funcs ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic();
+                for _case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @funcs ($config) $($rest)* }
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @funcs ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Skip the current case when its precondition does not hold.
+///
+/// Expands to a `continue` of the surrounding case loop, so it must appear at
+/// the top level of a property body (which is how this workspace uses it).
+/// Unlike the real proptest, skipped cases still count toward `cases`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Assert inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (no shrinking: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0..6i64, y in 1..5usize) {
+            prop_assert!((0..6).contains(&x));
+            prop_assert!((1..5).contains(&y));
+        }
+
+        #[test]
+        fn vec_of_tuples(pairs in prop::collection::vec((0..4i64, 0..3i64), 0..10)) {
+            prop_assert!(pairs.len() < 10);
+            for (a, b) in pairs {
+                prop_assert!((0..4).contains(&a));
+                prop_assert!((0..3).contains(&b));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in prop::collection::vec(0..3i64, 0..4)) {
+            prop_assert!(v.len() < 4);
+        }
+    }
+}
