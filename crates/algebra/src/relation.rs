@@ -48,7 +48,7 @@ impl Relation {
 
     /// Create a relation from attribute names and rows of values.
     ///
-    /// This is the programmatic counterpart of the [`relation!`](crate::relation)
+    /// This is the programmatic counterpart of the [`relation!`](macro@crate::relation)
     /// macro and is convenient for generators.
     pub fn from_rows<N, R, V>(names: N, rows: impl IntoIterator<Item = R>) -> Result<Self>
     where

@@ -1,15 +1,25 @@
-//! Row vs columnar execution backend, end to end and kernel-level.
+//! Execution-strategy sweep: row vs columnar vs partition-parallel columnar,
+//! end to end and kernel-level.
 //!
 //! The claim under test (ROADMAP north star + the motivation for
-//! `div-columnar`): the row executor's per-tuple allocation and enum dispatch
-//! drown out the algorithmic differences the other benches measure, and a
-//! batch-at-a-time executor over primitive column slices removes that
-//! overhead. Three experiments:
+//! `div-columnar` and `div-physical::parallel_columnar`): the row executor's
+//! per-tuple allocation and enum dispatch drown out the algorithmic
+//! differences the other benches measure; a batch-at-a-time executor over
+//! primitive column slices removes that overhead; and the paper's
+//! partition-parallel laws then scale the batch kernels across cores — Law 2
+//! partitions the dividend on the quotient attributes, Law 13 distributes
+//! the divisor groups. Experiments:
 //!
-//! * whole Q2 plans (suppliers-parts, Section 4) on both backends,
-//! * whole great-divide plans (market baskets, Section 3) on both backends,
+//! * whole Q2 plans (suppliers-parts, Section 4 — the Law 2 workload) over
+//!   backend × parallelism,
+//! * whole great-divide plans (market baskets, Section 3 — the Law 13
+//!   workload) over backend × parallelism,
 //! * the bare small-divide kernel against the row hash-division algorithm,
 //!   with conversion costs excluded.
+//!
+//! Parallel speedup is only observable with more than one core; the
+//! agreement report prints the host's available parallelism so single-core
+//! CI output is interpretable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use div_algebra::Predicate;
@@ -20,8 +30,26 @@ use div_datagen::BasketConfig;
 use div_expr::{Catalog, PlanBuilder};
 use div_physical::division::{divide_with, DivisionAlgorithm};
 use div_physical::{
-    execute_on_backend, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
+    execute_with_config, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
 };
+
+/// Partition counts the parallel-columnar sweep covers.
+const PARALLELISM_SWEEP: [usize; 3] = [2, 4, 8];
+
+/// The execution strategies under comparison, labeled for benchmark ids.
+fn strategies() -> Vec<(String, PlannerConfig)> {
+    let mut out = vec![
+        ("row".to_string(), PlannerConfig::default()),
+        (
+            "columnar".to_string(),
+            PlannerConfig::with_backend(ExecutionBackend::Columnar),
+        ),
+    ];
+    for p in PARALLELISM_SWEEP {
+        out.push((format!("columnar-p{p}"), PlannerConfig::with_parallelism(p)));
+    }
+    out
+}
 
 fn q2_plan() -> PhysicalPlan {
     let logical = PlanBuilder::scan("supplies")
@@ -47,35 +75,41 @@ fn baskets_catalog(transactions: usize) -> Catalog {
     catalog
 }
 
+fn great_divide_plan() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("transactions")
+        .great_divide(PlanBuilder::scan("candidates"))
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+/// Law 2 workload: Q2 over the suppliers-parts generator, swept over
+/// strategy × scale.
 fn bench_q2_suppliers_parts(c: &mut Criterion) {
     let mut group = c.benchmark_group("columnar_vs_row/q2_suppliers_parts");
     let plan = q2_plan();
     for suppliers in [100usize, 400, 1_600] {
         let catalog = suppliers_parts_catalog(suppliers, 50, 0.5);
-        for backend in ExecutionBackend::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(backend.name(), suppliers),
-                &suppliers,
-                |b, _| b.iter(|| execute_on_backend(&plan, &catalog, backend).unwrap()),
-            );
+        for (name, config) in strategies() {
+            group.bench_with_input(BenchmarkId::new(name, suppliers), &suppliers, |b, _| {
+                b.iter(|| execute_with_config(&plan, &catalog, &config).unwrap())
+            });
         }
     }
     group.finish();
 }
 
+/// Law 13 workload: the great divide over market baskets, swept over
+/// strategy × scale.
 fn bench_baskets_great_divide(c: &mut Criterion) {
     let mut group = c.benchmark_group("columnar_vs_row/baskets_great_divide");
-    let logical = PlanBuilder::scan("transactions")
-        .great_divide(PlanBuilder::scan("candidates"))
-        .build();
-    let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+    let plan = great_divide_plan();
     for transactions in [200usize, 800, 3_200] {
         let catalog = baskets_catalog(transactions);
-        for backend in ExecutionBackend::ALL {
+        for (name, config) in strategies() {
             group.bench_with_input(
-                BenchmarkId::new(backend.name(), transactions),
+                BenchmarkId::new(name, transactions),
                 &transactions,
-                |b, _| b.iter(|| execute_on_backend(&plan, &catalog, backend).unwrap()),
+                |b, _| b.iter(|| execute_with_config(&plan, &catalog, &config).unwrap()),
             );
         }
     }
@@ -109,33 +143,65 @@ fn bench_divide_kernel(c: &mut Criterion) {
             &groups,
             |b, _| b.iter(|| kernels::hash_divide(&dividend_batch, &divisor_batch).unwrap()),
         );
+        for p in PARALLELISM_SWEEP {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel-hash-divide-p{p}"), groups),
+                &groups,
+                |b, _| {
+                    b.iter(|| {
+                        div_physical::parallel_columnar::parallel_divide_batches(
+                            &dividend_batch,
+                            &divisor_batch,
+                            p,
+                        )
+                        .unwrap()
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
 
-/// Print the cross-backend sanity table (results must agree; statistics must
-/// report the same output cardinality).
+/// Print the cross-strategy sanity table (results must agree; statistics
+/// must report the same output cardinality) for the Law 2 and Law 13
+/// workloads.
 fn report_backend_agreement() {
-    println!("\n# columnar_vs_row: backend agreement on Q2 (suppliers=400)");
-    println!("backend    output_rows  probes  max_intermediate");
-    let catalog = suppliers_parts_catalog(400, 50, 0.5);
-    let plan = q2_plan();
-    let mut outputs = Vec::new();
-    for backend in ExecutionBackend::ALL {
-        let (result, stats) = execute_on_backend(&plan, &catalog, backend).unwrap();
-        println!(
-            "{:<10} {:>11}  {:>6}  {:>16}",
-            backend.name(),
-            stats.output_rows,
-            stats.probes,
-            stats.max_intermediate
-        );
-        outputs.push(result);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n# columnar_vs_row: host parallelism = {cores} core(s)");
+    if cores == 1 {
+        println!("# (single core: partition-parallel runs cannot beat sequential wall-clock here)");
     }
-    assert!(
-        outputs.windows(2).all(|w| w[0] == w[1]),
-        "backends disagree on Q2"
-    );
+    for (workload, plan, catalog) in [
+        (
+            "Law 2 / Q2 (suppliers=400)",
+            q2_plan(),
+            suppliers_parts_catalog(400, 50, 0.5),
+        ),
+        (
+            "Law 13 / baskets (transactions=800)",
+            great_divide_plan(),
+            baskets_catalog(800),
+        ),
+    ] {
+        println!("\n# strategy agreement on {workload}");
+        println!("strategy       output_rows  probes  max_intermediate");
+        let mut outputs = Vec::new();
+        for (name, config) in strategies() {
+            let (result, stats) = execute_with_config(&plan, &catalog, &config).unwrap();
+            println!(
+                "{:<14} {:>11}  {:>6}  {:>16}",
+                name, stats.output_rows, stats.probes, stats.max_intermediate
+            );
+            outputs.push(result);
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "strategies disagree on {workload}"
+        );
+    }
 }
 
 fn benches(c: &mut Criterion) {

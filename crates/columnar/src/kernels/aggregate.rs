@@ -1,0 +1,151 @@
+//! Batch-native hash aggregation.
+//!
+//! Grouping backs the paper's counting-based strategies: Laws 11 and 12
+//! (Section 5.1.7) rewrite the small divide through `γ`/`count`, and the
+//! counting division and great-divide algorithms are aggregate formulations
+//! at heart. This kernel mirrors [`div_algebra::Relation::group_aggregate`]
+//! exactly, including its edge cases: aggregating an empty input yields an
+//! empty result, and an empty `group_by` list produces one group covering
+//! all rows (only when the input is nonempty, matching SQL `GROUP BY ()`
+//! over sets).
+//!
+//! Duplicate safety: the reference operator aggregates a *set* of tuples, so
+//! the input batch is deduplicated on full rows before grouping — transient
+//! duplicate rows cannot inflate `count`/`sum` results.
+
+use crate::batch::ColumnarBatch;
+use crate::keys::RowKey;
+use crate::Result;
+use div_algebra::{AggregateCall, Schema, Value};
+use std::collections::HashMap;
+
+/// Hash aggregation `γ_{group_by; aggregates}(batch)`, mirroring
+/// [`div_algebra::Relation::group_aggregate`].
+pub fn hash_aggregate(
+    batch: &ColumnarBatch,
+    group_by: &[&str],
+    aggregates: &[AggregateCall],
+) -> Result<ColumnarBatch> {
+    let mut out_names: Vec<String> = group_by.iter().map(|s| s.to_string()).collect();
+    for agg in aggregates {
+        // Validate the input attribute exists even for COUNT, like the
+        // reference operator.
+        batch.schema().require(&agg.input)?;
+        out_names.push(agg.output.clone());
+    }
+    let out_schema = Schema::new(out_names)?;
+    if batch.num_rows() == 0 {
+        return Ok(ColumnarBatch::empty(out_schema));
+    }
+
+    // Aggregate over the distinct rows: the reference operator groups a set.
+    let batch = batch.dedup();
+    let key_idx = batch.projection_indices(group_by)?;
+    let mut group_of: HashMap<RowKey, usize> = HashMap::new();
+    let mut first_row: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let key = batch.key_at(row, &key_idx);
+        let next = members.len();
+        let gid = *group_of.entry(key).or_insert(next);
+        if gid == first_row.len() {
+            first_row.push(row);
+            members.push(Vec::new());
+        }
+        members[gid].push(row);
+    }
+
+    // Assemble column-wise: group keys from representative rows, aggregate
+    // outputs evaluated per group with the reference aggregate functions.
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    for &key_col in &key_idx {
+        columns.push(batch.column(key_col).gather(&first_row));
+    }
+    for agg in aggregates {
+        let input_idx = batch.schema().require(&agg.input)?;
+        let mut outputs: Vec<Value> = Vec::with_capacity(members.len());
+        for group in &members {
+            let inputs: Vec<Value> = group
+                .iter()
+                .map(|&row| batch.value_at(row, input_idx))
+                .collect();
+            outputs.push(agg.function.eval(&inputs)?);
+        }
+        columns.push(crate::column::Column::from_values(outputs.iter()));
+    }
+    Ok(ColumnarBatch::from_parts(
+        out_schema,
+        columns,
+        members.len(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    fn supplies() -> ColumnarBatch {
+        ColumnarBatch::from_relation(&relation! {
+            ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 2], [2, 3], [3, 2]
+        })
+    }
+
+    fn check(batch: &ColumnarBatch, group_by: &[&str], aggregates: &[AggregateCall]) {
+        let expected = batch
+            .to_relation()
+            .unwrap()
+            .group_aggregate(group_by, aggregates)
+            .unwrap();
+        let got = hash_aggregate(batch, group_by, aggregates).unwrap();
+        assert_eq!(got.to_relation().unwrap(), expected);
+    }
+
+    #[test]
+    fn count_and_sum_match_reference() {
+        let batch = supplies();
+        check(&batch, &["s#"], &[AggregateCall::count("p#", "n")]);
+        check(
+            &batch,
+            &["s#"],
+            &[
+                AggregateCall::count("p#", "n"),
+                AggregateCall::sum("p#", "total"),
+            ],
+        );
+    }
+
+    #[test]
+    fn empty_group_by_makes_one_global_group() {
+        let batch = supplies();
+        check(&batch, &[], &[AggregateCall::count("s#", "n")]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let empty = ColumnarBatch::empty(div_algebra::Schema::of(["s#", "p#"]));
+        let got = hash_aggregate(&empty, &[], &[AggregateCall::count("s#", "n")]).unwrap();
+        assert_eq!(got.num_rows(), 0);
+        check(&empty, &[], &[AggregateCall::count("s#", "n")]);
+    }
+
+    #[test]
+    fn duplicate_rows_do_not_inflate_counts() {
+        let batch = supplies();
+        let doubled = batch.gather(&[0, 0, 1, 2, 3, 4, 5, 5]);
+        let expected = batch
+            .to_relation()
+            .unwrap()
+            .group_aggregate(&["s#"], &[AggregateCall::count("p#", "n")])
+            .unwrap();
+        let got = hash_aggregate(&doubled, &["s#"], &[AggregateCall::count("p#", "n")]).unwrap();
+        assert_eq!(got.to_relation().unwrap(), expected);
+    }
+
+    #[test]
+    fn unknown_attributes_are_rejected() {
+        let batch = supplies();
+        assert!(hash_aggregate(&batch, &["zz"], &[]).is_err());
+        assert!(hash_aggregate(&batch, &[], &[AggregateCall::count("zz", "n")]).is_err());
+    }
+}

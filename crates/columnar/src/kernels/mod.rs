@@ -5,14 +5,20 @@
 //! error conditions) of the corresponding `div-algebra` reference operator,
 //! so an executor can swap a kernel in for a row operator node-by-node.
 
+pub mod aggregate;
 pub mod divide;
 pub mod filter;
 pub mod great_divide;
 pub mod join;
+pub mod product;
 pub mod project;
+pub mod set_ops;
 
+pub use aggregate::hash_aggregate;
 pub use divide::hash_divide;
 pub use filter::filter;
 pub use great_divide::hash_great_divide;
 pub use join::{hash_natural_join, hash_semi_join, KernelOutput};
+pub use product::{cross_product, theta_join};
 pub use project::{project, rename, union};
+pub use set_ops::{difference, intersect};

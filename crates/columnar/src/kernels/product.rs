@@ -1,0 +1,132 @@
+//! Batch-native Cartesian product and nested-loop theta-join.
+//!
+//! The paper's product laws (Laws 8, 9, Section 5.1.5) and the theta-join
+//! definition `r1 ⋈_θ r2 = σ_θ(r1 × r2)` (Appendix A) both bottom out in the
+//! Cartesian product, which was the last join-family operator still running
+//! on the row executor. The columnar product is assembled with two gathers —
+//! every left row index repeated `|right|` times and the right indices tiled
+//! `|left|` times — so no per-tuple `Value` allocation happens; the
+//! theta-join then evaluates its predicate with the vectorized
+//! [`filter`](crate::kernels::filter()) kernel (including its row-at-a-time
+//! fallback, so error and short-circuit semantics match the reference
+//! [`div_algebra::Relation::theta_join`] exactly).
+//!
+//! Duplicate safety: the product of duplicate-free inputs is duplicate-free
+//! (distinct index pairs yield distinct concatenated rows). Inputs carrying
+//! transient duplicates propagate them — like the hash-join kernels — and the
+//! executor's set-semantic boundary ([`ColumnarBatch::to_relation`])
+//! collapses them.
+
+use crate::batch::ColumnarBatch;
+use crate::kernels::filter;
+use crate::kernels::join::KernelOutput;
+use crate::Result;
+use div_algebra::Predicate;
+
+/// Cartesian product `left × right`, mirroring
+/// [`div_algebra::Relation::product`].
+///
+/// # Errors
+///
+/// The operand schemas must be attribute-disjoint, as in the reference
+/// algebra; otherwise a
+/// [`DuplicateAttribute`](div_algebra::AlgebraError::DuplicateAttribute)
+/// error is returned.
+pub fn cross_product(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<ColumnarBatch> {
+    let schema = left.schema().concat(right.schema())?;
+    let (l_rows, r_rows) = (left.num_rows(), right.num_rows());
+    let mut left_indices = Vec::with_capacity(l_rows * r_rows);
+    let mut right_indices = Vec::with_capacity(l_rows * r_rows);
+    for i in 0..l_rows {
+        for j in 0..r_rows {
+            left_indices.push(i);
+            right_indices.push(j);
+        }
+    }
+    let mut columns = left.gather(&left_indices).columns().to_vec();
+    columns.extend(right.gather(&right_indices).columns().iter().cloned());
+    Ok(ColumnarBatch::from_parts(schema, columns, l_rows * r_rows))
+}
+
+/// Nested-loop theta-join `left ⋈_θ right = σ_θ(left × right)`, mirroring
+/// [`div_algebra::Relation::theta_join`]. Reports one probe per considered
+/// row pair (`|left| · |right|`), matching the row executor's accounting for
+/// its `NestedLoopJoin` operator.
+pub fn theta_join(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    predicate: &Predicate,
+) -> Result<KernelOutput> {
+    let product = cross_product(left, right)?;
+    let batch = filter::filter(&product, predicate)?;
+    Ok(KernelOutput {
+        batch,
+        probes: left.num_rows() * right.num_rows(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::{relation, CompareOp, Predicate};
+
+    fn inputs() -> (ColumnarBatch, ColumnarBatch) {
+        (
+            ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 10], [2, 20] }),
+            ColumnarBatch::from_relation(&relation! { ["c"] => [5], [15], [25] }),
+        )
+    }
+
+    #[test]
+    fn product_matches_reference() {
+        let (l, r) = inputs();
+        let expected = l
+            .to_relation()
+            .unwrap()
+            .product(&r.to_relation().unwrap())
+            .unwrap();
+        let got = cross_product(&l, &r).unwrap();
+        assert_eq!(got.num_rows(), 6);
+        assert_eq!(got.to_relation().unwrap(), expected);
+    }
+
+    #[test]
+    fn product_rejects_overlapping_schemas() {
+        let (l, _) = inputs();
+        let overlapping = ColumnarBatch::from_relation(&relation! { ["b", "c"] => [1, 2] });
+        assert!(cross_product(&l, &overlapping).is_err());
+    }
+
+    #[test]
+    fn theta_join_matches_reference() {
+        let (l, r) = inputs();
+        let pred = Predicate::cmp_attrs("b", CompareOp::Gt, "c");
+        let expected = l
+            .to_relation()
+            .unwrap()
+            .theta_join(&r.to_relation().unwrap(), &pred)
+            .unwrap();
+        let out = theta_join(&l, &r, &pred).unwrap();
+        assert_eq!(out.batch.to_relation().unwrap(), expected);
+        assert_eq!(out.probes, 6);
+    }
+
+    #[test]
+    fn theta_join_type_errors_match_reference() {
+        let (l, r) = inputs();
+        let bad = Predicate::eq_value("c", "blue");
+        let reference = l
+            .to_relation()
+            .unwrap()
+            .theta_join(&r.to_relation().unwrap(), &bad);
+        assert_eq!(theta_join(&l, &r, &bad).is_err(), reference.is_err());
+    }
+
+    #[test]
+    fn empty_operands_yield_empty_products() {
+        let (l, _) = inputs();
+        let empty = ColumnarBatch::empty(div_algebra::Schema::of(["z"]));
+        assert_eq!(cross_product(&l, &empty).unwrap().num_rows(), 0);
+        assert_eq!(cross_product(&empty, &l).unwrap().num_rows(), 0);
+    }
+}

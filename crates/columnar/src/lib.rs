@@ -14,20 +14,44 @@
 //!   lossless `Mixed` fallback so **every** [`div_algebra::Relation`]
 //!   round-trips exactly ([`ColumnarBatch::from_relation`] /
 //!   [`ColumnarBatch::to_relation`]);
-//! * [`kernels`] — batch-native operators: vectorized filtering (string
-//!   predicates evaluated once per dictionary entry), projection with
-//!   set-semantics deduplication, hash natural/semi/anti joins, union, and
-//!   the two division operators — a Graefe-style bitmap
-//!   [hash divide](kernels::hash_divide) and a counting
-//!   [great divide](kernels::hash_great_divide) — all working on column
-//!   slices with a primitive `i64` fast path;
+//! * [`kernels`] — batch-native operators covering **every** physical plan
+//!   shape: vectorized filtering (string predicates evaluated once per
+//!   dictionary entry), projection with set-semantics deduplication, hash
+//!   natural/semi/anti joins, union/intersection/difference, Cartesian
+//!   product and theta-join, hash aggregation, and the two division
+//!   operators — a Graefe-style bitmap [hash divide](kernels::hash_divide)
+//!   and a counting [great divide](kernels::hash_great_divide) — all working
+//!   on column slices with a primitive `i64` fast path;
+//! * [`partition`] — hash partitioning of batches on key columns, the
+//!   primitive behind the paper's partition-parallel strategies for Law 2
+//!   (dividend partitioned on the quotient attributes `A`) and Law 13
+//!   (divisor partitioned on the group attributes `C`);
 //! * [`RowKey`] — encoding-independent hashable row keys, so keys extracted
 //!   from differently-encoded batches compare correctly.
 //!
-//! The executor that walks physical plans and falls back to row execution
-//! for non-vectorized operators lives in `div-physical`
+//! The executor that walks physical plans (and the scoped-thread driver that
+//! runs kernels on partitions concurrently) lives in `div-physical`
 //! (`ExecutionBackend::Columnar`); this crate deliberately depends only on
 //! `div-algebra` so the physical layer can layer on top.
+//!
+//! The division pipeline in miniature — convert, divide, convert back:
+//!
+//! ```
+//! use div_algebra::relation;
+//! use div_columnar::{kernels, ColumnarBatch};
+//!
+//! // Figure 1 of the paper: which `a`-groups cover the whole divisor?
+//! let dividend = ColumnarBatch::from_relation(&relation! {
+//!     ["a", "b"] => [1, 1], [2, 1], [2, 3], [3, 1], [3, 3]
+//! });
+//! let divisor = ColumnarBatch::from_relation(&relation! { ["b"] => [1], [3] });
+//! let quotient = kernels::hash_divide(&dividend, &divisor)?;
+//! assert_eq!(
+//!     quotient.batch.to_relation()?,
+//!     relation! { ["a"] => [2], [3] }
+//! );
+//! # Ok::<(), div_algebra::AlgebraError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,6 +60,7 @@ pub mod batch;
 pub mod column;
 pub mod kernels;
 pub mod keys;
+pub mod partition;
 
 pub use batch::ColumnarBatch;
 pub use column::{Column, StrColumn};

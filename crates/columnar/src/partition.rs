@@ -1,0 +1,205 @@
+//! Hash partitioning of columnar batches for partition-parallel execution.
+//!
+//! The paper attaches explicit parallelization strategies to two laws:
+//!
+//! * **Law 2 + condition `c2`** (Section 5.1.1): hash-partition the dividend
+//!   on the quotient attributes `A`; the partitions' quotient prefixes are
+//!   disjoint by construction, so each partition can be divided
+//!   independently and the partial quotients unioned.
+//! * **Law 13** (Section 5.2.1): hash-partition the divisor on the group
+//!   attributes `C`; each node runs the great divide of the (shared)
+//!   dividend against its divisor slice.
+//!
+//! [`hash_partition`] is the batch-level primitive both strategies share:
+//! rows are routed to `partitions` buckets by hashing their [`RowKey`](crate::RowKey) over
+//! the key columns, so rows agreeing on the key always land in the same
+//! bucket (the disjointness the laws require) regardless of the batch's
+//! column encodings. [`split_even`] is the key-free variant used to
+//! parallelize kernels without a partitioning key (e.g. filters), where any
+//! row distribution is correct.
+
+use crate::batch::ColumnarBatch;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Hash-partition `batch` into `partitions` buckets on the given key
+/// columns. Every output batch keeps the full schema; rows with equal keys
+/// land in the same bucket, and every input row lands in exactly one bucket.
+///
+/// `partitions` is clamped to at least 1. With an empty `key_columns` list
+/// every row hashes identically, so all rows land in one bucket — the
+/// degenerate but correct behavior for key-less operators.
+///
+/// ```
+/// use div_algebra::relation;
+/// use div_columnar::{partition::hash_partition, ColumnarBatch};
+///
+/// let batch = ColumnarBatch::from_relation(&relation! {
+///     ["a", "b"] => [1, 10], [1, 20], [2, 10], [3, 30]
+/// });
+/// let parts = hash_partition(&batch, &[0], 2);
+/// // A partition: every row lands in exactly one bucket...
+/// assert_eq!(parts.iter().map(ColumnarBatch::num_rows).sum::<usize>(), 4);
+/// // ...and rows agreeing on the key (here a = 1) share a bucket.
+/// assert!(parts.iter().any(|p| p.num_rows() >= 2));
+/// ```
+pub fn hash_partition(
+    batch: &ColumnarBatch,
+    key_columns: &[usize],
+    partitions: usize,
+) -> Vec<ColumnarBatch> {
+    let partitions = partitions.max(1);
+    if partitions == 1 {
+        return vec![batch.clone()];
+    }
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for row in 0..batch.num_rows() {
+        let mut hasher = DefaultHasher::new();
+        batch.key_at(row, key_columns).hash(&mut hasher);
+        buckets[(hasher.finish() as usize) % partitions].push(row);
+    }
+    buckets.iter().map(|rows| batch.gather(rows)).collect()
+}
+
+/// Split `batch` into `partitions` contiguous, near-equal row ranges.
+///
+/// Unlike [`hash_partition`] no key is consulted; use this for operators
+/// (like filters) that are correct under any row distribution.
+pub fn split_even(batch: &ColumnarBatch, partitions: usize) -> Vec<ColumnarBatch> {
+    let partitions = partitions.max(1);
+    if partitions == 1 {
+        return vec![batch.clone()];
+    }
+    let rows = batch.num_rows();
+    let chunk = rows.div_ceil(partitions).max(1);
+    (0..partitions)
+        .map(|p| {
+            let start = (p * chunk).min(rows);
+            let end = ((p + 1) * chunk).min(rows);
+            let indices: Vec<usize> = (start..end).collect();
+            batch.gather(&indices)
+        })
+        .collect()
+}
+
+/// Concatenate partition results back into one batch, in partition order.
+///
+/// All batches must share the first batch's schema (they do by construction
+/// when they came out of [`hash_partition`] / [`split_even`] followed by a
+/// schema-preserving kernel). Returns `None` for an empty slice, since there
+/// is no schema to make an empty batch from.
+///
+/// # Panics
+///
+/// Panics when the batches disagree on the schema — silently gluing
+/// differently-shaped columns would mislabel data.
+pub fn concat_batches(batches: &[ColumnarBatch]) -> Option<ColumnarBatch> {
+    let (first, rest) = batches.split_first()?;
+    let mut columns = first.columns().to_vec();
+    let mut rows = first.num_rows();
+    for batch in rest {
+        assert_eq!(batch.schema(), first.schema(), "partition schema drift");
+        for (acc, col) in columns.iter_mut().zip(batch.columns()) {
+            *acc = acc.concat(col);
+        }
+        rows += batch.num_rows();
+    }
+    Some(ColumnarBatch::from_parts(
+        first.schema().clone(),
+        columns,
+        rows,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    fn sample() -> ColumnarBatch {
+        let mut rows = Vec::new();
+        for a in 0..20i64 {
+            for b in 0..3i64 {
+                rows.push(vec![a, b]);
+            }
+        }
+        ColumnarBatch::from_relation(&div_algebra::Relation::from_rows(["a", "b"], rows).unwrap())
+    }
+
+    #[test]
+    fn hash_partition_is_a_partition_with_disjoint_keys() {
+        let batch = sample();
+        let parts = hash_partition(&batch, &[0], 4);
+        assert_eq!(parts.len(), 4);
+        let total: usize = parts.iter().map(ColumnarBatch::num_rows).sum();
+        assert_eq!(total, batch.num_rows());
+        // Key disjointness (the laws' precondition): the same `a` value never
+        // appears in two different partitions.
+        let key_sets: Vec<std::collections::HashSet<crate::RowKey>> = parts
+            .iter()
+            .map(|p| (0..p.num_rows()).map(|r| p.key_at(r, &[0])).collect())
+            .collect();
+        for i in 0..key_sets.len() {
+            for j in (i + 1)..key_sets.len() {
+                assert!(key_sets[i].is_disjoint(&key_sets[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_is_the_identity() {
+        let batch = sample();
+        let parts = hash_partition(&batch, &[0], 1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], batch);
+        assert_eq!(split_even(&batch, 1)[0], batch);
+    }
+
+    #[test]
+    fn split_even_covers_all_rows_in_order() {
+        let batch = sample();
+        for partitions in [2, 3, 7, 100] {
+            let parts = split_even(&batch, partitions);
+            assert_eq!(parts.len(), partitions);
+            let glued = concat_batches(&parts).unwrap();
+            assert_eq!(glued, batch, "partitions = {partitions}");
+        }
+    }
+
+    #[test]
+    fn concat_batches_restores_hash_partitions_as_a_set() {
+        let batch = sample();
+        let parts = hash_partition(&batch, &[0, 1], 3);
+        let glued = concat_batches(&parts).unwrap();
+        assert_eq!(glued.num_rows(), batch.num_rows());
+        assert_eq!(
+            glued.to_relation().unwrap(),
+            batch.to_relation().unwrap(),
+            "hash partitioning permutes rows but never loses or invents any"
+        );
+        assert!(concat_batches(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_key_routes_everything_to_one_bucket() {
+        let batch = sample();
+        let parts = hash_partition(&batch, &[], 4);
+        let occupied: Vec<usize> = parts
+            .iter()
+            .map(ColumnarBatch::num_rows)
+            .filter(|&n| n > 0)
+            .collect();
+        assert_eq!(occupied, vec![batch.num_rows()]);
+    }
+
+    #[test]
+    fn empty_batch_partitions_are_empty() {
+        let empty = ColumnarBatch::empty(div_algebra::Schema::of(["a", "b"]));
+        let parts = hash_partition(&empty, &[0], 3);
+        assert!(parts.iter().all(|p| p.num_rows() == 0));
+        let relation = relation! { ["a", "b"] => [1, 1] };
+        let one = ColumnarBatch::from_relation(&relation);
+        let parts = split_even(&one, 5);
+        assert_eq!(parts.iter().map(ColumnarBatch::num_rows).sum::<usize>(), 1);
+    }
+}

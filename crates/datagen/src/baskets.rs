@@ -4,7 +4,7 @@
 //! set of "planted" frequent itemsets that are injected into a fraction of the
 //! transactions, so that the mining experiments have known frequent patterns
 //! to discover — the same style of synthetic data as the classic IBM Quest
-//! generator used by the association-rule literature the paper cites [2].
+//! generator used by the association-rule literature the paper cites \[2\].
 
 use crate::zipf::ZipfSampler;
 use div_algebra::{Relation, Value};

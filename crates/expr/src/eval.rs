@@ -7,7 +7,7 @@
 //! additionally records per-operator statistics ([`EvalStats`]) so tests and
 //! benches can observe intermediate result sizes, the quantity at the heart of
 //! the paper's argument that division must be a first-class operator
-//! (simulations produce quadratic intermediates, see Section 6 and [25]).
+//! (simulations produce quadratic intermediates, see Section 6 and \[25\]).
 
 use crate::{Catalog, ExprError, LogicalPlan, Result};
 use div_algebra::Relation;

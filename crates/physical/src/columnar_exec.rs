@@ -1,23 +1,42 @@
 //! The columnar (batch-at-a-time) executor.
 //!
 //! Walks the same [`PhysicalPlan`] tree as the row executor of
-//! [`crate::exec`], but keeps data in [`ColumnarBatch`]es and evaluates the
-//! vectorizable operators — scan, filter, project, rename, union, the hash
-//! join family and both division operators — with the batch kernels of
-//! [`div_columnar`]. Operators without a vectorized kernel yet (set
-//! intersection/difference, Cartesian product, nested-loop theta-join, hash
-//! aggregation) fall back to the row executor for their whole subtree and the
-//! resulting relation is converted back into a batch, so every plan the row
-//! backend can run, this backend can run too — with identical results.
+//! [`crate::exec`], but keeps data in [`ColumnarBatch`]es and evaluates
+//! **every** operator with the batch kernels of [`div_columnar`] — there is
+//! no row fallback left: scan, filter, project, rename, the set operators,
+//! Cartesian product, theta-join, the hash join family, hash aggregation and
+//! both division operators all run vectorized. Any plan the row backend can
+//! run, this backend runs fully columnar — with identical results.
+//!
+//! With `parallelism > 1` the partitionable operators (filter, the hash
+//! joins, theta-join, small and great divide) execute partition-parallel
+//! through [`crate::parallel_columnar`], following the strategies the paper
+//! attaches to Law 2 (dividend partitioned on the quotient attributes, each
+//! partition divided independently) and Law 13 (divisor groups distributed
+//! across workers). Results are merged in partition order, so for every
+//! plan and every partition count the produced relation is byte-identical
+//! to the sequential one.
 //!
 //! Statistics discipline matches the row executor: every operator records its
 //! output cardinality under its plan label, scans count into `rows_scanned`,
 //! the root into `output_rows`, and the division/join kernels report one
-//! probe per input row. Division nodes additionally record the columnar
-//! kernel that actually ran (e.g. `ColumnarHashDivision`), since the
+//! probe per input row. For the dividend-partitioned operators (small
+//! divide, joins, filters) per-partition probes sum to the sequential
+//! count, so probes are independent of the partition count; the great
+//! divide replicates the dividend to every worker with a nonempty divisor
+//! slice (Law 13), so its probes grow to `nonempty_partitions × |dividend|`
+//! — see [`crate::parallel_columnar`].
+//! Row counts (`output_rows`, `rows_scanned`, per-operator cardinalities)
+//! are partition-count-invariant for every operator. Division nodes
+//! additionally record the columnar kernel that actually ran (e.g.
+//! `ColumnarHashDivision`), since the
 //! [`DivisionAlgorithm`](crate::DivisionAlgorithm) chosen by the planner
 //! selects among *row* algorithms and is not consulted here.
 
+use crate::parallel_columnar::{
+    parallel_divide_batches, parallel_filter_batches, parallel_great_divide_batches,
+    parallel_join_batches, parallel_theta_join_batches, JoinKind,
+};
 use crate::plan::PhysicalPlan;
 use crate::stats::ExecStats;
 use crate::Result;
@@ -25,18 +44,30 @@ use div_algebra::Relation;
 use div_columnar::{kernels, ColumnarBatch};
 use div_expr::{Catalog, ExprError};
 
-/// Execute a physical plan on the columnar backend.
+/// Execute a physical plan on the columnar backend (single-threaded).
 pub fn execute_columnar(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
     Ok(execute_columnar_with_stats(plan, catalog)?.0)
 }
 
-/// Execute a physical plan on the columnar backend, returning statistics.
+/// Execute a physical plan on the columnar backend, returning statistics
+/// (single-threaded).
 pub fn execute_columnar_with_stats(
     plan: &PhysicalPlan,
     catalog: &Catalog,
 ) -> Result<(Relation, ExecStats)> {
+    execute_columnar_parallel_with_stats(plan, catalog, 1)
+}
+
+/// Execute a physical plan on the columnar backend with the given partition
+/// parallelism (Law 2 / Law 13 partition-parallel kernels for
+/// `parallelism > 1`), returning statistics.
+pub fn execute_columnar_parallel_with_stats(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    parallelism: usize,
+) -> Result<(Relation, ExecStats)> {
     let mut stats = ExecStats::default();
-    let batch = exec_batch(plan, catalog, &mut stats, true)?;
+    let batch = exec_batch(plan, catalog, &mut stats, true, parallelism.max(1))?;
     let relation = batch.to_relation().map_err(ExprError::from)?;
     Ok((relation, stats))
 }
@@ -46,55 +77,91 @@ fn exec_batch(
     catalog: &Catalog,
     stats: &mut ExecStats,
     is_root: bool,
+    parallelism: usize,
 ) -> Result<ColumnarBatch> {
     let batch = match plan {
         PhysicalPlan::TableScan { table } => ColumnarBatch::from_relation(catalog.table(table)?),
         PhysicalPlan::Values { relation } => ColumnarBatch::from_relation(relation),
         PhysicalPlan::Filter { input, predicate } => {
-            let child = exec_batch(input, catalog, stats, false)?;
-            kernels::filter(&child, predicate).map_err(ExprError::from)?
+            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            parallel_filter_batches(&child, predicate, parallelism)?
         }
         PhysicalPlan::Project { input, attributes } => {
-            let child = exec_batch(input, catalog, stats, false)?;
+            let child = exec_batch(input, catalog, stats, false, parallelism)?;
             let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             kernels::project(&child, &refs).map_err(ExprError::from)?
         }
         PhysicalPlan::Rename { input, renames } => {
-            let child = exec_batch(input, catalog, stats, false)?;
+            let child = exec_batch(input, catalog, stats, false, parallelism)?;
             kernels::rename(&child, renames).map_err(ExprError::from)?
         }
         PhysicalPlan::Union { left, right } => {
-            let l = exec_batch(left, catalog, stats, false)?;
-            let r = exec_batch(right, catalog, stats, false)?;
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
             kernels::union(&l, &r).map_err(ExprError::from)?
         }
+        PhysicalPlan::Intersect { left, right } => {
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            kernels::intersect(&l, &r).map_err(ExprError::from)?
+        }
+        PhysicalPlan::Difference { left, right } => {
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            kernels::difference(&l, &r).map_err(ExprError::from)?
+        }
+        PhysicalPlan::CrossProduct { left, right } => {
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            kernels::cross_product(&l, &r).map_err(ExprError::from)?
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let out = parallel_theta_join_batches(&l, &r, predicate, parallelism)?;
+            stats.add_probes(out.probes);
+            out.batch
+        }
         PhysicalPlan::HashJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false)?;
-            let r = exec_batch(right, catalog, stats, false)?;
-            let out = kernels::hash_natural_join(&l, &r).map_err(ExprError::from)?;
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let out = parallel_join_batches(&l, &r, JoinKind::Natural, parallelism)?;
             stats.add_probes(out.probes);
             out.batch
         }
         PhysicalPlan::HashSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false)?;
-            let r = exec_batch(right, catalog, stats, false)?;
-            let out = kernels::hash_semi_join(&l, &r, false).map_err(ExprError::from)?;
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let out = parallel_join_batches(&l, &r, JoinKind::Semi, parallelism)?;
             stats.add_probes(out.probes);
             out.batch
         }
         PhysicalPlan::HashAntiSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false)?;
-            let r = exec_batch(right, catalog, stats, false)?;
-            let out = kernels::hash_semi_join(&l, &r, true).map_err(ExprError::from)?;
+            let l = exec_batch(left, catalog, stats, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let out = parallel_join_batches(&l, &r, JoinKind::Anti, parallelism)?;
             stats.add_probes(out.probes);
             out.batch
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+            kernels::hash_aggregate(&child, &refs, aggregates).map_err(ExprError::from)?
         }
         PhysicalPlan::Divide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, false)?;
-            let v = exec_batch(divisor, catalog, stats, false)?;
-            let out = kernels::hash_divide(&d, &v).map_err(ExprError::from)?;
+            let d = exec_batch(dividend, catalog, stats, false, parallelism)?;
+            let v = exec_batch(divisor, catalog, stats, false, parallelism)?;
+            let out = parallel_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
             stats.record("ColumnarHashDivision", out.batch.num_rows(), false, false);
             out.batch
@@ -102,9 +169,9 @@ fn exec_batch(
         PhysicalPlan::GreatDivide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, false)?;
-            let v = exec_batch(divisor, catalog, stats, false)?;
-            let out = kernels::hash_great_divide(&d, &v).map_err(ExprError::from)?;
+            let d = exec_batch(dividend, catalog, stats, false, parallelism)?;
+            let v = exec_batch(divisor, catalog, stats, false, parallelism)?;
+            let out = parallel_great_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
             stats.record(
                 "ColumnarCountingGreatDivision",
@@ -113,17 +180,6 @@ fn exec_batch(
                 false,
             );
             out.batch
-        }
-        // Not vectorized yet: run the whole subtree on the row executor
-        // (which records its own statistics, including for this node) and
-        // convert the result.
-        PhysicalPlan::Intersect { .. }
-        | PhysicalPlan::Difference { .. }
-        | PhysicalPlan::CrossProduct { .. }
-        | PhysicalPlan::NestedLoopJoin { .. }
-        | PhysicalPlan::HashAggregate { .. } => {
-            let relation = crate::exec::exec_node(plan, catalog, stats, is_root)?;
-            return Ok(ColumnarBatch::from_relation(&relation));
         }
     };
     let is_scan = matches!(
@@ -139,7 +195,7 @@ mod tests {
     use super::*;
     use crate::exec::execute_with_stats;
     use crate::planner::{plan_query, PlannerConfig};
-    use div_algebra::{relation, AggregateCall, Predicate};
+    use div_algebra::{relation, AggregateCall, CompareOp, Predicate};
     use div_expr::{evaluate, PlanBuilder};
 
     fn catalog() -> Catalog {
@@ -181,8 +237,22 @@ mod tests {
     }
 
     #[test]
-    fn fallback_operators_still_execute() {
-        // Aggregation is not vectorized: the subtree runs on the row backend.
+    fn q2_is_partition_count_invariant() {
+        // The Law-2 parallel execution returns the same relation AND the same
+        // statistics accounting for every partition count.
+        let c = catalog();
+        let plan = q2_physical();
+        let (sequential, seq_stats) = execute_columnar_with_stats(&plan, &c).unwrap();
+        for parallelism in [2, 3, 7] {
+            let (result, stats) =
+                execute_columnar_parallel_with_stats(&plan, &c, parallelism).unwrap();
+            assert_eq!(result, sequential, "parallelism = {parallelism}");
+            assert_eq!(stats, seq_stats, "parallelism = {parallelism}");
+        }
+    }
+
+    #[test]
+    fn aggregate_runs_vectorized_and_matches_reference() {
         let c = catalog();
         let logical = PlanBuilder::scan("supplies")
             .group_aggregate(["s#"], [AggregateCall::count("p#", "n")])
@@ -195,19 +265,46 @@ mod tests {
     }
 
     #[test]
-    fn mixed_vectorized_and_fallback_plan() {
-        // Projection (vectorized) over an aggregate (fallback); the whole
-        // aggregate subtree, including the join below it, runs row-at-a-time.
+    fn every_former_fallback_operator_runs_columnar() {
+        // Intersect, difference, cross product, theta-join and aggregation —
+        // the five operators that used to fall back to the row executor — all
+        // match the reference evaluation end to end.
         let c = catalog();
-        let logical = PlanBuilder::scan("supplies")
+        let intersect = PlanBuilder::scan("supplies")
+            .intersect(PlanBuilder::scan("supplies").select(Predicate::cmp_value(
+                "p#",
+                CompareOp::Lt,
+                3,
+            )))
+            .build();
+        let difference = PlanBuilder::scan("supplies")
+            .difference(PlanBuilder::values(relation! { ["s#", "p#"] => [1, 1] }))
+            .build();
+        let product = PlanBuilder::scan("supplies")
+            .rename([("s#", "s"), ("p#", "p")])
+            .product(PlanBuilder::scan("parts").rename([("p#", "q")]))
+            .build();
+        let theta = PlanBuilder::scan("supplies")
+            .rename([("p#", "p")])
+            .theta_join(
+                PlanBuilder::scan("parts").rename([("p#", "q")]),
+                Predicate::cmp_attrs("p", CompareOp::Lt, "q"),
+            )
+            .build();
+        let aggregate = PlanBuilder::scan("supplies")
             .natural_join(PlanBuilder::scan("parts"))
             .group_aggregate(["color"], [AggregateCall::count("s#", "n")])
             .project(["color"])
             .build();
-        let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
-        let expected = evaluate(&logical, &c).unwrap();
-        let (result, _) = execute_columnar_with_stats(&plan, &c).unwrap();
-        assert_eq!(result, expected);
+        for logical in [intersect, difference, product, theta, aggregate] {
+            let plan = plan_query(&logical, &PlannerConfig::default()).unwrap();
+            let expected = evaluate(&logical, &c).unwrap();
+            for parallelism in [1, 4] {
+                let (result, _) =
+                    execute_columnar_parallel_with_stats(&plan, &c, parallelism).unwrap();
+                assert_eq!(result, expected, "parallelism = {parallelism}");
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Physical algorithms for the small divide.
 //!
 //! The paper (Section 1.1, Section 6) refers to the algorithm families studied
-//! by Graefe [14], Graefe & Cole [16] and Rantzau et al. [36]; this module
+//! by Graefe \[14\], Graefe & Cole \[16\] and Rantzau et al. \[36\]; this module
 //! implements one representative of each family plus the negative baseline:
 //!
 //! | Algorithm | Family | Characteristics |

@@ -30,7 +30,8 @@ pub fn execute_with_stats(plan: &PhysicalPlan, catalog: &Catalog) -> Result<(Rel
     execute_on_backend(plan, catalog, ExecutionBackend::RowAtATime)
 }
 
-/// Execute a physical plan on an explicitly chosen backend.
+/// Execute a physical plan on an explicitly chosen backend (single-threaded;
+/// use [`execute_with_config`] to select partition parallelism as well).
 ///
 /// Both backends return identical relations; the statistics differ only in
 /// the backend-internal operator labels (see [`crate::columnar_exec`]).
@@ -51,13 +52,25 @@ pub fn execute_on_backend(
     }
 }
 
-/// Execute a physical plan on the backend the [`PlannerConfig`] selects.
+/// Execute a physical plan on the backend the [`PlannerConfig`] selects,
+/// honoring [`PlannerConfig::parallelism`] on the columnar backend (the row
+/// backend parallelizes at the operator level instead, via
+/// [`crate::parallel`]).
 pub fn execute_with_config(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     config: &PlannerConfig,
 ) -> Result<(Relation, ExecStats)> {
-    execute_on_backend(plan, catalog, config.backend)
+    match config.backend {
+        ExecutionBackend::RowAtATime => {
+            execute_on_backend(plan, catalog, ExecutionBackend::RowAtATime)
+        }
+        ExecutionBackend::Columnar => crate::columnar_exec::execute_columnar_parallel_with_stats(
+            plan,
+            catalog,
+            config.parallelism,
+        ),
+    }
 }
 
 pub(crate) fn exec_node(

@@ -20,17 +20,51 @@
 //!   per-operator row counts and intermediate-result sizes,
 //! * [`planner`] — lowering from [`div_expr::LogicalPlan`] with a configurable
 //!   choice of division/join algorithm,
-//! * [`parallel`] — partition-parallel division following the strategies the
-//!   paper attaches to Law 2 (dividend range partitioning under condition
-//!   `c2`) and Law 13 (divisor hash partitioning on the group attributes `C`),
+//! * [`parallel`] — partition-parallel *row* division following the
+//!   strategies the paper attaches to Law 2 (dividend range partitioning
+//!   under condition `c2`) and Law 13 (divisor hash partitioning on the
+//!   group attributes `C`),
 //! * [`columnar_exec`] — the batch-at-a-time executor over
 //!   [`div_columnar::ColumnarBatch`]es, selected through
-//!   [`planner::ExecutionBackend::Columnar`] and falling back to row
-//!   execution for operators without a vectorized kernel.
+//!   [`planner::ExecutionBackend::Columnar`]; every operator runs on a
+//!   vectorized kernel (no row fallback),
+//! * [`parallel_columnar`] — the same Law 2 / Law 13 partition strategies
+//!   applied to the *columnar* kernels: batches are hash-partitioned and the
+//!   divide/great-divide/join/filter kernels run on crossbeam scoped threads,
+//!   selected through [`planner::PlannerConfig::parallelism`].
 //!
 //! All algorithms are validated against the reference semantics of
 //! [`div_algebra`] by unit tests here and by the cross-crate property tests in
 //! `tests/physical_vs_reference.rs`.
+//!
+//! Running one plan on all three execution strategies:
+//!
+//! ```
+//! use div_expr::{Catalog, PlanBuilder};
+//! use div_physical::{execute_with_config, plan_query, ExecutionBackend, PlannerConfig};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register(
+//!     "supplies",
+//!     div_algebra::relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] },
+//! );
+//! catalog.register("wanted", div_algebra::relation! { ["p#"] => [1], [2] });
+//! let logical = PlanBuilder::scan("supplies")
+//!     .divide(PlanBuilder::scan("wanted"))
+//!     .build();
+//!
+//! let row = PlannerConfig::default(); // row-at-a-time
+//! let columnar = PlannerConfig::with_backend(ExecutionBackend::Columnar);
+//! let parallel = PlannerConfig::with_parallelism(4); // columnar, 4 partitions
+//! let mut results = Vec::new();
+//! for config in [row, columnar, parallel] {
+//!     let plan = plan_query(&logical, &config)?;
+//!     results.push(execute_with_config(&plan, &catalog, &config)?.0);
+//! }
+//! assert_eq!(results[0], results[1]);
+//! assert_eq!(results[1], results[2]);
+//! # Ok::<(), div_expr::ExprError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,11 +74,14 @@ pub mod division;
 pub mod exec;
 pub mod great_divide;
 pub mod parallel;
+pub mod parallel_columnar;
 pub mod plan;
 pub mod planner;
 pub mod stats;
 
-pub use columnar_exec::{execute_columnar, execute_columnar_with_stats};
+pub use columnar_exec::{
+    execute_columnar, execute_columnar_parallel_with_stats, execute_columnar_with_stats,
+};
 pub use division::DivisionAlgorithm;
 pub use exec::{execute, execute_on_backend, execute_with_config, execute_with_stats};
 pub use great_divide::GreatDivideAlgorithm;

@@ -101,6 +101,9 @@ pub fn parallel_divide(
                 .expect("quotient attributes exist"),
         )
     });
+    // The workers never see the plan root, so `merge` cannot learn the final
+    // cardinality; record it here like an executor would for the root node.
+    merged_stats.output_rows = quotient.len();
     Ok((quotient, merged_stats))
 }
 
@@ -163,6 +166,7 @@ pub fn parallel_great_divide(
             .great_divide(&Relation::empty(divisor.schema().clone()))
             .map_err(ExprError::from)?,
     };
+    merged_stats.output_rows = quotient.len();
     Ok((quotient, merged_stats))
 }
 
@@ -248,6 +252,34 @@ mod tests {
             )
             .unwrap();
             assert_eq!(result, expected, "partitions = {partitions}");
+        }
+    }
+
+    #[test]
+    fn merged_stats_keep_per_operator_granularity() {
+        // Worker statistics must merge per-operator maps (summing counts)
+        // rather than dropping them: with the dividend partitioned on the
+        // quotient attributes the per-partition `HashDivision` output rows
+        // sum to exactly the quotient cardinality, and that sum must survive
+        // the merge. The root cardinality is recorded too.
+        let dividend = dividend();
+        let divisor = divisor();
+        let expected = dividend.divide(&divisor).unwrap();
+        for partitions in [1, 3, 4] {
+            let (result, stats) = parallel_divide(
+                &dividend,
+                &divisor,
+                DivisionAlgorithm::HashDivision,
+                partitions,
+            )
+            .unwrap();
+            assert_eq!(result, expected);
+            assert_eq!(
+                stats.rows_per_operator.get("HashDivision").copied(),
+                Some(expected.len()),
+                "partitions = {partitions}: per-operator counts must sum across workers"
+            );
+            assert_eq!(stats.output_rows, expected.len());
         }
     }
 

@@ -1,0 +1,387 @@
+//! Partition-parallel execution of the columnar kernels.
+//!
+//! This is the marriage of the paper's two parallelization laws with the
+//! batch kernels of [`div_columnar`]:
+//!
+//! * **Law 2 + condition `c2`** (Section 5.1.1): [`parallel_divide_batches`]
+//!   hash-partitions the *dividend* on the quotient attributes `A`. The
+//!   partitions' quotient prefixes are disjoint by construction, so each
+//!   partition is divided independently by
+//!   [`kernels::hash_divide`](div_columnar::kernels::hash_divide()) on its own
+//!   thread and the partial quotients are concatenated — the union of Law 2
+//!   degenerates to a concatenation because the partitions cannot produce a
+//!   common quotient row.
+//! * **Law 13** (Section 5.2.1): [`parallel_great_divide_batches`]
+//!   hash-partitions the *divisor* on the group attributes `C` and runs the
+//!   great divide of the shared dividend against every divisor slice
+//!   concurrently. Disjoint `C` partitions cannot produce a common
+//!   `(A, C)` output row, so the merge is again a concatenation.
+//!
+//! The same partition-and-concatenate scheme extends to the other
+//! partitionable kernels: the hash-join family partitions **both** inputs by
+//! the join key ([`parallel_join_batches`]), and filters split their input
+//! into arbitrary row ranges ([`parallel_filter_batches`]) since predicate
+//! evaluation is row-local.
+//!
+//! Worker threads are crossbeam scoped threads (standing in for the query
+//! engine nodes of Section 5.2.1); results are merged in partition order so
+//! the output is deterministic, and probe counts sum over the workers. For
+//! the dividend-partitioned strategies (Law 2, joins, filters) the summed
+//! probes equal the sequential count — partitions see disjoint row sets. For
+//! Law 13 the dividend is *replicated* to every worker, exactly as in the
+//! paper's cluster setup, so total probes grow to
+//! `nonempty_partitions × |dividend|` while wall-clock time drops to roughly
+//! `1/partitions`.
+
+use crate::Result;
+use div_algebra::Predicate;
+use div_columnar::kernels::{self, KernelOutput};
+use div_columnar::partition::{concat_batches, hash_partition, split_even};
+use div_columnar::ColumnarBatch;
+use div_expr::ExprError;
+
+/// The join kinds [`parallel_join_batches`] can partition-parallelize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Hash natural join on all common attributes.
+    Natural,
+    /// Hash left semi-join.
+    Semi,
+    /// Hash left anti-semi-join.
+    Anti,
+}
+
+/// Run `task` over `inputs` on one scoped thread per input, preserving input
+/// order in the output (the join handles are collected in spawn order). The
+/// first worker error (in partition order) wins.
+fn run_partitioned<I, O>(
+    inputs: Vec<I>,
+    task: impl Fn(&I) -> div_columnar::Result<O> + Sync,
+) -> Result<Vec<O>>
+where
+    I: Sync,
+    O: Send,
+{
+    let outcomes: Vec<div_columnar::Result<O>> = crossbeam::scope(|scope| {
+        let task = &task;
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| scope.spawn(move |_| task(input)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| {
+                handle
+                    .join()
+                    .expect("partition worker threads must not panic")
+            })
+            .collect()
+    })
+    .expect("partition scope must not panic");
+    outcomes
+        .into_iter()
+        .map(|outcome| outcome.map_err(ExprError::from))
+        .collect()
+}
+
+/// Merge per-partition kernel outputs: concatenate the batches in partition
+/// order and sum the probe counts. Returns `None` only for an empty output
+/// list, which the partition helpers never produce (partition counts are
+/// clamped to ≥ 1).
+fn merge_outputs(outputs: Vec<KernelOutput>) -> Option<KernelOutput> {
+    let probes = outputs.iter().map(|o| o.probes).sum();
+    let batches: Vec<ColumnarBatch> = outputs.into_iter().map(|o| o.batch).collect();
+    concat_batches(&batches).map(|batch| KernelOutput { batch, probes })
+}
+
+/// Law 2 (under condition `c2`): hash-partition the dividend on the quotient
+/// attributes and divide every partition concurrently.
+///
+/// Matches [`kernels::hash_divide`] output exactly for every partition
+/// count, including the empty-divisor case (where the per-partition
+/// projections concatenate to the full projection).
+pub fn parallel_divide_batches(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    partitions: usize,
+) -> Result<KernelOutput> {
+    if partitions <= 1 {
+        return kernels::hash_divide(dividend, divisor).map_err(ExprError::from);
+    }
+    // The quotient attributes A = sch(dividend) − sch(divisor). When the
+    // operands do not form a valid division the sequential kernel is the
+    // error-reporting path.
+    let quotient = dividend.schema().difference_attributes(divisor.schema());
+    if quotient.is_empty() {
+        return kernels::hash_divide(dividend, divisor).map_err(ExprError::from);
+    }
+    let quotient_refs: Vec<&str> = quotient.iter().map(String::as_str).collect();
+    let key = dividend
+        .projection_indices(&quotient_refs)
+        .map_err(ExprError::from)?;
+    let parts = hash_partition(dividend, &key, partitions);
+    let outputs = run_partitioned(parts, |part| kernels::hash_divide(part, divisor))?;
+    Ok(merge_outputs(outputs).expect("at least one partition"))
+}
+
+/// Law 13: hash-partition the divisor on the group attributes `C` and run
+/// the great divide of the shared dividend against every slice concurrently.
+///
+/// With no group attributes the operator degenerates to the small divide
+/// (Darwen & Date), so the dividend-partitioned strategy of Law 2 applies
+/// instead — mirroring the row-level
+/// [`parallel_great_divide`](crate::parallel::parallel_great_divide).
+pub fn parallel_great_divide_batches(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    partitions: usize,
+) -> Result<KernelOutput> {
+    if partitions <= 1 {
+        return kernels::hash_great_divide(dividend, divisor).map_err(ExprError::from);
+    }
+    let group = divisor.schema().difference_attributes(dividend.schema());
+    if group.is_empty() {
+        return parallel_divide_batches(dividend, divisor, partitions);
+    }
+    let group_refs: Vec<&str> = group.iter().map(String::as_str).collect();
+    let key = divisor
+        .projection_indices(&group_refs)
+        .map_err(ExprError::from)?;
+    // Drop empty divisor slices (a slice with no groups contributes nothing
+    // but would still scan the whole replicated dividend), keeping one so the
+    // empty-divisor case still produces the right schema. Probes therefore
+    // sum to `nonempty_partitions × |dividend|`.
+    let mut parts = hash_partition(divisor, &key, partitions);
+    parts.retain(|part| part.num_rows() > 0);
+    if parts.is_empty() {
+        parts.push(divisor.clone());
+    }
+    let outputs = run_partitioned(parts, |part| kernels::hash_great_divide(dividend, part))?;
+    Ok(merge_outputs(outputs).expect("at least one partition"))
+}
+
+/// Partition-parallel hash join: both inputs are hash-partitioned on the
+/// common attributes, the per-partition joins run concurrently, and the
+/// results concatenate (bucket `i` of the left can only match bucket `i` of
+/// the right, so the merge needs no deduplication).
+///
+/// With no common attributes every row hashes to the same bucket and the
+/// join runs sequentially in one worker — still correct, like the sequential
+/// kernel.
+pub fn parallel_join_batches(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    kind: JoinKind,
+    partitions: usize,
+) -> Result<KernelOutput> {
+    let join = move |l: &ColumnarBatch, r: &ColumnarBatch| match kind {
+        JoinKind::Natural => kernels::hash_natural_join(l, r),
+        JoinKind::Semi => kernels::hash_semi_join(l, r, false),
+        JoinKind::Anti => kernels::hash_semi_join(l, r, true),
+    };
+    if partitions <= 1 {
+        return join(left, right).map_err(ExprError::from);
+    }
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let right_key = right
+        .projection_indices(&common_refs)
+        .map_err(ExprError::from)?;
+    let left_parts = hash_partition(left, &left_key, partitions);
+    let right_parts = hash_partition(right, &right_key, partitions);
+    let pairs: Vec<(ColumnarBatch, ColumnarBatch)> =
+        left_parts.into_iter().zip(right_parts).collect();
+    let outputs = run_partitioned(pairs, |(l, r)| join(l, r))?;
+    Ok(merge_outputs(outputs).expect("at least one partition"))
+}
+
+/// Partition-parallel filter: the input splits into contiguous row ranges,
+/// each range is filtered concurrently, and the surviving rows concatenate
+/// in input order (so the result is byte-identical to the sequential
+/// kernel's).
+pub fn parallel_filter_batches(
+    batch: &ColumnarBatch,
+    predicate: &Predicate,
+    partitions: usize,
+) -> Result<ColumnarBatch> {
+    if partitions <= 1 {
+        return kernels::filter(batch, predicate).map_err(ExprError::from);
+    }
+    let parts = split_even(batch, partitions);
+    let outputs = run_partitioned(parts, |part| kernels::filter(part, predicate))?;
+    Ok(concat_batches(&outputs).expect("at least one partition"))
+}
+
+/// Partition-parallel theta-join: the left input splits into contiguous row
+/// ranges, each range is theta-joined against the full right input
+/// concurrently. Probes sum to `|left| · |right|` like the sequential
+/// kernel.
+pub fn parallel_theta_join_batches(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    predicate: &Predicate,
+    partitions: usize,
+) -> Result<KernelOutput> {
+    if partitions <= 1 {
+        return kernels::theta_join(left, right, predicate).map_err(ExprError::from);
+    }
+    let parts = split_even(left, partitions);
+    let outputs = run_partitioned(parts, |part| kernels::theta_join(part, right, predicate))?;
+    Ok(merge_outputs(outputs).expect("at least one partition"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::{relation, CompareOp, Relation};
+
+    fn dividend() -> Relation {
+        let mut rows = Vec::new();
+        for a in 0..40i64 {
+            for b in 0..6i64 {
+                if a % 3 == 0 || b % 2 == 0 {
+                    rows.push(vec![a, b]);
+                }
+            }
+        }
+        Relation::from_rows(["a", "b"], rows).unwrap()
+    }
+
+    fn group_divisor() -> Relation {
+        let mut rows = Vec::new();
+        for c in 0..8i64 {
+            for b in 0..6i64 {
+                if b <= c % 6 {
+                    rows.push(vec![b, c]);
+                }
+            }
+        }
+        Relation::from_rows(["b", "c"], rows).unwrap()
+    }
+
+    #[test]
+    fn parallel_divide_matches_sequential_for_all_partition_counts() {
+        let dividend = ColumnarBatch::from_relation(&dividend());
+        let divisor = ColumnarBatch::from_relation(&relation! { ["b"] => [0], [2], [4] });
+        let sequential = kernels::hash_divide(&dividend, &divisor).unwrap();
+        for partitions in [1, 2, 4, 7, 16] {
+            let parallel = parallel_divide_batches(&dividend, &divisor, partitions).unwrap();
+            assert_eq!(
+                parallel.batch.to_relation().unwrap(),
+                sequential.batch.to_relation().unwrap(),
+                "partitions = {partitions}"
+            );
+            assert_eq!(
+                parallel.probes, sequential.probes,
+                "probes are partition-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_divide_handles_the_empty_divisor() {
+        let dividend = ColumnarBatch::from_relation(&dividend());
+        let divisor = ColumnarBatch::empty(div_algebra::Schema::of(["b"]));
+        let sequential = kernels::hash_divide(&dividend, &divisor).unwrap();
+        let parallel = parallel_divide_batches(&dividend, &divisor, 4).unwrap();
+        assert_eq!(
+            parallel.batch.to_relation().unwrap(),
+            sequential.batch.to_relation().unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_great_divide_matches_sequential() {
+        let dividend = ColumnarBatch::from_relation(&dividend());
+        let divisor = ColumnarBatch::from_relation(&group_divisor());
+        let sequential = kernels::hash_great_divide(&dividend, &divisor).unwrap();
+        for partitions in [1, 2, 4, 7] {
+            let parallel = parallel_great_divide_batches(&dividend, &divisor, partitions).unwrap();
+            assert_eq!(
+                parallel.batch.to_relation().unwrap(),
+                sequential.batch.to_relation().unwrap(),
+                "partitions = {partitions}"
+            );
+            // Law 13 replicates the dividend to every worker with a nonempty
+            // divisor slice, so the summed probe work grows linearly with
+            // the number of occupied partitions (empty slices are skipped).
+            assert_eq!(parallel.probes % sequential.probes, 0);
+            assert!(parallel.probes >= sequential.probes);
+            assert!(parallel.probes <= partitions * sequential.probes);
+        }
+    }
+
+    #[test]
+    fn parallel_great_divide_degenerates_to_the_small_divide() {
+        let dividend = ColumnarBatch::from_relation(&dividend());
+        let divisor = ColumnarBatch::from_relation(&relation! { ["b"] => [0], [2] });
+        let parallel = parallel_great_divide_batches(&dividend, &divisor, 3).unwrap();
+        let sequential = kernels::hash_divide(&dividend, &divisor).unwrap();
+        assert_eq!(
+            parallel.batch.to_relation().unwrap(),
+            sequential.batch.to_relation().unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_joins_match_sequential() {
+        let left = ColumnarBatch::from_relation(&dividend());
+        let right = ColumnarBatch::from_relation(&relation! {
+            ["b", "tag"] => [0, "x"], [1, "y"], [2, "x"], [9, "z"]
+        });
+        for kind in [JoinKind::Natural, JoinKind::Semi, JoinKind::Anti] {
+            let sequential = parallel_join_batches(&left, &right, kind, 1).unwrap();
+            for partitions in [2, 4, 7] {
+                let parallel = parallel_join_batches(&left, &right, kind, partitions).unwrap();
+                assert_eq!(
+                    parallel.batch.to_relation().unwrap(),
+                    sequential.batch.to_relation().unwrap(),
+                    "kind {kind:?}, partitions = {partitions}"
+                );
+                assert_eq!(parallel.probes, sequential.probes, "kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_filter_is_byte_identical_to_sequential() {
+        let batch = ColumnarBatch::from_relation(&dividend());
+        let predicate = div_algebra::Predicate::cmp_value("a", CompareOp::Lt, 17)
+            .or(Predicate::eq_value("b", 3));
+        let sequential = kernels::filter(&batch, &predicate).unwrap();
+        for partitions in [2, 3, 7, 64] {
+            let parallel = parallel_filter_batches(&batch, &predicate, partitions).unwrap();
+            assert_eq!(parallel, sequential, "partitions = {partitions}");
+        }
+    }
+
+    #[test]
+    fn parallel_theta_join_matches_sequential() {
+        let left =
+            ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 10], [2, 20], [3, 30] });
+        let right = ColumnarBatch::from_relation(&relation! { ["c"] => [15], [25] });
+        let predicate = Predicate::cmp_attrs("b", CompareOp::Gt, "c");
+        let sequential = kernels::theta_join(&left, &right, &predicate).unwrap();
+        for partitions in [2, 5] {
+            let parallel =
+                parallel_theta_join_batches(&left, &right, &predicate, partitions).unwrap();
+            assert_eq!(
+                parallel.batch.to_relation().unwrap(),
+                sequential.batch.to_relation().unwrap()
+            );
+            assert_eq!(parallel.probes, sequential.probes);
+        }
+    }
+
+    #[test]
+    fn worker_errors_propagate() {
+        let dividend = ColumnarBatch::from_relation(&dividend());
+        let bad_divisor = ColumnarBatch::from_relation(&relation! { ["zz"] => [1] });
+        assert!(parallel_divide_batches(&dividend, &bad_divisor, 4).is_err());
+        let bad = Predicate::eq_value("nope", 1);
+        assert!(parallel_filter_batches(&dividend, &bad, 4).is_err());
+    }
+}

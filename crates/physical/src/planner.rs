@@ -18,11 +18,10 @@ use div_expr::LogicalPlan;
 /// The physical plan tree is backend-neutral; the backend decides *how* each
 /// operator is evaluated. [`ExecutionBackend::RowAtATime`] is the original
 /// tuple-materializing executor of [`crate::exec`];
-/// [`ExecutionBackend::Columnar`] routes vectorizable operators (scan,
-/// filter, project, rename, union, hash joins, small and great divide)
-/// through the batch kernels of [`div_columnar`] and falls back to row
-/// execution for the rest. Both backends produce identical relations and
-/// compatible [`crate::ExecStats`].
+/// [`ExecutionBackend::Columnar`] routes **every** operator through the
+/// batch kernels of [`div_columnar`] (optionally partition-parallel, see
+/// [`PlannerConfig::parallelism`]). Both backends produce identical
+/// relations and compatible [`crate::ExecStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecutionBackend {
     /// Tuple-at-a-time execution over materialized [`div_algebra::Relation`]s.
@@ -56,6 +55,12 @@ pub struct PlannerConfig {
     /// Executor the plan is intended to run on (consumed by
     /// [`crate::exec::execute_with_config`]).
     pub backend: ExecutionBackend,
+    /// Partition count for the partition-parallel columnar kernels (Law 2
+    /// partitions the dividend on the quotient attributes, Law 13 the
+    /// divisor groups; filters and hash joins partition likewise). `1` (the
+    /// default) executes single-threaded; the value is clamped to ≥ 1. Only
+    /// consulted by [`ExecutionBackend::Columnar`].
+    pub parallelism: usize,
 }
 
 impl Default for PlannerConfig {
@@ -64,6 +69,7 @@ impl Default for PlannerConfig {
             division_algorithm: DivisionAlgorithm::HashDivision,
             great_divide_algorithm: GreatDivideAlgorithm::HashSets,
             backend: ExecutionBackend::RowAtATime,
+            parallelism: 1,
         }
     }
 }
@@ -96,6 +102,19 @@ impl PlannerConfig {
     /// This configuration with the backend replaced.
     pub fn backend(mut self, backend: ExecutionBackend) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Default configuration running the columnar backend with the given
+    /// partition parallelism.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        PlannerConfig::with_backend(ExecutionBackend::Columnar).parallelism(parallelism)
+    }
+
+    /// This configuration with the partition parallelism replaced (clamped
+    /// to ≥ 1).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
         self
     }
 }

@@ -59,7 +59,7 @@ pub fn c1(r1_prime: &Relation, r1_double: &Relation, r2: &Relation) -> Result<bo
 ///
 /// The paper notes that `c2 ⇒ c1` and that `c2` is what an RDBMS would check
 /// in practice (e.g. for range-partitioned scans); see also
-/// [`c2_implies_c1`] in the tests.
+/// `c2_implies_c1` in the tests.
 pub fn c2(r1_prime: &Relation, r1_double: &Relation, r2: &Relation) -> Result<bool, AlgebraError> {
     let attrs = r1_prime.division_attributes(r2)?;
     let a_refs: Vec<&str> = attrs.quotient.iter().map(String::as_str).collect();

@@ -14,10 +14,10 @@
 //! (including derived tables and `NOT EXISTS` subqueries), and a translator to
 //! [`div_expr::LogicalPlan`]s:
 //!
-//! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`]
+//! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`](div_expr::LogicalPlan::SmallDivide)
 //!   when every divisor attribute appears in the `ON` clause as a conjunction
 //!   of equi-joins (the rule stated in Section 4), and a
-//!   [`LogicalPlan::GreatDivide`] otherwise;
+//!   [`LogicalPlan::GreatDivide`](div_expr::LogicalPlan::GreatDivide) otherwise;
 //! * the double-`NOT EXISTS` formulation of universal quantification (query
 //!   Q3) is *detected* and rewritten into a great divide — the rewrite the
 //!   paper describes as hard for general optimizers and therefore a major

@@ -2,11 +2,19 @@
 //!
 //! The paper's pipeline in one call: a `DIVIDE BY … ON` query string goes
 //! through the parser and the logical translator of this crate, the physical
-//! planner of `div-physical`, and finally one of the two execution backends
-//! ([`ExecutionBackend::RowAtATime`] or [`ExecutionBackend::Columnar`]),
-//! chosen by the [`PlannerConfig`]. Both backends return identical relations;
-//! sweeping the backend (and the division algorithms) over the same SQL text
-//! is how the benchmarks compare executor architectures end to end.
+//! planner of `div-physical`, and finally one of the execution strategies
+//! chosen by the [`PlannerConfig`]: the row-at-a-time executor
+//! (`ExecutionBackend::RowAtATime`), the single-threaded columnar executor
+//! (`ExecutionBackend::Columnar`), or the partition-parallel columnar
+//! executor (`ExecutionBackend::Columnar` with
+//! [`PlannerConfig::parallelism`]` > 1`, following the paper's Law 2 /
+//! Law 13 parallelization strategies). All strategies return identical
+//! relations; sweeping the backend, the parallelism and the division
+//! algorithms over the same SQL text is how the benchmarks compare executor
+//! architectures end to end.
+//!
+//! [`ExecutionBackend::RowAtATime`]: div_physical::ExecutionBackend::RowAtATime
+//! [`ExecutionBackend::Columnar`]: div_physical::ExecutionBackend::Columnar
 
 use crate::{parse_query, translate_query};
 use div_algebra::Relation;
@@ -64,6 +72,21 @@ mod tests {
             let (result, stats) = run_query(Q2, &c, &config).unwrap();
             assert_eq!(result, expected, "backend {}", backend.name());
             assert_eq!(stats.output_rows, 2, "backend {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn q2_runs_identically_on_the_parallel_columnar_backend() {
+        // SQL to result over the Law-2 partition-parallel columnar executor:
+        // same bytes for every partition count.
+        let c = catalog();
+        let expected = relation! { ["s#"] => [1], [2] };
+        for parallelism in [2, 4, 7] {
+            let config = PlannerConfig::with_parallelism(parallelism);
+            let (result, stats) = run_query(Q2, &c, &config).unwrap();
+            assert_eq!(result, expected, "parallelism {parallelism}");
+            assert_eq!(stats.output_rows, 2);
+            assert!(stats.rows_per_operator.contains_key("ColumnarHashDivision"));
         }
     }
 

@@ -1,6 +1,7 @@
-//! Side-by-side comparison of the row and columnar execution backends on the
-//! paper's Example-3 query `(r*1 ⋈_{b1<b2} r**1) ÷ r2` (Figure 9) and on the
-//! generated suppliers-parts query Q2.
+//! Side-by-side comparison of the execution strategies — row, columnar, and
+//! Law 2/13 partition-parallel columnar — on the paper's Example-3 query
+//! `(r*1 ⋈_{b1<b2} r**1) ÷ r2` (Figure 9) and on the generated
+//! suppliers-parts query Q2.
 //!
 //! Run with `cargo run --release --example columnar_backend`.
 
@@ -34,17 +35,25 @@ fn run_side_by_side(name: &str, plan: &div_physical::PhysicalPlan, catalog: &Cat
     println!("\n=== {name} ===");
     println!("{plan}");
     println!(
-        "{:<10} {:>9} {:>12} {:>10} {:>17} {:>10}",
-        "backend", "rows", "scanned", "probes", "max_intermediate", "time"
+        "{:<12} {:>9} {:>12} {:>10} {:>17} {:>10}",
+        "strategy", "rows", "scanned", "probes", "max_intermediate", "time"
     );
+    let strategies = [
+        ("row", PlannerConfig::default()),
+        (
+            "columnar",
+            PlannerConfig::with_backend(ExecutionBackend::Columnar),
+        ),
+        ("columnar-p4", PlannerConfig::with_parallelism(4)),
+    ];
     let mut results = Vec::new();
-    for backend in ExecutionBackend::ALL {
+    for (name, config) in strategies {
         let start = Instant::now();
-        let (result, stats) = execute_on_backend(plan, catalog, backend).expect("plan executes");
+        let (result, stats) = execute_with_config(plan, catalog, &config).expect("plan executes");
         let elapsed = start.elapsed();
         println!(
-            "{:<10} {:>9} {:>12} {:>10} {:>17} {:>10.2?}",
-            backend.name(),
+            "{:<12} {:>9} {:>12} {:>10} {:>17} {:>10.2?}",
+            name,
             stats.output_rows,
             stats.rows_scanned,
             stats.probes,
@@ -55,15 +64,14 @@ fn run_side_by_side(name: &str, plan: &div_physical::PhysicalPlan, catalog: &Cat
     }
     assert!(
         results.windows(2).all(|w| w[0] == w[1]),
-        "backends must agree"
+        "strategies must agree"
     );
-    println!("backends agree on all {} result rows", results[0].len());
+    println!("strategies agree on all {} result rows", results[0].len());
 }
 
 fn main() {
-    // Example 3 (Figure 9): the dividend contains a theta-join, which the
-    // columnar backend runs through its row fallback, while the division on
-    // top runs vectorized.
+    // Example 3 (Figure 9): the dividend contains a theta-join; both it and
+    // the division on top run vectorized (and partitioned when parallel).
     let catalog = example3_catalog(2_000);
     let example3 = PlanBuilder::scan("r_star")
         .theta_join(

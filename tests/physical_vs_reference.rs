@@ -1,7 +1,9 @@
 //! Property tests: every physical division / great-divide algorithm (and the
 //! partition-parallel executions) agrees with the reference set semantics of
-//! `div-algebra` on random inputs, and the columnar execution backend agrees
-//! with the row backend on every plan shape tested here.
+//! `div-algebra` on random inputs, and all execution strategies — row,
+//! columnar, and partition-parallel columnar at several partition counts —
+//! return byte-identical relations with consistent `ExecStats` row
+//! accounting on every plan shape tested here.
 
 use div_columnar::ColumnarBatch;
 use div_physical::division::{divide_with, DivisionAlgorithm};
@@ -10,6 +12,21 @@ use div_physical::parallel::{parallel_divide, parallel_great_divide};
 use div_physical::{execute_on_backend, ExecStats, PhysicalPlan};
 use division::prelude::*;
 use proptest::prelude::*;
+
+/// The execution strategies the differential tests sweep: the row backend,
+/// the single-threaded columnar backend, and the Law 2 / Law 13
+/// partition-parallel columnar backend at 2 and 7 partitions.
+fn execution_configs() -> Vec<(&'static str, PlannerConfig)> {
+    vec![
+        ("row", PlannerConfig::default()),
+        (
+            "columnar",
+            PlannerConfig::with_backend(ExecutionBackend::Columnar),
+        ),
+        ("parallel-columnar/2", PlannerConfig::with_parallelism(2)),
+        ("parallel-columnar/7", PlannerConfig::with_parallelism(7)),
+    ]
+}
 
 fn ab_pairs(max_rows: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
     prop::collection::vec((0..8i64, 0..6i64), 0..max_rows)
@@ -174,8 +191,9 @@ proptest! {
 }
 
 /// The plan shapes the backend-differential property sweeps: one per
-/// vectorized operator family, plus plans mixing vectorized and fallback
-/// operators.
+/// vectorized operator family — the original seven, plus shapes centered on
+/// the five operators that used to fall back to the row executor
+/// (intersection, difference, Cartesian product, theta-join, aggregation).
 fn differential_plans() -> Vec<PhysicalPlan> {
     let q2 = PlanBuilder::scan("supplies")
         .divide(PlanBuilder::scan("wanted"))
@@ -196,8 +214,6 @@ fn differential_plans() -> Vec<PhysicalPlan> {
         .semi_join(PlanBuilder::scan("wanted"))
         .union(PlanBuilder::scan("supplies").anti_semi_join(PlanBuilder::scan("wanted")))
         .build();
-    // Mixed vectorized/fallback: aggregation (fallback) under a projection
-    // (vectorized), renames on both sides of a difference (fallback).
     let aggregate = PlanBuilder::scan("supplies")
         .group_aggregate(["s#"], [AggregateCall::count("p#", "n")])
         .project(["s#"])
@@ -210,6 +226,32 @@ fn differential_plans() -> Vec<PhysicalPlan> {
                 .select(Predicate::cmp_value("x", CompareOp::GtEq, 3)),
         )
         .build();
+    let intersect = PlanBuilder::scan("supplies")
+        .intersect(PlanBuilder::scan("supplies").select(Predicate::cmp_value(
+            "p#",
+            CompareOp::Lt,
+            3,
+        )))
+        .build();
+    let product = PlanBuilder::scan("wanted")
+        .rename([("p#", "x")])
+        .product(PlanBuilder::scan("wanted").rename([("p#", "y")]))
+        .build();
+    let theta = PlanBuilder::scan("supplies")
+        .theta_join(
+            PlanBuilder::scan("wanted").rename([("p#", "w")]),
+            Predicate::cmp_attrs("p#", CompareOp::LtEq, "w"),
+        )
+        .build();
+    let sum_per_group = PlanBuilder::scan("supplies")
+        .group_aggregate(
+            ["s#"],
+            [
+                AggregateCall::count("p#", "n"),
+                AggregateCall::sum("p#", "total"),
+            ],
+        )
+        .build();
     [
         q2,
         filtered_divide,
@@ -218,28 +260,34 @@ fn differential_plans() -> Vec<PhysicalPlan> {
         semi_union,
         aggregate,
         difference,
+        intersect,
+        product,
+        theta,
+        sum_per_group,
     ]
     .into_iter()
     .map(|logical| plan_query(&logical, &PlannerConfig::default()).unwrap())
     .collect()
 }
 
-/// Execute `plan` on both backends and assert identical results and
-/// compatible reported output cardinalities.
+/// Execute `plan` on every execution strategy of [`execution_configs`] and
+/// assert byte-identical relations and consistent `ExecStats` row accounting
+/// (output cardinality and scanned rows are strategy-independent).
 fn assert_backends_agree(physical: &PhysicalPlan, catalog: &Catalog) {
     let (row_result, row_stats) =
         execute_on_backend(physical, catalog, ExecutionBackend::RowAtATime).unwrap();
-    let (col_result, col_stats) =
-        execute_on_backend(physical, catalog, ExecutionBackend::Columnar).unwrap();
-    assert_eq!(col_result, row_result, "plan:\n{physical}");
-    assert_eq!(
-        col_stats.output_rows, row_stats.output_rows,
-        "output_rows diverge on plan:\n{physical}"
-    );
-    assert_eq!(
-        col_stats.rows_scanned, row_stats.rows_scanned,
-        "rows_scanned diverge on plan:\n{physical}"
-    );
+    for (name, config) in execution_configs() {
+        let (result, stats) = execute_with_config(physical, catalog, &config).unwrap();
+        assert_eq!(result, row_result, "{name} diverges on plan:\n{physical}");
+        assert_eq!(
+            stats.output_rows, row_stats.output_rows,
+            "{name}: output_rows diverge on plan:\n{physical}"
+        );
+        assert_eq!(
+            stats.rows_scanned, row_stats.rows_scanned,
+            "{name}: rows_scanned diverge on plan:\n{physical}"
+        );
+    }
 }
 
 #[test]
@@ -324,6 +372,50 @@ fn backends_agree_on_the_suppliers_parts_generator() {
         .build();
     let physical = plan_query(&logical, &PlannerConfig::default()).unwrap();
     assert_backends_agree(&physical, &catalog);
+}
+
+#[test]
+fn all_strategies_agree_on_skewed_zipf_baskets() {
+    // Skewed market baskets from `div-datagen` (Zipf item popularity,
+    // s = 1.3): a handful of hot items dominate the dividend, so the Law 2
+    // quotient-attribute partitions and the Law 13 divisor-group partitions
+    // are heavily imbalanced — exactly the adversarial case for the
+    // partition-parallel merge. Every strategy must still return the same
+    // bytes and the same row accounting.
+    use division::datagen::baskets::{self, candidates_relation};
+    use division::datagen::BasketConfig;
+
+    let data = baskets::generate(&BasketConfig {
+        transactions: 300,
+        items: 40,
+        avg_length: 6,
+        skew: 1.3,
+        planted_probability: 0.35,
+        seed: 20_260_728,
+        ..BasketConfig::default()
+    });
+    let mut catalog = Catalog::new();
+    catalog.register("transactions", data.transactions);
+    catalog.register("candidates", candidates_relation(&data.planted));
+
+    // Law 13 workload: transactions ÷* candidates (which transactions
+    // contain which candidate itemsets).
+    let law13 = PlanBuilder::scan("transactions")
+        .great_divide(PlanBuilder::scan("candidates"))
+        .build();
+    // Law 2 workload: transactions ÷ (one candidate itemset), dividend
+    // partitioned on the quotient attribute `tid`.
+    let law2 = PlanBuilder::scan("transactions")
+        .divide(
+            PlanBuilder::scan("candidates")
+                .select(Predicate::eq_value("itemset", 0))
+                .project(["item"]),
+        )
+        .build();
+    for logical in [law13, law2] {
+        let physical = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        assert_backends_agree(&physical, &catalog);
+    }
 }
 
 /// Local copy of the bench workload shape (kept independent of the bench
