@@ -60,6 +60,12 @@ pub enum AlgebraError {
         /// Human-readable description.
         reason: String,
     },
+    /// A predicate containing a `$name` parameter placeholder was evaluated
+    /// before the parameter was bound to a concrete value.
+    UnboundParameter {
+        /// Name of the unbound parameter (without the `$` sigil).
+        parameter: String,
+    },
 }
 
 impl fmt::Display for AlgebraError {
@@ -94,6 +100,10 @@ impl fmt::Display for AlgebraError {
                 write!(f, "invalid aggregate: {reason}")
             }
             AlgebraError::TypeError { reason } => write!(f, "type error: {reason}"),
+            AlgebraError::UnboundParameter { parameter } => write!(
+                f,
+                "unbound parameter `${parameter}`: bind a value before evaluating the predicate"
+            ),
         }
     }
 }

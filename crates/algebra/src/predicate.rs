@@ -7,7 +7,7 @@
 //! the `¬p(B)` needed by Example 1.
 
 use crate::{AlgebraError, Result, Schema, Tuple, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// Comparison operators usable in predicates.
@@ -120,6 +120,21 @@ pub enum Predicate {
         /// Right attribute name.
         right: String,
     },
+    /// Compare an attribute with a named `$parameter` placeholder.
+    ///
+    /// Placeholders come from prepared SQL statements: the plan is compiled
+    /// and optimized once with the placeholder in place, then
+    /// [`Predicate::bind_parameters`] substitutes a concrete value before
+    /// every execution. Evaluating an unbound placeholder is an
+    /// [`AlgebraError::UnboundParameter`] error.
+    CompareParameter {
+        /// Attribute name.
+        attribute: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Parameter name (without the `$` sigil).
+        parameter: String,
+    },
     /// Conjunction.
     And(Box<Predicate>, Box<Predicate>),
     /// Disjunction.
@@ -157,6 +172,20 @@ impl Predicate {
         Self::cmp_attrs(left, CompareOp::Eq, right)
     }
 
+    /// `attribute op $parameter` — a placeholder bound later via
+    /// [`Predicate::bind_parameters`].
+    pub fn cmp_param(
+        attribute: impl Into<String>,
+        op: CompareOp,
+        parameter: impl Into<String>,
+    ) -> Self {
+        Predicate::CompareParameter {
+            attribute: attribute.into(),
+            op,
+            parameter: parameter.into(),
+        }
+    }
+
     /// Conjunction of two predicates.
     pub fn and(self, other: Predicate) -> Self {
         Predicate::And(Box::new(self), Box::new(other))
@@ -186,6 +215,15 @@ impl Predicate {
                 left: left.clone(),
                 op: op.negate(),
                 right: right.clone(),
+            },
+            Predicate::CompareParameter {
+                attribute,
+                op,
+                parameter,
+            } => Predicate::CompareParameter {
+                attribute: attribute.clone(),
+                op: op.negate(),
+                parameter: parameter.clone(),
             },
             Predicate::Not(inner) => (**inner).clone(),
             // De Morgan, keeping the tree small.
@@ -221,6 +259,9 @@ impl Predicate {
                 let ri = schema.require(right)?;
                 op.eval(&tuple.values()[li], &tuple.values()[ri])
             }
+            Predicate::CompareParameter { parameter, .. } => Err(AlgebraError::UnboundParameter {
+                parameter: parameter.clone(),
+            }),
             Predicate::And(l, r) => Ok(l.eval(schema, tuple)? && r.eval(schema, tuple)?),
             Predicate::Or(l, r) => Ok(l.eval(schema, tuple)? || r.eval(schema, tuple)?),
             Predicate::Not(inner) => Ok(!inner.eval(schema, tuple)?),
@@ -241,7 +282,8 @@ impl Predicate {
     fn collect_attributes(&self, out: &mut BTreeSet<String>) {
         match self {
             Predicate::True | Predicate::False => {}
-            Predicate::CompareValue { attribute, .. } => {
+            Predicate::CompareValue { attribute, .. }
+            | Predicate::CompareParameter { attribute, .. } => {
                 out.insert(attribute.clone());
             }
             Predicate::CompareAttributes { left, right, .. } => {
@@ -284,6 +326,15 @@ impl Predicate {
                 op: *op,
                 right: f(right),
             },
+            Predicate::CompareParameter {
+                attribute,
+                op,
+                parameter,
+            } => Predicate::CompareParameter {
+                attribute: f(attribute),
+                op: *op,
+                parameter: parameter.clone(),
+            },
             Predicate::And(l, r) => {
                 Predicate::And(Box::new(l.map_attributes(f)), Box::new(r.map_attributes(f)))
             }
@@ -305,6 +356,76 @@ impl Predicate {
                 out
             }
             other => vec![other],
+        }
+    }
+
+    /// The set of `$parameter` names this predicate still needs bound.
+    pub fn parameters(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_parameters(&mut out);
+        out
+    }
+
+    fn collect_parameters(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Predicate::True
+            | Predicate::False
+            | Predicate::CompareValue { .. }
+            | Predicate::CompareAttributes { .. } => {}
+            Predicate::CompareParameter { parameter, .. } => {
+                out.insert(parameter.clone());
+            }
+            Predicate::And(l, r) | Predicate::Or(l, r) => {
+                l.collect_parameters(out);
+                r.collect_parameters(out);
+            }
+            Predicate::Not(inner) => inner.collect_parameters(out),
+        }
+    }
+
+    /// `true` when the predicate contains at least one unbound `$parameter`.
+    pub fn has_parameters(&self) -> bool {
+        match self {
+            Predicate::True
+            | Predicate::False
+            | Predicate::CompareValue { .. }
+            | Predicate::CompareAttributes { .. } => false,
+            Predicate::CompareParameter { .. } => true,
+            Predicate::And(l, r) | Predicate::Or(l, r) => l.has_parameters() || r.has_parameters(),
+            Predicate::Not(inner) => inner.has_parameters(),
+        }
+    }
+
+    /// Substitute every `$parameter` placeholder whose name appears in
+    /// `bindings` with the bound constant, turning it into an ordinary
+    /// [`Predicate::CompareValue`]. Placeholders without a binding are left
+    /// in place (the caller decides whether that is an error).
+    pub fn bind_parameters(&self, bindings: &BTreeMap<String, Value>) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::False => Predicate::False,
+            Predicate::CompareValue { .. } | Predicate::CompareAttributes { .. } => self.clone(),
+            Predicate::CompareParameter {
+                attribute,
+                op,
+                parameter,
+            } => match bindings.get(parameter) {
+                Some(value) => Predicate::CompareValue {
+                    attribute: attribute.clone(),
+                    op: *op,
+                    value: value.clone(),
+                },
+                None => self.clone(),
+            },
+            Predicate::And(l, r) => Predicate::And(
+                Box::new(l.bind_parameters(bindings)),
+                Box::new(r.bind_parameters(bindings)),
+            ),
+            Predicate::Or(l, r) => Predicate::Or(
+                Box::new(l.bind_parameters(bindings)),
+                Box::new(r.bind_parameters(bindings)),
+            ),
+            Predicate::Not(inner) => Predicate::Not(Box::new(inner.bind_parameters(bindings))),
         }
     }
 
@@ -340,6 +461,11 @@ impl fmt::Display for Predicate {
             Predicate::CompareAttributes { left, op, right } => {
                 write!(f, "{left} {op} {right}")
             }
+            Predicate::CompareParameter {
+                attribute,
+                op,
+                parameter,
+            } => write!(f, "{attribute} {op} ${parameter}"),
             Predicate::And(l, r) => write!(f, "({l} AND {r})"),
             Predicate::Or(l, r) => write!(f, "({l} OR {r})"),
             Predicate::Not(inner) => write!(f, "NOT ({inner})"),
@@ -478,5 +604,50 @@ mod tests {
     fn display_round_trips_shape() {
         let p = Predicate::cmp_value("b", CompareOp::Lt, 3).and(Predicate::eq_attrs("a", "c"));
         assert_eq!(p.to_string(), "(b < 3 AND a = c)");
+    }
+
+    #[test]
+    fn unbound_parameters_error_on_eval_and_are_reported() {
+        let p =
+            Predicate::cmp_param("b", CompareOp::Eq, "threshold").and(Predicate::eq_value("a", 1));
+        assert!(p.has_parameters());
+        assert_eq!(
+            p.parameters().into_iter().collect::<Vec<_>>(),
+            vec!["threshold".to_string()]
+        );
+        assert_eq!(p.to_string(), "(b = $threshold AND a = 1)");
+        let err = p.eval(&schema(), &Tuple::new([1, 5, 3])).unwrap_err();
+        assert_eq!(
+            err,
+            AlgebraError::UnboundParameter {
+                parameter: "threshold".into()
+            }
+        );
+    }
+
+    #[test]
+    fn bind_parameters_substitutes_known_names_only() {
+        let p = Predicate::cmp_param("b", CompareOp::Lt, "hi").and(Predicate::cmp_param(
+            "c",
+            CompareOp::Eq,
+            "other",
+        ));
+        let mut bindings = BTreeMap::new();
+        bindings.insert("hi".to_string(), Value::Int(10));
+        let bound = p.bind_parameters(&bindings);
+        assert_eq!(bound.parameters().len(), 1, "only `other` remains unbound");
+        // The bound half evaluates like a plain comparison now.
+        let fully = bound.bind_parameters(&BTreeMap::from([("other".to_string(), Value::Int(3))]));
+        assert!(!fully.has_parameters());
+        assert!(fully.eval(&schema(), &Tuple::new([1, 5, 3])).unwrap());
+    }
+
+    #[test]
+    fn parameter_placeholders_negate_and_rename_like_comparisons() {
+        let p = Predicate::cmp_param("b", CompareOp::Lt, "x");
+        assert_eq!(p.negate(), Predicate::cmp_param("b", CompareOp::GtEq, "x"));
+        let mapped = p.map_attributes(&|n| format!("r.{n}"));
+        assert!(mapped.referenced_attributes().contains("r.b"));
+        assert_eq!(mapped.parameters().len(), 1);
     }
 }

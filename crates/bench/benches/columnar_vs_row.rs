@@ -15,7 +15,11 @@
 //! * whole great-divide plans (market baskets, Section 3 — the Law 13
 //!   workload) over backend × parallelism,
 //! * the bare small-divide kernel against the row hash-division algorithm,
-//!   with conversion costs excluded.
+//!   with conversion costs excluded,
+//! * `prepared_vs_adhoc`: per-execution cost of a cached
+//!   [`div_sql::PreparedStatement`] against the full
+//!   [`div_sql::Engine::query`] pipeline — the compile-amortization win of
+//!   prepared statements.
 //!
 //! Parallel speedup is only observable with more than one core; the
 //! agreement report prints the host's available parallelism so single-core
@@ -32,6 +36,7 @@ use div_physical::division::{divide_with, DivisionAlgorithm};
 use div_physical::{
     execute_with_config, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
 };
+use div_sql::{Engine, Params};
 
 /// Partition counts the parallel-columnar sweep covers.
 const PARALLELISM_SWEEP: [usize; 3] = [2, 4, 8];
@@ -163,6 +168,48 @@ fn bench_divide_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Q2 query as SQL, with the color literal inline (ad-hoc path) and as a
+/// `$color` parameter (prepared path).
+const Q2_SQL: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                      (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
+const Q2_SQL_PARAM: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                            (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#";
+
+/// Compile-amortization experiment: per-execution cost of
+/// `PreparedStatement::execute` (plan compiled once at prepare time, only
+/// parameter binding + execution in the loop) vs `Engine::query` (the whole
+/// parse → translate → optimize → plan pipeline on every call), on the Q2
+/// workload over strategy × scale.
+fn bench_prepared_vs_adhoc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("columnar_vs_row/prepared_vs_adhoc");
+    for suppliers in [100usize, 400, 1_600] {
+        let catalog = suppliers_parts_catalog(suppliers, 50, 0.5);
+        for (name, config) in strategies() {
+            let engine = Engine::builder(catalog.clone())
+                .planner_config(config)
+                .build();
+            let stmt = engine.prepare(Q2_SQL_PARAM).expect("Q2 prepares");
+            let params = Params::new().bind("color", "blue");
+            // Sanity: both paths answer the same bytes before being timed.
+            assert_eq!(
+                engine.query(Q2_SQL).unwrap().relation,
+                stmt.execute(&engine, &params).unwrap().relation
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("adhoc-{name}"), suppliers),
+                &suppliers,
+                |b, _| b.iter(|| engine.query(Q2_SQL).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("prepared-{name}"), suppliers),
+                &suppliers,
+                |b, _| b.iter(|| stmt.execute(&engine, &params).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Print the cross-strategy sanity table (results must agree; statistics
 /// must report the same output cardinality) for the Law 2 and Law 13
 /// workloads.
@@ -209,6 +256,7 @@ fn benches(c: &mut Criterion) {
     bench_q2_suppliers_parts(c);
     bench_baskets_great_divide(c);
     bench_divide_kernel(c);
+    bench_prepared_vs_adhoc(c);
 }
 
 criterion_group!(columnar_vs_row, benches);

@@ -9,7 +9,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use div_bench::suppliers_parts_catalog;
-use div_sql::{parse_query, translate_query};
 use division::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -47,18 +46,21 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("E12_sql_divide_vs_not_exists");
     for (suppliers, parts) in [(100usize, 30usize), (400, 60)] {
         let catalog = suppliers_parts_catalog(suppliers, parts, 0.55);
-        let logical = translate_query(&parse_query(Q1).unwrap(), &catalog).unwrap();
-        let physical = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        // The DIVIDE BY path runs as a prepared statement on the engine: the
+        // plan (optimizer in the loop) is compiled once, outside the timing
+        // loop.
+        let engine = Engine::new(catalog.clone());
+        let stmt = engine.prepare(Q1).unwrap();
         // Both strategies compute the same result.
         assert_eq!(
-            execute(&physical, &catalog).unwrap(),
+            stmt.execute(&engine, &Params::new()).unwrap().relation,
             not_exists_baseline(&catalog)
         );
         let id = format!("{suppliers}x{parts}");
         group.bench_with_input(
             BenchmarkId::new("divide-by-first-class", &id),
             &suppliers,
-            |b, _| b.iter(|| execute(&physical, &catalog).unwrap()),
+            |b, _| b.iter(|| stmt.execute(&engine, &Params::new()).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("double-not-exists", &id),

@@ -53,6 +53,13 @@ pub fn eval_mask(batch: &ColumnarBatch, predicate: &Predicate) -> Result<Vec<boo
             let ri = batch.schema().require(right)?;
             compare_columns(batch.column(li), batch.column(ri), *op)
         }
+        // Parameter placeholders must be bound before execution; report the
+        // same error as the row-at-a-time evaluator.
+        Predicate::CompareParameter { parameter, .. } => {
+            Err(div_algebra::AlgebraError::UnboundParameter {
+                parameter: parameter.clone(),
+            })
+        }
         Predicate::And(l, r) => {
             let mut mask = eval_mask(batch, l)?;
             let rmask = eval_mask(batch, r)?;

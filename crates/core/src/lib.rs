@@ -57,8 +57,15 @@ pub mod prelude {
         execute, execute_on_backend, execute_with_config, execute_with_stats, plan_query,
         DivisionAlgorithm, ExecutionBackend, GreatDivideAlgorithm, PlannerConfig,
     };
+    pub use div_rewrite::optimizer::CostModel;
     pub use div_rewrite::{Optimizer, RewriteContext, RewriteEngine, RuleSet};
-    pub use div_sql::{parse_query, run_query, translate_query};
+    #[allow(deprecated)] // deliberate: the deprecated shim stays reachable through the facade
+    pub use div_sql::run_query;
+    pub use div_sql::{
+        parse_query, translate_query, Engine, EngineBuilder, Explain, Params, PreparedStatement,
+        QueryOutput,
+    };
+    pub use div_sql::{Error as SqlError, ParseError};
 }
 
 #[cfg(test)]

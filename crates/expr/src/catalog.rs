@@ -28,11 +28,32 @@ pub struct ForeignKey {
 }
 
 /// An in-memory database: named relations plus integrity metadata.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Catalog {
     tables: BTreeMap<String, Relation>,
     unique_keys: BTreeMap<String, Vec<Vec<String>>>,
     foreign_keys: Vec<ForeignKey>,
+    version: u64,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Catalog {
+            tables: BTreeMap::new(),
+            unique_keys: BTreeMap::new(),
+            foreign_keys: Vec::new(),
+            version: next_version(),
+        }
+    }
+}
+
+/// Process-globally unique, monotonically increasing version stamps. Two
+/// catalogs share a version only when one is a clone of the other with no
+/// mutation since — in which case their contents are identical.
+fn next_version() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Catalog {
@@ -41,9 +62,25 @@ impl Catalog {
         Catalog::default()
     }
 
+    /// A version stamp that changes on every mutation of the catalog (table
+    /// registration or replacement, constraint declarations).
+    ///
+    /// Compiled artifacts that embed assumptions about the catalog — most
+    /// importantly prepared statements, which cache an optimized physical
+    /// plan — record the version they were compiled against and compare it
+    /// before reuse, so a mutated catalog invalidates stale plans instead of
+    /// silently serving them. Stamps are process-globally unique (not a
+    /// per-catalog counter), so two *different* catalogs never collide: a
+    /// statement prepared against one engine cannot accidentally pass the
+    /// staleness check of another.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
     /// Register (or replace) a table.
     pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
         self.tables.insert(name.into(), relation);
+        self.version = next_version();
         self
     }
 
@@ -89,6 +126,7 @@ impl Catalog {
             .entry(table.to_string())
             .or_default()
             .push(attributes.iter().map(|s| s.to_string()).collect());
+        self.version = next_version();
         Ok(())
     }
 
@@ -141,6 +179,7 @@ impl Catalog {
             to_table: to_table.to_string(),
             to_attributes: to_attributes.iter().map(|s| s.to_string()).collect(),
         });
+        self.version = next_version();
         Ok(())
     }
 
@@ -247,6 +286,42 @@ mod tests {
         assert!(c
             .declare_foreign_key("parts", &["color"], "supplies", &["s#"])
             .is_err());
+    }
+
+    #[test]
+    fn version_changes_on_every_mutation() {
+        let mut c = Catalog::new();
+        let v0 = c.version();
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "red"] },
+        );
+        let v1 = c.version();
+        assert_ne!(v0, v1);
+        // Replacing an existing table is a mutation too.
+        c.register("parts", relation! { ["p#", "color"] => [1, "blue"] });
+        let v2 = c.version();
+        assert_ne!(v1, v2);
+        c.declare_unique("parts", &["p#"]).unwrap();
+        let v3 = c.version();
+        assert_ne!(v2, v3);
+        // Failed declarations do not bump the version.
+        assert!(c.declare_unique("missing", &["x"]).is_err());
+        assert_eq!(c.version(), v3);
+        // A clone starts at the same stamp (identical contents) and diverges
+        // on its first mutation, leaving the original untouched.
+        let mut clone = c.clone();
+        assert_eq!(clone.version(), v3);
+        clone.register("other", relation! { ["x"] => [1] });
+        assert_ne!(clone.version(), v3);
+        assert_eq!(c.version(), v3);
+        // Two independently built catalogs never share a stamp, even with
+        // identical mutation histories.
+        let mut a = Catalog::new();
+        let mut b = Catalog::new();
+        a.register("t", relation! { ["x"] => [1] });
+        b.register("t", relation! { ["x"] => [1] });
+        assert_ne!(a.version(), b.version());
     }
 
     #[test]

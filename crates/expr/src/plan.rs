@@ -352,6 +352,80 @@ impl LogicalPlan {
         found
     }
 
+    /// The set of `$parameter` placeholder names occurring in any predicate
+    /// of the plan (prepared-statement support; empty for ordinary plans).
+    pub fn parameters(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.visit(&mut |node| match node {
+            LogicalPlan::Select { predicate, .. } | LogicalPlan::ThetaJoin { predicate, .. } => {
+                out.extend(predicate.parameters());
+            }
+            _ => {}
+        });
+        out
+    }
+
+    /// `true` when the plan contains at least one unbound `$parameter`
+    /// placeholder; such plans cannot be evaluated until the placeholders are
+    /// bound.
+    pub fn contains_parameters(&self) -> bool {
+        // Allocation-free short-circuit: this runs inside the optimizer's
+        // per-candidate precondition checks.
+        match self {
+            LogicalPlan::Select { input, predicate } => {
+                predicate.has_parameters() || input.contains_parameters()
+            }
+            LogicalPlan::ThetaJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                predicate.has_parameters()
+                    || left.contains_parameters()
+                    || right.contains_parameters()
+            }
+            other => other
+                .children()
+                .iter()
+                .any(|child| child.contains_parameters()),
+        }
+    }
+
+    /// Substitute every `$parameter` placeholder whose name appears in
+    /// `bindings` with the bound constant (see
+    /// [`div_algebra::Predicate::bind_parameters`]); placeholders without a
+    /// binding are left in place.
+    pub fn bind_parameters(
+        &self,
+        bindings: &std::collections::BTreeMap<String, div_algebra::Value>,
+    ) -> LogicalPlan {
+        if !self.contains_parameters() {
+            return self.clone();
+        }
+        self.transform_up(&mut |node| {
+            Ok(match &node {
+                LogicalPlan::Select { input, predicate } if predicate.has_parameters() => {
+                    Transformed::Yes(LogicalPlan::Select {
+                        input: input.clone(),
+                        predicate: predicate.bind_parameters(bindings),
+                    })
+                }
+                LogicalPlan::ThetaJoin {
+                    left,
+                    right,
+                    predicate,
+                } if predicate.has_parameters() => Transformed::Yes(LogicalPlan::ThetaJoin {
+                    left: left.clone(),
+                    right: right.clone(),
+                    predicate: predicate.bind_parameters(bindings),
+                }),
+                _ => Transformed::No(node),
+            })
+        })
+        .expect("binding parameters cannot fail")
+        .into_plan()
+    }
+
     /// The names of all base tables scanned by the plan (with duplicates, in
     /// scan order) — useful for statistics and tests.
     pub fn scanned_tables(&self) -> Vec<String> {

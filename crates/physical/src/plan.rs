@@ -2,7 +2,8 @@
 
 use crate::division::DivisionAlgorithm;
 use crate::great_divide::GreatDivideAlgorithm;
-use div_algebra::{AggregateCall, Predicate, Relation};
+use div_algebra::{AggregateCall, Predicate, Relation, Value};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A physical execution plan.
@@ -197,6 +198,136 @@ impl PhysicalPlan {
             .sum::<usize>()
     }
 
+    /// The set of `$parameter` placeholder names still unbound in any
+    /// predicate of the plan.
+    ///
+    /// Prepared statements cache a plan *template* containing placeholders;
+    /// [`PhysicalPlan::bind_parameters`] instantiates the template. A plan
+    /// with unbound parameters fails at execution with
+    /// [`div_algebra::AlgebraError::UnboundParameter`].
+    pub fn parameters(&self) -> std::collections::BTreeSet<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_parameters(&mut out);
+        out
+    }
+
+    fn collect_parameters(&self, out: &mut std::collections::BTreeSet<String>) {
+        match self {
+            PhysicalPlan::Filter { predicate, .. }
+            | PhysicalPlan::NestedLoopJoin { predicate, .. } => {
+                out.extend(predicate.parameters());
+            }
+            _ => {}
+        }
+        for child in self.children() {
+            child.collect_parameters(out);
+        }
+    }
+
+    /// Allocation-free short-circuiting variant of
+    /// [`PhysicalPlan::parameters`]`.is_empty()` — this runs on every
+    /// prepared-statement execution.
+    pub fn has_parameters(&self) -> bool {
+        match self {
+            PhysicalPlan::Filter { predicate, .. }
+            | PhysicalPlan::NestedLoopJoin { predicate, .. }
+                if predicate.has_parameters() =>
+            {
+                true
+            }
+            _ => self.children().iter().any(|child| child.has_parameters()),
+        }
+    }
+
+    /// Instantiate a plan template: substitute every `$parameter` placeholder
+    /// whose name appears in `bindings` with the bound constant, leaving the
+    /// rest of the tree (and any unbound placeholders) untouched.
+    ///
+    /// This is the cheap half of prepared-statement execution: the expensive
+    /// parse → translate → optimize → plan pipeline ran once at prepare time;
+    /// binding is a structural copy.
+    pub fn bind_parameters(&self, bindings: &BTreeMap<String, Value>) -> PhysicalPlan {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. } => self.clone(),
+            PhysicalPlan::Filter { input, predicate } => PhysicalPlan::Filter {
+                input: Box::new(input.bind_parameters(bindings)),
+                predicate: predicate.bind_parameters(bindings),
+            },
+            PhysicalPlan::Project { input, attributes } => PhysicalPlan::Project {
+                input: Box::new(input.bind_parameters(bindings)),
+                attributes: attributes.clone(),
+            },
+            PhysicalPlan::Rename { input, renames } => PhysicalPlan::Rename {
+                input: Box::new(input.bind_parameters(bindings)),
+                renames: renames.clone(),
+            },
+            PhysicalPlan::Union { left, right } => PhysicalPlan::Union {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::Intersect { left, right } => PhysicalPlan::Intersect {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::Difference { left, right } => PhysicalPlan::Difference {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::CrossProduct { left, right } => PhysicalPlan::CrossProduct {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::NestedLoopJoin {
+                left,
+                right,
+                predicate,
+            } => PhysicalPlan::NestedLoopJoin {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+                predicate: predicate.bind_parameters(bindings),
+            },
+            PhysicalPlan::HashJoin { left, right } => PhysicalPlan::HashJoin {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::HashSemiJoin { left, right } => PhysicalPlan::HashSemiJoin {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::HashAntiSemiJoin { left, right } => PhysicalPlan::HashAntiSemiJoin {
+                left: Box::new(left.bind_parameters(bindings)),
+                right: Box::new(right.bind_parameters(bindings)),
+            },
+            PhysicalPlan::HashAggregate {
+                input,
+                group_by,
+                aggregates,
+            } => PhysicalPlan::HashAggregate {
+                input: Box::new(input.bind_parameters(bindings)),
+                group_by: group_by.clone(),
+                aggregates: aggregates.clone(),
+            },
+            PhysicalPlan::Divide {
+                dividend,
+                divisor,
+                algorithm,
+            } => PhysicalPlan::Divide {
+                dividend: Box::new(dividend.bind_parameters(bindings)),
+                divisor: Box::new(divisor.bind_parameters(bindings)),
+                algorithm: *algorithm,
+            },
+            PhysicalPlan::GreatDivide {
+                dividend,
+                divisor,
+                algorithm,
+            } => PhysicalPlan::GreatDivide {
+                dividend: Box::new(dividend.bind_parameters(bindings)),
+                divisor: Box::new(divisor.bind_parameters(bindings)),
+                algorithm: *algorithm,
+            },
+        }
+    }
+
     /// Render the plan as an indented explain tree.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -258,5 +389,30 @@ mod tests {
         let kids = divide.children();
         assert_eq!(kids[0].label(), "TableScan(supplies)");
         assert!(kids[1].label().starts_with("Filter"));
+    }
+
+    #[test]
+    fn bind_parameters_instantiates_a_template() {
+        use div_algebra::CompareOp;
+        let template = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::TableScan {
+                table: "parts".into(),
+            }),
+            predicate: Predicate::cmp_param("color", CompareOp::Eq, "color"),
+        };
+        assert_eq!(
+            template.parameters().into_iter().collect::<Vec<_>>(),
+            vec!["color".to_string()]
+        );
+        let bound =
+            template.bind_parameters(&BTreeMap::from([("color".to_string(), Value::str("blue"))]));
+        assert!(bound.parameters().is_empty());
+        assert!(bound.label().contains("color = blue"));
+        // The template itself is untouched and reusable.
+        assert_eq!(template.parameters().len(), 1);
+        // Unknown bindings leave the placeholder in place.
+        let still =
+            template.bind_parameters(&BTreeMap::from([("other".to_string(), Value::Int(1))]));
+        assert_eq!(still.parameters().len(), 1);
     }
 }

@@ -69,9 +69,12 @@ impl<'a> RewriteContext<'a> {
     }
 
     /// Evaluate `plan` for a data-dependent precondition check. Returns
-    /// `Ok(None)` when data checks are disabled; rules must then decline.
+    /// `Ok(None)` when data checks are disabled, or when the plan contains
+    /// unbound `$parameter` placeholders (prepared statements are optimized
+    /// before their parameters are known, so data-dependent preconditions
+    /// cannot be decided); rules must then decline.
     pub fn try_evaluate(&self, plan: &LogicalPlan) -> Result<Option<Relation>> {
-        if !self.allow_data_checks() {
+        if !self.allow_data_checks() || plan.contains_parameters() {
             return Ok(None);
         }
         let catalog = self.catalog.expect("allow_data_checks implies catalog");

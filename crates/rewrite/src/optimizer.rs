@@ -9,6 +9,7 @@
 //! rule set and keeps the cheapest one.
 
 use crate::context::RewriteContext;
+use crate::engine::AppliedRule;
 use crate::rule::RuleSet;
 use crate::Result;
 use div_expr::{LogicalPlan, Transformed};
@@ -41,6 +42,10 @@ pub struct OptimizedPlan {
     pub original_cost: CostEstimate,
     /// Number of alternative plans that were costed.
     pub alternatives_considered: usize,
+    /// The rule application chosen in each greedy pass, in order: the law
+    /// whose rewrite produced the cheapest plan of that pass. Empty when the
+    /// original plan was already the cheapest.
+    pub applied: Vec<AppliedRule>,
 }
 
 impl OptimizedPlan {
@@ -50,6 +55,23 @@ impl OptimizedPlan {
             return 1.0;
         }
         self.original_cost.value() / self.cost.value()
+    }
+
+    /// `true` when the optimizer replaced the original plan.
+    pub fn changed(&self) -> bool {
+        !self.applied.is_empty()
+    }
+
+    /// A compact human-readable trace of the rules the greedy search applied.
+    pub fn trace(&self) -> String {
+        if self.applied.is_empty() {
+            return "no rewrite rules applied".to_string();
+        }
+        self.applied
+            .iter()
+            .map(|a| format!("pass {}: {} ({})", a.pass, a.rule, a.reference))
+            .collect::<Vec<_>>()
+            .join("\n")
     }
 }
 
@@ -204,13 +226,13 @@ impl CostModel {
         match predicate {
             Predicate::True => 1.0,
             Predicate::False => 0.0,
-            Predicate::CompareValue { op, .. } | Predicate::CompareAttributes { op, .. } => {
-                match op {
-                    CompareOp::Eq => self.equality_selectivity,
-                    CompareOp::NotEq => 1.0 - self.equality_selectivity,
-                    _ => self.range_selectivity,
-                }
-            }
+            Predicate::CompareValue { op, .. }
+            | Predicate::CompareAttributes { op, .. }
+            | Predicate::CompareParameter { op, .. } => match op {
+                CompareOp::Eq => self.equality_selectivity,
+                CompareOp::NotEq => 1.0 - self.equality_selectivity,
+                _ => self.range_selectivity,
+            },
             Predicate::And(l, r) => self.predicate_selectivity(l) * self.predicate_selectivity(r),
             Predicate::Or(l, r) => {
                 (self.predicate_selectivity(l) + self.predicate_selectivity(r)).min(1.0)
@@ -268,20 +290,21 @@ impl Optimizer {
         let mut best = plan.clone();
         let mut best_cost = original_cost;
         let mut considered = 0usize;
+        let mut applied = Vec::new();
         let mut seen: BTreeSet<String> = BTreeSet::new();
         seen.insert(format!("{best}"));
 
-        for _ in 0..self.max_steps {
+        for pass in 1..=self.max_steps {
             let mut improved = false;
-            let mut round_best: Option<(LogicalPlan, CostEstimate)> = None;
+            let mut round_best: Option<(Neighbour, CostEstimate)> = None;
 
             for candidate in self.neighbours(&best, ctx)? {
-                let key = format!("{candidate}");
+                let key = format!("{}", candidate.plan);
                 if !seen.insert(key) {
                     continue;
                 }
                 considered += 1;
-                let cost = self.cost_model.cost(&candidate, ctx);
+                let cost = self.cost_model.cost(&candidate.plan, ctx);
                 let better_than_round = round_best
                     .as_ref()
                     .map(|(_, c)| cost.value() < c.value())
@@ -293,7 +316,14 @@ impl Optimizer {
 
             if let Some((candidate, cost)) = round_best {
                 if cost.value() < best_cost.value() {
-                    best = candidate;
+                    applied.push(AppliedRule {
+                        rule: candidate.rule,
+                        reference: candidate.reference,
+                        pass,
+                        nodes_before: best.node_count(),
+                        nodes_after: candidate.plan.node_count(),
+                    });
+                    best = candidate.plan;
                     best_cost = cost;
                     improved = true;
                 }
@@ -308,12 +338,13 @@ impl Optimizer {
             cost: best_cost,
             original_cost,
             alternatives_considered: considered,
+            applied,
         })
     }
 
     /// All plans reachable from `plan` by one application of one rule at one
-    /// node.
-    fn neighbours(&self, plan: &LogicalPlan, ctx: &RewriteContext<'_>) -> Result<Vec<LogicalPlan>> {
+    /// node, each labeled with the rule that produced it.
+    fn neighbours(&self, plan: &LogicalPlan, ctx: &RewriteContext<'_>) -> Result<Vec<Neighbour>> {
         let mut out = Vec::new();
         for rule in self.rules.rules() {
             // Apply the rule at each node independently: enumerate by walking
@@ -333,11 +364,22 @@ impl Optimizer {
                 }
             })?;
             if fired {
-                out.push(transformed.into_plan());
+                out.push(Neighbour {
+                    plan: transformed.into_plan(),
+                    rule: rule.name().to_string(),
+                    reference: rule.reference().to_string(),
+                });
             }
         }
         Ok(out)
     }
+}
+
+/// A candidate plan produced by one rule application during the greedy search.
+struct Neighbour {
+    plan: LogicalPlan,
+    rule: String,
+    reference: String,
 }
 
 #[cfg(test)]
@@ -405,6 +447,14 @@ mod tests {
         assert!(optimized.alternatives_considered >= 1);
         assert!(optimized.estimated_speedup() >= 1.0);
         assert!(matches!(optimized.plan, LogicalPlan::SmallDivide { .. }));
+        // The greedy search reports which law each pass applied.
+        assert!(optimized.changed());
+        assert!(
+            optimized.applied.iter().any(|a| a.rule.contains("law-03")),
+            "expected the Law 3 pushdown in the trace, got: {}",
+            optimized.trace()
+        );
+        assert_eq!(optimized.applied[0].pass, 1);
         assert_eq!(
             evaluate(&optimized.plan, &c).unwrap(),
             evaluate(&plan, &c).unwrap()
@@ -419,6 +469,8 @@ mod tests {
         let optimized = Optimizer::new().optimize(&plan, &ctx).unwrap();
         assert_eq!(optimized.plan, plan);
         assert_eq!(optimized.estimated_speedup(), 1.0);
+        assert!(!optimized.changed());
+        assert_eq!(optimized.trace(), "no rewrite rules applied");
     }
 
     #[test]

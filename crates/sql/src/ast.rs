@@ -55,6 +55,9 @@ pub enum SqlOperand {
     Column(ColumnRef),
     /// A literal.
     Literal(SqlLiteral),
+    /// A `$name` parameter placeholder, bound at execution time (prepared
+    /// statements).
+    Parameter(String),
 }
 
 /// Comparison operators.
@@ -187,6 +190,57 @@ impl Query {
         self.from
             .iter()
             .any(|t| matches!(t, TableReference::DivideBy { .. }))
+    }
+
+    /// The set of `$parameter` placeholder names used anywhere in the query
+    /// (WHERE clauses, `DIVIDE BY … ON` conditions, derived tables and
+    /// `EXISTS` subqueries included).
+    pub fn parameters(&self) -> std::collections::BTreeSet<String> {
+        fn walk_cond(c: &SqlCondition, out: &mut std::collections::BTreeSet<String>) {
+            match c {
+                SqlCondition::Comparison { left, right, .. } => {
+                    for operand in [left, right] {
+                        if let SqlOperand::Parameter(name) = operand {
+                            out.insert(name.clone());
+                        }
+                    }
+                }
+                SqlCondition::And(l, r) | SqlCondition::Or(l, r) => {
+                    walk_cond(l, out);
+                    walk_cond(r, out);
+                }
+                SqlCondition::Not(inner) => walk_cond(inner, out),
+                SqlCondition::Exists(query) => walk_query(query, out),
+            }
+        }
+        fn walk_table_ref(t: &TableReference, out: &mut std::collections::BTreeSet<String>) {
+            match t {
+                TableReference::Factor(TableFactor::Table { .. }) => {}
+                TableReference::Factor(TableFactor::Derived { query, .. }) => {
+                    walk_query(query, out)
+                }
+                TableReference::DivideBy {
+                    dividend,
+                    divisor,
+                    condition,
+                } => {
+                    walk_table_ref(dividend, out);
+                    walk_table_ref(divisor, out);
+                    walk_cond(condition, out);
+                }
+            }
+        }
+        fn walk_query(q: &Query, out: &mut std::collections::BTreeSet<String>) {
+            for t in &q.from {
+                walk_table_ref(t, out);
+            }
+            if let Some(cond) = &q.where_clause {
+                walk_cond(cond, out);
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        walk_query(self, &mut out);
+        out
     }
 
     /// `true` if the `WHERE` clause contains an `EXISTS` (or `NOT EXISTS`)

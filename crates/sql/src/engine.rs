@@ -1,0 +1,789 @@
+//! The [`Engine`] facade: the paper's whole pipeline behind one session API.
+//!
+//! The pre-engine free functions (`run_query`, `compile_query`) wired the
+//! parser straight into the physical planner, *skipping the contribution of
+//! the paper* — the seventeen rewrite laws and the cost model that picks
+//! among the plans they generate. [`Engine::query`] runs the full pipeline
+//! with the optimizer in the loop by default:
+//!
+//! ```text
+//! SQL text ──parse──► AST ──translate──► LogicalPlan
+//!          ──optimize (laws + cost model)──► LogicalPlan
+//!          ──plan──► PhysicalPlan ──execute──► (Relation, ExecStats)
+//! ```
+//!
+//! On top of the pipeline the engine adds the two session features a system
+//! serving repeated traffic needs:
+//!
+//! * **Prepared statements** ([`Engine::prepare`]): the optimized physical
+//!   plan is compiled once and cached; every execution re-binds the
+//!   statement's `$name` parameters and runs the cached plan, skipping
+//!   parse, translate, optimization and planning entirely. The statement
+//!   records the catalog version it was compiled against and refuses to run
+//!   against a mutated catalog ([`Error::StalePlan`]).
+//! * **EXPLAIN** ([`Engine::explain`], [`Engine::explain_analyze`]): a
+//!   structured [`Explain`] report — logical plan before and after the
+//!   rewrite, the laws that fired, cost estimates, the chosen physical
+//!   operators, and (for `explain_analyze`) the measured [`ExecStats`].
+//!
+//! ```
+//! use div_algebra::relation;
+//! use div_expr::Catalog;
+//! use div_sql::{Engine, Params};
+//!
+//! let mut catalog = Catalog::new();
+//! catalog.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
+//! catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "blue"] });
+//! let engine = Engine::new(catalog);
+//!
+//! // Ad-hoc query, optimizer in the loop.
+//! let output = engine.query(
+//!     "SELECT s# FROM supplies AS s DIVIDE BY \
+//!      (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+//! )?;
+//! assert_eq!(output.relation, relation! { ["s#"] => [1] });
+//!
+//! // Compile once, run many: the color literal becomes a parameter.
+//! let stmt = engine.prepare(
+//!     "SELECT s# FROM supplies AS s DIVIDE BY \
+//!      (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#",
+//! )?;
+//! let blue = stmt.execute(&engine, &Params::new().bind("color", "blue"))?;
+//! assert_eq!(blue.relation, relation! { ["s#"] => [1] });
+//! # Ok::<(), div_sql::Error>(())
+//! ```
+
+use crate::error::Error;
+use crate::{parse_query, translate_query};
+use div_algebra::{Relation, Value};
+use div_expr::{Catalog, LogicalPlan};
+use div_physical::{
+    execute_with_config, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
+};
+use div_rewrite::engine::AppliedRule;
+use div_rewrite::optimizer::{CostEstimate, CostModel};
+use div_rewrite::{OptimizedPlan, Optimizer, RewriteContext, RuleSet};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Result alias of the engine API.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Values for the `$name` parameters of a statement.
+///
+/// ```
+/// use div_sql::Params;
+/// let params = Params::new().bind("color", "blue").bind("min", 3i64);
+/// assert_eq!(params.len(), 2);
+/// assert!(params.get("color").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    values: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// No bindings.
+    pub fn new() -> Self {
+        Params::default()
+    }
+
+    /// This set of bindings with `name` bound to `value` (builder style).
+    pub fn bind(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.values.insert(name.into(), value.into());
+        self
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over the bound names.
+    pub fn names(&self) -> impl Iterator<Item = &str> + '_ {
+        self.values.keys().map(String::as_str)
+    }
+
+    pub(crate) fn map(&self) -> &BTreeMap<String, Value> {
+        &self.values
+    }
+}
+
+/// The result of executing a statement: the relation plus the executor's
+/// statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// The result relation.
+    pub relation: Relation,
+    /// Per-operator row counts and intermediate-result sizes.
+    pub stats: ExecStats,
+}
+
+/// Builder for a customized [`Engine`].
+///
+/// ```
+/// use div_expr::Catalog;
+/// use div_physical::PlannerConfig;
+/// use div_rewrite::optimizer::CostModel;
+/// use div_rewrite::RuleSet;
+/// use div_sql::Engine;
+///
+/// let engine = Engine::builder(Catalog::new())
+///     .planner_config(PlannerConfig::with_parallelism(4))
+///     .rule_set(RuleSet::default_rules())
+///     .cost_model(CostModel::default())
+///     .build();
+/// assert_eq!(engine.planner_config().parallelism, 4);
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    catalog: Catalog,
+    config: PlannerConfig,
+    rules: RuleSet,
+    cost_model: CostModel,
+    optimize: bool,
+}
+
+impl EngineBuilder {
+    /// Replace the planner configuration (execution backend, division
+    /// algorithms, parallelism).
+    pub fn planner_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replace the rewrite rule set the optimizer searches over.
+    pub fn rule_set(mut self, rules: RuleSet) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Replace the cost model the optimizer ranks plans with.
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Disable the rewrite optimizer: plans go from the translator straight
+    /// to the physical planner, like the pre-engine pipeline. Useful for
+    /// differential testing and for measuring what the laws buy.
+    pub fn without_optimizer(mut self) -> Self {
+        self.optimize = false;
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Engine {
+        Engine {
+            catalog: self.catalog,
+            config: self.config,
+            optimizer: Optimizer::new()
+                .with_rules(self.rules)
+                .with_cost_model(self.cost_model),
+            optimize: self.optimize,
+            compile_count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A SQL session: a catalog plus the configured optimize-and-execute
+/// pipeline. See the [module documentation](self) for an overview.
+#[derive(Debug)]
+pub struct Engine {
+    catalog: Catalog,
+    config: PlannerConfig,
+    optimizer: Optimizer,
+    optimize: bool,
+    compile_count: AtomicU64,
+}
+
+/// A statement compiled down to its optimized physical plan.
+///
+/// Produced by [`Engine::prepare`]; executed with
+/// [`PreparedStatement::execute`]. The expensive pipeline (parse → translate
+/// → optimize → plan) ran exactly once, at prepare time; each execution only
+/// substitutes the `$name` parameter bindings into a copy of the cached plan
+/// template and runs it.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: String,
+    template: Arc<PhysicalPlan>,
+    parameters: BTreeSet<String>,
+    catalog_version: u64,
+    applied: Vec<AppliedRule>,
+}
+
+/// What one compilation produced (shared by `query`, `prepare`, `explain`).
+struct Compiled {
+    logical: LogicalPlan,
+    optimized: LogicalPlan,
+    applied: Vec<AppliedRule>,
+    cost_before: CostEstimate,
+    cost_after: CostEstimate,
+    alternatives_considered: usize,
+    physical: PhysicalPlan,
+}
+
+impl Engine {
+    /// An engine over `catalog` with the default planner configuration, the
+    /// full default rule set and the default cost model — the optimizer is
+    /// **in the loop by default**.
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine::builder(catalog).build()
+    }
+
+    /// Start building a customized engine.
+    pub fn builder(catalog: Catalog) -> EngineBuilder {
+        EngineBuilder {
+            catalog,
+            config: PlannerConfig::default(),
+            rules: RuleSet::default_rules(),
+            cost_model: CostModel::default(),
+            optimize: true,
+        }
+    }
+
+    /// The catalog this engine serves.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (registering tables, declaring
+    /// constraints). Any mutation bumps the catalog version and thereby
+    /// invalidates previously prepared statements.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The planner configuration in use.
+    pub fn planner_config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// `true` when the rewrite optimizer runs inside [`Engine::query`] /
+    /// [`Engine::prepare`] (the default).
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimize
+    }
+
+    /// How many statements this engine has compiled (parse → translate →
+    /// optimize → plan). Executing a [`PreparedStatement`] does *not*
+    /// compile, which is the point of preparing:
+    ///
+    /// ```
+    /// use div_algebra::relation;
+    /// use div_expr::Catalog;
+    /// use div_sql::{Engine, Params};
+    ///
+    /// let mut catalog = Catalog::new();
+    /// catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "red"] });
+    /// let engine = Engine::new(catalog);
+    /// let stmt = engine.prepare("SELECT p# FROM parts WHERE color = $color")?;
+    /// assert_eq!(engine.compile_count(), 1);
+    /// for color in ["blue", "red", "blue"] {
+    ///     stmt.execute(&engine, &Params::new().bind("color", color))?;
+    /// }
+    /// assert_eq!(engine.compile_count(), 1); // still one compilation
+    /// # Ok::<(), div_sql::Error>(())
+    /// ```
+    pub fn compile_count(&self) -> u64 {
+        self.compile_count.load(Ordering::Relaxed)
+    }
+
+    /// Parse, translate, optimize, plan and execute `sql`.
+    ///
+    /// Statements with `$name` parameters cannot run ad hoc — prepare them
+    /// and bind values, or use [`Engine::query_with_params`].
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        self.query_with_params(sql, &Params::new())
+    }
+
+    /// [`Engine::query`] with `$name` parameter bindings applied.
+    ///
+    /// Unlike the prepare/execute path — which must optimize with the
+    /// placeholders still unresolved — the bindings are known here, so they
+    /// are substituted into the logical plan *before* the optimizer runs and
+    /// the query gets the same rewrite search as its all-literal equivalent.
+    pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<QueryOutput> {
+        let query = parse_query(sql)?;
+        check_bindings(params, &query.parameters())?;
+        let compiled = self.compile_parsed(&query, params)?;
+        self.execute_physical(&compiled.physical)
+    }
+
+    /// Optimize, plan and execute an already-translated logical plan.
+    ///
+    /// This is the tail of [`Engine::query`] without the SQL front end, for
+    /// callers that build [`LogicalPlan`]s programmatically.
+    pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<QueryOutput> {
+        self.compile_count.fetch_add(1, Ordering::Relaxed);
+        let optimized = self.optimize_plan(logical)?;
+        let physical = plan_query(&optimized.plan, &self.config)?;
+        self.execute_physical(&physical)
+    }
+
+    /// Compile `sql` into a [`PreparedStatement`] holding the optimized
+    /// physical plan. See [`PreparedStatement`] for the execution contract.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let query = parse_query(sql)?;
+        let declared = query.parameters();
+        let compiled = self.compile_parsed(&query, &Params::new())?;
+        Ok(PreparedStatement {
+            sql: sql.to_string(),
+            template: Arc::new(compiled.physical),
+            parameters: declared,
+            catalog_version: self.catalog.version(),
+            applied: compiled.applied,
+        })
+    }
+
+    /// Compile `sql` and report the whole pipeline without executing it.
+    pub fn explain(&self, sql: &str) -> Result<Explain> {
+        let compiled = self.compile(sql)?;
+        Ok(self.explain_from(sql, compiled, None))
+    }
+
+    /// [`Engine::explain`] plus an actual execution: the report additionally
+    /// carries the measured [`ExecStats`]. Statements with parameters cannot
+    /// be analyzed without bindings — pass them via
+    /// [`Engine::explain_analyze_with_params`].
+    pub fn explain_analyze(&self, sql: &str) -> Result<Explain> {
+        self.explain_analyze_with_params(sql, &Params::new())
+    }
+
+    /// [`Engine::explain_analyze`] with `$name` parameter bindings applied.
+    pub fn explain_analyze_with_params(&self, sql: &str, params: &Params) -> Result<Explain> {
+        let query = parse_query(sql)?;
+        check_bindings(params, &query.parameters())?;
+        let compiled = self.compile_parsed(&query, params)?;
+        let output = self.execute_physical(&compiled.physical)?;
+        Ok(self.explain_from(sql, compiled, Some(output.stats)))
+    }
+
+    fn explain_from(&self, sql: &str, compiled: Compiled, stats: Option<ExecStats>) -> Explain {
+        Explain {
+            sql: sql.to_string(),
+            logical: compiled.logical,
+            optimized: compiled.optimized,
+            applied: compiled.applied,
+            cost_before: compiled.cost_before,
+            cost_after: compiled.cost_after,
+            alternatives_considered: compiled.alternatives_considered,
+            physical: compiled.physical,
+            backend: self.config.backend,
+            parallelism: self.config.parallelism,
+            stats,
+        }
+    }
+
+    fn compile(&self, sql: &str) -> Result<Compiled> {
+        let query = parse_query(sql)?;
+        self.compile_parsed(&query, &Params::new())
+    }
+
+    /// The shared compile pipeline. Known `params` are bound into the
+    /// logical plan before optimization (empty for `prepare`, whose
+    /// placeholders must survive into the cached template).
+    fn compile_parsed(&self, query: &crate::Query, params: &Params) -> Result<Compiled> {
+        self.compile_count.fetch_add(1, Ordering::Relaxed);
+        let mut logical = translate_query(query, &self.catalog)?;
+        if !params.is_empty() {
+            logical = logical.bind_parameters(params.map());
+        }
+        let optimized = self.optimize_plan(&logical)?;
+        let physical = plan_query(&optimized.plan, &self.config)?;
+        Ok(Compiled {
+            logical,
+            optimized: optimized.plan,
+            applied: optimized.applied,
+            cost_before: optimized.original_cost,
+            cost_after: optimized.cost,
+            alternatives_considered: optimized.alternatives_considered,
+            physical,
+        })
+    }
+
+    fn optimize_plan(&self, logical: &LogicalPlan) -> Result<OptimizedPlan> {
+        let ctx = RewriteContext::with_catalog(&self.catalog);
+        if !self.optimize {
+            let cost = self.optimizer.cost_model().cost(logical, &ctx);
+            return Ok(OptimizedPlan {
+                plan: logical.clone(),
+                cost,
+                original_cost: cost,
+                alternatives_considered: 0,
+                applied: Vec::new(),
+            });
+        }
+        Ok(self.optimizer.optimize(logical, &ctx)?)
+    }
+
+    fn execute_physical(&self, physical: &PhysicalPlan) -> Result<QueryOutput> {
+        if physical.has_parameters() {
+            let parameter = physical
+                .parameters()
+                .into_iter()
+                .next()
+                .expect("has_parameters implies at least one name");
+            return Err(Error::UnboundParameter { parameter });
+        }
+        let (relation, stats) = execute_with_config(physical, &self.catalog, &self.config)?;
+        Ok(QueryOutput { relation, stats })
+    }
+}
+
+/// Reject bindings for parameters the statement does not declare.
+fn check_bindings(params: &Params, declared: &BTreeSet<String>) -> Result<()> {
+    for name in params.names() {
+        if !declared.contains(name) {
+            return Err(Error::UnknownParameter {
+                parameter: name.to_string(),
+                expected: declared.iter().cloned().collect(),
+            });
+        }
+    }
+    Ok(())
+}
+
+impl PreparedStatement {
+    /// The SQL text the statement was prepared from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The `$name` parameters the statement declares.
+    pub fn parameters(&self) -> &BTreeSet<String> {
+        &self.parameters
+    }
+
+    /// The cached physical plan template (parameters still unbound). The
+    /// `Arc` is shared, not copied, across [`PreparedStatement::clone`] —
+    /// pointer identity demonstrates that executions reuse one compilation.
+    pub fn plan(&self) -> &Arc<PhysicalPlan> {
+        &self.template
+    }
+
+    /// The rewrite laws the optimizer applied when the statement was
+    /// prepared.
+    pub fn laws_applied(&self) -> &[AppliedRule] {
+        &self.applied
+    }
+
+    /// Catalog version the statement was compiled against.
+    pub fn catalog_version(&self) -> u64 {
+        self.catalog_version
+    }
+
+    /// Bind `params` into a copy of the cached plan and execute it on
+    /// `engine` — no parsing, translation, optimization or planning happens
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::StalePlan`] when the engine's catalog has been mutated
+    ///   since [`Engine::prepare`];
+    /// * [`Error::UnknownParameter`] when `params` binds a name the
+    ///   statement does not declare;
+    /// * [`Error::UnboundParameter`] when a declared parameter has no
+    ///   binding.
+    pub fn execute(&self, engine: &Engine, params: &Params) -> Result<QueryOutput> {
+        let catalog_version = engine.catalog().version();
+        if catalog_version != self.catalog_version {
+            return Err(Error::StalePlan {
+                prepared_version: self.catalog_version,
+                catalog_version,
+            });
+        }
+        check_bindings(params, &self.parameters)?;
+        if params.is_empty() {
+            // Nothing to substitute — run the cached template directly
+            // (execute_physical still rejects unbound placeholders).
+            return engine.execute_physical(&self.template);
+        }
+        let bound = self.template.bind_parameters(params.map());
+        engine.execute_physical(&bound)
+    }
+}
+
+/// The structured report produced by [`Engine::explain`] /
+/// [`Engine::explain_analyze`].
+///
+/// The [`fmt::Display`] rendering is stable: section headers and their order
+/// are part of the API contract (tools may parse them).
+#[derive(Debug, Clone)]
+pub struct Explain {
+    /// The SQL text.
+    pub sql: String,
+    /// Logical plan as translated from the SQL, before any rewrite.
+    pub logical: LogicalPlan,
+    /// Logical plan after the cost-based rewrite (equal to `logical` when no
+    /// law fired or the optimizer is disabled).
+    pub optimized: LogicalPlan,
+    /// The law applications the optimizer chose, pass by pass.
+    pub applied: Vec<AppliedRule>,
+    /// Estimated cost of the original plan.
+    pub cost_before: CostEstimate,
+    /// Estimated cost of the chosen plan.
+    pub cost_after: CostEstimate,
+    /// Number of alternative plans the greedy search costed.
+    pub alternatives_considered: usize,
+    /// The physical plan the engine would execute (parameters unbound).
+    pub physical: PhysicalPlan,
+    /// Execution backend the plan targets.
+    pub backend: ExecutionBackend,
+    /// Partition parallelism the plan targets.
+    pub parallelism: usize,
+    /// Measured execution statistics — `Some` only for
+    /// [`Engine::explain_analyze`].
+    pub stats: Option<ExecStats>,
+}
+
+impl Explain {
+    /// Names of the laws that fired, in application order.
+    pub fn laws_fired(&self) -> Vec<&str> {
+        self.applied.iter().map(|a| a.rule.as_str()).collect()
+    }
+
+    /// `true` when the optimizer changed the plan.
+    pub fn rewritten(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+impl fmt::Display for Explain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "EXPLAIN {}", self.sql)?;
+        writeln!(f, "logical plan (before rewrite):")?;
+        for line in self.logical.explain().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        if self.applied.is_empty() {
+            writeln!(f, "rewrite: no laws fired")?;
+        } else {
+            writeln!(f, "rewrite: {} law(s) fired", self.applied.len())?;
+            for a in &self.applied {
+                writeln!(f, "  pass {}: {} ({})", a.pass, a.rule, a.reference)?;
+            }
+            writeln!(f, "logical plan (after rewrite):")?;
+            for line in self.optimized.explain().lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
+        writeln!(
+            f,
+            "estimated cost: {:.0} -> {:.0} tuples ({} alternatives considered)",
+            self.cost_before.value(),
+            self.cost_after.value(),
+            self.alternatives_considered
+        )?;
+        writeln!(
+            f,
+            "physical plan (backend={}, parallelism={}):",
+            self.backend.name(),
+            self.parallelism
+        )?;
+        for line in self.physical.explain().lines() {
+            writeln!(f, "  {line}")?;
+        }
+        if let Some(stats) = &self.stats {
+            writeln!(f, "execution stats:")?;
+            writeln!(f, "  output rows:         {}", stats.output_rows)?;
+            writeln!(f, "  rows scanned:        {}", stats.rows_scanned)?;
+            writeln!(f, "  intermediate tuples: {}", stats.intermediate_tuples)?;
+            writeln!(f, "  max intermediate:    {}", stats.max_intermediate)?;
+            writeln!(f, "  operators:           {}", stats.operators)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    const Q2: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                      (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
+    const Q2_PARAM: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                            (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#";
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 2], [2, 3], [3, 2] },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] },
+        );
+        c
+    }
+
+    #[test]
+    fn query_runs_the_full_pipeline() {
+        let engine = Engine::new(catalog());
+        let output = engine.query(Q2).unwrap();
+        assert_eq!(output.relation, relation! { ["s#"] => [1], [2] });
+        assert_eq!(output.stats.output_rows, 2);
+        assert_eq!(engine.compile_count(), 1);
+    }
+
+    #[test]
+    fn query_rejects_unbound_and_unknown_parameters() {
+        let engine = Engine::new(catalog());
+        let err = engine.query(Q2_PARAM).unwrap_err();
+        assert_eq!(
+            err,
+            Error::UnboundParameter {
+                parameter: "color".into()
+            }
+        );
+        let err = engine
+            .query_with_params(Q2_PARAM, &Params::new().bind("colour", "blue"))
+            .unwrap_err();
+        assert!(matches!(err, Error::UnknownParameter { .. }));
+        let ok = engine
+            .query_with_params(Q2_PARAM, &Params::new().bind("color", "blue"))
+            .unwrap();
+        assert_eq!(ok.relation, relation! { ["s#"] => [1], [2] });
+    }
+
+    #[test]
+    fn parse_errors_surface_as_the_parse_variant() {
+        let engine = Engine::new(catalog());
+        let err = engine.query("SELECT FROM WHERE").unwrap_err();
+        assert!(matches!(err, Error::Parse(_)));
+        let err = engine.query("SELECT x FROM missing").unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Plan(div_expr::ExprError::UnknownTable { .. })
+        ));
+    }
+
+    #[test]
+    fn prepared_statements_skip_recompilation() {
+        let engine = Engine::new(catalog());
+        let stmt = engine.prepare(Q2_PARAM).unwrap();
+        assert_eq!(engine.compile_count(), 1);
+        assert_eq!(stmt.parameters().iter().collect::<Vec<_>>(), vec!["color"]);
+        let blue = stmt
+            .execute(&engine, &Params::new().bind("color", "blue"))
+            .unwrap();
+        assert_eq!(blue.relation, relation! { ["s#"] => [1], [2] });
+        let red = stmt
+            .execute(&engine, &Params::new().bind("color", "red"))
+            .unwrap();
+        assert_eq!(red.relation, relation! { ["s#"] => [2] });
+        assert_eq!(engine.compile_count(), 1, "executions must not recompile");
+        // Missing binding → error, template unchanged.
+        assert!(matches!(
+            stmt.execute(&engine, &Params::new()),
+            Err(Error::UnboundParameter { .. })
+        ));
+        assert_eq!(stmt.plan().parameters().len(), 1);
+    }
+
+    #[test]
+    fn prepared_statements_detect_catalog_mutation() {
+        let mut engine = Engine::new(catalog());
+        let stmt = engine.prepare(Q2).unwrap();
+        assert_eq!(stmt.catalog_version(), engine.catalog().version());
+        engine
+            .catalog_mut()
+            .register("new_table", relation! { ["x"] => [1] });
+        let err = stmt.execute(&engine, &Params::new()).unwrap_err();
+        assert!(matches!(err, Error::StalePlan { .. }));
+        // Re-preparing against the mutated catalog works again.
+        let stmt = engine.prepare(Q2).unwrap();
+        assert!(stmt.execute(&engine, &Params::new()).is_ok());
+    }
+
+    #[test]
+    fn prepared_statements_refuse_to_run_on_a_different_engine() {
+        // Catalog version stamps are process-globally unique, so a statement
+        // prepared on one engine cannot silently execute against another
+        // engine's catalog — even when both catalogs were built with the
+        // same number of mutations.
+        let engine_a = Engine::new(catalog());
+        let engine_b = Engine::new(catalog());
+        let stmt = engine_a.prepare(Q2).unwrap();
+        assert!(stmt.execute(&engine_a, &Params::new()).is_ok());
+        assert!(matches!(
+            stmt.execute(&engine_b, &Params::new()),
+            Err(Error::StalePlan { .. })
+        ));
+        // An engine over a clone of the same catalog shares the stamp (the
+        // data is identical), so the statement remains valid there.
+        let engine_c = Engine::new(engine_a.catalog().clone());
+        assert!(stmt.execute(&engine_c, &Params::new()).is_ok());
+    }
+
+    #[test]
+    fn explain_reports_pipeline_and_analyze_adds_stats() {
+        let engine = Engine::new(catalog());
+        let sql = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# \
+                   WHERE color = 'blue'";
+        let explain = engine.explain(sql).unwrap();
+        assert!(explain.rewritten(), "the law should fire on this shape");
+        assert!(explain
+            .laws_fired()
+            .iter()
+            .any(|l| l.contains("law-15") || l.contains("law-14")));
+        assert!(explain.stats.is_none());
+        let rendered = explain.to_string();
+        assert!(rendered.contains("logical plan (before rewrite):"));
+        assert!(rendered.contains("rewrite:"));
+        assert!(rendered.contains("physical plan (backend=row, parallelism=1):"));
+        assert!(!rendered.contains("execution stats:"));
+
+        let analyzed = engine.explain_analyze(sql).unwrap();
+        let stats = analyzed.stats.as_ref().expect("analyze measures stats");
+        assert!(stats.output_rows > 0);
+        assert!(analyzed.to_string().contains("execution stats:"));
+    }
+
+    #[test]
+    fn builder_without_optimizer_disables_rewrites() {
+        let engine = Engine::builder(catalog()).without_optimizer().build();
+        assert!(!engine.optimizer_enabled());
+        let sql = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# \
+                   WHERE color = 'blue'";
+        let explain = engine.explain(sql).unwrap();
+        assert!(!explain.rewritten());
+        assert_eq!(explain.logical, explain.optimized);
+        // Results agree with the optimizing engine.
+        let optimizing = Engine::new(catalog());
+        assert_eq!(
+            engine.query(sql).unwrap().relation,
+            optimizing.query(sql).unwrap().relation
+        );
+    }
+
+    #[test]
+    fn execute_logical_runs_plans_without_the_sql_front_end() {
+        use div_expr::PlanBuilder;
+        let engine = Engine::new(catalog());
+        let plan = PlanBuilder::scan("supplies")
+            .divide(
+                PlanBuilder::scan("parts")
+                    .select(div_algebra::Predicate::eq_value("color", "blue"))
+                    .project(["p#"]),
+            )
+            .build();
+        let output = engine.execute_logical(&plan).unwrap();
+        assert_eq!(output.relation, relation! { ["s#"] => [1], [2] });
+    }
+}

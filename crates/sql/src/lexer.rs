@@ -12,6 +12,8 @@ pub enum Token {
     Number(i64),
     /// Single-quoted string literal (quotes removed).
     String(String),
+    /// `$name` parameter placeholder (sigil removed).
+    Parameter(String),
     /// `,`
     Comma,
     /// `(`
@@ -42,6 +44,7 @@ impl fmt::Display for Token {
             Token::Ident(s) => write!(f, "{s}"),
             Token::Number(n) => write!(f, "{n}"),
             Token::String(s) => write!(f, "'{s}'"),
+            Token::Parameter(s) => write!(f, "${s}"),
             Token::Comma => write!(f, ","),
             Token::LeftParen => write!(f, "("),
             Token::RightParen => write!(f, ")"),
@@ -131,6 +134,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
                 i += 1; // closing quote
                 tokens.push(Token::String(s));
             }
+            '$' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '#')
+                {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if s.is_empty() {
+                    return Err("`$` must be followed by a parameter name".to_string());
+                }
+                tokens.push(Token::Parameter(s));
+            }
             c if c.is_ascii_digit() => {
                 let mut n = String::new();
                 while i < chars.len() && chars[i].is_ascii_digit() {
@@ -189,6 +206,15 @@ mod tests {
     fn reports_errors() {
         assert!(tokenize("SELECT 'unterminated").is_err());
         assert!(tokenize("SELECT ?").is_err());
+        assert!(tokenize("color = $").is_err());
+    }
+
+    #[test]
+    fn tokenizes_parameter_placeholders() {
+        let tokens = tokenize("color = $color AND p# <= $max_p#").unwrap();
+        assert!(tokens.contains(&Token::Parameter("color".into())));
+        assert!(tokens.contains(&Token::Parameter("max_p#".into())));
+        assert_eq!(Token::Parameter("color".into()).to_string(), "$color");
     }
 
     #[test]

@@ -9,10 +9,14 @@
 //!                       ON <search condition>
 //! ```
 //!
-//! The crate provides a lexer, a recursive-descent parser for the
-//! `SELECT … FROM … [WHERE …]` subset needed by the paper's queries Q1–Q3
-//! (including derived tables and `NOT EXISTS` subqueries), and a translator to
-//! [`div_expr::LogicalPlan`]s:
+//! The crate provides a lexer (including `$name` parameter placeholders), a
+//! recursive-descent parser for the `SELECT … FROM … [WHERE …]` subset needed
+//! by the paper's queries Q1–Q3 (including derived tables and `NOT EXISTS`
+//! subqueries), a translator to [`div_expr::LogicalPlan`]s, and — most
+//! importantly — the [`Engine`] facade that runs the whole pipeline with the
+//! rewrite optimizer of `div-rewrite` in the loop by default, supports
+//! prepared statements ([`Engine::prepare`]) and structured EXPLAIN reports
+//! ([`Engine::explain`]). Translation rules:
 //!
 //! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`](div_expr::LogicalPlan::SmallDivide)
 //!   when every divisor attribute appears in the `ON` clause as a conjunction
@@ -25,32 +29,37 @@
 //!
 //! ```
 //! use div_algebra::relation;
-//! use div_expr::{evaluate, Catalog};
-//! use div_sql::{parse_query, translate_query};
+//! use div_expr::Catalog;
+//! use div_sql::Engine;
 //!
 //! let mut catalog = Catalog::new();
 //! catalog.register("supplies", relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] });
 //! catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "blue"] });
 //!
-//! let query = parse_query(
+//! let engine = Engine::new(catalog);
+//! let output = engine.query(
 //!     "SELECT s# FROM supplies AS s DIVIDE BY (SELECT p# FROM parts WHERE color = 'blue') AS p \
 //!      ON s.p# = p.p#",
 //! ).unwrap();
-//! let plan = translate_query(&query, &catalog).unwrap();
-//! assert_eq!(evaluate(&plan, &catalog).unwrap(), relation! { ["s#"] => [1] });
+//! assert_eq!(output.relation, relation! { ["s#"] => [1] });
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod engine;
+pub mod error;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod run;
 
 pub use ast::{Query, SelectItem, SqlCondition, SqlOperand, TableFactor, TableReference};
+pub use engine::{Engine, EngineBuilder, Explain, Params, PreparedStatement, QueryOutput};
+pub use error::Error;
 pub use lexer::{tokenize, Token};
 pub use lower::translate_query;
 pub use parser::{parse_query, ParseError};
+#[allow(deprecated)]
 pub use run::{compile_query, run_query};

@@ -373,9 +373,24 @@ fn translate_condition(
                     op.flip(),
                     literal_to_value(v),
                 )),
+                (SqlOperand::Column(l), SqlOperand::Parameter(name)) => Ok(Predicate::cmp_param(
+                    resolve_column(l, bindings)?,
+                    op,
+                    name.clone(),
+                )),
+                (SqlOperand::Parameter(name), SqlOperand::Column(r)) => Ok(Predicate::cmp_param(
+                    resolve_column(r, bindings)?,
+                    op.flip(),
+                    name.clone(),
+                )),
                 (SqlOperand::Literal(_), SqlOperand::Literal(_)) => Err(ExprError::invalid(
                     "comparisons between two literals are not supported",
                 )),
+                (SqlOperand::Parameter(_), _) | (_, SqlOperand::Parameter(_)) => {
+                    Err(ExprError::invalid(
+                        "a `$parameter` placeholder may only be compared with a column",
+                    ))
+                }
             }
         }
         SqlCondition::And(l, r) => {
@@ -667,6 +682,26 @@ mod tests {
             evaluate(&plan, &c).unwrap(),
             relation! { ["s#"] => [1], [2] }
         );
+    }
+
+    #[test]
+    fn parameters_lower_to_placeholder_predicates() {
+        let c = catalog();
+        let q = parse_query("SELECT p# FROM parts WHERE color = $color AND p# >= $min").unwrap();
+        let plan = translate_query(&q, &c).unwrap();
+        assert_eq!(
+            plan.parameters().into_iter().collect::<Vec<_>>(),
+            vec!["color".to_string(), "min".to_string()]
+        );
+        // Flipped orientation binds to the column side.
+        let q = parse_query("SELECT p# FROM parts WHERE $min <= p#").unwrap();
+        let plan = translate_query(&q, &c).unwrap();
+        assert!(format!("{plan}").contains("p# >= $min"));
+        // Parameters cannot meet literals or other parameters.
+        let q = parse_query("SELECT p# FROM parts WHERE $a = $b").unwrap();
+        assert!(translate_query(&q, &c).is_err());
+        let q = parse_query("SELECT p# FROM parts WHERE 1 = $b").unwrap();
+        assert!(translate_query(&q, &c).is_err());
     }
 
     #[test]

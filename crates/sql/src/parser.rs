@@ -284,6 +284,11 @@ impl Parser {
                 self.advance();
                 Ok(SqlOperand::Literal(SqlLiteral::String(s)))
             }
+            Some(Token::Parameter(name)) => {
+                let name = name.clone();
+                self.advance();
+                Ok(SqlOperand::Parameter(name))
+            }
             _ => Ok(SqlOperand::Column(self.parse_column_ref()?)),
         }
     }
@@ -374,6 +379,22 @@ mod tests {
         assert!(parse_query("SELECT a FROM r1 extra junk ,").is_err());
         let err = parse_query("SELECT a FROM r1 DIVIDE BY r2").unwrap_err();
         assert!(err.to_string().contains("ON"));
+    }
+
+    #[test]
+    fn parses_parameter_placeholders() {
+        let q = parse_query(
+            "SELECT s# FROM supplies AS s DIVIDE BY \
+             (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#",
+        )
+        .unwrap();
+        assert_eq!(
+            q.parameters().into_iter().collect::<Vec<_>>(),
+            vec!["color".to_string()]
+        );
+        let q = parse_query("SELECT * FROM parts WHERE $lo <= p# AND p# < $hi").unwrap();
+        assert_eq!(q.parameters().len(), 2);
+        assert!(parse_query("SELECT * FROM parts WHERE p# = $").is_err());
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! End-to-end SQL execution: parse → translate → plan → execute.
+//! Deprecated free-function shims: parse → translate → plan → execute.
+//!
+//! These predate the [`Engine`](crate::Engine) facade and — unlike it — skip
+//! the rewrite optimizer. They are kept as thin migration shims; new code
+//! should construct an `Engine` (see the deprecation notes on each function
+//! for the one-line replacement).
 //!
 //! The paper's pipeline in one call: a `DIVIDE BY … ON` query string goes
 //! through the parser and the logical translator of this crate, the physical
@@ -24,6 +29,16 @@ use div_physical::{execute_with_config, plan_query, ExecStats, PhysicalPlan, Pla
 type Result<T> = std::result::Result<T, ExprError>;
 
 /// Compile a SQL query string down to a physical plan.
+///
+/// Deprecated shim: it bypasses the rewrite optimizer and collapses parse
+/// errors into [`ExprError`]. Build an [`Engine`](crate::Engine) instead —
+/// `Engine::prepare(sql)` returns the optimized plan and the new
+/// [`Error`](crate::Error) type preserves the parse error as a source.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `div_sql::Engine::prepare` — it runs the rewrite optimizer and \
+            preserves structured errors"
+)]
 pub fn compile_query(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Result<PhysicalPlan> {
     let query = parse_query(sql).map_err(|e| ExprError::invalid(e.to_string()))?;
     let logical = translate_query(&query, catalog)?;
@@ -32,6 +47,15 @@ pub fn compile_query(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Re
 
 /// Parse, translate, plan and execute a SQL query on the backend selected by
 /// `config`, returning the result and the execution statistics.
+///
+/// Deprecated shim: it skips the rewrite optimizer that
+/// [`Engine::query`](crate::Engine::query) runs by default. Migrate via
+/// `Engine::builder(catalog).planner_config(config).build().query(sql)`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `div_sql::Engine::query` — it runs the rewrite optimizer in the loop"
+)]
+#[allow(deprecated)]
 pub fn run_query(
     sql: &str,
     catalog: &Catalog,
@@ -42,6 +66,7 @@ pub fn run_query(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims are exercised here, at their definition site
 mod tests {
     use super::*;
     use div_algebra::relation;

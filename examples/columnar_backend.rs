@@ -106,18 +106,20 @@ fn main() {
     let plan = plan_query(&q2, &PlannerConfig::default()).expect("plan lowers");
     run_side_by_side("Q2: suppliers supplying all blue parts", &plan, &sp_catalog);
 
-    // The same comparison driven through the SQL front end.
-    let config = PlannerConfig::with_backend(ExecutionBackend::Columnar);
-    let (result, stats) = run_query(
-        "SELECT s# FROM supplies AS s DIVIDE BY \
-         (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
-        &sp_catalog,
-        &config,
-    )
-    .expect("SQL Q2 runs");
+    // The same comparison driven through the SQL front end: an `Engine`
+    // configured for the columnar backend.
+    let engine = Engine::builder(sp_catalog)
+        .planner_config(PlannerConfig::with_backend(ExecutionBackend::Columnar))
+        .build();
+    let output = engine
+        .query(
+            "SELECT s# FROM supplies AS s DIVIDE BY \
+             (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+        )
+        .expect("SQL Q2 runs");
     println!(
         "\nSQL Q2 on the columnar backend: {} suppliers, {} probes",
-        result.len(),
-        stats.probes
+        output.relation.len(),
+        output.stats.probes
     );
 }

@@ -46,6 +46,10 @@ fn main() {
         optimized.estimated_speedup(),
         optimized.alternatives_considered,
     );
+    println!(
+        "optimizer trace (laws chosen per greedy pass):\n{}",
+        optimized.trace()
+    );
     let report = plans_equivalent_on(&plan, &optimized.plan, &catalog).unwrap();
     println!(
         "optimized plan equivalent to original: {}\n",

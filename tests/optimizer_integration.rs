@@ -229,8 +229,32 @@ fn optimizer_never_makes_plans_worse_and_preserves_semantics() {
         let optimized = optimizer.optimize(&plan, &ctx).unwrap();
         assert!(optimized.cost.value() <= optimized.original_cost.value());
         assert!(optimized.estimated_speedup() >= 1.0);
+        // The chosen plan is labeled with the laws that produced it.
+        if optimized.plan != plan {
+            assert!(
+                !optimized.applied.is_empty(),
+                "a changed plan must report which rules fired"
+            );
+        }
         let report = plans_equivalent_on(&plan, &optimized.plan, &catalog).unwrap();
         assert!(report.equivalent, "{}", report.describe());
+    }
+}
+
+#[test]
+fn engine_pipeline_agrees_with_the_reference_evaluator_on_law_plans() {
+    // Every law-exercising plan, executed end to end through the `Engine`
+    // (optimizer in the loop), matches the reference evaluation of the
+    // *original* plan — the session API must never change query semantics.
+    let catalog = figure_catalog();
+    let engine = Engine::new(catalog.clone());
+    for plan in law_exercising_plans() {
+        let expected = evaluate(&plan, &catalog).unwrap();
+        let output = engine.execute_logical(&plan).unwrap();
+        assert_eq!(
+            output.relation, expected,
+            "engine diverges from the reference on plan:\n{plan}"
+        );
     }
 }
 

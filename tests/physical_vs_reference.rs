@@ -195,6 +195,16 @@ proptest! {
 /// the five operators that used to fall back to the row executor
 /// (intersection, difference, Cartesian product, theta-join, aggregation).
 fn differential_plans() -> Vec<PhysicalPlan> {
+    differential_logical_plans()
+        .into_iter()
+        .map(|logical| plan_query(&logical, &PlannerConfig::default()).unwrap())
+        .collect()
+}
+
+/// The logical shapes behind [`differential_plans`], exposed separately so
+/// the engine-vs-raw differential test can run them through the optimizing
+/// [`Engine`] pipeline as well.
+fn differential_logical_plans() -> Vec<LogicalPlan> {
     let q2 = PlanBuilder::scan("supplies")
         .divide(PlanBuilder::scan("wanted"))
         .build();
@@ -252,7 +262,7 @@ fn differential_plans() -> Vec<PhysicalPlan> {
             ],
         )
         .build();
-    [
+    vec![
         q2,
         filtered_divide,
         great,
@@ -265,9 +275,6 @@ fn differential_plans() -> Vec<PhysicalPlan> {
         theta,
         sum_per_group,
     ]
-    .into_iter()
-    .map(|logical| plan_query(&logical, &PlannerConfig::default()).unwrap())
-    .collect()
 }
 
 /// Execute `plan` on every execution strategy of [`execution_configs`] and
@@ -287,6 +294,65 @@ fn assert_backends_agree(physical: &PhysicalPlan, catalog: &Catalog) {
             stats.rows_scanned, row_stats.rows_scanned,
             "{name}: rows_scanned diverge on plan:\n{physical}"
         );
+    }
+}
+
+#[test]
+fn engine_optimizer_matches_raw_plans_on_every_shape_and_strategy() {
+    // The optimizer-in-the-loop differential: for all eleven differential
+    // plan shapes, `Engine::execute_logical` (rewrite optimizer ON, the
+    // default) must return byte-identical relations to the raw
+    // `plan_query` → `execute_with_config` pipeline (optimizer OFF), on the
+    // row backend, the columnar backend and the partition-parallel columnar
+    // backend, at parallelism 1 and 4 each.
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "supplies",
+        relation! { ["s#", "p#"] => [1, 1], [1, 2], [1, 3], [2, 1], [2, 2], [3, 2], [4, 1], [4, 3] },
+    );
+    catalog.register("wanted", relation! { ["p#"] => [1], [2] });
+    catalog.register(
+        "grouped",
+        relation! { ["p#", "c"] => [1, 1], [2, 1], [1, 2], [3, 2], [2, 3] },
+    );
+
+    let strategy_configs: Vec<(String, PlannerConfig)> =
+        [ExecutionBackend::RowAtATime, ExecutionBackend::Columnar]
+            .into_iter()
+            .flat_map(|backend| {
+                [1usize, 4].into_iter().map(move |parallelism| {
+                    (
+                        format!("{}/p{parallelism}", backend.name()),
+                        PlannerConfig::with_backend(backend).parallelism(parallelism),
+                    )
+                })
+            })
+            .collect();
+
+    for (shape_idx, logical) in differential_logical_plans().into_iter().enumerate() {
+        for (name, config) in &strategy_configs {
+            let optimizing = Engine::builder(catalog.clone())
+                .planner_config(*config)
+                .build();
+            assert!(
+                optimizing.optimizer_enabled(),
+                "optimizer must be the default"
+            );
+            let optimized_out = optimizing.execute_logical(&logical).unwrap();
+
+            let raw_physical = plan_query(&logical, config).unwrap();
+            let (raw_relation, raw_stats) =
+                execute_with_config(&raw_physical, &catalog, config).unwrap();
+
+            assert_eq!(
+                optimized_out.relation, raw_relation,
+                "shape #{shape_idx} diverges on {name}:\n{logical}"
+            );
+            assert_eq!(
+                optimized_out.stats.output_rows, raw_stats.output_rows,
+                "shape #{shape_idx}: output_rows diverge on {name}"
+            );
+        }
     }
 }
 

@@ -1,13 +1,17 @@
-//! End-to-end SQL tests: parse → translate → (rewrite) → execute, on both the
-//! paper's textbook database and generated workloads.
+//! End-to-end SQL tests through the [`Engine`] facade: parse → translate →
+//! optimize (laws + cost model) → plan → execute, on both the paper's
+//! textbook database and generated workloads.
 
 use div_bench::suppliers_parts_catalog;
-use div_sql::{parse_query, translate_query};
+use div_sql::{parse_query, translate_query, Error as SqlError, Explain};
 use division::prelude::*;
+use std::error::Error as _;
 
 const Q1: &str = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p#";
 const Q2: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
                   (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
+const Q2_PARAM: &str = "SELECT s# FROM supplies AS s DIVIDE BY \
+                        (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#";
 const Q3: &str = "SELECT DISTINCT s#, color FROM supplies AS s1, parts AS p1 \
                   WHERE NOT EXISTS ( SELECT * FROM parts AS p2 WHERE p2.color = p1.color AND \
                   NOT EXISTS ( SELECT * FROM supplies AS s2 WHERE s2.p# = p2.p# AND s2.s# = s1.s# ))";
@@ -30,60 +34,69 @@ fn textbook_catalog() -> Catalog {
     c
 }
 
+fn textbook_engine() -> Engine {
+    Engine::new(textbook_catalog())
+}
+
 #[test]
 fn q1_is_a_great_divide_and_produces_per_color_suppliers() {
-    let catalog = textbook_catalog();
-    let plan = translate_query(&parse_query(Q1).unwrap(), &catalog).unwrap();
-    assert!(plan.contains_division());
-    let result = evaluate(&plan, &catalog).unwrap();
+    let engine = textbook_engine();
+    let explain = engine.explain(Q1).unwrap();
+    assert!(explain.logical.contains_division());
+    assert!(explain.physical.explain().contains("GreatDivide"));
+    let output = engine.query(Q1).unwrap();
     let expected = relation! {
         ["s#", "color"] =>
         [1, "blue"], [2, "blue"],
         [2, "red"], [3, "red"],
     };
-    assert_eq!(result, expected);
+    assert_eq!(output.relation, expected);
 }
 
 #[test]
 fn q2_is_a_small_divide_over_the_derived_divisor() {
-    let catalog = textbook_catalog();
-    let plan = translate_query(&parse_query(Q2).unwrap(), &catalog).unwrap();
-    assert!(format!("{plan}").contains("SmallDivide"));
+    let engine = textbook_engine();
+    let explain = engine.explain(Q2).unwrap();
+    assert!(format!("{}", explain.logical).contains("SmallDivide"));
     assert_eq!(
-        evaluate(&plan, &catalog).unwrap(),
+        engine.query(Q2).unwrap().relation,
         relation! { ["s#"] => [1], [2] }
     );
 }
 
 #[test]
 fn q3_not_exists_formulation_matches_q1() {
-    let catalog = textbook_catalog();
-    let q1 = translate_query(&parse_query(Q1).unwrap(), &catalog).unwrap();
-    let q3 = translate_query(&parse_query(Q3).unwrap(), &catalog).unwrap();
+    let engine = textbook_engine();
     // The detection rewrites Q3 into a division plan ...
-    assert!(q3.contains_division());
-    // ... equivalent to the DIVIDE BY formulation.
-    let report = plans_equivalent_on(&q1, &q3, &catalog).unwrap();
-    assert!(report.equivalent, "{}", report.describe());
+    let explain = engine.explain(Q3).unwrap();
+    assert!(explain.logical.contains_division());
+    // ... that produces the same relation as the DIVIDE BY formulation.
+    assert_eq!(
+        engine.query(Q3).unwrap().relation,
+        engine.query(Q1).unwrap().relation
+    );
 }
 
 #[test]
 fn q1_q2_q3_agree_on_generated_workloads() {
     for (suppliers, parts, coverage) in [(30, 12, 0.7), (60, 20, 0.5), (40, 16, 0.9)] {
-        let catalog = suppliers_parts_catalog(suppliers, parts, coverage);
-        let q1 = translate_query(&parse_query(Q1).unwrap(), &catalog).unwrap();
-        let q3 = translate_query(&parse_query(Q3).unwrap(), &catalog).unwrap();
-        let report = plans_equivalent_on(&q1, &q3, &catalog).unwrap();
-        assert!(report.equivalent, "{}", report.describe());
+        let engine = Engine::new(suppliers_parts_catalog(suppliers, parts, coverage));
+        assert_eq!(
+            engine.query(Q1).unwrap().relation,
+            engine.query(Q3).unwrap().relation,
+            "Q1 and Q3 disagree at scale ({suppliers}, {parts}, {coverage})"
+        );
 
         // Q2 must agree with Q1 restricted to blue.
-        let q2 = translate_query(&parse_query(Q2).unwrap(), &catalog).unwrap();
-        let q1_blue = PlanBuilder::from_plan(q1)
-            .select(Predicate::eq_value("color", "blue"))
-            .project(["s#"])
-            .build();
-        let report = plans_equivalent_on(&q2, &q1_blue, &catalog).unwrap();
-        assert!(report.equivalent, "{}", report.describe());
+        let q1_blue: Relation = engine
+            .query(Q1)
+            .unwrap()
+            .relation
+            .select(&Predicate::eq_value("color", "blue"))
+            .unwrap()
+            .project(&["s#"])
+            .unwrap();
+        assert_eq!(engine.query(Q2).unwrap().relation, q1_blue);
     }
 }
 
@@ -93,10 +106,17 @@ fn sql_plans_run_through_the_physical_layer_with_every_algorithm() {
     let logical = translate_query(&parse_query(Q2).unwrap(), &catalog).unwrap();
     let expected = evaluate(&logical, &catalog).unwrap();
     for algorithm in DivisionAlgorithm::ALL {
-        let physical =
-            plan_query(&logical, &PlannerConfig::with_division_algorithm(algorithm)).unwrap();
+        let engine = Engine::builder(catalog.clone())
+            .planner_config(PlannerConfig::with_division_algorithm(algorithm))
+            .build();
+        let explain = engine.explain(Q2).unwrap();
+        assert!(
+            explain.physical.explain().contains(algorithm.name()),
+            "planner config must drive the division algorithm ({})",
+            algorithm.name()
+        );
         assert_eq!(
-            execute(&physical, &catalog).unwrap(),
+            engine.query(Q2).unwrap().relation,
             expected,
             "{}",
             algorithm.name()
@@ -104,40 +124,173 @@ fn sql_plans_run_through_the_physical_layer_with_every_algorithm() {
     }
 }
 
+/// The acceptance criterion of the `Engine` redesign: the optimizer runs by
+/// default, a Q2-style divide is *rewritten* (laws fired are listed in the
+/// EXPLAIN report), and the rewritten plan's result is byte-identical to the
+/// unoptimized plan's.
 #[test]
-fn sql_plans_benefit_from_the_rewrite_engine() {
-    // A filter above the DIVIDE BY quotient gets pushed into the dividend.
+fn engine_runs_the_optimizer_by_default_and_rewrites_divides() {
     let catalog = suppliers_parts_catalog(40, 15, 0.6);
+    // A selection above the quotient: Laws 14/15 push it into the division
+    // inputs, which is exactly the rewrite the paper motivates.
     let sql = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# \
                WHERE color = 'blue'";
-    let logical = translate_query(&parse_query(sql).unwrap(), &catalog).unwrap();
-    let engine = RewriteEngine::with_default_rules();
-    let ctx = RewriteContext::with_catalog(&catalog);
-    let outcome = engine.rewrite(&logical, &ctx).unwrap();
+
+    let optimizing = Engine::new(catalog.clone());
     assert!(
-        outcome.applied.iter().any(|a| a.rule.contains("law-15")),
-        "expected Law 15 to fire, applied: {:?}",
-        outcome.applied.iter().map(|a| &a.rule).collect::<Vec<_>>()
+        optimizing.optimizer_enabled(),
+        "optimizer must default to ON"
     );
-    let report = plans_equivalent_on(&logical, &outcome.plan, &catalog).unwrap();
-    assert!(report.equivalent, "{}", report.describe());
+    let explain = optimizing.explain(sql).unwrap();
+    assert!(
+        explain.rewritten(),
+        "expected at least one law to fire, got none"
+    );
+    assert!(
+        explain.laws_fired().iter().any(|law| law.contains("law-")),
+        "EXPLAIN must list the laws that fired, got {:?}",
+        explain.laws_fired()
+    );
+    assert_ne!(
+        explain.logical, explain.optimized,
+        "the executed plan must actually differ from the translated plan"
+    );
+    // The Display rendering names the fired laws (stable contract).
+    let rendered = explain.to_string();
+    for law in explain.laws_fired() {
+        assert!(rendered.contains(law), "rendered EXPLAIN must name {law}");
+    }
+
+    // Byte-identical result vs the unoptimized pipeline.
+    let raw = Engine::builder(catalog).without_optimizer().build();
+    assert_eq!(
+        optimizing.query(sql).unwrap().relation,
+        raw.query(sql).unwrap().relation
+    );
+}
+
+#[test]
+fn prepared_statements_reuse_one_compilation_across_bindings() {
+    let engine = textbook_engine();
+    let stmt = engine.prepare(Q2_PARAM).unwrap();
+    assert_eq!(engine.compile_count(), 1);
+
+    // Three executions with different bindings, no recompilation.
+    let blue = stmt
+        .execute(&engine, &Params::new().bind("color", "blue"))
+        .unwrap();
+    assert_eq!(blue.relation, relation! { ["s#"] => [1], [2] });
+    let red = stmt
+        .execute(&engine, &Params::new().bind("color", "red"))
+        .unwrap();
+    assert_eq!(red.relation, relation! { ["s#"] => [2], [3] });
+    // Empty divisor: universal quantification over the empty set holds for
+    // every supplier.
+    let green = stmt
+        .execute(&engine, &Params::new().bind("color", "green"))
+        .unwrap();
+    assert_eq!(green.relation, relation! { ["s#"] => [1], [2], [3] });
+    assert_eq!(
+        engine.compile_count(),
+        1,
+        "prepared executions must not redo parse/translate/optimize/plan"
+    );
+
+    // Plan identity: every execution binds into the same cached template.
+    let before = std::sync::Arc::as_ptr(stmt.plan());
+    stmt.execute(&engine, &Params::new().bind("color", "blue"))
+        .unwrap();
+    assert_eq!(std::sync::Arc::as_ptr(stmt.plan()), before);
+
+    // The ad-hoc path answers the same bytes as the prepared path.
+    let adhoc = engine.query(Q2).unwrap();
+    assert_eq!(adhoc.relation, blue.relation);
+}
+
+#[test]
+fn prepared_statements_go_stale_when_the_catalog_changes() {
+    let mut engine = textbook_engine();
+    let stmt = engine.prepare(Q2).unwrap();
+    engine
+        .catalog_mut()
+        .register("parts", relation! { ["p#", "color"] => [1, "blue"] });
+    let err = stmt.execute(&engine, &Params::new()).unwrap_err();
+    assert!(matches!(err, SqlError::StalePlan { .. }), "got {err}");
+}
+
+#[test]
+fn parse_errors_keep_their_structured_source() {
+    let engine = textbook_engine();
+    let err = engine.query("SELECT FROM WHERE").unwrap_err();
+    // Assert the variant, not a substring: the ParseError must survive as a
+    // typed source, not be flattened into a message.
+    let SqlError::Parse(parse_err) = &err else {
+        panic!("expected Error::Parse, got {err:?}");
+    };
+    assert!(!parse_err.message.is_empty());
+    let source = err.source().expect("Error::Parse chains its source");
+    assert!(source.downcast_ref::<ParseError>().is_some());
 }
 
 #[test]
 fn unsupported_sql_is_rejected_with_errors() {
-    let catalog = textbook_catalog();
+    let engine = textbook_engine();
     // Non-equi ON clause.
-    let bad =
-        parse_query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#").unwrap();
-    assert!(translate_query(&bad, &catalog).is_err());
-    // Unknown table.
-    let bad = parse_query("SELECT x FROM missing").unwrap();
-    assert!(translate_query(&bad, &catalog).is_err());
+    let err = engine
+        .query("SELECT s# FROM supplies AS s DIVIDE BY parts AS p ON s.p# < p.p#")
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)));
+    // Unknown table: the ExprError variant survives inside the Plan variant.
+    let err = engine.query("SELECT x FROM missing").unwrap_err();
+    assert!(matches!(
+        err,
+        SqlError::Plan(div_expr::ExprError::UnknownTable { .. })
+    ));
     // A correlated subquery that is not the universal quantification pattern.
-    let bad = parse_query(
-        "SELECT s# FROM supplies AS s1 WHERE NOT EXISTS \
-         (SELECT * FROM parts AS p1 WHERE p1.p# = s1.p#)",
-    )
-    .unwrap();
-    assert!(translate_query(&bad, &catalog).is_err());
+    let err = engine
+        .query(
+            "SELECT s# FROM supplies AS s1 WHERE NOT EXISTS \
+             (SELECT * FROM parts AS p1 WHERE p1.p# = s1.p#)",
+        )
+        .unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)));
+}
+
+#[test]
+fn explain_is_structured_and_analyze_measures() {
+    let engine = textbook_engine();
+    let explain: Explain = engine.explain_analyze(Q2).unwrap();
+    let stats = explain.stats.as_ref().expect("analyze carries stats");
+    assert_eq!(stats.output_rows, 2);
+    let rendered = explain.to_string();
+    for section in [
+        "EXPLAIN ",
+        "logical plan (before rewrite):",
+        "estimated cost:",
+        "physical plan (backend=row, parallelism=1):",
+        "execution stats:",
+    ] {
+        assert!(rendered.contains(section), "missing section {section:?}");
+    }
+}
+
+#[test]
+fn engine_serves_every_backend_and_parallelism() {
+    let catalog = textbook_catalog();
+    let expected = relation! { ["s#"] => [1], [2] };
+    for backend in ExecutionBackend::ALL {
+        for parallelism in [1usize, 4] {
+            let engine = Engine::builder(catalog.clone())
+                .planner_config(PlannerConfig::with_backend(backend).parallelism(parallelism))
+                .build();
+            let output = engine.query(Q2).unwrap();
+            assert_eq!(
+                output.relation,
+                expected,
+                "backend {} parallelism {parallelism}",
+                backend.name()
+            );
+            assert_eq!(output.stats.output_rows, 2);
+        }
+    }
 }
