@@ -1,0 +1,403 @@
+//! Vectorized key pipeline vs the pre-pipeline `RowKey` kernels.
+//!
+//! The claim under test (ISSUE 4 / the `key_vector` + `hash_table`
+//! modules): materializing a `RowKey` enum per row per operator — cloning
+//! `Value`s, allocating a `Vec<Value>` for composite keys, SipHashing
+//! through `std::collections` maps — dominates the hash kernels' budget;
+//! normalizing keys once per batch into dense `u64` codes consumed by
+//! open-addressing tables removes that constant factor.
+//!
+//! Each benchmark pairs a rewritten kernel with a faithful replica of its
+//! pre-pipeline implementation (`rowkey_*` below, kept verbatim from the
+//! old kernels so the comparison is against real history, not a strawman):
+//!
+//! * `string_join` — natural join on a dictionary-encoded string key,
+//! * `composite_aggregate` — COUNT/SUM grouped by a two-column key,
+//! * `generic_divide` — small divide with string `A` and `B` attributes
+//!   (the old kernel's non-`i64` "generic path"),
+//! * `hash_partition` — Law 2/13 partition routing (old: one
+//!   `DefaultHasher` per row + `% partitions`; new: one `KeyVector` per
+//!   batch + multiply-based reduction).
+//!
+//! `scripts/bench_snapshot.sh` runs this group and records the medians in
+//! `BENCH_key_pipeline.json` — the repo's perf trajectory for the key
+//! machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::{AggregateCall, Relation, Schema, Tuple, Value};
+use div_columnar::{kernels, partition, Column, ColumnarBatch, RowKey};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+// ---------------------------------------------------------------------------
+// Pre-pipeline baselines: the old kernels' key machinery, verbatim.
+// ---------------------------------------------------------------------------
+
+/// The old `hash_natural_join`: `RowKey` per row on both sides, SipHash
+/// `HashMap`, and the all-columns right gather of the old assembly.
+fn rowkey_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> ColumnarBatch {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    let left_key = left.projection_indices(&common_refs).unwrap();
+    let right_key = right.projection_indices(&common_refs).unwrap();
+    let right_extra: Vec<&str> = right
+        .schema()
+        .names()
+        .into_iter()
+        .filter(|n| !left.schema().contains(n))
+        .collect();
+    let right_extra_idx = right.projection_indices(&right_extra).unwrap();
+
+    let mut table: HashMap<RowKey, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for i in 0..right.num_rows() {
+        table
+            .entry(right.key_at(i, &right_key))
+            .or_default()
+            .push(i);
+    }
+    let mut left_indices: Vec<usize> = Vec::new();
+    let mut right_indices: Vec<usize> = Vec::new();
+    for i in 0..left.num_rows() {
+        if let Some(matches) = table.get(&left.key_at(i, &left_key)) {
+            for &j in matches {
+                left_indices.push(i);
+                right_indices.push(j);
+            }
+        }
+    }
+    let out_schema = left.schema().natural_union(right.schema());
+    let gathered_left = left.gather(&left_indices);
+    let gathered_right = right.gather(&right_indices);
+    let mut columns = gathered_left.columns().to_vec();
+    columns.extend(
+        right_extra_idx
+            .iter()
+            .map(|&c| gathered_right.column(c).clone()),
+    );
+    ColumnarBatch::from_parts(out_schema, columns, left_indices.len())
+}
+
+/// The old `ColumnarBatch::dedup`: a `RowKey` per row through a SipHash
+/// `HashSet` (the pre-pipeline set-semantics boundary the old aggregate
+/// kernel called).
+fn rowkey_dedup(batch: &ColumnarBatch) -> ColumnarBatch {
+    let all_columns: Vec<usize> = (0..batch.schema().arity()).collect();
+    let mut seen: HashSet<RowKey> = HashSet::with_capacity(batch.num_rows());
+    let mut keep: Vec<usize> = Vec::with_capacity(batch.num_rows());
+    for i in 0..batch.num_rows() {
+        if seen.insert(batch.key_at(i, &all_columns)) {
+            keep.push(i);
+        }
+    }
+    if keep.len() == batch.num_rows() {
+        batch.clone()
+    } else {
+        batch.gather(&keep)
+    }
+}
+
+/// The old `hash_aggregate` grouping loop: one `RowKey` (a `Vec<Value>` for
+/// composite keys) per row through a SipHash map.
+fn rowkey_aggregate(
+    batch: &ColumnarBatch,
+    group_by: &[&str],
+    aggregates: &[AggregateCall],
+) -> ColumnarBatch {
+    let mut out_names: Vec<String> = group_by.iter().map(|s| s.to_string()).collect();
+    for agg in aggregates {
+        out_names.push(agg.output.clone());
+    }
+    let out_schema = Schema::new(out_names).unwrap();
+    let batch = rowkey_dedup(batch);
+    let key_idx = batch.projection_indices(group_by).unwrap();
+    let mut group_of: HashMap<RowKey, usize> = HashMap::new();
+    let mut first_row: Vec<usize> = Vec::new();
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    for row in 0..batch.num_rows() {
+        let key = batch.key_at(row, &key_idx);
+        let next = members.len();
+        let gid = *group_of.entry(key).or_insert(next);
+        if gid == first_row.len() {
+            first_row.push(row);
+            members.push(Vec::new());
+        }
+        members[gid].push(row);
+    }
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    for &key_col in &key_idx {
+        columns.push(batch.column(key_col).gather(&first_row));
+    }
+    for agg in aggregates {
+        let input_idx = batch.schema().require(&agg.input).unwrap();
+        let mut outputs: Vec<Value> = Vec::with_capacity(members.len());
+        for group in &members {
+            let inputs: Vec<Value> = group
+                .iter()
+                .map(|&row| batch.value_at(row, input_idx))
+                .collect();
+            outputs.push(agg.function.eval(&inputs).unwrap());
+        }
+        columns.push(Column::from_values(outputs.iter()));
+    }
+    ColumnarBatch::from_parts(out_schema, columns, members.len())
+}
+
+/// The old `hash_divide` generic path: `RowKey`-keyed divisor ids and
+/// dividend groups with per-group coverage bitmaps.
+fn rowkey_divide(dividend: &ColumnarBatch, divisor: &ColumnarBatch) -> ColumnarBatch {
+    let shared: Vec<String> = divisor
+        .schema()
+        .names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let quotient = dividend.schema().difference_attributes(divisor.schema());
+    let shared_refs: Vec<&str> = shared.iter().map(String::as_str).collect();
+    let quotient_refs: Vec<&str> = quotient.iter().map(String::as_str).collect();
+    let dividend_b = dividend.projection_indices(&shared_refs).unwrap();
+    let divisor_b = divisor.projection_indices(&shared_refs).unwrap();
+    let dividend_a = dividend.projection_indices(&quotient_refs).unwrap();
+
+    let mut divisor_ids: HashMap<RowKey, u32> = HashMap::with_capacity(divisor.num_rows());
+    for i in 0..divisor.num_rows() {
+        let next = divisor_ids.len() as u32;
+        divisor_ids
+            .entry(divisor.key_at(i, &divisor_b))
+            .or_insert(next);
+    }
+    let divisor_len = divisor_ids.len();
+    let words = divisor_len.div_ceil(64);
+    struct State {
+        first_row: usize,
+        bits: Vec<u64>,
+        covered: u32,
+    }
+    let mut groups: HashMap<RowKey, State> = HashMap::new();
+    for row in 0..dividend.num_rows() {
+        let Some(&id) = divisor_ids.get(&dividend.key_at(row, &dividend_b)) else {
+            continue;
+        };
+        let state = groups
+            .entry(dividend.key_at(row, &dividend_a))
+            .or_insert_with(|| State {
+                first_row: row,
+                bits: vec![0; words],
+                covered: 0,
+            });
+        let word = (id / 64) as usize;
+        let bit = 1u64 << (id % 64);
+        if state.bits[word] & bit == 0 {
+            state.bits[word] |= bit;
+            state.covered += 1;
+        }
+    }
+    let qualifying: Vec<usize> = groups
+        .values()
+        .filter(|s| s.covered as usize == divisor_len)
+        .map(|s| s.first_row)
+        .collect();
+    let schema = dividend.schema().project(&quotient_refs).unwrap();
+    let columns = dividend_a
+        .iter()
+        .map(|&c| dividend.column(c).gather(&qualifying))
+        .collect();
+    ColumnarBatch::from_parts(schema, columns, qualifying.len())
+}
+
+/// The old `hash_partition`: a fresh `DefaultHasher` and a materialized
+/// `RowKey` per row, routed with `% partitions`.
+fn rowkey_partition(
+    batch: &ColumnarBatch,
+    key_columns: &[usize],
+    partitions: usize,
+) -> Vec<ColumnarBatch> {
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for row in 0..batch.num_rows() {
+        let mut hasher = DefaultHasher::new();
+        batch.key_at(row, key_columns).hash(&mut hasher);
+        buckets[(hasher.finish() as usize) % partitions].push(row);
+    }
+    buckets.iter().map(|rows| batch.gather(rows)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Workloads.
+// ---------------------------------------------------------------------------
+
+fn string_name(i: usize, distinct: usize) -> String {
+    format!("customer-{:04}", i % distinct)
+}
+
+/// Left: `rows` facts keyed by a low-cardinality string; right: one row per
+/// distinct key (the dimension side of a string-keyed join).
+fn string_join_inputs(rows: usize, distinct: usize) -> (ColumnarBatch, ColumnarBatch) {
+    let left = Relation::new(
+        Schema::of(["name", "v"]),
+        (0..rows)
+            .map(|i| Tuple::new([Value::from(string_name(i, distinct)), Value::from(i as i64)])),
+    )
+    .unwrap();
+    let right = Relation::new(
+        Schema::of(["name", "w"]),
+        (0..distinct).map(|i| {
+            Tuple::new([
+                Value::from(string_name(i, distinct)),
+                Value::from((i * 10) as i64),
+            ])
+        }),
+    )
+    .unwrap();
+    (
+        ColumnarBatch::from_relation(&left),
+        ColumnarBatch::from_relation(&right),
+    )
+}
+
+/// `rows` facts under a two-column (composite) integer group key.
+fn composite_aggregate_input(rows: usize) -> ColumnarBatch {
+    let rel = Relation::from_rows(
+        ["g1", "g2", "v"],
+        (0..rows as i64).map(|i| vec![i % 50, (i / 3) % 40, i % 7]),
+    )
+    .unwrap();
+    ColumnarBatch::from_relation(&rel)
+}
+
+/// String-keyed division: `who` takes courses `what`; the divisor is the
+/// full course list — the old kernel's generic (non-`i64`) path on both
+/// key sides.
+fn generic_divide_inputs(groups: usize, items: usize) -> (ColumnarBatch, ColumnarBatch) {
+    let mut rows = Vec::new();
+    for g in 0..groups {
+        for i in 0..items {
+            if g % 3 == 0 || i % 2 == 0 {
+                rows.push(Tuple::new([
+                    Value::from(format!("who-{g:03}")),
+                    Value::from(format!("what-{i:03}")),
+                ]));
+            }
+        }
+    }
+    let dividend = Relation::new(Schema::of(["who", "what"]), rows).unwrap();
+    let divisor = Relation::new(
+        Schema::of(["what"]),
+        (0..items).map(|i| Tuple::new([Value::from(format!("what-{i:03}"))])),
+    )
+    .unwrap();
+    (
+        ColumnarBatch::from_relation(&dividend),
+        ColumnarBatch::from_relation(&divisor),
+    )
+}
+
+fn partition_input(rows: usize) -> ColumnarBatch {
+    let rel =
+        Relation::from_rows(["a", "b"], (0..rows as i64).map(|i| vec![i % 400, i % 13])).unwrap();
+    ColumnarBatch::from_relation(&rel)
+}
+
+// ---------------------------------------------------------------------------
+// Benchmarks.
+// ---------------------------------------------------------------------------
+
+fn bench_string_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_pipeline/string_join");
+    for rows in [1_000usize, 4_000] {
+        let (left, right) = string_join_inputs(rows, 200);
+        // Sanity: both implementations answer the same relation.
+        assert_eq!(
+            kernels::hash_natural_join(&left, &right)
+                .unwrap()
+                .batch
+                .to_relation()
+                .unwrap(),
+            rowkey_natural_join(&left, &right).to_relation().unwrap()
+        );
+        group.bench_with_input(BenchmarkId::new("keyvector", rows), &rows, |b, _| {
+            b.iter(|| kernels::hash_natural_join(&left, &right).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rowkey", rows), &rows, |b, _| {
+            b.iter(|| rowkey_natural_join(&left, &right))
+        });
+    }
+    group.finish();
+}
+
+fn bench_composite_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_pipeline/composite_aggregate");
+    let aggregates = [
+        AggregateCall::count("v", "n"),
+        AggregateCall::sum("v", "total"),
+    ];
+    for rows in [1_000usize, 4_000] {
+        let batch = composite_aggregate_input(rows);
+        assert_eq!(
+            kernels::hash_aggregate(&batch, &["g1", "g2"], &aggregates)
+                .unwrap()
+                .to_relation()
+                .unwrap(),
+            rowkey_aggregate(&batch, &["g1", "g2"], &aggregates)
+                .to_relation()
+                .unwrap()
+        );
+        group.bench_with_input(BenchmarkId::new("keyvector", rows), &rows, |b, _| {
+            b.iter(|| kernels::hash_aggregate(&batch, &["g1", "g2"], &aggregates).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rowkey", rows), &rows, |b, _| {
+            b.iter(|| rowkey_aggregate(&batch, &["g1", "g2"], &aggregates))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generic_divide(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_pipeline/generic_divide");
+    for groups in [100usize, 400] {
+        let (dividend, divisor) = generic_divide_inputs(groups, 16);
+        assert_eq!(
+            kernels::hash_divide(&dividend, &divisor)
+                .unwrap()
+                .batch
+                .to_relation()
+                .unwrap(),
+            rowkey_divide(&dividend, &divisor).to_relation().unwrap()
+        );
+        group.bench_with_input(BenchmarkId::new("keyvector", groups), &groups, |b, _| {
+            b.iter(|| kernels::hash_divide(&dividend, &divisor).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rowkey", groups), &groups, |b, _| {
+            b.iter(|| rowkey_divide(&dividend, &divisor))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hash_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("key_pipeline/hash_partition");
+    for rows in [2_000usize, 8_000] {
+        let batch = partition_input(rows);
+        let partitions = 8usize;
+        group.bench_with_input(
+            BenchmarkId::new(format!("keyvector-p{partitions}"), rows),
+            &rows,
+            |b, _| b.iter(|| partition::hash_partition(&batch, &[0], partitions)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("rowkey-p{partitions}"), rows),
+            &rows,
+            |b, _| b.iter(|| rowkey_partition(&batch, &[0], partitions)),
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_string_join(c);
+    bench_composite_aggregate(c);
+    bench_generic_divide(c);
+    bench_hash_partition(c);
+}
+
+criterion_group!(key_pipeline, benches);
+criterion_main!(key_pipeline);

@@ -1,10 +1,11 @@
 //! Columnar batches: a schema plus typed column vectors.
 
 use crate::column::Column;
+use crate::hash_table::GroupIndex;
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::keys::RowKey;
 use crate::Result;
 use div_algebra::{AlgebraError, Relation, Schema, Tuple, Value};
-use std::collections::HashSet;
 
 /// A batch of rows in columnar layout.
 ///
@@ -155,12 +156,18 @@ impl ColumnarBatch {
     }
 
     /// Deduplicate rows, keeping first occurrences in order (set semantics).
+    /// Runs on the vectorized key pipeline: whole-row keys are normalized
+    /// once ([`KeyVector`]) and interned into an open-addressing
+    /// [`GroupIndex`] — no per-row key materialization.
     pub fn dedup(&self) -> ColumnarBatch {
         let all_columns: Vec<usize> = (0..self.columns.len()).collect();
-        let mut seen: HashSet<RowKey> = HashSet::with_capacity(self.rows);
+        let keys = KeyVector::build(self, &all_columns);
+        let same_row = cross_matcher(self, &all_columns, &keys, self, &all_columns, &keys);
+        let mut seen = GroupIndex::with_capacity(self.rows);
         let mut keep: Vec<usize> = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
-            if seen.insert(self.key_at(i, &all_columns)) {
+            let (_, is_new) = seen.intern(keys.code(i), i, |other| same_row(i, other));
+            if is_new {
                 keep.push(i);
             }
         }

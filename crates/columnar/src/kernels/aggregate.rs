@@ -14,10 +14,10 @@
 //! duplicate rows cannot inflate `count`/`sum` results.
 
 use crate::batch::ColumnarBatch;
-use crate::keys::RowKey;
+use crate::hash_table::GroupIndex;
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
 use div_algebra::{AggregateCall, Schema, Value};
-use std::collections::HashMap;
 
 /// Hash aggregation `γ_{group_by; aggregates}(batch)`, mirroring
 /// [`div_algebra::Relation::group_aggregate`].
@@ -39,21 +39,22 @@ pub fn hash_aggregate(
     }
 
     // Aggregate over the distinct rows: the reference operator groups a set.
+    // Grouping runs on the vectorized key pipeline: normalize the key
+    // columns once, intern codes into an open-addressing index.
     let batch = batch.dedup();
     let key_idx = batch.projection_indices(group_by)?;
-    let mut group_of: HashMap<RowKey, usize> = HashMap::new();
-    let mut first_row: Vec<usize> = Vec::new();
+    let keys = KeyVector::build(&batch, &key_idx);
+    let same_key = cross_matcher(&batch, &key_idx, &keys, &batch, &key_idx, &keys);
+    let mut index = GroupIndex::with_capacity(batch.num_rows());
     let mut members: Vec<Vec<usize>> = Vec::new();
     for row in 0..batch.num_rows() {
-        let key = batch.key_at(row, &key_idx);
-        let next = members.len();
-        let gid = *group_of.entry(key).or_insert(next);
-        if gid == first_row.len() {
-            first_row.push(row);
+        let (gid, is_new) = index.intern(keys.code(row), row, |other| same_key(row, other));
+        if is_new {
             members.push(Vec::new());
         }
-        members[gid].push(row);
+        members[gid as usize].push(row);
     }
+    let first_row: Vec<usize> = index.first_rows().collect();
 
     // Assemble column-wise: group keys from representative rows, aggregate
     // outputs evaluated per group with the reference aggregate functions.

@@ -1,4 +1,4 @@
-//! Batch-native small divide (`÷`).
+//! Batch-native small divide (`÷`) on the vectorized key pipeline.
 //!
 //! The algorithm is Graefe-style hash-division expressed over column slices:
 //! the divisor's `B`-tuples get dense ids, every dividend group (keyed on the
@@ -8,17 +8,21 @@
 //! intermediate-result profile the paper demands from a special-purpose
 //! operator.
 //!
-//! When both `B` key columns are plain non-NULL `i64` columns (every numeric
-//! workload in the paper), the dividend pass runs directly over the primitive
-//! slices with `HashMap<i64, _>` lookups — no `Value` is materialized at all.
+//! Both key sides run on [`KeyVector`] codes consumed by open-addressing
+//! tables: a plain non-NULL `i64` column normalizes to raw codes (the former
+//! explicit "fast path", now just the cheapest [`KeyVector::build`] case),
+//! strings hash once per dictionary entry, and NULL/composite keys fold
+//! through the sentinel/combine rules — with inexact matches verified
+//! against the source batches, so collisions in the `u64` code space cannot
+//! corrupt the quotient.
 
 use crate::batch::ColumnarBatch;
+use crate::hash_table::{index_rows, GroupIndex};
 use crate::kernels::join::KernelOutput;
 use crate::kernels::project;
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
 use div_algebra::{AlgebraError, Schema};
-use std::collections::HashMap;
-use std::hash::Hash;
 
 /// The `A`/`B` attribute partition of a division over batch schemas,
 /// mirroring [`div_algebra::Relation::division_attributes`].
@@ -71,15 +75,13 @@ impl DivideLayout {
 
 /// Per-group divisor-coverage bitmap.
 struct GroupState {
-    first_row: usize,
     bits: Vec<u64>,
     covered: u32,
 }
 
 impl GroupState {
-    fn new(first_row: usize, words: usize) -> Self {
+    fn new(words: usize) -> Self {
         GroupState {
-            first_row,
             bits: vec![0; words],
             covered: 0,
         }
@@ -95,43 +97,32 @@ impl GroupState {
     }
 }
 
-/// Hash-division over groups keyed by `K`: one pass over the dividend,
-/// emitting the first row of every group whose bitmap covers all
-/// `divisor_len` divisor ids.
-fn divide_core<K: Eq + Hash>(
-    rows: usize,
-    divisor_len: usize,
-    b_id_of: impl Fn(usize) -> Option<u32>,
-    a_key_of: impl Fn(usize) -> K,
-) -> Vec<usize> {
-    let words = divisor_len.div_ceil(64);
-    let mut groups: HashMap<K, GroupState> = HashMap::new();
-    let mut order: Vec<K> = Vec::new();
-    for row in 0..rows {
-        let Some(id) = b_id_of(row) else { continue };
-        let key = a_key_of(row);
-        match groups.get_mut(&key) {
-            Some(state) => state.set(id),
-            None => {
-                let mut state = GroupState::new(row, words);
-                state.set(id);
-                groups.insert(key, state);
-                order.push(a_key_of(row));
-            }
-        }
-    }
-    order
-        .iter()
-        .filter_map(|key| {
-            let state = &groups[key];
-            (state.covered as usize == divisor_len).then_some(state.first_row)
-        })
-        .collect()
-}
-
 /// Batch-native small divide `dividend ÷ divisor`.
 pub fn hash_divide(dividend: &ColumnarBatch, divisor: &ColumnarBatch) -> Result<KernelOutput> {
     let layout = DivideLayout::resolve(dividend.schema(), divisor.schema())?;
+    let a_keys = KeyVector::build(dividend, &layout.dividend_a);
+    divide_core(dividend, divisor, &layout, &a_keys)
+}
+
+/// [`hash_divide`] with the dividend's quotient-attribute (`A`) key vector
+/// precomputed — built over the `A` columns in
+/// `sch(dividend) − sch(divisor)` order, exactly what the Law-2
+/// partitioning step of `div_physical::parallel_columnar` already hashed.
+pub fn hash_divide_prehashed(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    a_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let layout = DivideLayout::resolve(dividend.schema(), divisor.schema())?;
+    divide_core(dividend, divisor, &layout, a_keys)
+}
+
+fn divide_core(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    layout: &DivideLayout,
+    a_keys: &KeyVector,
+) -> Result<KernelOutput> {
     let quotient_refs: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
 
     // Empty divisor: the containment test is vacuously true, every dividend
@@ -144,74 +135,51 @@ pub fn hash_divide(dividend: &ColumnarBatch, divisor: &ColumnarBatch) -> Result<
     }
 
     let rows = dividend.num_rows();
-    let int_fast_path = match (&layout.dividend_b[..], &layout.divisor_b[..]) {
-        ([db], [vb]) => {
-            let d = dividend.column(*db).as_int_slice();
-            let v = divisor.column(*vb).as_int_slice();
-            match (d, v) {
-                (Some((d_vals, None)), Some((v_vals, None))) => Some((d_vals, v_vals)),
-                _ => None,
-            }
-        }
-        _ => None,
-    };
 
-    let qualifying = if let Some((d_vals, v_vals)) = int_fast_path {
-        // Primitive-slice path: divisor ids and the dividend pass both work
-        // on raw `i64`s.
-        let mut divisor_ids: HashMap<i64, u32> = HashMap::with_capacity(v_vals.len());
-        for &v in v_vals {
-            let next = divisor_ids.len() as u32;
-            divisor_ids.entry(v).or_insert(next);
+    // Dense ids for the divisor's distinct B-tuples.
+    let divisor_b_keys = KeyVector::build(divisor, &layout.divisor_b);
+    let b_index = index_rows(divisor, &layout.divisor_b, &divisor_b_keys);
+    let divisor_len = b_index.len();
+    let words = divisor_len.div_ceil(64);
+
+    // One pass over the dividend: look up each row's B id, intern its A
+    // group, set the bit.
+    let dividend_b_keys = KeyVector::build(dividend, &layout.dividend_b);
+    let same_b = cross_matcher(
+        dividend,
+        &layout.dividend_b,
+        &dividend_b_keys,
+        divisor,
+        &layout.divisor_b,
+        &divisor_b_keys,
+    );
+    let same_a = cross_matcher(
+        dividend,
+        &layout.dividend_a,
+        a_keys,
+        dividend,
+        &layout.dividend_a,
+        a_keys,
+    );
+    let mut a_index = GroupIndex::with_capacity(rows.min(1 << 20));
+    let mut states: Vec<GroupState> = Vec::new();
+    for row in 0..rows {
+        let b_id = b_index.get(dividend_b_keys.code(row), |other| same_b(row, other));
+        let Some(b_id) = b_id else { continue };
+        let (gid, is_new) = a_index.intern(a_keys.code(row), row, |other| same_a(row, other));
+        if is_new {
+            states.push(GroupState::new(words));
         }
-        let divisor_len = divisor_ids.len();
-        if let [a_col] = layout.dividend_a[..] {
-            if let Some((a_vals, None)) = dividend.column(a_col).as_int_slice() {
-                // Fully primitive: both A and B are plain i64 columns.
-                divide_core(
-                    rows,
-                    divisor_len,
-                    |row| divisor_ids.get(&d_vals[row]).copied(),
-                    |row| a_vals[row],
-                )
-            } else {
-                divide_core(
-                    rows,
-                    divisor_len,
-                    |row| divisor_ids.get(&d_vals[row]).copied(),
-                    |row| dividend.key_at(row, &layout.dividend_a),
-                )
-            }
-        } else {
-            divide_core(
-                rows,
-                divisor_len,
-                |row| divisor_ids.get(&d_vals[row]).copied(),
-                |row| dividend.key_at(row, &layout.dividend_a),
-            )
-        }
-    } else {
-        // Generic path: value-based keys (strings go through the dictionary,
-        // NULLs and sets compare as values).
-        let mut divisor_ids = HashMap::with_capacity(divisor.num_rows());
-        for i in 0..divisor.num_rows() {
-            let next = divisor_ids.len() as u32;
-            divisor_ids
-                .entry(divisor.key_at(i, &layout.divisor_b))
-                .or_insert(next);
-        }
-        let divisor_len = divisor_ids.len();
-        divide_core(
-            rows,
-            divisor_len,
-            |row| {
-                divisor_ids
-                    .get(&dividend.key_at(row, &layout.dividend_b))
-                    .copied()
-            },
-            |row| dividend.key_at(row, &layout.dividend_a),
-        )
-    };
+        states[gid as usize].set(b_id);
+    }
+
+    // Qualifying groups, in first-occurrence order.
+    let qualifying: Vec<usize> = states
+        .iter()
+        .enumerate()
+        .filter(|(_, state)| state.covered as usize == divisor_len)
+        .map(|(gid, _)| a_index.first_row(gid as u32))
+        .collect();
 
     // Gather only the quotient columns; the B columns never need to move.
     let schema = dividend.schema().project(&quotient_refs)?;
@@ -263,7 +231,7 @@ mod tests {
     }
 
     #[test]
-    fn string_attributes_use_the_generic_path() {
+    fn string_attributes_use_the_hashed_code_path() {
         let dividend = relation! {
             ["who", "what"] =>
             ["ann", "x"], ["ann", "y"],
@@ -306,5 +274,19 @@ mod tests {
         let dividend = Relation::from_rows(["a", "b"], dividend_rows).unwrap();
         let divisor = Relation::from_rows(["b"], (0..100i64).map(|i| vec![i])).unwrap();
         check(&dividend, &divisor);
+    }
+
+    #[test]
+    fn prehashed_entry_point_matches() {
+        let dividend = ColumnarBatch::from_relation(&relation! {
+            ["a", "b"] => [1, 1], [1, 2], [2, 1]
+        });
+        let divisor = ColumnarBatch::from_relation(&relation! { ["b"] => [1], [2] });
+        let layout = DivideLayout::resolve(dividend.schema(), divisor.schema()).unwrap();
+        let a_keys = KeyVector::build(&dividend, &layout.dividend_a);
+        let plain = hash_divide(&dividend, &divisor).unwrap();
+        let prehashed = hash_divide_prehashed(&dividend, &divisor, &a_keys).unwrap();
+        assert_eq!(plain.batch, prehashed.batch);
+        assert_eq!(plain.probes, prehashed.probes);
     }
 }

@@ -1,4 +1,4 @@
-//! Batch-native great divide (`÷*`).
+//! Batch-native great divide (`÷*`) on the vectorized key pipeline.
 //!
 //! Counting formulation: give every distinct shared `B`-value a dense id,
 //! group the divisor by its `C` attributes into id-sets, invert that into a
@@ -8,14 +8,19 @@
 //! counter reaches the divisor group's size. Work is proportional to
 //! `|dividend| * avg(groups per B-value)` instead of the pairwise
 //! `|A-groups| * |C-groups|` subset tests of the row algorithms.
+//!
+//! All grouping runs over [`KeyVector`] codes in open-addressing tables;
+//! the pair-keyed bookkeeping (`(B, C)` and `(A, B)` dedup, `(A, C)`
+//! counters) packs the dense ids into injective `u64` codes consumed by
+//! [`PairTable`]s, so the dividend stream allocates nothing per row.
 
 use crate::batch::ColumnarBatch;
+use crate::hash_table::{GroupIndex, PairTable};
 use crate::kernels::divide::hash_divide;
 use crate::kernels::join::KernelOutput;
-use crate::keys::RowKey;
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
 use div_algebra::{AlgebraError, Schema};
-use std::collections::{HashMap, HashSet};
 
 struct GreatDivideLayout {
     dividend_a: Vec<usize>,
@@ -64,39 +69,82 @@ pub fn hash_great_divide(
     dividend: &ColumnarBatch,
     divisor: &ColumnarBatch,
 ) -> Result<KernelOutput> {
+    great_divide_core(dividend, divisor, None)
+}
+
+/// [`hash_great_divide`] with the divisor's group-attribute (`C`) key
+/// vector precomputed — built over the `C` columns in
+/// `sch(divisor) − sch(dividend)` order, exactly what the Law-13
+/// partitioning step of `div_physical::parallel_columnar` already hashed.
+pub fn hash_great_divide_prehashed(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    divisor_c_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    great_divide_core(dividend, divisor, Some(divisor_c_keys))
+}
+
+fn great_divide_core(
+    dividend: &ColumnarBatch,
+    divisor: &ColumnarBatch,
+    divisor_c_keys: Option<&KeyVector>,
+) -> Result<KernelOutput> {
     let layout = GreatDivideLayout::resolve(dividend.schema(), divisor.schema())?;
     if layout.group.is_empty() {
         // Darwen & Date: with no group attributes `C` the operator *is* the
-        // small divide.
+        // small divide (a prehashed C vector keys on zero columns and is of
+        // no use to it).
         return hash_divide(dividend, divisor);
     }
 
-    // Dense ids for the distinct shared `B` values of the divisor.
-    let mut b_ids: HashMap<RowKey, u32> = HashMap::new();
-    // Divisor groups: C-key -> (group id, first divisor row, member count).
-    let mut c_groups: HashMap<RowKey, u32> = HashMap::new();
-    let mut c_first_row: Vec<usize> = Vec::new();
+    // Normalize the divisor's B and C key columns once per batch.
+    let divisor_b_keys = KeyVector::build(divisor, &layout.divisor_b);
+    let c_keys_built;
+    let c_keys = match divisor_c_keys {
+        Some(keys) => keys,
+        None => {
+            c_keys_built = KeyVector::build(divisor, &layout.divisor_c);
+            &c_keys_built
+        }
+    };
+    let same_divisor_b = cross_matcher(
+        divisor,
+        &layout.divisor_b,
+        &divisor_b_keys,
+        divisor,
+        &layout.divisor_b,
+        &divisor_b_keys,
+    );
+    let same_c = cross_matcher(
+        divisor,
+        &layout.divisor_c,
+        c_keys,
+        divisor,
+        &layout.divisor_c,
+        c_keys,
+    );
+
+    // Dense ids for the distinct shared `B` values and the `C` groups, plus
+    // the inverted `B id -> divisor group ids` index.
+    let divisor_rows = divisor.num_rows();
+    let mut b_ids = GroupIndex::with_capacity(divisor_rows);
+    let mut c_groups = GroupIndex::with_capacity(divisor_rows);
     let mut c_size: Vec<u32> = Vec::new();
-    // Inverted index: B id -> divisor group ids containing it.
     let mut groups_of_b: Vec<Vec<u32>> = Vec::new();
-    let mut seen_divisor: HashSet<(u32, u32)> = HashSet::new();
-    for i in 0..divisor.num_rows() {
-        let b_key = divisor.key_at(i, &layout.divisor_b);
-        let next_b = b_ids.len() as u32;
-        let b_id = *b_ids.entry(b_key).or_insert(next_b);
-        if b_id as usize == groups_of_b.len() {
+    let mut seen_divisor = PairTable::with_capacity(divisor_rows);
+    for i in 0..divisor_rows {
+        let (b_id, b_new) =
+            b_ids.intern(divisor_b_keys.code(i), i, |other| same_divisor_b(i, other));
+        if b_new {
             groups_of_b.push(Vec::new());
         }
-        let c_key = divisor.key_at(i, &layout.divisor_c);
-        let next_c = c_groups.len() as u32;
-        let c_gid = *c_groups.entry(c_key).or_insert(next_c);
-        if c_gid as usize == c_first_row.len() {
-            c_first_row.push(i);
+        let (c_gid, c_new) = c_groups.intern(c_keys.code(i), i, |other| same_c(i, other));
+        if c_new {
             c_size.push(0);
         }
         // Count each (B, C) combination once: batches fed through the public
         // kernel API may transiently hold duplicate rows.
-        if seen_divisor.insert((b_id, c_gid)) {
+        if seen_divisor.insert(b_id, c_gid) {
             c_size[c_gid as usize] += 1;
             groups_of_b[b_id as usize].push(c_gid);
         }
@@ -104,25 +152,45 @@ pub fn hash_great_divide(
 
     // Stream the dividend: assign dividend group ids on first sight and bump
     // the (dividend group, divisor group) counters.
-    let mut a_groups: HashMap<RowKey, u32> = HashMap::new();
-    let mut a_first_row: Vec<usize> = Vec::new();
-    let mut counters: HashMap<(u32, u32), u32> = HashMap::new();
-    let mut seen_dividend: HashSet<(u32, u32)> = HashSet::new();
     let rows = dividend.num_rows();
+    let dividend_a_keys = KeyVector::build(dividend, &layout.dividend_a);
+    let dividend_b_keys = KeyVector::build(dividend, &layout.dividend_b);
+    let same_a = cross_matcher(
+        dividend,
+        &layout.dividend_a,
+        &dividend_a_keys,
+        dividend,
+        &layout.dividend_a,
+        &dividend_a_keys,
+    );
+    let same_b = cross_matcher(
+        dividend,
+        &layout.dividend_b,
+        &dividend_b_keys,
+        divisor,
+        &layout.divisor_b,
+        &divisor_b_keys,
+    );
+    let mut a_groups = GroupIndex::with_capacity(rows.min(1 << 20));
+    let mut counters = PairTable::with_capacity(rows.min(1 << 20));
+    let mut counter_pairs: Vec<(u32, u32)> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    let mut seen_dividend = PairTable::with_capacity(rows.min(1 << 20));
     for row in 0..rows {
-        let a_key = dividend.key_at(row, &layout.dividend_a);
-        let next_a = a_groups.len() as u32;
-        let a_gid = *a_groups.entry(a_key).or_insert(next_a);
-        if a_gid as usize == a_first_row.len() {
-            a_first_row.push(row);
-        }
-        let b_key = dividend.key_at(row, &layout.dividend_b);
-        if let Some(&b_id) = b_ids.get(&b_key) {
+        let (a_gid, _) =
+            a_groups.intern(dividend_a_keys.code(row), row, |other| same_a(row, other));
+        let b_id = b_ids.get(dividend_b_keys.code(row), |other| same_b(row, other));
+        if let Some(b_id) = b_id {
             // Likewise, a duplicate (A, B) dividend row must not inflate the
             // coverage counters.
-            if seen_dividend.insert((a_gid, b_id)) {
+            if seen_dividend.insert(a_gid, b_id) {
                 for &c_gid in &groups_of_b[b_id as usize] {
-                    *counters.entry((a_gid, c_gid)).or_insert(0) += 1;
+                    let (slot, is_new) = counters.intern(a_gid, c_gid);
+                    if is_new {
+                        counter_pairs.push((a_gid, c_gid));
+                        counts.push(0);
+                    }
+                    counts[slot as usize] += 1;
                 }
             }
         }
@@ -130,9 +198,10 @@ pub fn hash_great_divide(
 
     // Qualifying pairs, in deterministic (dividend group, divisor group)
     // order.
-    let mut qualifying: Vec<(u32, u32)> = counters
-        .into_iter()
-        .filter_map(|((a_gid, c_gid), count)| {
+    let mut qualifying: Vec<(u32, u32)> = counter_pairs
+        .iter()
+        .zip(&counts)
+        .filter_map(|(&(a_gid, c_gid), &count)| {
             (count == c_size[c_gid as usize]).then_some((a_gid, c_gid))
         })
         .collect();
@@ -142,11 +211,11 @@ pub fn hash_great_divide(
     // representatives, C columns from divisor group representatives.
     let dividend_rows: Vec<usize> = qualifying
         .iter()
-        .map(|&(a_gid, _)| a_first_row[a_gid as usize])
+        .map(|&(a_gid, _)| a_groups.first_row(a_gid))
         .collect();
-    let divisor_rows: Vec<usize> = qualifying
+    let divisor_group_rows: Vec<usize> = qualifying
         .iter()
-        .map(|&(_, c_gid)| c_first_row[c_gid as usize])
+        .map(|&(_, c_gid)| c_groups.first_row(c_gid))
         .collect();
     let mut out_names: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
     out_names.extend(layout.group.iter().map(String::as_str));
@@ -158,7 +227,7 @@ pub fn hash_great_divide(
         columns.push(dividend.column(c).gather(&dividend_rows));
     }
     for &c in &layout.divisor_c {
-        columns.push(divisor.column(c).gather(&divisor_rows));
+        columns.push(divisor.column(c).gather(&divisor_group_rows));
     }
     let out_rows = qualifying.len();
     Ok(KernelOutput {
@@ -254,5 +323,23 @@ mod tests {
         let dividend = ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 1] });
         let disjoint = ColumnarBatch::from_relation(&relation! { ["x", "y"] => [1, 1] });
         assert!(hash_great_divide(&dividend, &disjoint).is_err());
+    }
+
+    #[test]
+    fn prehashed_entry_point_matches() {
+        let dividend = ColumnarBatch::from_relation(&relation! {
+            ["a", "b"] => [1, 1], [1, 2], [2, 1]
+        });
+        let divisor = ColumnarBatch::from_relation(&relation! {
+            ["b", "c"] => [1, 1], [2, 1], [1, 2]
+        });
+        let c_cols = divisor
+            .projection_indices(&["c"])
+            .expect("group attribute resolves");
+        let c_keys = KeyVector::build(&divisor, &c_cols);
+        let plain = hash_great_divide(&dividend, &divisor).unwrap();
+        let prehashed = hash_great_divide_prehashed(&dividend, &divisor, &c_keys).unwrap();
+        assert_eq!(plain.batch, prehashed.batch);
+        assert_eq!(plain.probes, prehashed.probes);
     }
 }

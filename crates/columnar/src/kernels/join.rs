@@ -1,9 +1,17 @@
-//! Batch-native hash joins.
+//! Batch-native hash joins on the vectorized key pipeline.
+//!
+//! Keys are normalized once per batch ([`KeyVector`]) and the build side
+//! goes into an open-addressing [`GroupIndex`](crate::GroupIndex) plus a
+//! CSR row list — no
+//! per-row `Value` materialization, no SipHash. The `_prehashed` entry
+//! points accept key vectors computed upstream (by
+//! `div_physical::parallel_columnar`'s partitioning step), so
+//! partition-parallel runs hash each row once, not twice.
 
 use crate::batch::ColumnarBatch;
-use crate::keys::RowKey;
+use crate::hash_table::{index_rows, index_rows_tracked};
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
-use std::collections::{HashMap, HashSet};
 
 /// A kernel result: the output batch plus the probe count the executor feeds
 /// into [`ExecStats`](https://docs.rs/div-physical) (one probe per left row,
@@ -16,15 +24,53 @@ pub struct KernelOutput {
     pub probes: usize,
 }
 
+/// Key column positions of the common attributes on both sides, in the
+/// left schema's common-attribute order (the shared layout every hash join
+/// keys on).
+fn join_key_columns(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let common = left.schema().common_attributes(right.schema());
+    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
+    Ok((
+        left.projection_indices(&common_refs)?,
+        right.projection_indices(&common_refs)?,
+    ))
+}
+
 /// Hash-based natural join on all common attributes: build on the right,
 /// probe with the left. Mirrors the row executor's `hash_natural_join`
 /// (including the output schema: left attributes, then right-only
 /// attributes).
 pub fn hash_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<KernelOutput> {
-    let common = left.schema().common_attributes(right.schema());
-    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
-    let left_key = left.projection_indices(&common_refs)?;
-    let right_key = right.projection_indices(&common_refs)?;
+    let (left_key, right_key) = join_key_columns(left, right)?;
+    let left_keys = KeyVector::build(left, &left_key);
+    let right_keys = KeyVector::build(right, &right_key);
+    natural_join_core(left, right, &left_key, &right_key, &left_keys, &right_keys)
+}
+
+/// [`hash_natural_join`] with both sides' key vectors precomputed (over the
+/// common attributes, in the left schema's common-attribute order — the
+/// layout [`KeyVector::build`] on the join key columns produces).
+pub fn hash_natural_join_prehashed(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let (left_key, right_key) = join_key_columns(left, right)?;
+    natural_join_core(left, right, &left_key, &right_key, left_keys, right_keys)
+}
+
+fn natural_join_core(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    left_key: &[usize],
+    right_key: &[usize],
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
     let right_extra: Vec<&str> = right
         .schema()
         .names()
@@ -33,39 +79,58 @@ pub fn hash_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<
         .collect();
     let right_extra_idx = right.projection_indices(&right_extra)?;
 
-    // Build: key -> right row indices.
-    let mut table: HashMap<RowKey, Vec<usize>> = HashMap::with_capacity(right.num_rows());
-    for i in 0..right.num_rows() {
-        table
-            .entry(right.key_at(i, &right_key))
-            .or_default()
-            .push(i);
+    // Build: dense group ids over the right rows, then a CSR layout listing
+    // each group's rows in ascending order.
+    let (index, gid_of) = index_rows_tracked(right, right_key, right_keys);
+    let groups = index.len();
+    let mut counts = vec![0u32; groups];
+    for &gid in &gid_of {
+        counts[gid as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(groups + 1);
+    let mut running = 0u32;
+    for &c in &counts {
+        offsets.push(running);
+        running += c;
+    }
+    offsets.push(running);
+    let mut cursor: Vec<u32> = offsets[..groups].to_vec();
+    let mut rows_csr = vec![0u32; right.num_rows()];
+    for (row, &gid) in gid_of.iter().enumerate() {
+        let slot = cursor[gid as usize];
+        rows_csr[slot as usize] = row as u32;
+        cursor[gid as usize] = slot + 1;
     }
 
     // Probe: emit (left row, right row) index pairs.
+    let same_key = cross_matcher(left, left_key, left_keys, right, right_key, right_keys);
     let mut left_indices: Vec<usize> = Vec::new();
     let mut right_indices: Vec<usize> = Vec::new();
     let mut probes = 0usize;
     for i in 0..left.num_rows() {
         probes += 1;
-        if let Some(matches) = table.get(&left.key_at(i, &left_key)) {
-            for &j in matches {
+        let found = index.get(left_keys.code(i), |other| same_key(i, other));
+        if let Some(gid) = found {
+            let (start, end) = (offsets[gid as usize], offsets[gid as usize + 1]);
+            for &j in &rows_csr[start as usize..end as usize] {
                 left_indices.push(i);
-                right_indices.push(j);
+                right_indices.push(j as usize);
             }
         }
     }
 
-    // Assemble: all left columns gathered by the left indices, right-only
-    // columns gathered by the right indices.
+    // Assemble: all left columns gathered by the left indices; of the right
+    // side, gather only the right-extra columns actually emitted.
     let out_schema = left.schema().natural_union(right.schema());
-    let gathered_left = left.gather(&left_indices);
-    let gathered_right = right.gather(&right_indices);
-    let mut columns = gathered_left.columns().to_vec();
+    let mut columns: Vec<_> = left
+        .columns()
+        .iter()
+        .map(|c| c.gather(&left_indices))
+        .collect();
     columns.extend(
         right_extra_idx
             .iter()
-            .map(|&c| gathered_right.column(c).clone()),
+            .map(|&c| right.column(c).gather(&right_indices)),
     );
     let rows = left_indices.len();
     Ok(KernelOutput {
@@ -81,18 +146,53 @@ pub fn hash_semi_join(
     right: &ColumnarBatch,
     anti: bool,
 ) -> Result<KernelOutput> {
-    let common = left.schema().common_attributes(right.schema());
-    let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
-    let left_key = left.projection_indices(&common_refs)?;
-    let right_key = right.projection_indices(&common_refs)?;
-    let keys: HashSet<RowKey> = (0..right.num_rows())
-        .map(|i| right.key_at(i, &right_key))
-        .collect();
+    let (left_key, right_key) = join_key_columns(left, right)?;
+    let left_keys = KeyVector::build(left, &left_key);
+    let right_keys = KeyVector::build(right, &right_key);
+    semi_join_core(
+        left,
+        right,
+        anti,
+        &left_key,
+        &right_key,
+        &left_keys,
+        &right_keys,
+    )
+}
+
+/// [`hash_semi_join`] with both sides' key vectors precomputed (same
+/// contract as [`hash_natural_join_prehashed`]).
+pub fn hash_semi_join_prehashed(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    anti: bool,
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let (left_key, right_key) = join_key_columns(left, right)?;
+    semi_join_core(
+        left, right, anti, &left_key, &right_key, left_keys, right_keys,
+    )
+}
+
+fn semi_join_core(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    anti: bool,
+    left_key: &[usize],
+    right_key: &[usize],
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let index = index_rows(right, right_key, right_keys);
+    let same_key = cross_matcher(left, left_key, left_keys, right, right_key, right_keys);
     let mut mask = Vec::with_capacity(left.num_rows());
     let mut probes = 0usize;
     for i in 0..left.num_rows() {
         probes += 1;
-        let matched = keys.contains(&left.key_at(i, &left_key));
+        let matched = index
+            .get(left_keys.code(i), |other| same_key(i, other))
+            .is_some();
         mask.push(matched != anti);
     }
     Ok(KernelOutput {
@@ -163,5 +263,46 @@ mod tests {
             .natural_join(&r.to_relation().unwrap())
             .unwrap();
         assert_eq!(out.batch.to_relation().unwrap(), expected);
+    }
+
+    #[test]
+    fn prehashed_entry_points_match_the_building_ones() {
+        let (supplies, parts) = inputs();
+        let (lk, rk) = join_key_columns(&supplies, &parts).unwrap();
+        let left_keys = KeyVector::build(&supplies, &lk);
+        let right_keys = KeyVector::build(&parts, &rk);
+        let natural = hash_natural_join(&supplies, &parts).unwrap();
+        let prehashed =
+            hash_natural_join_prehashed(&supplies, &parts, &left_keys, &right_keys).unwrap();
+        assert_eq!(natural.batch, prehashed.batch);
+        assert_eq!(natural.probes, prehashed.probes);
+        for anti in [false, true] {
+            let a = hash_semi_join(&supplies, &parts, anti).unwrap();
+            let b =
+                hash_semi_join_prehashed(&supplies, &parts, anti, &left_keys, &right_keys).unwrap();
+            assert_eq!(a.batch, b.batch);
+        }
+    }
+
+    #[test]
+    fn duplicate_build_keys_emit_matches_in_ascending_row_order() {
+        // Several right rows share p# = 1; the CSR build must emit them in
+        // ascending right-row order for each probing left row.
+        let left = ColumnarBatch::from_relation(&relation! { ["p#"] => [1] });
+        let right = ColumnarBatch::from_relation(&relation! {
+            ["p#", "v"] => [1, 10], [1, 20], [1, 30]
+        });
+        let out = hash_natural_join(&left, &right).unwrap();
+        let vs: Vec<_> = (0..out.batch.num_rows())
+            .map(|i| out.batch.value_at(i, 1))
+            .collect();
+        assert_eq!(
+            vs,
+            vec![
+                div_algebra::Value::Int(10),
+                div_algebra::Value::Int(20),
+                div_algebra::Value::Int(30)
+            ]
+        );
     }
 }

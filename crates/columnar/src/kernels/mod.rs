@@ -15,10 +15,13 @@ pub mod project;
 pub mod set_ops;
 
 pub use aggregate::hash_aggregate;
-pub use divide::hash_divide;
+pub use divide::{hash_divide, hash_divide_prehashed};
 pub use filter::filter;
-pub use great_divide::hash_great_divide;
-pub use join::{hash_natural_join, hash_semi_join, KernelOutput};
+pub use great_divide::{hash_great_divide, hash_great_divide_prehashed};
+pub use join::{
+    hash_natural_join, hash_natural_join_prehashed, hash_semi_join, hash_semi_join_prehashed,
+    KernelOutput,
+};
 pub use product::{cross_product, theta_join};
 pub use project::{project, rename, union};
 pub use set_ops::{difference, intersect};

@@ -18,10 +18,10 @@
 //! [`Relation::difference`]: div_algebra::Relation::difference
 
 use crate::batch::ColumnarBatch;
-use crate::keys::RowKey;
+use crate::hash_table::index_rows;
+use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
 use div_algebra::AlgebraError;
-use std::collections::HashSet;
 
 fn conform_right(
     left: &ColumnarBatch,
@@ -39,12 +39,27 @@ fn conform_right(
 }
 
 fn membership_mask(left: &ColumnarBatch, right: &ColumnarBatch, keep_members: bool) -> Vec<bool> {
+    // Whole rows are the key: normalize both sides once, hash the right
+    // side into an open-addressing index, and probe with the left codes.
     let all_columns: Vec<usize> = (0..left.schema().arity()).collect();
-    let right_rows: HashSet<RowKey> = (0..right.num_rows())
-        .map(|i| right.key_at(i, &all_columns))
-        .collect();
+    let right_keys = KeyVector::build(right, &all_columns);
+    let left_keys = KeyVector::build(left, &all_columns);
+    let index = index_rows(right, &all_columns, &right_keys);
+    let same_row = cross_matcher(
+        left,
+        &all_columns,
+        &left_keys,
+        right,
+        &all_columns,
+        &right_keys,
+    );
     (0..left.num_rows())
-        .map(|i| right_rows.contains(&left.key_at(i, &all_columns)) == keep_members)
+        .map(|i| {
+            let member = index
+                .get(left_keys.code(i), |other| same_row(i, other))
+                .is_some();
+            member == keep_members
+        })
         .collect()
 }
 

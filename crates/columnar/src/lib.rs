@@ -26,8 +26,16 @@
 //!   primitive behind the paper's partition-parallel strategies for Law 2
 //!   (dividend partitioned on the quotient attributes `A`) and Law 13
 //!   (divisor partitioned on the group attributes `C`);
-//! * [`RowKey`] — encoding-independent hashable row keys, so keys extracted
-//!   from differently-encoded batches compare correctly.
+//! * [`key_vector`] / [`hash_table`] — the vectorized key pipeline every
+//!   hash-consuming kernel runs on: [`KeyVector`] normalizes a batch's key
+//!   columns **once per batch** into dense `u64` codes (raw-`i64` fast
+//!   path, per-dictionary-entry string hashing, NULL sentinel, composite
+//!   fold) and the open-addressing [`KeyTable`]/[`GroupIndex`] consume the
+//!   codes with stored-code tags plus verify-on-collision — no `Value` is
+//!   cloned and no `Vec` is allocated per row;
+//! * [`RowKey`] — encoding-independent hashable row keys, retained as the
+//!   allocating reference representation the key pipeline is checked
+//!   against (and for row-at-a-time consumers).
 //!
 //! The executor that walks physical plans (and the scoped-thread driver that
 //! runs kernels on partitions concurrently) lives in `div-physical`
@@ -58,12 +66,16 @@
 
 pub mod batch;
 pub mod column;
+pub mod hash_table;
 pub mod kernels;
+pub mod key_vector;
 pub mod keys;
 pub mod partition;
 
 pub use batch::ColumnarBatch;
 pub use column::{Column, StrColumn};
+pub use hash_table::{GroupIndex, KeyTable};
+pub use key_vector::KeyVector;
 pub use keys::RowKey;
 
 /// Result alias: columnar kernels report the same errors as the reference

@@ -11,16 +11,22 @@
 //!   dividend against its divisor slice.
 //!
 //! [`hash_partition`] is the batch-level primitive both strategies share:
-//! rows are routed to `partitions` buckets by hashing their [`RowKey`](crate::RowKey) over
-//! the key columns, so rows agreeing on the key always land in the same
-//! bucket (the disjointness the laws require) regardless of the batch's
-//! column encodings. [`split_even`] is the key-free variant used to
-//! parallelize kernels without a partitioning key (e.g. filters), where any
-//! row distribution is correct.
+//! the key columns are normalized **once per batch** into a
+//! [`KeyVector`] (no per-row hasher construction, no
+//! per-row key materialization) and each code is routed with a
+//! splitmix-mixed multiply-based fast reduction (no modulo bias), so rows
+//! agreeing on the key always land in the same bucket (the disjointness
+//! the laws require) regardless of the batch's column encodings.
+//! [`hash_partition_keyed`] additionally returns each partition's gathered
+//! key vector, so the per-partition kernels (via their `_prehashed` entry
+//! points) reuse the partition-time hashes instead of hashing every row a
+//! second time. [`split_even`] is the key-free variant used to parallelize
+//! kernels without a partitioning key (e.g. filters), where any row
+//! distribution is correct.
 
 use crate::batch::ColumnarBatch;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use crate::hash_table::{fast_range, mix};
+use crate::key_vector::KeyVector;
 
 /// Hash-partition `batch` into `partitions` buckets on the given key
 /// columns. Every output batch keeps the full schema; rows with equal keys
@@ -48,17 +54,34 @@ pub fn hash_partition(
     key_columns: &[usize],
     partitions: usize,
 ) -> Vec<ColumnarBatch> {
+    hash_partition_keyed(batch, key_columns, partitions)
+        .into_iter()
+        .map(|(part, _)| part)
+        .collect()
+}
+
+/// [`hash_partition`], additionally returning each partition's key vector
+/// (the partition-time row hashes gathered alongside the rows), so
+/// downstream kernels can consume the codes via their `_prehashed` entry
+/// points instead of re-normalizing every partition.
+pub fn hash_partition_keyed(
+    batch: &ColumnarBatch,
+    key_columns: &[usize],
+    partitions: usize,
+) -> Vec<(ColumnarBatch, KeyVector)> {
     let partitions = partitions.max(1);
+    let keys = KeyVector::build(batch, key_columns);
     if partitions == 1 {
-        return vec![batch.clone()];
+        return vec![(batch.clone(), keys)];
     }
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
     for row in 0..batch.num_rows() {
-        let mut hasher = DefaultHasher::new();
-        batch.key_at(row, key_columns).hash(&mut hasher);
-        buckets[(hasher.finish() as usize) % partitions].push(row);
+        buckets[fast_range(mix(keys.code(row)), partitions)].push(row);
     }
-    buckets.iter().map(|rows| batch.gather(rows)).collect()
+    buckets
+        .into_iter()
+        .map(|rows| (batch.gather(&rows), keys.gather(&rows)))
+        .collect()
 }
 
 /// Split `batch` into `partitions` contiguous, near-equal row ranges.
@@ -178,6 +201,20 @@ mod tests {
             "hash partitioning permutes rows but never loses or invents any"
         );
         assert!(concat_batches(&[]).is_none());
+    }
+
+    #[test]
+    fn keyed_partitioning_carries_the_partition_time_hashes() {
+        let batch = sample();
+        for partitions in [1, 3] {
+            for (part, keys) in hash_partition_keyed(&batch, &[0], partitions) {
+                // The gathered key vector is exactly what a per-partition
+                // rebuild would produce — reuse loses nothing.
+                let rebuilt = crate::key_vector::KeyVector::build(&part, &[0]);
+                assert_eq!(keys.codes(), rebuilt.codes());
+                assert_eq!(keys.exact(), rebuilt.exact());
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,12 @@
 //! into arbitrary row ranges ([`parallel_filter_batches`]) since predicate
 //! evaluation is row-local.
 //!
+//! Partitioning and the per-partition kernels share one key normalization:
+//! [`hash_partition_keyed`] returns the [`KeyVector`] it routed each
+//! partition's rows with, and the kernels' `_prehashed` entry points
+//! consume those codes directly — a partition-parallel run hashes each row
+//! once, not twice.
+//!
 //! Worker threads are crossbeam scoped threads (standing in for the query
 //! engine nodes of Section 5.2.1); results are merged in partition order so
 //! the output is deterministic, and probe counts sum over the workers. For
@@ -36,8 +42,8 @@
 use crate::Result;
 use div_algebra::Predicate;
 use div_columnar::kernels::{self, KernelOutput};
-use div_columnar::partition::{concat_batches, hash_partition, split_even};
-use div_columnar::ColumnarBatch;
+use div_columnar::partition::{concat_batches, hash_partition_keyed, split_even};
+use div_columnar::{ColumnarBatch, KeyVector};
 use div_expr::ExprError;
 
 /// The join kinds [`parallel_join_batches`] can partition-parallelize.
@@ -119,8 +125,13 @@ pub fn parallel_divide_batches(
     let key = dividend
         .projection_indices(&quotient_refs)
         .map_err(ExprError::from)?;
-    let parts = hash_partition(dividend, &key, partitions);
-    let outputs = run_partitioned(parts, |part| kernels::hash_divide(part, divisor))?;
+    // Partitioning already normalized every dividend row's quotient key;
+    // hand the gathered key vectors to the kernel so each row is hashed
+    // once, not twice.
+    let parts = hash_partition_keyed(dividend, &key, partitions);
+    let outputs = run_partitioned(parts, |(part, keys)| {
+        kernels::hash_divide_prehashed(part, divisor, keys)
+    })?;
     Ok(merge_outputs(outputs).expect("at least one partition"))
 }
 
@@ -150,13 +161,17 @@ pub fn parallel_great_divide_batches(
     // Drop empty divisor slices (a slice with no groups contributes nothing
     // but would still scan the whole replicated dividend), keeping one so the
     // empty-divisor case still produces the right schema. Probes therefore
-    // sum to `nonempty_partitions × |dividend|`.
-    let mut parts = hash_partition(divisor, &key, partitions);
-    parts.retain(|part| part.num_rows() > 0);
+    // sum to `nonempty_partitions × |dividend|`. The gathered C key vectors
+    // ride along so the per-slice great divides skip re-hashing the group
+    // columns.
+    let mut parts = hash_partition_keyed(divisor, &key, partitions);
+    parts.retain(|(part, _)| part.num_rows() > 0);
     if parts.is_empty() {
-        parts.push(divisor.clone());
+        parts.push((divisor.clone(), KeyVector::build(divisor, &key)));
     }
-    let outputs = run_partitioned(parts, |part| kernels::hash_great_divide(dividend, part))?;
+    let outputs = run_partitioned(parts, |(part, keys)| {
+        kernels::hash_great_divide_prehashed(dividend, part, keys)
+    })?;
     Ok(merge_outputs(outputs).expect("at least one partition"))
 }
 
@@ -174,13 +189,13 @@ pub fn parallel_join_batches(
     kind: JoinKind,
     partitions: usize,
 ) -> Result<KernelOutput> {
-    let join = move |l: &ColumnarBatch, r: &ColumnarBatch| match kind {
-        JoinKind::Natural => kernels::hash_natural_join(l, r),
-        JoinKind::Semi => kernels::hash_semi_join(l, r, false),
-        JoinKind::Anti => kernels::hash_semi_join(l, r, true),
-    };
     if partitions <= 1 {
-        return join(left, right).map_err(ExprError::from);
+        let sequential = match kind {
+            JoinKind::Natural => kernels::hash_natural_join(left, right),
+            JoinKind::Semi => kernels::hash_semi_join(left, right, false),
+            JoinKind::Anti => kernels::hash_semi_join(left, right, true),
+        };
+        return sequential.map_err(ExprError::from);
     }
     let common = left.schema().common_attributes(right.schema());
     let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
@@ -190,11 +205,17 @@ pub fn parallel_join_batches(
     let right_key = right
         .projection_indices(&common_refs)
         .map_err(ExprError::from)?;
-    let left_parts = hash_partition(left, &left_key, partitions);
-    let right_parts = hash_partition(right, &right_key, partitions);
-    let pairs: Vec<(ColumnarBatch, ColumnarBatch)> =
-        left_parts.into_iter().zip(right_parts).collect();
-    let outputs = run_partitioned(pairs, |(l, r)| join(l, r))?;
+    // Partitioning hashes both sides' join keys; the per-partition joins
+    // consume those key vectors directly (hash each row once, not twice).
+    let left_parts = hash_partition_keyed(left, &left_key, partitions);
+    let right_parts = hash_partition_keyed(right, &right_key, partitions);
+    type KeyedPair = ((ColumnarBatch, KeyVector), (ColumnarBatch, KeyVector));
+    let pairs: Vec<KeyedPair> = left_parts.into_iter().zip(right_parts).collect();
+    let outputs = run_partitioned(pairs, |((l, lk), (r, rk))| match kind {
+        JoinKind::Natural => kernels::hash_natural_join_prehashed(l, r, lk, rk),
+        JoinKind::Semi => kernels::hash_semi_join_prehashed(l, r, false, lk, rk),
+        JoinKind::Anti => kernels::hash_semi_join_prehashed(l, r, true, lk, rk),
+    })?;
     Ok(merge_outputs(outputs).expect("at least one partition"))
 }
 

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Run the key_pipeline criterion group and record its medians as JSON.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#
+# The output (default BENCH_key_pipeline.json at the repo root) is the
+# repo's recorded perf-trajectory point for the vectorized key pipeline:
+# per-benchmark median iteration times in nanoseconds, plus the
+# keyvector-vs-rowkey speedup for every paired workload. Re-run after
+# touching crates/columnar/src/{key_vector,hash_table}.rs or any hash
+# kernel, and commit the refreshed JSON alongside the change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_key_pipeline.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+cargo bench -p div-bench --bench key_pipeline | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v cores="$(nproc 2>/dev/null || echo 1)" '
+# Bench lines look like:  key_pipeline/string_join/keyvector/1000   28.54µs/iter
+$NF ~ /\/iter$/ && NF == 2 {
+    label = $1
+    v = $2
+    sub(/\/iter$/, "", v)
+    mult = 1000000000
+    if (v ~ /ns$/)      { mult = 1;       sub(/ns$/, "", v) }
+    else if (v ~ /µs$/) { mult = 1000;    sub(/µs$/, "", v) }
+    else if (v ~ /ms$/) { mult = 1000000; sub(/ms$/, "", v) }
+    else                {                 sub(/s$/,  "", v) }
+    ns[label] = v * mult
+    order[n++] = label
+}
+END {
+    printf "{\n"
+    printf "  \"bench\": \"key_pipeline\",\n"
+    printf "  \"recorded_at\": \"%s\",\n", date
+    printf "  \"host_parallelism\": %s,\n", cores
+    printf "  \"median_ns\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %.0f%s\n", order[i], ns[order[i]], (i < n - 1) ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"speedup_vs_rowkey\": {\n"
+    m = 0
+    for (i = 0; i < n; i++) {
+        label = order[i]
+        if (label !~ /keyvector/) continue
+        other = label
+        sub(/keyvector/, "rowkey", other)
+        if (other in ns && ns[label] > 0) {
+            pair = label
+            sub(/\/keyvector/, "", pair)
+            lines[m++] = sprintf("    \"%s\": %.2f", pair, ns[other] / ns[label])
+        }
+    }
+    for (i = 0; i < m; i++) printf "%s%s\n", lines[i], (i < m - 1) ? "," : ""
+    printf "  }\n"
+    printf "}\n"
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,293 @@
+//! Differential property suite for the vectorized key pipeline.
+//!
+//! Every hash-consuming columnar kernel now runs on `KeyVector` codes and
+//! open-addressing tables (`div_columnar::key_vector` / `hash_table`)
+//! instead of `RowKey` hash maps. These properties pin the pipeline to the
+//! row-backend reference semantics over the inputs that stress it:
+//!
+//! * NULL-bearing key columns (validity masks → the NULL sentinel code),
+//! * mixed-type keys (ints, strings, booleans, NULLs in one column → the
+//!   `Mixed` encoding and hashed codes),
+//! * multi-column composite keys (code folding),
+//! * **forced `u64` code-space collisions**: `Value::Int(NULL_CODE as i64)`
+//!   collides with `NULL` by construction, and
+//!   `Value::Int(BOOL_FALSE_CODE as i64)` with `false` — the
+//!   verify-against-source-batch path must tell them apart.
+//!
+//! Each kernel's output relation must be byte-identical to the reference
+//! `div-algebra` operator (which the row backend executes directly).
+
+use div_columnar::key_vector::{BOOL_FALSE_CODE, NULL_CODE};
+use div_columnar::partition::{concat_batches, hash_partition, hash_partition_keyed};
+use div_columnar::{kernels, ColumnarBatch};
+use division::prelude::*;
+use proptest::prelude::*;
+
+/// Decode a generated `(kind, payload)` pair into a key value.
+///
+/// The payload domain is tiny so keys collide *semantically* (equal values
+/// across rows and batches) often; `kind` 3 plants the NULL-sentinel and
+/// bool-constant collision ints, so the code space collides too.
+fn key_value(kind: u32, payload: i64) -> Value {
+    match kind % 5 {
+        0 => Value::Null,
+        1 => Value::Int(payload),
+        2 => Value::str(["blue", "red", "green", "x"][(payload % 4) as usize]),
+        3 => [
+            Value::Int(NULL_CODE as i64),
+            Value::Int(BOOL_FALSE_CODE as i64),
+        ][(payload % 2) as usize]
+            .clone(),
+        _ => Value::Bool(payload % 2 == 0),
+    }
+}
+
+/// A relation over `names` whose first `key_arity` columns hold generated
+/// (possibly mixed-type, NULL-bearing, collision-planted) key values and
+/// whose remaining columns hold small ints.
+fn mixed_relation(names: &[&str], key_arity: usize, rows: &[(u32, i64, i64)]) -> Relation {
+    let tuples = rows.iter().map(|&(kind, payload, tail)| {
+        Tuple::new((0..names.len()).map(|c| {
+            if c < key_arity {
+                // Vary the kind per key column so composite keys mix types.
+                key_value(kind.wrapping_add(c as u32), payload + c as i64)
+            } else {
+                Value::Int(tail)
+            }
+        }))
+    });
+    Relation::new(Schema::of(names.iter().copied()), tuples).unwrap()
+}
+
+type Rows = Vec<(u32, i64, i64)>;
+
+fn row_strategy(max_rows: usize) -> impl Strategy<Value = Rows> {
+    prop::collection::vec((0..10u32, 0..5i64, 0..4i64), 0..max_rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Natural, semi and anti join agree with the reference operators on
+    /// mixed-type, NULL-bearing, collision-planted single-column keys.
+    #[test]
+    fn joins_match_reference_on_hostile_keys(
+        left in row_strategy(24),
+        right in row_strategy(24),
+    ) {
+        let l = mixed_relation(&["k", "lv"], 1, &left);
+        let r = mixed_relation(&["k", "rv"], 1, &right);
+        let lb = ColumnarBatch::from_relation(&l);
+        let rb = ColumnarBatch::from_relation(&r);
+        let joined = kernels::hash_natural_join(&lb, &rb).unwrap();
+        prop_assert_eq!(
+            joined.batch.to_relation().unwrap(),
+            l.natural_join(&r).unwrap()
+        );
+        let semi = kernels::hash_semi_join(&lb, &rb, false).unwrap();
+        prop_assert_eq!(semi.batch.to_relation().unwrap(), l.semi_join(&r).unwrap());
+        let anti = kernels::hash_semi_join(&lb, &rb, true).unwrap();
+        prop_assert_eq!(
+            anti.batch.to_relation().unwrap(),
+            l.anti_semi_join(&r).unwrap()
+        );
+    }
+
+    /// Joins on composite (two-column) keys agree with the reference.
+    #[test]
+    fn composite_key_joins_match_reference(
+        left in row_strategy(24),
+        right in row_strategy(24),
+    ) {
+        let l = mixed_relation(&["k1", "k2", "lv"], 2, &left);
+        let r = mixed_relation(&["k1", "k2", "rv"], 2, &right);
+        let lb = ColumnarBatch::from_relation(&l);
+        let rb = ColumnarBatch::from_relation(&r);
+        let joined = kernels::hash_natural_join(&lb, &rb).unwrap();
+        prop_assert_eq!(
+            joined.batch.to_relation().unwrap(),
+            l.natural_join(&r).unwrap()
+        );
+    }
+
+    /// Intersection and difference (whole-row keys) agree with the
+    /// reference, including dedup of transient duplicate rows.
+    #[test]
+    fn set_ops_match_reference_on_hostile_keys(
+        left in row_strategy(24),
+        right in row_strategy(24),
+    ) {
+        let l = mixed_relation(&["k", "v"], 1, &left);
+        let r = mixed_relation(&["k", "v"], 1, &right);
+        let lb = ColumnarBatch::from_relation(&l);
+        let rb = ColumnarBatch::from_relation(&r);
+        prop_assert_eq!(
+            kernels::intersect(&lb, &rb).unwrap().to_relation().unwrap(),
+            l.intersect(&r).unwrap()
+        );
+        prop_assert_eq!(
+            kernels::difference(&lb, &rb).unwrap().to_relation().unwrap(),
+            l.difference(&r).unwrap()
+        );
+    }
+
+    /// Hash aggregation groups mixed-type composite keys like the
+    /// reference.
+    #[test]
+    fn aggregate_matches_reference_on_hostile_keys(rows in row_strategy(30)) {
+        let rel = mixed_relation(&["k1", "k2", "v"], 2, &rows);
+        let batch = ColumnarBatch::from_relation(&rel);
+        let aggregates = [
+            AggregateCall::count("v", "n"),
+            AggregateCall::sum("v", "total"),
+        ];
+        let got = kernels::hash_aggregate(&batch, &["k1", "k2"], &aggregates).unwrap();
+        prop_assert_eq!(
+            got.to_relation().unwrap(),
+            rel.group_aggregate(&["k1", "k2"], &aggregates).unwrap()
+        );
+    }
+
+    /// The divide kernel's generic (hashed-code) path agrees with the
+    /// reference on string/NULL/collision-planted B attributes.
+    #[test]
+    fn divide_matches_reference_on_hostile_keys(
+        dividend in row_strategy(30),
+        divisor in row_strategy(8),
+    ) {
+        let dividend = mixed_relation(&["b", "a"], 1, &dividend);
+        let divisor = mixed_relation(&["b"], 1, &divisor);
+        let expected = dividend.divide(&divisor).unwrap();
+        let out = kernels::hash_divide(
+            &ColumnarBatch::from_relation(&dividend),
+            &ColumnarBatch::from_relation(&divisor),
+        )
+        .unwrap();
+        prop_assert_eq!(out.batch.to_relation().unwrap(), expected);
+    }
+
+    /// The great-divide kernel agrees with the reference on hostile B and C
+    /// attributes.
+    #[test]
+    fn great_divide_matches_reference_on_hostile_keys(
+        dividend in row_strategy(30),
+        divisor in row_strategy(12),
+    ) {
+        let dividend = mixed_relation(&["b", "a"], 1, &dividend);
+        let divisor = mixed_relation(&["b", "c"], 2, &divisor);
+        let expected = dividend.great_divide(&divisor).unwrap();
+        let out = kernels::hash_great_divide(
+            &ColumnarBatch::from_relation(&dividend),
+            &ColumnarBatch::from_relation(&divisor),
+        )
+        .unwrap();
+        prop_assert_eq!(out.batch.to_relation().unwrap(), expected);
+    }
+
+    /// Dedup on the key pipeline is exact: duplicating rows and
+    /// deduplicating restores the original set, even with collision-planted
+    /// whole-row keys.
+    #[test]
+    fn dedup_is_exact_on_hostile_keys(rows in row_strategy(20)) {
+        let rel = mixed_relation(&["k", "v"], 1, &rows);
+        let batch = ColumnarBatch::from_relation(&rel);
+        let n = batch.num_rows();
+        let doubled: Vec<usize> = (0..n).chain(0..n).collect();
+        let deduped = batch.gather(&doubled).dedup();
+        prop_assert_eq!(deduped.num_rows(), n, "every distinct row survives once");
+        prop_assert_eq!(deduped.to_relation().unwrap(), rel);
+    }
+
+    /// Hash partitioning loses nothing, keeps equal keys together, and the
+    /// keyed variant's carried hashes equal a per-partition rebuild.
+    #[test]
+    fn partitioning_is_sound_on_hostile_keys(
+        rows in row_strategy(30),
+        partitions in 1..8usize,
+    ) {
+        let rel = mixed_relation(&["k", "v"], 1, &rows);
+        let batch = ColumnarBatch::from_relation(&rel);
+        let parts = hash_partition(&batch, &[0], partitions);
+        prop_assert_eq!(parts.len(), partitions);
+        let total: usize = parts.iter().map(ColumnarBatch::num_rows).sum();
+        prop_assert_eq!(total, batch.num_rows());
+        if let Some(glued) = concat_batches(&parts) {
+            prop_assert_eq!(glued.to_relation().unwrap(), rel);
+        }
+        // Equal keys never split across partitions.
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                for a in 0..parts[i].num_rows() {
+                    for b in 0..parts[j].num_rows() {
+                        prop_assert_ne!(
+                            parts[i].value_at(a, 0),
+                            parts[j].value_at(b, 0),
+                            "key split across partitions {} and {}", i, j
+                        );
+                    }
+                }
+            }
+        }
+        // The keyed variant carries exactly the hashes a rebuild would give.
+        for (part, keys) in hash_partition_keyed(&batch, &[0], partitions) {
+            let rebuilt = div_columnar::KeyVector::build(&part, &[0]);
+            prop_assert_eq!(keys.codes(), rebuilt.codes());
+        }
+    }
+}
+
+/// The planted collisions really collide in code space — otherwise the
+/// properties above would not be exercising the verification path.
+#[test]
+fn planted_keys_collide_in_code_space() {
+    use div_columnar::key_vector::value_code;
+    assert_eq!(
+        value_code(&Value::Null),
+        value_code(&Value::Int(NULL_CODE as i64))
+    );
+    assert_eq!(
+        value_code(&Value::Bool(false)),
+        value_code(&Value::Int(BOOL_FALSE_CODE as i64))
+    );
+    assert_ne!(Value::Null, Value::Int(NULL_CODE as i64));
+}
+
+/// A deterministic end-to-end collision scenario: a join key column holding
+/// `NULL`, the NULL-sentinel int, `false`, and the bool-constant int must
+/// join exactly like the reference — equal codes, unequal keys.
+#[test]
+fn forced_collisions_join_exactly() {
+    let hostile = [
+        Value::Null,
+        Value::Int(NULL_CODE as i64),
+        Value::Bool(false),
+        Value::Int(BOOL_FALSE_CODE as i64),
+        Value::Int(7),
+    ];
+    let left = Relation::new(
+        Schema::of(["k", "lv"]),
+        hostile
+            .iter()
+            .enumerate()
+            .map(|(i, k)| Tuple::new([k.clone(), Value::Int(i as i64)])),
+    )
+    .unwrap();
+    let right = Relation::new(
+        Schema::of(["k", "rv"]),
+        [
+            Tuple::new([Value::Null, Value::Int(100)]),
+            Tuple::new([Value::Bool(false), Value::Int(200)]),
+            Tuple::new([Value::Int(7), Value::Int(300)]),
+        ],
+    )
+    .unwrap();
+    let lb = ColumnarBatch::from_relation(&left);
+    let rb = ColumnarBatch::from_relation(&right);
+    let joined = kernels::hash_natural_join(&lb, &rb).unwrap();
+    let expected = left.natural_join(&right).unwrap();
+    assert_eq!(joined.batch.to_relation().unwrap(), expected);
+    // Exactly the three genuine matches: the collision ints match nothing.
+    assert_eq!(expected.len(), 3);
+    let semi = kernels::hash_semi_join(&lb, &rb, false).unwrap();
+    assert_eq!(semi.batch.num_rows(), 3);
+}
