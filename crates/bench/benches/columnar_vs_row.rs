@@ -192,18 +192,18 @@ fn bench_prepared_vs_adhoc(c: &mut Criterion) {
             let params = Params::new().bind("color", "blue");
             // Sanity: both paths answer the same bytes before being timed.
             assert_eq!(
-                engine.query(Q2_SQL).unwrap().relation,
-                stmt.execute(&engine, &params).unwrap().relation
+                engine.query_collect(Q2_SQL).unwrap().relation,
+                stmt.execute_collect(&engine, &params).unwrap().relation
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("adhoc-{name}"), suppliers),
                 &suppliers,
-                |b, _| b.iter(|| engine.query(Q2_SQL).unwrap()),
+                |b, _| b.iter(|| engine.query_collect(Q2_SQL).unwrap()),
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("prepared-{name}"), suppliers),
                 &suppliers,
-                |b, _| b.iter(|| stmt.execute(&engine, &params).unwrap()),
+                |b, _| b.iter(|| stmt.execute_collect(&engine, &params).unwrap()),
             );
         }
     }

@@ -53,14 +53,16 @@ fn benches(c: &mut Criterion) {
         let stmt = engine.prepare(Q1).unwrap();
         // Both strategies compute the same result.
         assert_eq!(
-            stmt.execute(&engine, &Params::new()).unwrap().relation,
+            stmt.execute_collect(&engine, &Params::new())
+                .unwrap()
+                .relation,
             not_exists_baseline(&catalog)
         );
         let id = format!("{suppliers}x{parts}");
         group.bench_with_input(
             BenchmarkId::new("divide-by-first-class", &id),
             &suppliers,
-            |b, _| b.iter(|| stmt.execute(&engine, &Params::new()).unwrap()),
+            |b, _| b.iter(|| stmt.execute_collect(&engine, &Params::new()).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("double-not-exists", &id),

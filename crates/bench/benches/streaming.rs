@@ -1,0 +1,188 @@
+//! Streaming vs materialized execution: first-batch latency and peak
+//! resident rows.
+//!
+//! The claim under test (ISSUE 5 / `div_physical::stream`): the
+//! materializing executors pay for the *whole* pipeline before the first
+//! result row exists, and hold the largest intermediate in memory; the
+//! Volcano-style streaming executor produces its first batch after one
+//! chunk has traversed the pipeline, and its resident footprint is
+//! O(pipeline depth × batch_size) plus the genuinely blocking state.
+//!
+//! Benchmarks (every `cursor/*` id pairs with a `materialized/*` id over
+//! the identical plan and catalog):
+//!
+//! * `first_batch` — a deep filter pipeline over a wide dividend: time to
+//!   the FIRST batch from a `StreamExecutor` vs a full
+//!   `execute_with_config` on the whole-batch columnar backend. This is
+//!   the latency a paginating consumer (`take(1)`) observes.
+//! * `full_drain` — the same pipeline drained to completion: the streaming
+//!   executor's overhead when the consumer wants everything anyway.
+//! * `divide_probe` — Q2-style divide: the divisor table builds eagerly on
+//!   both sides, but the streaming divide consumes the dividend
+//!   chunk-at-a-time (state ∝ quotient groups) instead of materializing it.
+//!
+//! The peak-resident-rows comparison is printed once at startup (criterion
+//! measures time; the memory claim is asserted by
+//! `tests/streaming_cursor.rs`). `scripts/bench_snapshot.sh streaming`
+//! records this group's medians as `BENCH_streaming.json` — the second
+//! point of the repo's recorded perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::{CompareOp, Predicate};
+use div_bench::suppliers_parts_catalog;
+use div_expr::{Catalog, PlanBuilder};
+use div_physical::{
+    execute_with_config, plan_query, ExecutionBackend, PhysicalPlan, PlannerConfig, StreamExecutor,
+};
+
+/// Dividend widths (supplier counts) the sweep covers.
+const SCALES: [usize; 2] = [2_000, 8_000];
+
+fn catalog_for(suppliers: usize) -> Catalog {
+    suppliers_parts_catalog(suppliers, 50, 0.5)
+}
+
+/// A deep, fully pipelineable plan: scan → filter → filter → filter →
+/// project. Every operator streams, so the first batch should cost
+/// O(batch_size), not O(table).
+fn deep_pipeline() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("supplies")
+        .select(Predicate::cmp_value("p#", CompareOp::Lt, 45))
+        .select(Predicate::cmp_value("p#", CompareOp::GtEq, 1))
+        .select(Predicate::cmp_value("s#", CompareOp::GtEq, 0))
+        .project(["s#"])
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+/// Q2: supplies ÷ blue parts — the probe (dividend) side streams through
+/// the divide's coverage state.
+fn divide_plan() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("supplies")
+        .divide(
+            PlanBuilder::scan("parts")
+                .select(Predicate::eq_value("color", "blue"))
+                .project(["p#"]),
+        )
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+fn stream_config() -> PlannerConfig {
+    PlannerConfig::default().batch_size(1024)
+}
+
+fn materialized_config() -> PlannerConfig {
+    PlannerConfig::with_backend(ExecutionBackend::Columnar)
+}
+
+fn first_batch_rows(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
+    let mut stream = StreamExecutor::new(plan, catalog, &stream_config()).unwrap();
+    stream
+        .next_batch()
+        .unwrap()
+        .map(|b| b.num_rows())
+        .unwrap_or(0)
+}
+
+fn drain_rows(plan: &PhysicalPlan, catalog: &Catalog) -> usize {
+    let mut stream = StreamExecutor::new(plan, catalog, &stream_config()).unwrap();
+    let mut rows = 0;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        rows += batch.num_rows();
+    }
+    rows
+}
+
+fn report_memory_profile() {
+    let catalog = catalog_for(SCALES[SCALES.len() - 1]);
+    let plan = deep_pipeline();
+    let mut stream = StreamExecutor::new(&plan, &catalog, &stream_config()).unwrap();
+    while stream.next_batch().unwrap().is_some() {}
+    let streaming = stream.finish();
+    let (_, materialized) = execute_with_config(&plan, &catalog, &materialized_config()).unwrap();
+    println!(
+        "memory profile (deep pipeline, {} suppliers): streaming peak resident rows = {}, \
+         materialized max intermediate = {} ({}x)",
+        SCALES[SCALES.len() - 1],
+        streaming.peak_resident_rows,
+        materialized.max_intermediate,
+        materialized.max_intermediate / streaming.peak_resident_rows.max(1),
+    );
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    report_memory_profile();
+
+    let mut group = c.benchmark_group("streaming_vs_materialized");
+    for scale in SCALES {
+        let catalog = catalog_for(scale);
+
+        // First-batch latency on the deep pipeline.
+        let plan = deep_pipeline();
+        group.bench_with_input(
+            BenchmarkId::new("first_batch/cursor", scale),
+            &scale,
+            |b, _| b.iter(|| first_batch_rows(&plan, &catalog)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("first_batch/materialized", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    execute_with_config(&plan, &catalog, &materialized_config())
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+
+        // Full drain on the deep pipeline.
+        group.bench_with_input(
+            BenchmarkId::new("full_drain/cursor", scale),
+            &scale,
+            |b, _| b.iter(|| drain_rows(&plan, &catalog)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_drain/materialized", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    execute_with_config(&plan, &catalog, &materialized_config())
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+
+        // The divide with a streamed dividend.
+        let divide = divide_plan();
+        group.bench_with_input(
+            BenchmarkId::new("divide_probe/cursor", scale),
+            &scale,
+            |b, _| b.iter(|| drain_rows(&divide, &catalog)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("divide_probe/materialized", scale),
+            &scale,
+            |b, _| {
+                b.iter(|| {
+                    execute_with_config(&divide, &catalog, &materialized_config())
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -98,6 +98,14 @@ impl ColumnarBatch {
         &self.columns
     }
 
+    /// Decompose the batch into its parts (schema, columns, row count) —
+    /// the inverse of [`ColumnarBatch::from_parts`], letting schema-only
+    /// transformations (rename) rebuild a batch without copying column
+    /// data.
+    pub fn into_parts(self) -> (Schema, Vec<Column>, usize) {
+        (self.schema, self.columns, self.rows)
+    }
+
     /// The column at position `i`.
     pub fn column(&self, i: usize) -> &Column {
         &self.columns[i]

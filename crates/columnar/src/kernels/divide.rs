@@ -21,6 +21,7 @@ use crate::hash_table::{index_rows, GroupIndex};
 use crate::kernels::join::KernelOutput;
 use crate::kernels::project;
 use crate::key_vector::{cross_matcher, KeyVector};
+use crate::stream::GroupStore;
 use crate::Result;
 use div_algebra::{AlgebraError, Schema};
 
@@ -74,6 +75,7 @@ impl DivideLayout {
 }
 
 /// Per-group divisor-coverage bitmap.
+#[derive(Debug)]
 struct GroupState {
     bits: Vec<u64>,
     covered: u32,
@@ -194,6 +196,125 @@ fn divide_core(
     })
 }
 
+/// The quotient schema of `dividend ÷ divisor`, with the same validation
+/// the kernel applies (`B` nonempty and contained in the dividend, `A`
+/// nonempty) — lets a streaming executor infer and validate operator
+/// schemas before any batch flows.
+pub fn quotient_schema(dividend: &Schema, divisor: &Schema) -> Result<Schema> {
+    let layout = DivideLayout::resolve(dividend, divisor)?;
+    let quotient_refs: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
+    dividend.project(&quotient_refs)
+}
+
+/// Small divide with a prebuilt divisor and a *streamed* dividend — the
+/// streaming-friendly entry point behind `div_physical::stream`.
+///
+/// The divisor's distinct `B`-tuples are id-indexed once at construction;
+/// [`StreamingDivide::consume`] then folds dividend chunks into per-group
+/// coverage bitmaps without ever concatenating the dividend. Retained state
+/// is one representative row per quotient group plus one bitmap per group —
+/// the same profile as the one-shot [`hash_divide`] — so a deep pipeline can
+/// feed the divide batch-at-a-time with memory bounded by the group count,
+/// not the dividend size. The quotient itself is only known once the whole
+/// dividend has been consumed: [`StreamingDivide::finish`] emits it, making
+/// the operator's *output* (but not its input) a blocking boundary.
+#[derive(Debug)]
+pub struct StreamingDivide {
+    divisor: ColumnarBatch,
+    dividend_b: Vec<usize>,
+    divisor_b: Vec<usize>,
+    divisor_b_keys: KeyVector,
+    b_index: GroupIndex,
+    divisor_len: usize,
+    words: usize,
+    a_store: GroupStore,
+    states: Vec<GroupState>,
+}
+
+impl StreamingDivide {
+    /// Prepare a divide of chunks carrying `dividend_schema` by the fully
+    /// materialized `divisor`.
+    pub fn new(dividend_schema: &Schema, divisor: ColumnarBatch) -> Result<StreamingDivide> {
+        let layout = DivideLayout::resolve(dividend_schema, divisor.schema())?;
+        let quotient_refs: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
+        let key_schema = dividend_schema.project(&quotient_refs)?;
+        let divisor_b_keys = KeyVector::build(&divisor, &layout.divisor_b);
+        let b_index = index_rows(&divisor, &layout.divisor_b, &divisor_b_keys);
+        let divisor_len = b_index.len();
+        Ok(StreamingDivide {
+            divisor,
+            dividend_b: layout.dividend_b,
+            divisor_b: layout.divisor_b,
+            divisor_b_keys,
+            b_index,
+            divisor_len,
+            words: divisor_len.div_ceil(64),
+            a_store: GroupStore::new(key_schema, layout.dividend_a),
+            states: Vec::new(),
+        })
+    }
+
+    /// Fold one dividend chunk into the per-group coverage state. Returns
+    /// the probes performed — one per chunk row, or zero for an empty
+    /// divisor, exactly matching [`hash_divide`]'s accounting (its
+    /// empty-divisor projection path probes nothing).
+    pub fn consume(&mut self, chunk: &ColumnarBatch) -> usize {
+        let rows = chunk.num_rows();
+        let interned = self.a_store.intern_chunk(chunk);
+        while self.states.len() < self.a_store.len() {
+            self.states.push(GroupState::new(self.words));
+        }
+        if self.divisor_len == 0 {
+            return 0;
+        }
+        {
+            let b_keys = KeyVector::build(chunk, &self.dividend_b);
+            let same_b = cross_matcher(
+                chunk,
+                &self.dividend_b,
+                &b_keys,
+                &self.divisor,
+                &self.divisor_b,
+                &self.divisor_b_keys,
+            );
+            for row in 0..rows {
+                let b_id = self
+                    .b_index
+                    .get(b_keys.code(row), |other| same_b(row, other));
+                if let Some(b_id) = b_id {
+                    self.states[interned.gids[row] as usize].set(b_id);
+                }
+            }
+        }
+        rows
+    }
+
+    /// Number of quotient-attribute groups retained so far.
+    pub fn groups(&self) -> usize {
+        self.a_store.len()
+    }
+
+    /// Emit the quotient: the retained representatives of every group whose
+    /// bitmap covers the whole divisor. With an empty divisor the
+    /// containment test is vacuously true and every group qualifies,
+    /// matching the reference semantics.
+    pub fn finish(self) -> ColumnarBatch {
+        let qualifying: Vec<usize> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, state)| state.covered as usize == self.divisor_len)
+            .map(|(gid, _)| gid)
+            .collect();
+        let representatives = self.a_store.rows();
+        if qualifying.len() == representatives.num_rows() {
+            representatives
+        } else {
+            representatives.gather(&qualifying)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +395,53 @@ mod tests {
         let dividend = Relation::from_rows(["a", "b"], dividend_rows).unwrap();
         let divisor = Relation::from_rows(["b"], (0..100i64).map(|i| vec![i])).unwrap();
         check(&dividend, &divisor);
+    }
+
+    #[test]
+    fn streaming_divide_matches_the_one_shot_kernel() {
+        let cases: Vec<(Relation, Relation)> = vec![
+            (
+                relation! {
+                    ["a", "b"] =>
+                    [1, 1], [1, 4],
+                    [2, 1], [2, 2], [2, 3], [2, 4],
+                    [3, 1], [3, 3], [3, 4],
+                },
+                relation! { ["b"] => [1], [3] },
+            ),
+            (
+                relation! { ["who", "what"] => ["ann", "x"], ["ann", "y"], ["bob", "x"] },
+                relation! { ["what"] => ["x"], ["y"] },
+            ),
+            // Empty divisor: quotient = all dividend groups.
+            (
+                relation! { ["a", "b"] => [1, 1], [2, 2] },
+                Relation::empty(div_algebra::Schema::of(["b"])),
+            ),
+        ];
+        for (dividend, divisor) in cases {
+            let dividend = ColumnarBatch::from_relation(&dividend);
+            let divisor = ColumnarBatch::from_relation(&divisor);
+            let whole = hash_divide(&dividend, &divisor).unwrap();
+            for chunk_size in [1, 2, 100] {
+                let mut streaming =
+                    StreamingDivide::new(dividend.schema(), divisor.clone()).unwrap();
+                let mut probes = 0;
+                let mut start = 0;
+                while start < dividend.num_rows() {
+                    let end = (start + chunk_size).min(dividend.num_rows());
+                    let indices: Vec<usize> = (start..end).collect();
+                    probes += streaming.consume(&dividend.gather(&indices));
+                    start = end;
+                }
+                assert_eq!(probes, whole.probes, "probe accounting matches the kernel");
+                assert_eq!(
+                    streaming.finish().to_relation().unwrap(),
+                    whole.batch.to_relation().unwrap(),
+                    "chunk size {chunk_size}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -16,9 +16,10 @@
 
 use crate::batch::ColumnarBatch;
 use crate::hash_table::{GroupIndex, PairTable};
-use crate::kernels::divide::hash_divide;
+use crate::kernels::divide::{hash_divide, StreamingDivide};
 use crate::kernels::join::KernelOutput;
 use crate::key_vector::{cross_matcher, KeyVector};
+use crate::stream::GroupStore;
 use crate::Result;
 use div_algebra::{AlgebraError, Schema};
 
@@ -236,6 +237,235 @@ fn great_divide_core(
     })
 }
 
+/// The output schema of `dividend ÷* divisor` (quotient attributes `A`
+/// then group attributes `C`), with the kernel's validation applied — the
+/// schema-inference companion of
+/// [`quotient_schema`](crate::kernels::divide::quotient_schema).
+pub fn great_quotient_schema(dividend: &Schema, divisor: &Schema) -> Result<Schema> {
+    let layout = GreatDivideLayout::resolve(dividend, divisor)?;
+    if layout.group.is_empty() {
+        return crate::kernels::divide::quotient_schema(dividend, divisor);
+    }
+    let mut out_names: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
+    out_names.extend(layout.group.iter().map(String::as_str));
+    Schema::new(out_names)
+}
+
+/// Great divide with a prebuilt divisor and a *streamed* dividend — the
+/// counting formulation of [`hash_great_divide`] with its dividend pass cut
+/// into chunks. The divisor-side indexes (`B` ids, `C` groups, the inverted
+/// `B → groups` lists) are built once at construction; every
+/// [`StreamingGreatDivide::consume`] call folds one dividend chunk into the
+/// id-based `(A, C)` coverage counters, which survive across chunks because
+/// they key on dense ids rather than rows. Like [`StreamingDivide`], the
+/// output is emitted only by [`StreamingGreatDivide::finish`].
+///
+/// With no group attributes `C` the operator *is* the small divide (Darwen
+/// & Date), and this type transparently degrades to [`StreamingDivide`].
+#[derive(Debug)]
+pub enum StreamingGreatDivide {
+    /// Degenerate form: the divisor has no `C` attributes.
+    Small(Box<StreamingDivide>),
+    /// The counting great divide proper.
+    Great(Box<GreatDivideState>),
+}
+
+/// Cross-chunk state of the counting great divide (see
+/// [`StreamingGreatDivide`]).
+#[derive(Debug)]
+pub struct GreatDivideState {
+    divisor: ColumnarBatch,
+    dividend_b: Vec<usize>,
+    divisor_b: Vec<usize>,
+    divisor_c: Vec<usize>,
+    group: Vec<String>,
+    quotient: Vec<String>,
+    divisor_b_keys: KeyVector,
+    b_ids: GroupIndex,
+    c_groups: GroupIndex,
+    c_size: Vec<u32>,
+    groups_of_b: Vec<Vec<u32>>,
+    a_store: GroupStore,
+    counters: PairTable,
+    counter_pairs: Vec<(u32, u32)>,
+    counts: Vec<u32>,
+    seen_dividend: PairTable,
+}
+
+impl StreamingGreatDivide {
+    /// Prepare a great divide of chunks carrying `dividend_schema` by the
+    /// fully materialized `divisor`.
+    pub fn new(dividend_schema: &Schema, divisor: ColumnarBatch) -> Result<StreamingGreatDivide> {
+        let layout = GreatDivideLayout::resolve(dividend_schema, divisor.schema())?;
+        if layout.group.is_empty() {
+            return Ok(StreamingGreatDivide::Small(Box::new(StreamingDivide::new(
+                dividend_schema,
+                divisor,
+            )?)));
+        }
+        let quotient_refs: Vec<&str> = layout.quotient.iter().map(String::as_str).collect();
+        let key_schema = dividend_schema.project(&quotient_refs)?;
+
+        // Divisor-side prep, identical to the one-shot kernel: dense ids for
+        // the distinct `B` values and `C` groups, sizes, and the inverted
+        // `B id -> divisor group ids` lists.
+        let divisor_b_keys = KeyVector::build(&divisor, &layout.divisor_b);
+        let c_keys = KeyVector::build(&divisor, &layout.divisor_c);
+        let divisor_rows = divisor.num_rows();
+        let mut b_ids = GroupIndex::with_capacity(divisor_rows);
+        let mut c_groups = GroupIndex::with_capacity(divisor_rows);
+        let mut c_size: Vec<u32> = Vec::new();
+        let mut groups_of_b: Vec<Vec<u32>> = Vec::new();
+        let mut seen_divisor = PairTable::with_capacity(divisor_rows);
+        {
+            let same_divisor_b = cross_matcher(
+                &divisor,
+                &layout.divisor_b,
+                &divisor_b_keys,
+                &divisor,
+                &layout.divisor_b,
+                &divisor_b_keys,
+            );
+            let same_c = cross_matcher(
+                &divisor,
+                &layout.divisor_c,
+                &c_keys,
+                &divisor,
+                &layout.divisor_c,
+                &c_keys,
+            );
+            for i in 0..divisor_rows {
+                let (b_id, b_new) =
+                    b_ids.intern(divisor_b_keys.code(i), i, |other| same_divisor_b(i, other));
+                if b_new {
+                    groups_of_b.push(Vec::new());
+                }
+                let (c_gid, c_new) = c_groups.intern(c_keys.code(i), i, |other| same_c(i, other));
+                if c_new {
+                    c_size.push(0);
+                }
+                if seen_divisor.insert(b_id, c_gid) {
+                    c_size[c_gid as usize] += 1;
+                    groups_of_b[b_id as usize].push(c_gid);
+                }
+            }
+        }
+        Ok(StreamingGreatDivide::Great(Box::new(GreatDivideState {
+            divisor,
+            dividend_b: layout.dividend_b,
+            divisor_b: layout.divisor_b,
+            divisor_c: layout.divisor_c,
+            group: layout.group,
+            quotient: layout.quotient,
+            divisor_b_keys,
+            b_ids,
+            c_groups,
+            c_size,
+            groups_of_b,
+            a_store: GroupStore::new(key_schema, layout.dividend_a),
+            counters: PairTable::with_capacity(0),
+            counter_pairs: Vec::new(),
+            counts: Vec::new(),
+            seen_dividend: PairTable::with_capacity(0),
+        })))
+    }
+
+    /// Fold one dividend chunk into the coverage counters. Returns the
+    /// probes performed (one per chunk row, matching [`hash_great_divide`]).
+    pub fn consume(&mut self, chunk: &ColumnarBatch) -> usize {
+        match self {
+            StreamingGreatDivide::Small(divide) => divide.consume(chunk),
+            StreamingGreatDivide::Great(state) => state.consume(chunk),
+        }
+    }
+
+    /// Number of dividend groups retained so far.
+    pub fn groups(&self) -> usize {
+        match self {
+            StreamingGreatDivide::Small(divide) => divide.groups(),
+            StreamingGreatDivide::Great(state) => state.a_store.len(),
+        }
+    }
+
+    /// Emit the quotient pairs `(A group, C group)` whose counters reached
+    /// the group size.
+    pub fn finish(self) -> Result<ColumnarBatch> {
+        match self {
+            StreamingGreatDivide::Small(divide) => Ok(divide.finish()),
+            StreamingGreatDivide::Great(state) => state.finish(),
+        }
+    }
+}
+
+impl GreatDivideState {
+    fn consume(&mut self, chunk: &ColumnarBatch) -> usize {
+        let rows = chunk.num_rows();
+        let interned = self.a_store.intern_chunk(chunk);
+        let b_keys = KeyVector::build(chunk, &self.dividend_b);
+        let same_b = cross_matcher(
+            chunk,
+            &self.dividend_b,
+            &b_keys,
+            &self.divisor,
+            &self.divisor_b,
+            &self.divisor_b_keys,
+        );
+        for row in 0..rows {
+            let a_gid = interned.gids[row];
+            let b_id = self.b_ids.get(b_keys.code(row), |other| same_b(row, other));
+            if let Some(b_id) = b_id {
+                // A duplicate (A, B) pair — within or across chunks — must
+                // not inflate the coverage counters.
+                if self.seen_dividend.insert(a_gid, b_id) {
+                    for &c_gid in &self.groups_of_b[b_id as usize] {
+                        let (slot, is_new) = self.counters.intern(a_gid, c_gid);
+                        if is_new {
+                            self.counter_pairs.push((a_gid, c_gid));
+                            self.counts.push(0);
+                        }
+                        self.counts[slot as usize] += 1;
+                    }
+                }
+            }
+        }
+        rows
+    }
+
+    fn finish(self) -> Result<ColumnarBatch> {
+        let mut qualifying: Vec<(u32, u32)> = self
+            .counter_pairs
+            .iter()
+            .zip(&self.counts)
+            .filter_map(|(&(a_gid, c_gid), &count)| {
+                (count == self.c_size[c_gid as usize]).then_some((a_gid, c_gid))
+            })
+            .collect();
+        qualifying.sort_unstable();
+
+        let representatives = self.a_store.rows();
+        let dividend_rows: Vec<usize> = qualifying
+            .iter()
+            .map(|&(a_gid, _)| a_gid as usize)
+            .collect();
+        let divisor_group_rows: Vec<usize> = qualifying
+            .iter()
+            .map(|&(_, c_gid)| self.c_groups.first_row(c_gid))
+            .collect();
+        let mut out_names: Vec<&str> = self.quotient.iter().map(String::as_str).collect();
+        out_names.extend(self.group.iter().map(String::as_str));
+        let out_schema = Schema::new(out_names)?;
+        let mut columns = Vec::with_capacity(out_schema.arity());
+        for c in 0..representatives.schema().arity() {
+            columns.push(representatives.column(c).gather(&dividend_rows));
+        }
+        for &c in &self.divisor_c {
+            columns.push(self.divisor.column(c).gather(&divisor_group_rows));
+        }
+        let out_rows = qualifying.len();
+        Ok(ColumnarBatch::from_parts(out_schema, columns, out_rows))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +553,58 @@ mod tests {
         let dividend = ColumnarBatch::from_relation(&relation! { ["a", "b"] => [1, 1] });
         let disjoint = ColumnarBatch::from_relation(&relation! { ["x", "y"] => [1, 1] });
         assert!(hash_great_divide(&dividend, &disjoint).is_err());
+    }
+
+    #[test]
+    fn streaming_great_divide_matches_the_one_shot_kernel() {
+        let cases: Vec<(Relation, Relation)> = vec![
+            (
+                relation! {
+                    ["a", "b"] =>
+                    [1, 1], [1, 4],
+                    [2, 1], [2, 2], [2, 3], [2, 4],
+                    [3, 1], [3, 3], [3, 4],
+                },
+                relation! { ["b", "c"] => [1, 1], [2, 1], [4, 1], [1, 2], [3, 2] },
+            ),
+            // Degenerate divisor (no C attributes): the small divide.
+            (
+                relation! { ["a", "b"] => [1, 1], [1, 2], [2, 1] },
+                relation! { ["b"] => [1], [2] },
+            ),
+            // Empty divisor.
+            (
+                relation! { ["a", "b"] => [1, 1] },
+                Relation::empty(div_algebra::Schema::of(["b", "c"])),
+            ),
+        ];
+        for (dividend, divisor) in cases {
+            let dividend = ColumnarBatch::from_relation(&dividend);
+            let divisor = ColumnarBatch::from_relation(&divisor);
+            let whole = hash_great_divide(&dividend, &divisor).unwrap();
+            assert_eq!(
+                great_quotient_schema(dividend.schema(), divisor.schema()).unwrap(),
+                *whole.batch.schema()
+            );
+            for chunk_size in [1, 3, 100] {
+                let mut streaming =
+                    StreamingGreatDivide::new(dividend.schema(), divisor.clone()).unwrap();
+                let mut probes = 0;
+                let mut start = 0;
+                while start < dividend.num_rows() {
+                    let end = (start + chunk_size).min(dividend.num_rows());
+                    let indices: Vec<usize> = (start..end).collect();
+                    probes += streaming.consume(&dividend.gather(&indices));
+                    start = end;
+                }
+                assert_eq!(probes, dividend.num_rows());
+                assert_eq!(
+                    streaming.finish().unwrap().to_relation().unwrap(),
+                    whole.batch.to_relation().unwrap(),
+                    "chunk size {chunk_size}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Batch-native hash joins on the vectorized key pipeline.
 //!
 //! Keys are normalized once per batch ([`KeyVector`]) and the build side
-//! goes into an open-addressing [`GroupIndex`](crate::GroupIndex) plus a
+//! goes into an open-addressing [`GroupIndex`] plus a
 //! CSR row list — no
 //! per-row `Value` materialization, no SipHash. The `_prehashed` entry
 //! points accept key vectors computed upstream (by
@@ -9,9 +9,10 @@
 //! partition-parallel runs hash each row once, not twice.
 
 use crate::batch::ColumnarBatch;
-use crate::hash_table::{index_rows, index_rows_tracked};
+use crate::hash_table::{index_rows, index_rows_tracked, GroupIndex};
 use crate::key_vector::{cross_matcher, KeyVector};
 use crate::Result;
+use div_algebra::Schema;
 
 /// A kernel result: the output batch plus the probe count the executor feeds
 /// into [`ExecStats`](https://docs.rs/div-physical) (one probe per left row,
@@ -27,11 +28,8 @@ pub struct KernelOutput {
 /// Key column positions of the common attributes on both sides, in the
 /// left schema's common-attribute order (the shared layout every hash join
 /// keys on).
-fn join_key_columns(
-    left: &ColumnarBatch,
-    right: &ColumnarBatch,
-) -> Result<(Vec<usize>, Vec<usize>)> {
-    let common = left.schema().common_attributes(right.schema());
+fn join_key_columns(left: &Schema, right: &Schema) -> Result<(Vec<usize>, Vec<usize>)> {
+    let common = left.common_attributes(right);
     let common_refs: Vec<&str> = common.iter().map(String::as_str).collect();
     Ok((
         left.projection_indices(&common_refs)?,
@@ -39,52 +37,11 @@ fn join_key_columns(
     ))
 }
 
-/// Hash-based natural join on all common attributes: build on the right,
-/// probe with the left. Mirrors the row executor's `hash_natural_join`
-/// (including the output schema: left attributes, then right-only
-/// attributes).
-pub fn hash_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<KernelOutput> {
-    let (left_key, right_key) = join_key_columns(left, right)?;
-    let left_keys = KeyVector::build(left, &left_key);
-    let right_keys = KeyVector::build(right, &right_key);
-    natural_join_core(left, right, &left_key, &right_key, &left_keys, &right_keys)
-}
-
-/// [`hash_natural_join`] with both sides' key vectors precomputed (over the
-/// common attributes, in the left schema's common-attribute order — the
-/// layout [`KeyVector::build`] on the join key columns produces).
-pub fn hash_natural_join_prehashed(
-    left: &ColumnarBatch,
-    right: &ColumnarBatch,
-    left_keys: &KeyVector,
-    right_keys: &KeyVector,
-) -> Result<KernelOutput> {
-    let (left_key, right_key) = join_key_columns(left, right)?;
-    natural_join_core(left, right, &left_key, &right_key, left_keys, right_keys)
-}
-
-fn natural_join_core(
-    left: &ColumnarBatch,
-    right: &ColumnarBatch,
-    left_key: &[usize],
-    right_key: &[usize],
-    left_keys: &KeyVector,
-    right_keys: &KeyVector,
-) -> Result<KernelOutput> {
-    let right_extra: Vec<&str> = right
-        .schema()
-        .names()
-        .into_iter()
-        .filter(|n| !left.schema().contains(n))
-        .collect();
-    let right_extra_idx = right.projection_indices(&right_extra)?;
-
-    // Build: dense group ids over the right rows, then a CSR layout listing
-    // each group's rows in ascending order.
-    let (index, gid_of) = index_rows_tracked(right, right_key, right_keys);
-    let groups = index.len();
+/// CSR row lists over dense group ids: `offsets[g]..offsets[g + 1]` indexes
+/// the rows of group `g` in `rows`, in ascending row order.
+fn csr_from_gids(gid_of: &[u32], groups: usize) -> (Vec<u32>, Vec<u32>) {
     let mut counts = vec![0u32; groups];
-    for &gid in &gid_of {
+    for &gid in gid_of {
         counts[gid as usize] += 1;
     }
     let mut offsets = Vec::with_capacity(groups + 1);
@@ -95,14 +52,41 @@ fn natural_join_core(
     }
     offsets.push(running);
     let mut cursor: Vec<u32> = offsets[..groups].to_vec();
-    let mut rows_csr = vec![0u32; right.num_rows()];
+    let mut rows = vec![0u32; gid_of.len()];
     for (row, &gid) in gid_of.iter().enumerate() {
         let slot = cursor[gid as usize];
-        rows_csr[slot as usize] = row as u32;
+        rows[slot as usize] = row as u32;
         cursor[gid as usize] = slot + 1;
     }
+    (offsets, rows)
+}
 
-    // Probe: emit (left row, right row) index pairs.
+/// The names of the build-side-only attributes, in build-schema order.
+fn extra_attributes<'a>(probe: &Schema, build: &'a Schema) -> Vec<&'a str> {
+    build
+        .names()
+        .into_iter()
+        .filter(|n| !probe.contains(n))
+        .collect()
+}
+
+/// The shared natural-join probe loop: stream `left` against a prebuilt
+/// (`index`, CSR) over `right`, gathering left columns plus the
+/// build-side-only columns.
+#[allow(clippy::too_many_arguments)]
+fn natural_probe(
+    left: &ColumnarBatch,
+    left_key: &[usize],
+    left_keys: &KeyVector,
+    right: &ColumnarBatch,
+    right_key: &[usize],
+    right_keys: &KeyVector,
+    index: &GroupIndex,
+    offsets: &[u32],
+    rows_csr: &[u32],
+    right_extra_idx: &[usize],
+    out_schema: Schema,
+) -> KernelOutput {
     let same_key = cross_matcher(left, left_key, left_keys, right, right_key, right_keys);
     let mut left_indices: Vec<usize> = Vec::new();
     let mut right_indices: Vec<usize> = Vec::new();
@@ -118,10 +102,6 @@ fn natural_join_core(
             }
         }
     }
-
-    // Assemble: all left columns gathered by the left indices; of the right
-    // side, gather only the right-extra columns actually emitted.
-    let out_schema = left.schema().natural_union(right.schema());
     let mut columns: Vec<_> = left
         .columns()
         .iter()
@@ -133,10 +113,203 @@ fn natural_join_core(
             .map(|&c| right.column(c).gather(&right_indices)),
     );
     let rows = left_indices.len();
-    Ok(KernelOutput {
+    KernelOutput {
         batch: ColumnarBatch::from_parts(out_schema, columns, rows),
         probes,
-    })
+    }
+}
+
+/// The shared semi/anti probe loop: keep the left rows whose key does
+/// (`anti = false`) or does not (`anti = true`) appear in `index`.
+#[allow(clippy::too_many_arguments)]
+fn semi_probe(
+    left: &ColumnarBatch,
+    left_key: &[usize],
+    left_keys: &KeyVector,
+    right: &ColumnarBatch,
+    right_key: &[usize],
+    right_keys: &KeyVector,
+    index: &GroupIndex,
+    anti: bool,
+) -> KernelOutput {
+    let same_key = cross_matcher(left, left_key, left_keys, right, right_key, right_keys);
+    let mut mask = Vec::with_capacity(left.num_rows());
+    let mut probes = 0usize;
+    for i in 0..left.num_rows() {
+        probes += 1;
+        let matched = index
+            .get(left_keys.code(i), |other| same_key(i, other))
+            .is_some();
+        mask.push(matched != anti);
+    }
+    KernelOutput {
+        batch: left.select_by_mask(&mask),
+        probes,
+    }
+}
+
+/// A hash-join build side prepared once and probed chunk-at-a-time — the
+/// streaming-friendly entry point behind `div_physical::stream`'s join
+/// operators. The build batch is hashed and CSR-indexed exactly once;
+/// every probe chunk then streams through [`JoinBuild::probe_natural`] /
+/// [`JoinBuild::probe_semi`] without the per-call rebuild the one-shot
+/// kernels ([`hash_natural_join`], [`hash_semi_join`]) pay.
+///
+/// ```
+/// use div_algebra::relation;
+/// use div_columnar::{kernels::JoinBuild, ColumnarBatch};
+///
+/// let probe_side = ColumnarBatch::from_relation(&relation! {
+///     ["s#", "p#"] => [1, 1], [2, 1], [2, 2]
+/// });
+/// let build_side = ColumnarBatch::from_relation(&relation! {
+///     ["p#", "color"] => [1, "blue"], [2, "red"]
+/// });
+/// let build = JoinBuild::new(probe_side.schema(), build_side)?;
+/// let mut joined = 0;
+/// for chunk_rows in [&[0usize, 1][..], &[2][..]] {
+///     let chunk = probe_side.gather(chunk_rows);
+///     joined += build.probe_natural(&chunk)?.batch.num_rows();
+/// }
+/// assert_eq!(joined, 3);
+/// # Ok::<(), div_algebra::AlgebraError>(())
+/// ```
+#[derive(Debug)]
+pub struct JoinBuild {
+    build: ColumnarBatch,
+    probe_key: Vec<usize>,
+    build_key: Vec<usize>,
+    build_keys: KeyVector,
+    index: GroupIndex,
+    offsets: Vec<u32>,
+    rows_csr: Vec<u32>,
+    build_extra_idx: Vec<usize>,
+    out_schema: Schema,
+}
+
+impl JoinBuild {
+    /// Hash `build` on the attributes it shares with `probe_schema` (the
+    /// schema every later probe chunk must carry).
+    pub fn new(probe_schema: &Schema, build: ColumnarBatch) -> Result<JoinBuild> {
+        let (probe_key, build_key) = join_key_columns(probe_schema, build.schema())?;
+        let build_extra = extra_attributes(probe_schema, build.schema());
+        let build_extra_idx = build.projection_indices(&build_extra)?;
+        let out_schema = probe_schema.natural_union(build.schema());
+        let build_keys = KeyVector::build(&build, &build_key);
+        let (index, gid_of) = index_rows_tracked(&build, &build_key, &build_keys);
+        let (offsets, rows_csr) = csr_from_gids(&gid_of, index.len());
+        Ok(JoinBuild {
+            build,
+            probe_key,
+            build_key,
+            build_keys,
+            index,
+            offsets,
+            rows_csr,
+            build_extra_idx,
+            out_schema,
+        })
+    }
+
+    /// The natural-join output schema (probe attributes, then
+    /// build-side-only attributes).
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Number of rows in the retained build side.
+    pub fn build_rows(&self) -> usize {
+        self.build.num_rows()
+    }
+
+    /// Natural-join one probe chunk against the prepared build side.
+    pub fn probe_natural(&self, chunk: &ColumnarBatch) -> Result<KernelOutput> {
+        let chunk_keys = KeyVector::build(chunk, &self.probe_key);
+        Ok(natural_probe(
+            chunk,
+            &self.probe_key,
+            &chunk_keys,
+            &self.build,
+            &self.build_key,
+            &self.build_keys,
+            &self.index,
+            &self.offsets,
+            &self.rows_csr,
+            &self.build_extra_idx,
+            self.out_schema.clone(),
+        ))
+    }
+
+    /// Semi-join (`anti = false`) or anti-semi-join (`anti = true`) one
+    /// probe chunk against the prepared build side.
+    pub fn probe_semi(&self, chunk: &ColumnarBatch, anti: bool) -> Result<KernelOutput> {
+        let chunk_keys = KeyVector::build(chunk, &self.probe_key);
+        Ok(semi_probe(
+            chunk,
+            &self.probe_key,
+            &chunk_keys,
+            &self.build,
+            &self.build_key,
+            &self.build_keys,
+            &self.index,
+            anti,
+        ))
+    }
+}
+
+/// Hash-based natural join on all common attributes: build on the right,
+/// probe with the left. Mirrors the row executor's `hash_natural_join`
+/// (including the output schema: left attributes, then right-only
+/// attributes).
+pub fn hash_natural_join(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<KernelOutput> {
+    let (left_key, right_key) = join_key_columns(left.schema(), right.schema())?;
+    let left_keys = KeyVector::build(left, &left_key);
+    let right_keys = KeyVector::build(right, &right_key);
+    natural_join_core(left, right, &left_key, &right_key, &left_keys, &right_keys)
+}
+
+/// [`hash_natural_join`] with both sides' key vectors precomputed (over the
+/// common attributes, in the left schema's common-attribute order — the
+/// layout [`KeyVector::build`] on the join key columns produces).
+pub fn hash_natural_join_prehashed(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let (left_key, right_key) = join_key_columns(left.schema(), right.schema())?;
+    natural_join_core(left, right, &left_key, &right_key, left_keys, right_keys)
+}
+
+fn natural_join_core(
+    left: &ColumnarBatch,
+    right: &ColumnarBatch,
+    left_key: &[usize],
+    right_key: &[usize],
+    left_keys: &KeyVector,
+    right_keys: &KeyVector,
+) -> Result<KernelOutput> {
+    let right_extra = extra_attributes(left.schema(), right.schema());
+    let right_extra_idx = right.projection_indices(&right_extra)?;
+
+    // Build: dense group ids over the right rows, then a CSR layout listing
+    // each group's rows in ascending order. Probe with the whole left side.
+    let (index, gid_of) = index_rows_tracked(right, right_key, right_keys);
+    let (offsets, rows_csr) = csr_from_gids(&gid_of, index.len());
+    let out_schema = left.schema().natural_union(right.schema());
+    Ok(natural_probe(
+        left,
+        left_key,
+        left_keys,
+        right,
+        right_key,
+        right_keys,
+        &index,
+        &offsets,
+        &rows_csr,
+        &right_extra_idx,
+        out_schema,
+    ))
 }
 
 /// Hash-based left semi-join (`anti = false`) or anti-semi-join
@@ -146,7 +319,7 @@ pub fn hash_semi_join(
     right: &ColumnarBatch,
     anti: bool,
 ) -> Result<KernelOutput> {
-    let (left_key, right_key) = join_key_columns(left, right)?;
+    let (left_key, right_key) = join_key_columns(left.schema(), right.schema())?;
     let left_keys = KeyVector::build(left, &left_key);
     let right_keys = KeyVector::build(right, &right_key);
     semi_join_core(
@@ -169,7 +342,7 @@ pub fn hash_semi_join_prehashed(
     left_keys: &KeyVector,
     right_keys: &KeyVector,
 ) -> Result<KernelOutput> {
-    let (left_key, right_key) = join_key_columns(left, right)?;
+    let (left_key, right_key) = join_key_columns(left.schema(), right.schema())?;
     semi_join_core(
         left, right, anti, &left_key, &right_key, left_keys, right_keys,
     )
@@ -185,20 +358,9 @@ fn semi_join_core(
     right_keys: &KeyVector,
 ) -> Result<KernelOutput> {
     let index = index_rows(right, right_key, right_keys);
-    let same_key = cross_matcher(left, left_key, left_keys, right, right_key, right_keys);
-    let mut mask = Vec::with_capacity(left.num_rows());
-    let mut probes = 0usize;
-    for i in 0..left.num_rows() {
-        probes += 1;
-        let matched = index
-            .get(left_keys.code(i), |other| same_key(i, other))
-            .is_some();
-        mask.push(matched != anti);
-    }
-    Ok(KernelOutput {
-        batch: left.select_by_mask(&mask),
-        probes,
-    })
+    Ok(semi_probe(
+        left, left_key, left_keys, right, right_key, right_keys, &index, anti,
+    ))
 }
 
 #[cfg(test)]
@@ -268,7 +430,7 @@ mod tests {
     #[test]
     fn prehashed_entry_points_match_the_building_ones() {
         let (supplies, parts) = inputs();
-        let (lk, rk) = join_key_columns(&supplies, &parts).unwrap();
+        let (lk, rk) = join_key_columns(supplies.schema(), parts.schema()).unwrap();
         let left_keys = KeyVector::build(&supplies, &lk);
         let right_keys = KeyVector::build(&parts, &rk);
         let natural = hash_natural_join(&supplies, &parts).unwrap();
@@ -281,6 +443,43 @@ mod tests {
             let b =
                 hash_semi_join_prehashed(&supplies, &parts, anti, &left_keys, &right_keys).unwrap();
             assert_eq!(a.batch, b.batch);
+        }
+    }
+
+    #[test]
+    fn join_build_probed_in_chunks_matches_the_one_shot_kernels() {
+        let (supplies, parts) = inputs();
+        let build = JoinBuild::new(supplies.schema(), parts.clone()).unwrap();
+        assert_eq!(build.build_rows(), parts.num_rows());
+        let whole = hash_natural_join(&supplies, &parts).unwrap();
+        assert_eq!(build.out_schema(), whole.batch.schema());
+        // Probe in three uneven chunks; concatenated output must equal the
+        // one-shot kernel's, probes must sum identically.
+        let chunks = [&[0usize][..], &[1, 2][..], &[3, 4][..]];
+        let mut rows = Vec::new();
+        let mut probes = 0;
+        for indices in chunks {
+            let out = build.probe_natural(&supplies.gather(indices)).unwrap();
+            probes += out.probes;
+            for i in 0..out.batch.num_rows() {
+                rows.push(out.batch.row(i));
+            }
+        }
+        assert_eq!(probes, whole.probes);
+        let streamed = div_algebra::Relation::new(whole.batch.schema().clone(), rows).unwrap();
+        assert_eq!(streamed, whole.batch.to_relation().unwrap());
+        // Semi/anti chunked probes agree with the one-shot kernels too.
+        for anti in [false, true] {
+            let whole = hash_semi_join(&supplies, &parts, anti).unwrap();
+            let mut streamed_rows = 0;
+            for indices in chunks {
+                streamed_rows += build
+                    .probe_semi(&supplies.gather(indices), anti)
+                    .unwrap()
+                    .batch
+                    .num_rows();
+            }
+            assert_eq!(streamed_rows, whole.batch.num_rows(), "anti = {anti}");
         }
     }
 

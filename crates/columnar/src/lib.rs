@@ -71,12 +71,14 @@ pub mod kernels;
 pub mod key_vector;
 pub mod keys;
 pub mod partition;
+pub mod stream;
 
 pub use batch::ColumnarBatch;
 pub use column::{Column, StrColumn};
 pub use hash_table::{GroupIndex, KeyTable};
 pub use key_vector::KeyVector;
 pub use keys::RowKey;
+pub use stream::{GroupStore, StreamingDistinct};
 
 /// Result alias: columnar kernels report the same errors as the reference
 /// algebra operators they mirror.

@@ -1,4 +1,10 @@
-//! The columnar (batch-at-a-time) executor.
+//! The columnar (batch-at-a-time) *materializing* executor.
+//!
+//! Each operator still sees its whole input as one batch; for the
+//! pull-based variant that chunks inputs and bounds memory by the pipeline
+//! depth, see [`crate::stream`] — this module remains the vectorized
+//! reference for whole-input kernels and the host of the Law 2 / Law 13
+//! partition-parallel execution.
 //!
 //! Walks the same [`PhysicalPlan`] tree as the row executor of
 //! [`crate::exec`], but keeps data in [`ColumnarBatch`]es and evaluates

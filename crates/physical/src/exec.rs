@@ -1,12 +1,20 @@
-//! The physical executor.
+//! The *materializing* row executor — now the compatibility layer.
 //!
-//! Every operator fully materializes its result (the workspace targets
-//! correctness measurement of algorithms and intermediate-result volumes, not
-//! raw throughput), but the *algorithms* used inside the operators are the
-//! real ones: hash joins build hash tables, the division nodes dispatch to the
-//! special-purpose algorithms of [`crate::division`] and
-//! [`crate::great_divide`], and the executor records per-operator row counts
-//! into [`ExecStats`].
+//! This executor evaluates every operator on its fully materialized input
+//! and returns one whole [`Relation`]: the right tool for measuring
+//! algorithms and intermediate-result volumes, and the reference the
+//! differential tests compare every other strategy against. The *default
+//! execution path* of the system, however, is the streaming executor of
+//! [`crate::stream`] (Volcano-style `open`/`next_batch`/`close` over
+//! columnar chunks), which `div_sql`'s `Engine` serves through its
+//! incremental `Cursor` — use [`crate::stream::StreamExecutor`] when memory
+//! should scale with the pipeline depth instead of the largest
+//! intermediate.
+//!
+//! The *algorithms* inside the operators here are the real ones: hash joins
+//! build hash tables, the division nodes dispatch to the special-purpose
+//! algorithms of [`crate::division`] and [`crate::great_divide`], and the
+//! executor records per-operator row counts into [`ExecStats`].
 
 use crate::division;
 use crate::great_divide;
@@ -35,6 +43,14 @@ pub fn execute_with_stats(plan: &PhysicalPlan, catalog: &Catalog) -> Result<(Rel
 ///
 /// Both backends return identical relations; the statistics differ only in
 /// the backend-internal operator labels (see [`crate::columnar_exec`]).
+///
+/// This is the *materializing* compatibility entry point: the whole result
+/// (and every intermediate) is built before anything is returned. New code
+/// that wants memory bounded by the pipeline, incremental consumption or
+/// early termination should drive a [`StreamExecutor`](crate::stream::StreamExecutor)
+/// instead.
+#[doc(alias = "StreamExecutor")]
+#[doc(alias = "compile_stream")]
 pub fn execute_on_backend(
     plan: &PhysicalPlan,
     catalog: &Catalog,
@@ -56,6 +72,13 @@ pub fn execute_on_backend(
 /// honoring [`PlannerConfig::parallelism`] on the columnar backend (the row
 /// backend parallelizes at the operator level instead, via
 /// [`crate::parallel`]).
+///
+/// Like [`execute_on_backend`], this is the *materializing* compatibility
+/// entry point; the streaming equivalent is
+/// [`StreamExecutor::new`](crate::stream::StreamExecutor::new) followed by a
+/// pull loop.
+#[doc(alias = "StreamExecutor")]
+#[doc(alias = "compile_stream")]
 pub fn execute_with_config(
     plan: &PhysicalPlan,
     catalog: &Catalog,

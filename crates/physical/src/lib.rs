@@ -31,7 +31,14 @@
 //! * [`parallel_columnar`] — the same Law 2 / Law 13 partition strategies
 //!   applied to the *columnar* kernels: batches are hash-partitioned and the
 //!   divide/great-divide/join/filter kernels run on crossbeam scoped threads,
-//!   selected through [`planner::PlannerConfig::parallelism`].
+//!   selected through [`planner::PlannerConfig::parallelism`],
+//! * [`stream`] — the Volcano-style streaming executor
+//!   ([`stream::StreamExecutor`]): scans chunk base tables into
+//!   [`planner::PlannerConfig::batch_size`]-row batches, pipelineable
+//!   operators transform them one at a time, and only genuinely blocking
+//!   operators buffer — memory scales with pipeline depth, not with the
+//!   largest intermediate, and early-terminated consumers short-circuit the
+//!   scans. This is the executor behind `div_sql`'s incremental `Cursor`.
 //!
 //! All algorithms are validated against the reference semantics of
 //! [`div_algebra`] by unit tests here and by the cross-crate property tests in
@@ -78,6 +85,7 @@ pub mod parallel_columnar;
 pub mod plan;
 pub mod planner;
 pub mod stats;
+pub mod stream;
 
 pub use columnar_exec::{
     execute_columnar, execute_columnar_parallel_with_stats, execute_columnar_with_stats,
@@ -88,6 +96,7 @@ pub use great_divide::GreatDivideAlgorithm;
 pub use plan::PhysicalPlan;
 pub use planner::{plan_query, ExecutionBackend, PlannerConfig};
 pub use stats::ExecStats;
+pub use stream::{compile_stream, BatchStream, StreamContext, StreamExecutor};
 
 /// Convenient result alias (errors come from the algebra / plan layers).
 pub type Result<T> = std::result::Result<T, div_expr::ExprError>;

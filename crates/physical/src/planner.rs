@@ -58,9 +58,16 @@ pub struct PlannerConfig {
     /// Partition count for the partition-parallel columnar kernels (Law 2
     /// partitions the dividend on the quotient attributes, Law 13 the
     /// divisor groups; filters and hash joins partition likewise). `1` (the
-    /// default) executes single-threaded; the value is clamped to ≥ 1. Only
-    /// consulted by [`ExecutionBackend::Columnar`].
+    /// default) executes single-threaded; the value is clamped to ≥ 1.
+    /// Consulted by [`ExecutionBackend::Columnar`] and by the per-chunk
+    /// filter kernels of the streaming executor ([`crate::stream`]).
     pub parallelism: usize,
+    /// Chunk size of the streaming executor ([`crate::stream`]): scans emit
+    /// base tables in batches of at most this many rows, and every
+    /// pipelining operator processes one such batch at a time. Clamped to
+    /// ≥ 1; defaults to [`PlannerConfig::DEFAULT_BATCH_SIZE`]. Ignored by
+    /// the materializing backends.
+    pub batch_size: usize,
 }
 
 impl Default for PlannerConfig {
@@ -70,11 +77,17 @@ impl Default for PlannerConfig {
             great_divide_algorithm: GreatDivideAlgorithm::HashSets,
             backend: ExecutionBackend::RowAtATime,
             parallelism: 1,
+            batch_size: PlannerConfig::DEFAULT_BATCH_SIZE,
         }
     }
 }
 
 impl PlannerConfig {
+    /// Default streaming batch size: large enough to amortize per-batch key
+    /// normalization, small enough that a handful of resident batches stay
+    /// cache-friendly.
+    pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
     /// Default configuration with a specific small-divide algorithm.
     pub fn with_division_algorithm(algorithm: DivisionAlgorithm) -> Self {
         PlannerConfig {
@@ -115,6 +128,18 @@ impl PlannerConfig {
     /// to ≥ 1).
     pub fn parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Default configuration with a specific streaming batch size.
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        PlannerConfig::default().batch_size(batch_size)
+    }
+
+    /// This configuration with the streaming batch size replaced (clamped
+    /// to ≥ 1).
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 }

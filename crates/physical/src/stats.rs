@@ -27,6 +27,18 @@ pub struct ExecStats {
     pub rows_per_operator: BTreeMap<String, usize>,
     /// Number of operators executed.
     pub operators: usize,
+    /// Peak number of executor-materialized batches simultaneously resident
+    /// during a *streaming* execution ([`crate::stream`]): in-flight chunks
+    /// plus blocking-operator state (build sides, buffered inputs, distinct
+    /// stores). Base-table snapshots held by scans are excluded — they
+    /// belong to the catalog, not the pipeline. Always `0` on the
+    /// materializing backends.
+    pub peak_resident_batches: usize,
+    /// Peak number of rows across the resident batches above. For a
+    /// pipeline of streaming operators this is O(pipeline depth ×
+    /// batch size), not O(table) — the memory claim the streaming executor
+    /// exists to make.
+    pub peak_resident_rows: usize,
 }
 
 impl ExecStats {
@@ -50,6 +62,13 @@ impl ExecStats {
         self.probes += probes;
     }
 
+    /// Record the current resident-batch footprint of a streaming
+    /// execution; peaks are kept, lower values are ignored.
+    pub fn note_resident(&mut self, batches: usize, rows: usize) {
+        self.peak_resident_batches = self.peak_resident_batches.max(batches);
+        self.peak_resident_rows = self.peak_resident_rows.max(rows);
+    }
+
     /// Merge statistics from a sub-execution (e.g. a parallel partition).
     pub fn merge(&mut self, other: &ExecStats) {
         self.rows_scanned += other.rows_scanned;
@@ -57,6 +76,8 @@ impl ExecStats {
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
         self.probes += other.probes;
         self.operators += other.operators;
+        self.peak_resident_batches = self.peak_resident_batches.max(other.peak_resident_batches);
+        self.peak_resident_rows = self.peak_resident_rows.max(other.peak_resident_rows);
         for (label, rows) in &other.rows_per_operator {
             *self.rows_per_operator.entry(label.clone()).or_insert(0) += rows;
         }
@@ -87,15 +108,28 @@ mod tests {
         a.record("scan", 10, true, false);
         a.record("div", 5, false, false);
         a.add_probes(7);
+        a.note_resident(2, 100);
         let mut b = ExecStats::default();
         b.record("scan", 20, true, false);
         b.record("div", 50, false, false);
         b.add_probes(3);
+        b.note_resident(5, 60);
         a.merge(&b);
         assert_eq!(a.rows_scanned, 30);
         assert_eq!(a.intermediate_tuples, 55);
         assert_eq!(a.max_intermediate, 50);
         assert_eq!(a.probes, 10);
         assert_eq!(a.rows_per_operator["div"], 55);
+        assert_eq!(a.peak_resident_batches, 5);
+        assert_eq!(a.peak_resident_rows, 100);
+    }
+
+    #[test]
+    fn note_resident_keeps_peaks_only() {
+        let mut stats = ExecStats::default();
+        stats.note_resident(3, 300);
+        stats.note_resident(1, 50);
+        assert_eq!(stats.peak_resident_batches, 3);
+        assert_eq!(stats.peak_resident_rows, 300);
     }
 }

@@ -1,0 +1,1394 @@
+//! The streaming (Volcano-style pull) executor: `open`/`next_batch`/`close`
+//! operators over [`ColumnarBatch`] chunks.
+//!
+//! The materializing executors ([`crate::exec`], [`crate::columnar_exec`])
+//! evaluate every operator on its *whole* input, so memory scales with the
+//! largest intermediate result. This module compiles the same
+//! [`PhysicalPlan`] into a tree of [`BatchStream`] operators instead —
+//! the classic Volcano iterator protocol (Graefe), batch-at-a-time:
+//!
+//! * **scans** chunk base tables into batches of
+//!   [`PlannerConfig::batch_size`] rows, lazily — an unconsumed stream never
+//!   touches the rest of the table;
+//! * **pipelining operators** (filter, project, rename, union, the
+//!   nested-loop theta-join's probe side) transform one chunk at a time.
+//!   Projection and union keep set semantics with a streaming distinct
+//!   filter ([`div_columnar::StreamingDistinct`]) whose state is the
+//!   distinct output, never the stream;
+//! * **hash join / semi / anti** build their right side eagerly
+//!   ([`div_columnar::kernels::JoinBuild`]) and stream the probe side
+//!   through it chunk-at-a-time;
+//! * **divide / great divide** materialize the divisor, then *consume* the
+//!   dividend chunk-at-a-time into group-id-based coverage state
+//!   ([`div_columnar::kernels::StreamingDivide`] /
+//!   [`div_columnar::kernels::StreamingGreatDivide`]);
+//!   only their output is a blocking boundary;
+//! * **aggregation, intersection, difference and Cartesian product** remain
+//!   explicit blocking boundaries: they buffer their inputs, run the batch
+//!   kernel once, and re-chunk the result downstream.
+//!
+//! Statistics follow the discipline of the materializing executors (one
+//! [`ExecStats::record`] per operator, scans into `rows_scanned`, the root
+//! into `output_rows`, kernel probes into `probes`) — with one difference
+//! that is the point of the design: an operator records what it *actually
+//! did*, so a consumer that stops early (drop, `take(n)`) leaves
+//! `rows_scanned` strictly below the table cardinality. In addition the
+//! executor tracks every batch it materializes (in-flight chunks, blocking
+//! buffers, build and distinct state — but not the scans' base tables,
+//! which belong to the catalog) and reports the high-water mark as
+//! [`ExecStats::peak_resident_batches`] / [`ExecStats::peak_resident_rows`]:
+//! for a pipeline of streaming operators that peak is O(depth ×
+//! batch_size), not O(table).
+
+use crate::plan::PhysicalPlan;
+use crate::planner::PlannerConfig;
+use crate::stats::ExecStats;
+use crate::Result;
+use div_algebra::{AlgebraError, Predicate, Relation, Schema, Tuple};
+use div_columnar::kernels::{self, JoinBuild, KernelOutput, StreamingGreatDivide};
+use div_columnar::{partition, Column, ColumnarBatch, StreamingDistinct};
+use div_expr::{Catalog, ExprError};
+
+/// Shared per-execution state threaded through every operator call:
+/// statistics, the configured chunk geometry, and the resident-batch
+/// accounting behind [`ExecStats::peak_resident_rows`].
+#[derive(Debug)]
+pub struct StreamContext {
+    /// The statistics being accumulated.
+    pub stats: ExecStats,
+    batch_size: usize,
+    parallelism: usize,
+    resident_rows: usize,
+    resident_batches: usize,
+}
+
+impl StreamContext {
+    fn new(config: &PlannerConfig) -> StreamContext {
+        StreamContext {
+            stats: ExecStats::default(),
+            batch_size: config.batch_size.max(1),
+            parallelism: config.parallelism.max(1),
+            resident_rows: 0,
+            resident_batches: 0,
+        }
+    }
+
+    /// The configured chunk size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Account for `rows` in `batches` newly materialized batches.
+    fn acquire(&mut self, rows: usize, batches: usize) {
+        self.resident_rows += rows;
+        self.resident_batches += batches;
+        self.stats
+            .note_resident(self.resident_batches, self.resident_rows);
+    }
+
+    /// Account for the release of previously acquired batches.
+    fn release(&mut self, rows: usize, batches: usize) {
+        self.resident_rows = self.resident_rows.saturating_sub(rows);
+        self.resident_batches = self.resident_batches.saturating_sub(batches);
+    }
+}
+
+/// A pull-based operator yielding [`ColumnarBatch`] chunks.
+///
+/// The streaming counterpart of one [`PhysicalPlan`] node. An operator is
+/// *opened* by construction ([`compile_stream`]), pulled with
+/// [`BatchStream::next_batch`] until it returns `Ok(None)`, and *closed*
+/// exactly once with [`BatchStream::close`] — which records the operator's
+/// statistics (whatever it actually processed, which is the early-
+/// termination contract) and releases retained state. Operators never emit
+/// empty batches.
+pub trait BatchStream {
+    /// The schema every emitted batch carries (known before execution).
+    fn schema(&self) -> &Schema;
+
+    /// Pull the next non-empty batch, or `None` when exhausted.
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>>;
+
+    /// Record statistics and release retained state; closes children.
+    /// Idempotent.
+    fn close(&mut self, ctx: &mut StreamContext);
+}
+
+/// Per-operator bookkeeping shared by every [`BatchStream`] implementation.
+#[derive(Debug)]
+struct OpMeta {
+    label: String,
+    emitted: usize,
+    is_scan: bool,
+    is_root: bool,
+    closed: bool,
+}
+
+impl OpMeta {
+    fn new(plan: &PhysicalPlan, is_root: bool) -> OpMeta {
+        OpMeta {
+            label: plan.label(),
+            emitted: 0,
+            is_scan: matches!(
+                plan,
+                PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
+            ),
+            is_root,
+            closed: false,
+        }
+    }
+
+    /// Account an emitted batch (acquiring it in the resident tracking) and
+    /// pass it on.
+    fn emit(&mut self, ctx: &mut StreamContext, batch: ColumnarBatch) -> Option<ColumnarBatch> {
+        self.emitted += batch.num_rows();
+        ctx.acquire(batch.num_rows(), 1);
+        Some(batch)
+    }
+
+    /// Record this operator's row total once.
+    fn record(&mut self, ctx: &mut StreamContext) {
+        if !self.closed {
+            self.closed = true;
+            ctx.stats
+                .record(&self.label, self.emitted, self.is_scan, self.is_root);
+        }
+    }
+}
+
+/// Release an input chunk after the operator is done with it.
+fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
+    ctx.release(chunk.num_rows(), 1);
+}
+
+/// Drain `child` completely and concatenate its chunks into one batch (the
+/// blocking-boundary primitive). The chunks' resident accounting transfers
+/// to the returned batch.
+fn drain_to_batch(
+    child: &mut Box<dyn BatchStream + '_>,
+    ctx: &mut StreamContext,
+) -> Result<ColumnarBatch> {
+    let mut chunks = Vec::new();
+    while let Some(chunk) = child.next_batch(ctx)? {
+        chunks.push(chunk);
+    }
+    let schema = child.schema().clone();
+    let batch = partition::concat_batches(&chunks).unwrap_or_else(|| ColumnarBatch::empty(schema));
+    for chunk in &chunks {
+        consumed(ctx, chunk);
+    }
+    ctx.acquire(batch.num_rows(), 1);
+    Ok(batch)
+}
+
+/// Serve a materialized batch downstream in `batch_size` chunks, releasing
+/// it when exhausted.
+#[derive(Debug, Default)]
+struct ChunkCursor {
+    batch: Option<ColumnarBatch>,
+    pos: usize,
+}
+
+impl ChunkCursor {
+    fn new(batch: ColumnarBatch) -> ChunkCursor {
+        ChunkCursor {
+            batch: Some(batch),
+            pos: 0,
+        }
+    }
+
+    /// The caller wraps every returned chunk in `OpMeta::emit`, which is
+    /// where the chunk's acquire happens — this method only balances the
+    /// *source* batch's accounting (including the whole-batch handover,
+    /// whose creation-time acquire is released here so `emit`'s acquire
+    /// does not double-count it).
+    fn next(&mut self, ctx: &mut StreamContext) -> Option<ColumnarBatch> {
+        let rows = self.batch.as_ref()?.num_rows();
+        if self.pos >= rows {
+            self.release(ctx);
+            return None;
+        }
+        // Whole batch fits one chunk: hand it over instead of copying.
+        if self.pos == 0 && rows <= ctx.batch_size {
+            self.pos = rows;
+            ctx.release(rows, 1);
+            return self.batch.take();
+        }
+        let end = (self.pos + ctx.batch_size).min(rows);
+        let indices: Vec<usize> = (self.pos..end).collect();
+        let chunk = self.batch.as_ref()?.gather(&indices);
+        self.pos = end;
+        if self.pos >= rows {
+            self.release(ctx);
+        }
+        Some(chunk)
+    }
+
+    fn release(&mut self, ctx: &mut StreamContext) {
+        if let Some(batch) = self.batch.take() {
+            ctx.release(batch.num_rows(), 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Source operators
+// ---------------------------------------------------------------------------
+
+/// Chunked scan over a base table (or an inline `Values` relation): rows are
+/// converted to columnar chunks lazily, so an early-terminated consumer
+/// never pays for the rest of the table.
+struct ScanStream<'a> {
+    meta: OpMeta,
+    schema: Schema,
+    /// Borrowed rows of the catalog table (or owned copies for `Values`).
+    tuples: Vec<&'a Tuple>,
+    pos: usize,
+}
+
+impl<'a> ScanStream<'a> {
+    fn new(meta: OpMeta, relation: &'a Relation) -> ScanStream<'a> {
+        ScanStream {
+            meta,
+            schema: relation.schema().clone(),
+            tuples: relation.tuples().collect(),
+            pos: 0,
+        }
+    }
+}
+
+impl BatchStream for ScanStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.pos >= self.tuples.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + ctx.batch_size).min(self.tuples.len());
+        let rows = &self.tuples[self.pos..end];
+        self.pos = end;
+        let columns: Vec<Column> = (0..self.schema.arity())
+            .map(|c| Column::from_values(rows.iter().map(|t| &t.values()[c])))
+            .collect();
+        let chunk = ColumnarBatch::from_parts(self.schema.clone(), columns, rows.len());
+        Ok(self.meta.emit(ctx, chunk))
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining operators
+// ---------------------------------------------------------------------------
+
+/// Predicate filter: one chunk in, at most one chunk out. Honors
+/// [`PlannerConfig::parallelism`] through the partition-parallel filter
+/// kernel.
+struct FilterStream<'a> {
+    meta: OpMeta,
+    child: Box<dyn BatchStream + 'a>,
+    predicate: Predicate,
+}
+
+impl BatchStream for FilterStream<'_> {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        while let Some(chunk) = self.child.next_batch(ctx)? {
+            let out = crate::parallel_columnar::parallel_filter_batches(
+                &chunk,
+                &self.predicate,
+                ctx.parallelism,
+            )?;
+            consumed(ctx, &chunk);
+            if out.num_rows() > 0 {
+                return Ok(self.meta.emit(ctx, out));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.child.close(ctx);
+    }
+}
+
+/// Tracks the rows retained by a cross-chunk state object (distinct store,
+/// divide groups, join build) in the resident accounting.
+#[derive(Debug, Default)]
+struct RetainedState {
+    rows: usize,
+    counted_batch: bool,
+}
+
+impl RetainedState {
+    /// Grow the retained footprint to `rows` (monotone).
+    fn grow_to(&mut self, ctx: &mut StreamContext, rows: usize) {
+        if rows > self.rows {
+            let batches = usize::from(!self.counted_batch && rows > 0);
+            self.counted_batch |= batches > 0;
+            ctx.acquire(rows - self.rows, batches);
+            self.rows = rows;
+        }
+    }
+
+    fn release(&mut self, ctx: &mut StreamContext) {
+        ctx.release(self.rows, usize::from(self.counted_batch));
+        self.rows = 0;
+        self.counted_batch = false;
+    }
+}
+
+/// Projection with *streaming* duplicate elimination: columns are cut per
+/// chunk, and a cross-chunk distinct store keeps set semantics. Every
+/// stream emits globally duplicate-free rows (scans read sets, and each
+/// operator preserves or restores distinctness), so a projection that keeps
+/// every input column cannot introduce duplicates and skips the store
+/// entirely (`distinct` is `None`).
+struct ProjectStream<'a> {
+    meta: OpMeta,
+    child: Box<dyn BatchStream + 'a>,
+    schema: Schema,
+    indices: Vec<usize>,
+    distinct: Option<StreamingDistinct>,
+    retained: RetainedState,
+}
+
+impl BatchStream for ProjectStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        while let Some(chunk) = self.child.next_batch(ctx)? {
+            let projected = chunk.with_columns(self.schema.clone(), &self.indices);
+            let fresh = match self.distinct.as_mut() {
+                Some(distinct) => {
+                    let fresh = distinct.push(&projected);
+                    let retained_rows = distinct.len();
+                    self.retained.grow_to(ctx, retained_rows);
+                    fresh
+                }
+                None => projected,
+            };
+            consumed(ctx, &chunk);
+            if fresh.num_rows() > 0 {
+                return Ok(self.meta.emit(ctx, fresh));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.child.close(ctx);
+    }
+}
+
+/// Attribute renaming: pure metadata, chunk through.
+struct RenameStream<'a> {
+    meta: OpMeta,
+    child: Box<dyn BatchStream + 'a>,
+    schema: Schema,
+}
+
+impl BatchStream for RenameStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        match self.child.next_batch(ctx)? {
+            None => Ok(None),
+            Some(chunk) => {
+                // Genuinely metadata-only: reuse the chunk's column data
+                // under the renamed schema, no copies. The chunk's resident
+                // accounting transfers to the output, so balance it against
+                // emit's acquire.
+                consumed(ctx, &chunk);
+                let (_, columns, rows) = chunk.into_parts();
+                let out = ColumnarBatch::from_parts(self.schema.clone(), columns, rows);
+                Ok(self.meta.emit(ctx, out))
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.child.close(ctx);
+    }
+}
+
+/// Set union: append both inputs chunk-at-a-time (right chunks conformed to
+/// the left schema), with a cross-chunk distinct store for set semantics.
+struct UnionStream<'a> {
+    meta: OpMeta,
+    left: Box<dyn BatchStream + 'a>,
+    right: Box<dyn BatchStream + 'a>,
+    schema: Schema,
+    distinct: StreamingDistinct,
+    retained: RetainedState,
+    left_done: bool,
+}
+
+impl BatchStream for UnionStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        loop {
+            let (chunk, conform) = if !self.left_done {
+                match self.left.next_batch(ctx)? {
+                    Some(chunk) => (chunk, false),
+                    None => {
+                        self.left_done = true;
+                        continue;
+                    }
+                }
+            } else {
+                match self.right.next_batch(ctx)? {
+                    Some(chunk) => (chunk, true),
+                    None => return Ok(None),
+                }
+            };
+            // Only right-side chunks need a conforming copy; left chunks
+            // feed the distinct store directly.
+            let fresh = if conform {
+                let aligned = chunk.conform_to(&self.schema).map_err(ExprError::from)?;
+                self.distinct.push(&aligned)
+            } else {
+                self.distinct.push(&chunk)
+            };
+            consumed(ctx, &chunk);
+            self.retained.grow_to(ctx, self.distinct.len());
+            if fresh.num_rows() > 0 {
+                return Ok(self.meta.emit(ctx, fresh));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.left.close(ctx);
+        self.right.close(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Build-probe operators: eager table side, streamed probe side
+// ---------------------------------------------------------------------------
+
+/// Which hash join a [`HashJoinStream`] evaluates.
+enum StreamJoinKind {
+    Natural,
+    Semi,
+    Anti,
+}
+
+/// Hash natural/semi/anti join: the right (build) side is drained eagerly
+/// into a [`JoinBuild`]; the left (probe) side then streams through it one
+/// chunk at a time.
+struct HashJoinStream<'a> {
+    meta: OpMeta,
+    left: Box<dyn BatchStream + 'a>,
+    right: Option<Box<dyn BatchStream + 'a>>,
+    kind: StreamJoinKind,
+    schema: Schema,
+    build: Option<JoinBuild>,
+    retained: RetainedState,
+}
+
+impl HashJoinStream<'_> {
+    fn ensure_build(&mut self, ctx: &mut StreamContext) -> Result<()> {
+        if self.build.is_some() {
+            return Ok(());
+        }
+        let mut right = self.right.take().expect("build side compiled once");
+        let batch = drain_to_batch(&mut right, ctx)?;
+        right.close(ctx);
+        let rows = batch.num_rows();
+        let build = JoinBuild::new(self.left.schema(), batch).map_err(ExprError::from)?;
+        // The drained batch now lives inside the build; keep its accounting
+        // under the retained state.
+        ctx.release(rows, 1);
+        self.retained.grow_to(ctx, rows);
+        self.build = Some(build);
+        Ok(())
+    }
+}
+
+impl BatchStream for HashJoinStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        self.ensure_build(ctx)?;
+        let build = self.build.as_ref().expect("built above");
+        while let Some(chunk) = self.left.next_batch(ctx)? {
+            let KernelOutput { batch, probes } = match self.kind {
+                StreamJoinKind::Natural => build.probe_natural(&chunk),
+                StreamJoinKind::Semi => build.probe_semi(&chunk, false),
+                StreamJoinKind::Anti => build.probe_semi(&chunk, true),
+            }
+            .map_err(ExprError::from)?;
+            ctx.stats.add_probes(probes);
+            consumed(ctx, &chunk);
+            if batch.num_rows() > 0 {
+                return Ok(self.meta.emit(ctx, batch));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.left.close(ctx);
+        if let Some(right) = self.right.as_mut() {
+            right.close(ctx);
+        }
+    }
+}
+
+/// Nested-loop theta-join: the right side is materialized once, the left
+/// (probe) side streams through the theta-join kernel chunk-at-a-time.
+struct ThetaJoinStream<'a> {
+    meta: OpMeta,
+    left: Box<dyn BatchStream + 'a>,
+    right: Option<Box<dyn BatchStream + 'a>>,
+    predicate: Predicate,
+    schema: Schema,
+    right_batch: Option<ColumnarBatch>,
+    retained: RetainedState,
+}
+
+impl BatchStream for ThetaJoinStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.right_batch.is_none() {
+            let mut right = self.right.take().expect("right side compiled once");
+            let batch = drain_to_batch(&mut right, ctx)?;
+            right.close(ctx);
+            ctx.release(batch.num_rows(), 1);
+            self.retained.grow_to(ctx, batch.num_rows());
+            self.right_batch = Some(batch);
+        }
+        let right = self.right_batch.as_ref().expect("materialized above");
+        while let Some(chunk) = self.left.next_batch(ctx)? {
+            let KernelOutput { batch, probes } =
+                kernels::theta_join(&chunk, right, &self.predicate).map_err(ExprError::from)?;
+            ctx.stats.add_probes(probes);
+            consumed(ctx, &chunk);
+            if batch.num_rows() > 0 {
+                return Ok(self.meta.emit(ctx, batch));
+            }
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.left.close(ctx);
+        if let Some(right) = self.right.as_mut() {
+            right.close(ctx);
+        }
+    }
+}
+
+/// Division: the divisor is materialized eagerly; the dividend is *consumed*
+/// chunk-at-a-time into coverage state (memory ∝ quotient groups, never the
+/// dividend). The quotient itself is only known at the end, so the output is
+/// served from a [`ChunkCursor`] once the dividend is exhausted.
+struct DivideStream<'a> {
+    meta: OpMeta,
+    dividend: Box<dyn BatchStream + 'a>,
+    divisor: Option<Box<dyn BatchStream + 'a>>,
+    great: bool,
+    schema: Schema,
+    out: Option<ChunkCursor>,
+    retained: RetainedState,
+    kernel_rows: Option<usize>,
+}
+
+impl DivideStream<'_> {
+    fn kernel_label(&self) -> &'static str {
+        if self.great {
+            "ColumnarCountingGreatDivision"
+        } else {
+            "ColumnarHashDivision"
+        }
+    }
+}
+
+impl BatchStream for DivideStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.out.is_none() {
+            // Build phase: materialize the divisor, then stream the whole
+            // dividend through the coverage state.
+            let mut divisor = self.divisor.take().expect("divisor compiled once");
+            let divisor_batch = drain_to_batch(&mut divisor, ctx)?;
+            divisor.close(ctx);
+            let divisor_rows = divisor_batch.num_rows();
+            ctx.release(divisor_rows, 1);
+            self.retained.grow_to(ctx, divisor_rows);
+            // `StreamingGreatDivide` degrades to the small divide exactly
+            // when the divisor has no attributes of its own — which is the
+            // planner's precondition for `PhysicalPlan::Divide` — so one
+            // state type serves both division nodes; only the recorded
+            // kernel label differs.
+            let mut state = StreamingGreatDivide::new(self.dividend.schema(), divisor_batch)
+                .map_err(ExprError::from)?;
+            while let Some(chunk) = self.dividend.next_batch(ctx)? {
+                let probes = state.consume(&chunk);
+                ctx.stats.add_probes(probes);
+                consumed(ctx, &chunk);
+                self.retained.grow_to(ctx, divisor_rows + state.groups());
+            }
+            let quotient = state.finish().map_err(ExprError::from)?;
+            self.kernel_rows = Some(quotient.num_rows());
+            self.retained.release(ctx);
+            ctx.acquire(quotient.num_rows(), 1);
+            self.out = Some(ChunkCursor::new(quotient));
+        }
+        let out = self.out.as_mut().expect("set above");
+        match out.next(ctx) {
+            Some(chunk) => Ok(self.meta.emit(ctx, chunk)),
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        if !self.meta.closed {
+            if let Some(rows) = self.kernel_rows {
+                ctx.stats.record(self.kernel_label(), rows, false, false);
+            }
+        }
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        if let Some(out) = self.out.as_mut() {
+            out.release(ctx);
+        }
+        self.dividend.close(ctx);
+        if let Some(divisor) = self.divisor.as_mut() {
+            divisor.close(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking operators
+// ---------------------------------------------------------------------------
+
+/// Which fully blocking binary kernel a [`BlockingStream`] runs.
+enum BlockingKind {
+    Intersect,
+    Difference,
+    Product,
+    /// Unary aggregation (the `right` child is absent).
+    Aggregate {
+        group_by: Vec<String>,
+        aggregates: Vec<div_algebra::AggregateCall>,
+    },
+}
+
+/// An explicit blocking boundary: drain the input(s), run the batch kernel
+/// once, serve the result in chunks.
+struct BlockingStream<'a> {
+    meta: OpMeta,
+    left: Box<dyn BatchStream + 'a>,
+    right: Option<Box<dyn BatchStream + 'a>>,
+    kind: BlockingKind,
+    schema: Schema,
+    out: Option<ChunkCursor>,
+}
+
+impl BatchStream for BlockingStream<'_> {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.out.is_none() {
+            let left = drain_to_batch(&mut self.left, ctx)?;
+            let right = match self.right.as_mut() {
+                Some(right) => Some(drain_to_batch(right, ctx)?),
+                None => None,
+            };
+            let result = match (&self.kind, &right) {
+                (BlockingKind::Intersect, Some(r)) => kernels::intersect(&left, r),
+                (BlockingKind::Difference, Some(r)) => kernels::difference(&left, r),
+                (BlockingKind::Product, Some(r)) => kernels::cross_product(&left, r),
+                (
+                    BlockingKind::Aggregate {
+                        group_by,
+                        aggregates,
+                    },
+                    None,
+                ) => {
+                    let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+                    kernels::hash_aggregate(&left, &refs, aggregates)
+                }
+                _ => unreachable!("blocking kind/arity mismatch is impossible by construction"),
+            }
+            .map_err(ExprError::from)?;
+            ctx.release(left.num_rows(), 1);
+            if let Some(r) = &right {
+                ctx.release(r.num_rows(), 1);
+            }
+            ctx.acquire(result.num_rows(), 1);
+            self.out = Some(ChunkCursor::new(result));
+        }
+        let out = self.out.as_mut().expect("set above");
+        match out.next(ctx) {
+            Some(chunk) => Ok(self.meta.emit(ctx, chunk)),
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        if let Some(out) = self.out.as_mut() {
+            out.release(ctx);
+        }
+        self.left.close(ctx);
+        if let Some(right) = self.right.as_mut() {
+            right.close(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+fn schema_mismatch(left: &Schema, right: &Schema, operation: &'static str) -> ExprError {
+    ExprError::from(AlgebraError::SchemaMismatch {
+        left: left.to_string(),
+        right: right.to_string(),
+        operation,
+    })
+}
+
+/// Compile a physical plan into a streaming operator tree rooted at a
+/// [`BatchStream`]. Schema inference and validation happen here, before any
+/// batch flows; the returned stream borrows the catalog's base tables (no
+/// table is copied until its rows are actually pulled).
+pub fn compile_stream<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a Catalog,
+    _config: &PlannerConfig,
+) -> Result<Box<dyn BatchStream + 'a>> {
+    compile(plan, catalog, true)
+}
+
+fn compile<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a Catalog,
+    is_root: bool,
+) -> Result<Box<dyn BatchStream + 'a>> {
+    let meta = OpMeta::new(plan, is_root);
+    Ok(match plan {
+        PhysicalPlan::TableScan { table } => Box::new(ScanStream::new(meta, catalog.table(table)?)),
+        PhysicalPlan::Values { relation } => {
+            // Inline constants are owned by the plan, which does not outlive
+            // compilation — materialize them as one pre-chunked cursor-less
+            // scan over an owned batch instead.
+            Box::new(ValuesStream {
+                meta,
+                schema: relation.schema().clone(),
+                batch: ColumnarBatch::from_relation(relation),
+                pos: 0,
+            })
+        }
+        PhysicalPlan::Filter { input, predicate } => Box::new(FilterStream {
+            meta,
+            child: compile(input, catalog, false)?,
+            predicate: predicate.clone(),
+        }),
+        PhysicalPlan::Project { input, attributes } => {
+            let child = compile(input, catalog, false)?;
+            let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+            let schema = child.schema().project(&refs).map_err(ExprError::from)?;
+            let indices = child
+                .schema()
+                .projection_indices(&refs)
+                .map_err(ExprError::from)?;
+            // A projection that keeps every column (in any order) of a
+            // duplicate-free stream stays duplicate-free — only a narrowing
+            // projection needs the distinct store.
+            let distinct = (indices.len() < child.schema().arity())
+                .then(|| StreamingDistinct::new(schema.clone()));
+            Box::new(ProjectStream {
+                meta,
+                child,
+                distinct,
+                schema,
+                indices,
+                retained: RetainedState::default(),
+            })
+        }
+        PhysicalPlan::Rename { input, renames } => {
+            let child = compile(input, catalog, false)?;
+            let schema = child
+                .schema()
+                .rename_with(|name| {
+                    renames
+                        .iter()
+                        .find(|(from, _)| from == name)
+                        .map(|(_, to)| to.clone())
+                        .unwrap_or_else(|| name.to_string())
+                })
+                .map_err(ExprError::from)?;
+            Box::new(RenameStream {
+                meta,
+                child,
+                schema,
+            })
+        }
+        PhysicalPlan::Union { left, right } => {
+            let left = compile(left, catalog, false)?;
+            let right = compile(right, catalog, false)?;
+            if !left.schema().is_compatible_with(right.schema()) {
+                return Err(schema_mismatch(left.schema(), right.schema(), "union"));
+            }
+            let schema = left.schema().clone();
+            Box::new(UnionStream {
+                meta,
+                left,
+                right,
+                distinct: StreamingDistinct::new(schema.clone()),
+                schema,
+                retained: RetainedState::default(),
+                left_done: false,
+            })
+        }
+        PhysicalPlan::Intersect { left, right } | PhysicalPlan::Difference { left, right } => {
+            let (kind, operation) = if matches!(plan, PhysicalPlan::Intersect { .. }) {
+                (BlockingKind::Intersect, "intersection")
+            } else {
+                (BlockingKind::Difference, "difference")
+            };
+            let left = compile(left, catalog, false)?;
+            let right = compile(right, catalog, false)?;
+            if !left.schema().is_compatible_with(right.schema()) {
+                return Err(schema_mismatch(left.schema(), right.schema(), operation));
+            }
+            let schema = left.schema().clone();
+            Box::new(BlockingStream {
+                meta,
+                left,
+                right: Some(right),
+                kind,
+                schema,
+                out: None,
+            })
+        }
+        PhysicalPlan::CrossProduct { left, right } => {
+            let left = compile(left, catalog, false)?;
+            let right = compile(right, catalog, false)?;
+            let schema = left
+                .schema()
+                .concat(right.schema())
+                .map_err(ExprError::from)?;
+            Box::new(BlockingStream {
+                meta,
+                left,
+                right: Some(right),
+                kind: BlockingKind::Product,
+                schema,
+                out: None,
+            })
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let left = compile(left, catalog, false)?;
+            let right = compile(right, catalog, false)?;
+            let schema = left
+                .schema()
+                .concat(right.schema())
+                .map_err(ExprError::from)?;
+            Box::new(ThetaJoinStream {
+                meta,
+                left,
+                right: Some(right),
+                predicate: predicate.clone(),
+                schema,
+                right_batch: None,
+                retained: RetainedState::default(),
+            })
+        }
+        PhysicalPlan::HashJoin { left, right }
+        | PhysicalPlan::HashSemiJoin { left, right }
+        | PhysicalPlan::HashAntiSemiJoin { left, right } => {
+            let kind = match plan {
+                PhysicalPlan::HashJoin { .. } => StreamJoinKind::Natural,
+                PhysicalPlan::HashSemiJoin { .. } => StreamJoinKind::Semi,
+                _ => StreamJoinKind::Anti,
+            };
+            let left = compile(left, catalog, false)?;
+            let right = compile(right, catalog, false)?;
+            let schema = match kind {
+                StreamJoinKind::Natural => left.schema().natural_union(right.schema()),
+                _ => left.schema().clone(),
+            };
+            Box::new(HashJoinStream {
+                meta,
+                left,
+                right: Some(right),
+                kind,
+                schema,
+                build: None,
+                retained: RetainedState::default(),
+            })
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let child = compile(input, catalog, false)?;
+            let mut names: Vec<String> = group_by.clone();
+            for agg in aggregates {
+                child
+                    .schema()
+                    .require(&agg.input)
+                    .map_err(ExprError::from)?;
+                names.push(agg.output.clone());
+            }
+            // Validate the grouping attributes too.
+            child
+                .schema()
+                .projection_indices(&group_by.iter().map(String::as_str).collect::<Vec<_>>())
+                .map_err(ExprError::from)?;
+            let schema = Schema::new(names).map_err(ExprError::from)?;
+            Box::new(BlockingStream {
+                meta,
+                left: child,
+                right: None,
+                kind: BlockingKind::Aggregate {
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                schema,
+                out: None,
+            })
+        }
+        PhysicalPlan::Divide {
+            dividend, divisor, ..
+        }
+        | PhysicalPlan::GreatDivide {
+            dividend, divisor, ..
+        } => {
+            let great = matches!(plan, PhysicalPlan::GreatDivide { .. });
+            let dividend = compile(dividend, catalog, false)?;
+            let divisor = compile(divisor, catalog, false)?;
+            let schema = if great {
+                kernels::great_quotient_schema(dividend.schema(), divisor.schema())
+            } else {
+                kernels::quotient_schema(dividend.schema(), divisor.schema())
+            }
+            .map_err(ExprError::from)?;
+            Box::new(DivideStream {
+                meta,
+                dividend,
+                divisor: Some(divisor),
+                great,
+                schema,
+                out: None,
+                retained: RetainedState::default(),
+                kernel_rows: None,
+            })
+        }
+    })
+}
+
+/// Owned-batch variant of [`ScanStream`] for inline `Values` relations.
+struct ValuesStream {
+    meta: OpMeta,
+    schema: Schema,
+    batch: ColumnarBatch,
+    pos: usize,
+}
+
+impl BatchStream for ValuesStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.pos >= self.batch.num_rows() {
+            return Ok(None);
+        }
+        let end = (self.pos + ctx.batch_size).min(self.batch.num_rows());
+        let indices: Vec<usize> = (self.pos..end).collect();
+        let chunk = self.batch.gather(&indices);
+        self.pos = end;
+        Ok(self.meta.emit(ctx, chunk))
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The executor facade
+// ---------------------------------------------------------------------------
+
+/// A compiled streaming execution: pull batches with
+/// [`StreamExecutor::next_batch`], then call [`StreamExecutor::finish`] for
+/// the statistics. Dropping the executor early (or simply not pulling
+/// further) short-circuits every upstream operator — scans never touch the
+/// rows nobody asked for.
+///
+/// This is the engine room of `div_sql`'s `Cursor`; use it directly when
+/// working below the SQL layer:
+///
+/// ```
+/// use div_expr::{Catalog, PlanBuilder};
+/// use div_physical::{plan_query, PlannerConfig, StreamExecutor};
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register(
+///     "supplies",
+///     div_algebra::relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1] },
+/// );
+/// let logical = PlanBuilder::scan("supplies").project(["s#"]).build();
+/// let config = PlannerConfig::default().batch_size(2);
+/// let plan = plan_query(&logical, &config)?;
+/// let mut stream = StreamExecutor::new(&plan, &catalog, &config)?;
+/// let mut rows = 0;
+/// while let Some(batch) = stream.next_batch()? {
+///     rows += batch.num_rows();
+/// }
+/// let stats = stream.finish();
+/// assert_eq!(rows, 2);
+/// assert_eq!(stats.output_rows, 2);
+/// assert_eq!(stats.rows_scanned, 3);
+/// # Ok::<(), div_expr::ExprError>(())
+/// ```
+pub struct StreamExecutor<'a> {
+    root: Box<dyn BatchStream + 'a>,
+    ctx: StreamContext,
+    schema: Schema,
+    exhausted: bool,
+    last_emitted: usize,
+}
+
+impl<'a> StreamExecutor<'a> {
+    /// Compile `plan` into a streaming operator tree over `catalog`.
+    ///
+    /// Schema inference and validation run here; execution starts with the
+    /// first [`StreamExecutor::next_batch`] call.
+    pub fn new(
+        plan: &PhysicalPlan,
+        catalog: &'a Catalog,
+        config: &PlannerConfig,
+    ) -> Result<StreamExecutor<'a>> {
+        let root = compile_stream(plan, catalog, config)?;
+        let schema = root.schema().clone();
+        Ok(StreamExecutor {
+            root,
+            ctx: StreamContext::new(config),
+            schema,
+            exhausted: false,
+            last_emitted: 0,
+        })
+    }
+
+    /// The result schema (available before any batch is pulled).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Pull the next non-empty result batch, or `None` once the stream is
+    /// exhausted. After an error the stream is fused (returns `None`).
+    pub fn next_batch(&mut self) -> Result<Option<ColumnarBatch>> {
+        if self.exhausted {
+            return Ok(None);
+        }
+        // The batch handed out previously has left the pipeline.
+        self.ctx
+            .release(self.last_emitted, usize::from(self.last_emitted > 0));
+        self.last_emitted = 0;
+        match self.root.next_batch(&mut self.ctx) {
+            Ok(Some(batch)) => {
+                self.last_emitted = batch.num_rows();
+                Ok(Some(batch))
+            }
+            Ok(None) => {
+                self.exhausted = true;
+                Ok(None)
+            }
+            Err(err) => {
+                self.exhausted = true;
+                Err(err)
+            }
+        }
+    }
+
+    /// The statistics accumulated so far (operator totals are only recorded
+    /// on [`StreamExecutor::finish`]).
+    pub fn stats(&self) -> &ExecStats {
+        &self.ctx.stats
+    }
+
+    /// Close the operator tree (recording every operator's totals — the
+    /// rows each operator *actually* processed, which for an
+    /// early-terminated stream is less than the full input) and return the
+    /// statistics.
+    pub fn finish(mut self) -> ExecStats {
+        self.root.close(&mut self.ctx);
+        self.ctx.stats
+    }
+}
+
+impl std::fmt::Debug for StreamExecutor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamExecutor")
+            .field("schema", &self.schema)
+            .field("exhausted", &self.exhausted)
+            .field("stats", &self.ctx.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute_with_stats;
+    use crate::planner::plan_query;
+    use div_algebra::{relation, AggregateCall, CompareOp};
+    use div_expr::PlanBuilder;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register(
+            "supplies",
+            relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [2, 2], [2, 3], [3, 2] },
+        );
+        c.register(
+            "parts",
+            relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] },
+        );
+        c
+    }
+
+    fn collect(stream: &mut StreamExecutor<'_>) -> Relation {
+        let mut out = Relation::empty(stream.schema().clone());
+        while let Some(batch) = stream.next_batch().unwrap() {
+            for i in 0..batch.num_rows() {
+                out.insert(batch.row(i)).unwrap();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn streamed_q2_matches_the_row_backend_including_stats_totals() {
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .divide(
+                PlanBuilder::scan("parts")
+                    .select(div_algebra::Predicate::eq_value("color", "blue"))
+                    .project(["p#"]),
+            )
+            .build();
+        for batch_size in [1, 2, 1024] {
+            let config = PlannerConfig::default().batch_size(batch_size);
+            let plan = plan_query(&logical, &config).unwrap();
+            let (expected, row_stats) = execute_with_stats(&plan, &c).unwrap();
+            let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+            let got = collect(&mut stream);
+            let stats = stream.finish();
+            assert_eq!(got, expected, "batch_size {batch_size}");
+            assert_eq!(stats.output_rows, row_stats.output_rows);
+            assert_eq!(stats.rows_scanned, row_stats.rows_scanned);
+            assert!(stats.rows_per_operator.contains_key("ColumnarHashDivision"));
+            assert!(stats.peak_resident_batches > 0);
+        }
+    }
+
+    #[test]
+    fn early_termination_short_circuits_the_scan() {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..10_000).map(|i| vec![i, i % 7]).collect();
+        c.register("big", Relation::from_rows(["a", "b"], rows).unwrap());
+        let logical = PlanBuilder::scan("big")
+            .select(div_algebra::Predicate::cmp_value("b", CompareOp::LtEq, 6))
+            .build();
+        let config = PlannerConfig::default().batch_size(64);
+        let plan = plan_query(&logical, &config).unwrap();
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        let first = stream.next_batch().unwrap().expect("at least one batch");
+        assert!(first.num_rows() > 0);
+        let stats = stream.finish();
+        assert!(
+            stats.rows_scanned < 10_000,
+            "scan must stop short, scanned {}",
+            stats.rows_scanned
+        );
+        assert_eq!(stats.rows_scanned, 64);
+    }
+
+    #[test]
+    fn deep_pipeline_keeps_peak_resident_rows_bounded_by_batch_size() {
+        // The satellite pin: a filter/project pipeline over a chunked scan
+        // holds O(batch_size) rows, not O(table). Depth 4 pipeline
+        // (scan → filter → filter → project) over 20k rows, batch 256:
+        // resident = a few in-flight chunks + the distinct store (7 rows).
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..20_000).map(|i| vec![i, i % 7]).collect();
+        c.register("big", Relation::from_rows(["a", "b"], rows).unwrap());
+        let logical = PlanBuilder::scan("big")
+            .select(div_algebra::Predicate::cmp_value("a", CompareOp::GtEq, 0))
+            .select(div_algebra::Predicate::cmp_value("b", CompareOp::LtEq, 6))
+            .project(["b"])
+            .build();
+        let config = PlannerConfig::default().batch_size(256);
+        let plan = plan_query(&logical, &config).unwrap();
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        let got = collect(&mut stream);
+        assert_eq!(got.len(), 7);
+        let stats = stream.finish();
+        assert_eq!(stats.output_rows, 7);
+        assert_eq!(stats.rows_scanned, 20_000);
+        assert!(
+            stats.peak_resident_rows <= 8 * 256,
+            "peak {} must be O(batch_size), table is 20000 rows",
+            stats.peak_resident_rows
+        );
+        // The materializing executor, by contrast, holds a full-table
+        // intermediate.
+        let (_, row_stats) = execute_with_stats(&plan, &c).unwrap();
+        assert!(row_stats.max_intermediate >= 20_000);
+    }
+
+    #[test]
+    fn every_operator_shape_streams_identically_to_the_row_backend() {
+        let c = catalog();
+        let shapes = vec![
+            PlanBuilder::scan("supplies")
+                .natural_join(PlanBuilder::scan("parts"))
+                .build(),
+            PlanBuilder::scan("supplies")
+                .semi_join(PlanBuilder::scan("parts"))
+                .union(PlanBuilder::scan("supplies").anti_semi_join(PlanBuilder::scan("parts")))
+                .build(),
+            PlanBuilder::scan("supplies")
+                .rename([("p#", "x")])
+                .difference(PlanBuilder::values(relation! { ["s#", "x"] => [1, 1] }))
+                .build(),
+            PlanBuilder::scan("supplies")
+                .intersect(
+                    PlanBuilder::scan("supplies").select(div_algebra::Predicate::cmp_value(
+                        "p#",
+                        CompareOp::Lt,
+                        3,
+                    )),
+                )
+                .build(),
+            PlanBuilder::scan("parts")
+                .project(["p#"])
+                .rename([("p#", "x")])
+                .product(
+                    PlanBuilder::scan("parts")
+                        .project(["p#"])
+                        .rename([("p#", "y")]),
+                )
+                .build(),
+            PlanBuilder::scan("supplies")
+                .theta_join(
+                    PlanBuilder::scan("parts")
+                        .rename([("p#", "q")])
+                        .project(["q"]),
+                    div_algebra::Predicate::cmp_attrs("p#", CompareOp::Lt, "q"),
+                )
+                .build(),
+            PlanBuilder::scan("supplies")
+                .group_aggregate(["s#"], [AggregateCall::count("p#", "n")])
+                .build(),
+            PlanBuilder::scan("supplies")
+                .great_divide(PlanBuilder::scan("parts"))
+                .build(),
+        ];
+        for logical in shapes {
+            for batch_size in [1, 3, 1024] {
+                let config = PlannerConfig::default().batch_size(batch_size);
+                let plan = plan_query(&logical, &config).unwrap();
+                let (expected, row_stats) = execute_with_stats(&plan, &c).unwrap();
+                let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+                let got = collect(&mut stream);
+                let stats = stream.finish();
+                assert_eq!(got, expected, "batch_size {batch_size} plan:\n{plan}");
+                assert_eq!(
+                    stats.output_rows, row_stats.output_rows,
+                    "batch_size {batch_size} plan:\n{plan}"
+                );
+                assert_eq!(
+                    stats.rows_scanned, row_stats.rows_scanned,
+                    "batch_size {batch_size} plan:\n{plan}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_errors_surface_before_execution() {
+        let c = catalog();
+        let missing = PhysicalPlan::TableScan {
+            table: "nope".into(),
+        };
+        assert!(StreamExecutor::new(&missing, &c, &PlannerConfig::default()).is_err());
+        // A small divide whose divisor attribute is not in the dividend is
+        // rejected at compile time, before any batch flows.
+        let bad_divide = PhysicalPlan::Divide {
+            dividend: Box::new(PhysicalPlan::TableScan {
+                table: "supplies".into(),
+            }),
+            divisor: Box::new(PhysicalPlan::TableScan {
+                table: "parts".into(),
+            }),
+            algorithm: crate::division::DivisionAlgorithm::HashDivision,
+        };
+        assert!(StreamExecutor::new(&bad_divide, &c, &PlannerConfig::default()).is_err());
+    }
+
+    #[test]
+    fn schema_is_known_before_execution_and_empty_results_keep_it() {
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .select(div_algebra::Predicate::cmp_value("s#", CompareOp::Gt, 99))
+            .project(["s#"])
+            .build();
+        let config = PlannerConfig::default();
+        let plan = plan_query(&logical, &config).unwrap();
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        assert_eq!(stream.schema().names(), vec!["s#"]);
+        assert!(stream.next_batch().unwrap().is_none());
+        let stats = stream.finish();
+        assert_eq!(stats.output_rows, 0);
+    }
+}

@@ -9,22 +9,31 @@
 //! ```text
 //! SQL text ──parse──► AST ──translate──► LogicalPlan
 //!          ──optimize (laws + cost model)──► LogicalPlan
-//!          ──plan──► PhysicalPlan ──execute──► (Relation, ExecStats)
+//!          ──plan──► PhysicalPlan ──stream──► Cursor (batches, ExecStats)
 //! ```
+//!
+//! Execution is *streaming by default*: [`Engine::query`] returns a
+//! [`Cursor`] — an iterator of [`ColumnarBatch`]es driven by the pull-based
+//! executor of [`div_physical::stream`]. Pipelineable operators run
+//! chunk-at-a-time, only genuinely blocking operators buffer, and a
+//! consumer that stops early (drop, `take(n)`) short-circuits the source
+//! scans. [`Engine::query_collect`] keeps the pre-cursor one-call shape
+//! ([`QueryOutput`]) for callers that want the whole relation at once.
 //!
 //! On top of the pipeline the engine adds the two session features a system
 //! serving repeated traffic needs:
 //!
 //! * **Prepared statements** ([`Engine::prepare`]): the optimized physical
 //!   plan is compiled once and cached; every execution re-binds the
-//!   statement's `$name` parameters and runs the cached plan, skipping
+//!   statement's `$name` parameters and streams the cached plan, skipping
 //!   parse, translate, optimization and planning entirely. The statement
 //!   records the catalog version it was compiled against and refuses to run
 //!   against a mutated catalog ([`Error::StalePlan`]).
 //! * **EXPLAIN** ([`Engine::explain`], [`Engine::explain_analyze`]): a
 //!   structured [`Explain`] report — logical plan before and after the
 //!   rewrite, the laws that fired, cost estimates, the chosen physical
-//!   operators, and (for `explain_analyze`) the measured [`ExecStats`].
+//!   operators, and (for `explain_analyze`) the measured [`ExecStats`],
+//!   including the streaming executor's peak-resident-batch footprint.
 //!
 //! ```
 //! use div_algebra::relation;
@@ -36,29 +45,30 @@
 //! catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "blue"] });
 //! let engine = Engine::new(catalog);
 //!
-//! // Ad-hoc query, optimizer in the loop.
-//! let output = engine.query(
+//! // Ad-hoc query, optimizer in the loop; the cursor streams batches.
+//! let cursor = engine.query(
 //!     "SELECT s# FROM supplies AS s DIVIDE BY \
 //!      (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
 //! )?;
-//! assert_eq!(output.relation, relation! { ["s#"] => [1] });
+//! assert_eq!(cursor.collect_relation()?, relation! { ["s#"] => [1] });
 //!
 //! // Compile once, run many: the color literal becomes a parameter.
 //! let stmt = engine.prepare(
 //!     "SELECT s# FROM supplies AS s DIVIDE BY \
 //!      (SELECT p# FROM parts WHERE color = $color) AS p ON s.p# = p.p#",
 //! )?;
-//! let blue = stmt.execute(&engine, &Params::new().bind("color", "blue"))?;
+//! let blue = stmt.execute_collect(&engine, &Params::new().bind("color", "blue"))?;
 //! assert_eq!(blue.relation, relation! { ["s#"] => [1] });
 //! # Ok::<(), div_sql::Error>(())
 //! ```
 
 use crate::error::Error;
 use crate::{parse_query, translate_query};
-use div_algebra::{Relation, Value};
+use div_algebra::{Relation, Schema, Value};
+use div_columnar::ColumnarBatch;
 use div_expr::{Catalog, LogicalPlan};
 use div_physical::{
-    execute_with_config, plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig,
+    plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig, StreamExecutor,
 };
 use div_rewrite::engine::AppliedRule;
 use div_rewrite::optimizer::{CostEstimate, CostModel};
@@ -121,14 +131,133 @@ impl Params {
     }
 }
 
-/// The result of executing a statement: the relation plus the executor's
-/// statistics.
+/// The result of collecting a whole statement: the relation plus the
+/// executor's statistics. Produced by [`Cursor::collect`] and the
+/// `*_collect` compatibility shims ([`Engine::query_collect`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryOutput {
     /// The result relation.
     pub relation: Relation,
     /// Per-operator row counts and intermediate-result sizes.
     pub stats: ExecStats,
+}
+
+/// An incrementally consumable query result: a handle on a running
+/// streaming execution ([`div_physical::stream`]).
+///
+/// A cursor is an `Iterator` over columnar result batches. Batches are
+/// produced on demand — upstream operators run only as far as the consumer
+/// pulls, so dropping the cursor early (or taking only the first `n`
+/// batches) short-circuits the source scans. The result schema is known
+/// up front via [`Cursor::schema`]; [`Cursor::collect_relation`] /
+/// [`Cursor::collect`] drain the stream into a whole [`Relation`], and
+/// [`Cursor::finish_stats`] closes the execution and reports what it
+/// actually did (for an early-terminated cursor, `rows_scanned` stays below
+/// the table cardinality).
+///
+/// ```
+/// use div_algebra::relation;
+/// use div_expr::Catalog;
+/// use div_sql::Engine;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "red"] });
+/// let engine = Engine::new(catalog);
+/// let cursor = engine.query("SELECT p# FROM parts WHERE color = 'blue'")?;
+/// let mut rows = 0;
+/// for batch in cursor {
+///     rows += batch?.num_rows();
+/// }
+/// assert_eq!(rows, 1);
+/// # Ok::<(), div_sql::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    exec: Option<StreamExecutor<'a>>,
+    schema: Schema,
+    failed: bool,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start a streaming execution of `physical` over `catalog`. This is
+    /// the engine-room constructor shared by [`Engine::query`],
+    /// [`PreparedStatement::execute`] and the deprecated free-function
+    /// shims; it does *not* check for unbound parameters (the engine does).
+    pub(crate) fn over(
+        physical: &PhysicalPlan,
+        catalog: &'a Catalog,
+        config: &PlannerConfig,
+    ) -> Result<Cursor<'a>> {
+        let exec = StreamExecutor::new(physical, catalog, config)?;
+        let schema = exec.schema().clone();
+        Ok(Cursor {
+            exec: Some(exec),
+            schema,
+            failed: false,
+        })
+    }
+
+    /// The result schema (available before any batch is pulled).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Drain the remaining batches into a relation and discard the
+    /// statistics. See [`Cursor::collect`] to keep both.
+    pub fn collect_relation(self) -> Result<Relation> {
+        Ok(self.collect()?.relation)
+    }
+
+    /// Drain the remaining batches into a [`QueryOutput`] (relation plus
+    /// the execution statistics, including the streaming executor's
+    /// peak-resident-batch accounting).
+    pub fn collect(mut self) -> Result<QueryOutput> {
+        let mut relation = Relation::empty(self.schema.clone());
+        let mut exec = self.exec.take().expect("cursor not yet finished");
+        loop {
+            match exec.next_batch() {
+                Ok(Some(batch)) => {
+                    for i in 0..batch.num_rows() {
+                        relation
+                            .insert(batch.row(i))
+                            .map_err(div_expr::ExprError::from)?;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => return Err(err.into()),
+            }
+        }
+        Ok(QueryOutput {
+            relation,
+            stats: exec.finish(),
+        })
+    }
+
+    /// Close the execution without consuming further batches and return
+    /// the statistics of what actually ran — after `take(n)`-style early
+    /// termination, `rows_scanned` stays strictly below the scanned
+    /// tables' cardinality.
+    pub fn finish_stats(mut self) -> ExecStats {
+        self.exec.take().expect("cursor not yet finished").finish()
+    }
+}
+
+impl Iterator for Cursor<'_> {
+    type Item = Result<ColumnarBatch>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.exec.as_mut()?.next_batch() {
+            Ok(Some(batch)) => Some(Ok(batch)),
+            Ok(None) => None,
+            Err(err) => {
+                self.failed = true;
+                Some(Err(err.into()))
+            }
+        }
+    }
 }
 
 /// Builder for a customized [`Engine`].
@@ -157,8 +286,11 @@ pub struct EngineBuilder {
 }
 
 impl EngineBuilder {
-    /// Replace the planner configuration (execution backend, division
-    /// algorithms, parallelism).
+    /// Replace the planner configuration (division algorithms, streaming
+    /// `batch_size`, `parallelism`). The engine always executes through the
+    /// streaming path; `config.backend` only selects the executor of the
+    /// materializing compatibility layer (`div_physical::execute_with_config`),
+    /// which differential tests run side by side with the engine.
     pub fn planner_config(mut self, config: PlannerConfig) -> Self {
         self.config = config;
         self
@@ -293,7 +425,7 @@ impl Engine {
     /// let stmt = engine.prepare("SELECT p# FROM parts WHERE color = $color")?;
     /// assert_eq!(engine.compile_count(), 1);
     /// for color in ["blue", "red", "blue"] {
-    ///     stmt.execute(&engine, &Params::new().bind("color", color))?;
+    ///     stmt.execute_collect(&engine, &Params::new().bind("color", color))?;
     /// }
     /// assert_eq!(engine.compile_count(), 1); // still one compilation
     /// # Ok::<(), div_sql::Error>(())
@@ -302,11 +434,42 @@ impl Engine {
         self.compile_count.load(Ordering::Relaxed)
     }
 
-    /// Parse, translate, optimize, plan and execute `sql`.
+    /// Parse, translate, optimize and plan `sql`, and open a streaming
+    /// [`Cursor`] over the result.
+    ///
+    /// The cursor is an iterator of columnar batches: execution proceeds
+    /// only as far as the consumer pulls, so `cursor.take(1)` or an early
+    /// drop stops the source scans short. Collect everything with
+    /// [`Cursor::collect_relation`], or use [`Engine::query_collect`] for
+    /// the one-call materializing form.
+    ///
+    /// ```
+    /// use div_algebra::relation;
+    /// use div_expr::Catalog;
+    /// use div_sql::Engine;
+    ///
+    /// let mut catalog = Catalog::new();
+    /// catalog.register(
+    ///     "supplies",
+    ///     relation! { ["s#", "p#"] => [1, 1], [1, 2], [2, 1], [3, 1], [3, 2] },
+    /// );
+    /// let engine = Engine::new(catalog);
+    /// let mut cursor = engine.query("SELECT s# FROM supplies WHERE p# = 1")?;
+    /// assert_eq!(cursor.schema().names(), vec!["s#"]);
+    /// // Batch-at-a-time consumption; each batch is a ColumnarBatch.
+    /// let mut rows = 0;
+    /// while let Some(batch) = cursor.next() {
+    ///     rows += batch?.num_rows();
+    /// }
+    /// assert_eq!(rows, 3);
+    /// let stats = cursor.finish_stats();
+    /// assert_eq!(stats.output_rows, 3);
+    /// # Ok::<(), div_sql::Error>(())
+    /// ```
     ///
     /// Statements with `$name` parameters cannot run ad hoc — prepare them
     /// and bind values, or use [`Engine::query_with_params`].
-    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+    pub fn query(&self, sql: &str) -> Result<Cursor<'_>> {
         self.query_with_params(sql, &Params::new())
     }
 
@@ -316,22 +479,44 @@ impl Engine {
     /// placeholders still unresolved — the bindings are known here, so they
     /// are substituted into the logical plan *before* the optimizer runs and
     /// the query gets the same rewrite search as its all-literal equivalent.
-    pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<QueryOutput> {
+    pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<Cursor<'_>> {
         let query = parse_query(sql)?;
         check_bindings(params, &query.parameters())?;
         let compiled = self.compile_parsed(&query, params)?;
-        self.execute_physical(&compiled.physical)
+        self.cursor_for(&compiled.physical)
     }
 
-    /// Optimize, plan and execute an already-translated logical plan.
+    /// [`Engine::query`], fully collected: the compatibility shim that
+    /// returns the pre-cursor [`QueryOutput`] (whole relation plus
+    /// statistics) in one call.
+    pub fn query_collect(&self, sql: &str) -> Result<QueryOutput> {
+        self.query(sql)?.collect()
+    }
+
+    /// [`Engine::query_with_params`], fully collected (see
+    /// [`Engine::query_collect`]).
+    pub fn query_collect_with_params(&self, sql: &str, params: &Params) -> Result<QueryOutput> {
+        self.query_with_params(sql, params)?.collect()
+    }
+
+    /// Optimize, plan and execute an already-translated logical plan,
+    /// collecting the whole result.
     ///
-    /// This is the tail of [`Engine::query`] without the SQL front end, for
-    /// callers that build [`LogicalPlan`]s programmatically.
+    /// This is the tail of [`Engine::query_collect`] without the SQL front
+    /// end, for callers that build [`LogicalPlan`]s programmatically; use
+    /// [`Engine::stream_logical`] for the incremental form.
     pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<QueryOutput> {
+        self.stream_logical(logical)?.collect()
+    }
+
+    /// Optimize and plan an already-translated logical plan, and open a
+    /// streaming [`Cursor`] over the result — the tail of [`Engine::query`]
+    /// without the SQL front end.
+    pub fn stream_logical(&self, logical: &LogicalPlan) -> Result<Cursor<'_>> {
         self.compile_count.fetch_add(1, Ordering::Relaxed);
         let optimized = self.optimize_plan(logical)?;
         let physical = plan_query(&optimized.plan, &self.config)?;
-        self.execute_physical(&physical)
+        self.cursor_for(&physical)
     }
 
     /// Compile `sql` into a [`PreparedStatement`] holding the optimized
@@ -356,8 +541,10 @@ impl Engine {
     }
 
     /// [`Engine::explain`] plus an actual execution: the report additionally
-    /// carries the measured [`ExecStats`]. Statements with parameters cannot
-    /// be analyzed without bindings — pass them via
+    /// carries the measured [`ExecStats`]. The execution runs through the
+    /// streaming path, so the statistics include the peak-resident-batch
+    /// accounting ([`ExecStats::peak_resident_rows`]). Statements with
+    /// parameters cannot be analyzed without bindings — pass them via
     /// [`Engine::explain_analyze_with_params`].
     pub fn explain_analyze(&self, sql: &str) -> Result<Explain> {
         self.explain_analyze_with_params(sql, &Params::new())
@@ -368,7 +555,7 @@ impl Engine {
         let query = parse_query(sql)?;
         check_bindings(params, &query.parameters())?;
         let compiled = self.compile_parsed(&query, params)?;
-        let output = self.execute_physical(&compiled.physical)?;
+        let output = self.cursor_for(&compiled.physical)?.collect()?;
         Ok(self.explain_from(sql, compiled, Some(output.stats)))
     }
 
@@ -384,6 +571,7 @@ impl Engine {
             physical: compiled.physical,
             backend: self.config.backend,
             parallelism: self.config.parallelism,
+            batch_size: self.config.batch_size,
             stats,
         }
     }
@@ -430,7 +618,9 @@ impl Engine {
         Ok(self.optimizer.optimize(logical, &ctx)?)
     }
 
-    fn execute_physical(&self, physical: &PhysicalPlan) -> Result<QueryOutput> {
+    /// Open a streaming cursor over a fully bound physical plan, rejecting
+    /// plans that still carry `$name` placeholders.
+    fn cursor_for(&self, physical: &PhysicalPlan) -> Result<Cursor<'_>> {
         if physical.has_parameters() {
             let parameter = physical
                 .parameters()
@@ -439,8 +629,7 @@ impl Engine {
                 .expect("has_parameters implies at least one name");
             return Err(Error::UnboundParameter { parameter });
         }
-        let (relation, stats) = execute_with_config(physical, &self.catalog, &self.config)?;
-        Ok(QueryOutput { relation, stats })
+        Cursor::over(physical, &self.catalog, &self.config)
     }
 }
 
@@ -486,9 +675,11 @@ impl PreparedStatement {
         self.catalog_version
     }
 
-    /// Bind `params` into a copy of the cached plan and execute it on
-    /// `engine` — no parsing, translation, optimization or planning happens
-    /// here.
+    /// Bind `params` into a copy of the cached plan and open a streaming
+    /// [`Cursor`] over it on `engine` — no parsing, translation,
+    /// optimization or planning happens here. Use
+    /// [`PreparedStatement::execute_collect`] for the one-call
+    /// materializing form.
     ///
     /// # Errors
     ///
@@ -498,7 +689,7 @@ impl PreparedStatement {
     ///   statement does not declare;
     /// * [`Error::UnboundParameter`] when a declared parameter has no
     ///   binding.
-    pub fn execute(&self, engine: &Engine, params: &Params) -> Result<QueryOutput> {
+    pub fn execute<'e>(&self, engine: &'e Engine, params: &Params) -> Result<Cursor<'e>> {
         let catalog_version = engine.catalog().version();
         if catalog_version != self.catalog_version {
             return Err(Error::StalePlan {
@@ -508,12 +699,18 @@ impl PreparedStatement {
         }
         check_bindings(params, &self.parameters)?;
         if params.is_empty() {
-            // Nothing to substitute — run the cached template directly
-            // (execute_physical still rejects unbound placeholders).
-            return engine.execute_physical(&self.template);
+            // Nothing to substitute — stream the cached template directly
+            // (`cursor_for` still rejects unbound placeholders).
+            return engine.cursor_for(&self.template);
         }
         let bound = self.template.bind_parameters(params.map());
-        engine.execute_physical(&bound)
+        engine.cursor_for(&bound)
+    }
+
+    /// [`PreparedStatement::execute`], fully collected into a
+    /// [`QueryOutput`].
+    pub fn execute_collect(&self, engine: &Engine, params: &Params) -> Result<QueryOutput> {
+        self.execute(engine, params)?.collect()
     }
 }
 
@@ -541,10 +738,18 @@ pub struct Explain {
     pub alternatives_considered: usize,
     /// The physical plan the engine would execute (parameters unbound).
     pub physical: PhysicalPlan,
-    /// Execution backend the plan targets.
+    /// The [`ExecutionBackend`] of the engine's [`PlannerConfig`]. The
+    /// engine itself always executes through the streaming path; this is
+    /// the backend the *materializing compatibility layer*
+    /// (`div_physical::execute_with_config`) would use for the same config
+    /// — relevant for differential testing.
     pub backend: ExecutionBackend,
-    /// Partition parallelism the plan targets.
+    /// Partition parallelism of the engine's [`PlannerConfig`] (consulted
+    /// by the streaming executor's per-chunk filter kernels and by the
+    /// materializing compatibility layer's partition-parallel kernels).
     pub parallelism: usize,
+    /// Chunk size of the streaming execution.
+    pub batch_size: usize,
     /// Measured execution statistics — `Some` only for
     /// [`Engine::explain_analyze`].
     pub stats: Option<ExecStats>,
@@ -590,9 +795,11 @@ impl fmt::Display for Explain {
         )?;
         writeln!(
             f,
-            "physical plan (backend={}, parallelism={}):",
+            "physical plan (execution=streaming, batch_size={}, parallelism={}, \
+             compat backend={}):",
+            self.batch_size,
+            self.parallelism,
             self.backend.name(),
-            self.parallelism
         )?;
         for line in self.physical.explain().lines() {
             writeln!(f, "  {line}")?;
@@ -604,6 +811,12 @@ impl fmt::Display for Explain {
             writeln!(f, "  intermediate tuples: {}", stats.intermediate_tuples)?;
             writeln!(f, "  max intermediate:    {}", stats.max_intermediate)?;
             writeln!(f, "  operators:           {}", stats.operators)?;
+            writeln!(f, "  peak resident rows:  {}", stats.peak_resident_rows)?;
+            writeln!(
+                f,
+                "  peak resident batches: {}",
+                stats.peak_resident_batches
+            )?;
         }
         Ok(())
     }
@@ -635,7 +848,7 @@ mod tests {
     #[test]
     fn query_runs_the_full_pipeline() {
         let engine = Engine::new(catalog());
-        let output = engine.query(Q2).unwrap();
+        let output = engine.query_collect(Q2).unwrap();
         assert_eq!(output.relation, relation! { ["s#"] => [1], [2] });
         assert_eq!(output.stats.output_rows, 2);
         assert_eq!(engine.compile_count(), 1);
@@ -656,7 +869,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::UnknownParameter { .. }));
         let ok = engine
-            .query_with_params(Q2_PARAM, &Params::new().bind("color", "blue"))
+            .query_collect_with_params(Q2_PARAM, &Params::new().bind("color", "blue"))
             .unwrap();
         assert_eq!(ok.relation, relation! { ["s#"] => [1], [2] });
     }
@@ -680,11 +893,11 @@ mod tests {
         assert_eq!(engine.compile_count(), 1);
         assert_eq!(stmt.parameters().iter().collect::<Vec<_>>(), vec!["color"]);
         let blue = stmt
-            .execute(&engine, &Params::new().bind("color", "blue"))
+            .execute_collect(&engine, &Params::new().bind("color", "blue"))
             .unwrap();
         assert_eq!(blue.relation, relation! { ["s#"] => [1], [2] });
         let red = stmt
-            .execute(&engine, &Params::new().bind("color", "red"))
+            .execute_collect(&engine, &Params::new().bind("color", "red"))
             .unwrap();
         assert_eq!(red.relation, relation! { ["s#"] => [2] });
         assert_eq!(engine.compile_count(), 1, "executions must not recompile");
@@ -746,7 +959,10 @@ mod tests {
         let rendered = explain.to_string();
         assert!(rendered.contains("logical plan (before rewrite):"));
         assert!(rendered.contains("rewrite:"));
-        assert!(rendered.contains("physical plan (backend=row, parallelism=1):"));
+        assert!(rendered.contains(
+            "physical plan (execution=streaming, batch_size=1024, parallelism=1, \
+             compat backend=row):"
+        ));
         assert!(!rendered.contains("execution stats:"));
 
         let analyzed = engine.explain_analyze(sql).unwrap();
@@ -767,8 +983,8 @@ mod tests {
         // Results agree with the optimizing engine.
         let optimizing = Engine::new(catalog());
         assert_eq!(
-            engine.query(sql).unwrap().relation,
-            optimizing.query(sql).unwrap().relation
+            engine.query_collect(sql).unwrap().relation,
+            optimizing.query_collect(sql).unwrap().relation
         );
     }
 
@@ -785,5 +1001,60 @@ mod tests {
             .build();
         let output = engine.execute_logical(&plan).unwrap();
         assert_eq!(output.relation, relation! { ["s#"] => [1], [2] });
+    }
+
+    #[test]
+    fn cursor_batches_concatenate_to_the_collected_relation() {
+        let engine = Engine::builder(catalog())
+            .planner_config(PlannerConfig::default().batch_size(2))
+            .build();
+        let expected = engine.query_collect(Q2).unwrap().relation;
+        let mut cursor = engine.query(Q2).unwrap();
+        assert_eq!(cursor.schema().names(), vec!["s#"]);
+        let mut streamed = Relation::empty(cursor.schema().clone());
+        for batch in cursor.by_ref() {
+            let batch = batch.unwrap();
+            assert!(batch.num_rows() > 0, "cursors never emit empty batches");
+            for i in 0..batch.num_rows() {
+                streamed.insert(batch.row(i)).unwrap();
+            }
+        }
+        assert_eq!(streamed, expected);
+        let stats = cursor.finish_stats();
+        assert_eq!(stats.output_rows, expected.len());
+    }
+
+    #[test]
+    fn early_terminated_cursor_short_circuits_the_scan() {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..5_000).map(|i| vec![i, i % 3]).collect();
+        catalog.register(
+            "big",
+            div_algebra::Relation::from_rows(["a", "b"], rows).unwrap(),
+        );
+        let engine = Engine::builder(catalog)
+            .planner_config(PlannerConfig::default().batch_size(128))
+            .build();
+        let mut cursor = engine.query("SELECT a FROM big WHERE b = 0").unwrap();
+        let first: Vec<_> = cursor.by_ref().take(1).collect();
+        assert_eq!(first.len(), 1);
+        let stats = cursor.finish_stats();
+        assert!(
+            stats.rows_scanned < 5_000,
+            "take(1) must stop the scan short, scanned {}",
+            stats.rows_scanned
+        );
+    }
+
+    #[test]
+    fn explain_analyze_reports_streaming_peaks() {
+        let engine = Engine::new(catalog());
+        let analyzed = engine.explain_analyze(Q2).unwrap();
+        let stats = analyzed.stats.as_ref().expect("analyze measures stats");
+        assert!(stats.peak_resident_batches > 0, "streaming path sets peaks");
+        assert!(stats.peak_resident_rows > 0);
+        let rendered = analyzed.to_string();
+        assert!(rendered.contains("peak resident rows:"));
+        assert!(rendered.contains("peak resident batches:"));
     }
 }

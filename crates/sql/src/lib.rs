@@ -14,8 +14,10 @@
 //! by the paper's queries Q1–Q3 (including derived tables and `NOT EXISTS`
 //! subqueries), a translator to [`div_expr::LogicalPlan`]s, and — most
 //! importantly — the [`Engine`] facade that runs the whole pipeline with the
-//! rewrite optimizer of `div-rewrite` in the loop by default, supports
-//! prepared statements ([`Engine::prepare`]) and structured EXPLAIN reports
+//! rewrite optimizer of `div-rewrite` in the loop by default, returns results
+//! as an incremental streaming [`Cursor`] (an iterator of columnar batches
+//! whose early termination short-circuits the scans), supports prepared
+//! statements ([`Engine::prepare`]) and structured EXPLAIN reports
 //! ([`Engine::explain`]). Translation rules:
 //!
 //! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`](div_expr::LogicalPlan::SmallDivide)
@@ -37,11 +39,11 @@
 //! catalog.register("parts", relation! { ["p#", "color"] => [1, "blue"], [2, "blue"] });
 //!
 //! let engine = Engine::new(catalog);
-//! let output = engine.query(
+//! let cursor = engine.query(
 //!     "SELECT s# FROM supplies AS s DIVIDE BY (SELECT p# FROM parts WHERE color = 'blue') AS p \
 //!      ON s.p# = p.p#",
 //! ).unwrap();
-//! assert_eq!(output.relation, relation! { ["s#"] => [1] });
+//! assert_eq!(cursor.collect_relation().unwrap(), relation! { ["s#"] => [1] });
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,7 +58,7 @@ pub mod parser;
 pub mod run;
 
 pub use ast::{Query, SelectItem, SqlCondition, SqlOperand, TableFactor, TableReference};
-pub use engine::{Engine, EngineBuilder, Explain, Params, PreparedStatement, QueryOutput};
+pub use engine::{Cursor, Engine, EngineBuilder, Explain, Params, PreparedStatement, QueryOutput};
 pub use error::Error;
 pub use lexer::{tokenize, Token};
 pub use lower::translate_query;

@@ -7,26 +7,29 @@
 //!
 //! The paper's pipeline in one call: a `DIVIDE BY … ON` query string goes
 //! through the parser and the logical translator of this crate, the physical
-//! planner of `div-physical`, and finally one of the execution strategies
-//! chosen by the [`PlannerConfig`]: the row-at-a-time executor
-//! (`ExecutionBackend::RowAtATime`), the single-threaded columnar executor
-//! (`ExecutionBackend::Columnar`), or the partition-parallel columnar
-//! executor (`ExecutionBackend::Columnar` with
-//! [`PlannerConfig::parallelism`]` > 1`, following the paper's Law 2 /
-//! Law 13 parallelization strategies). All strategies return identical
-//! relations; sweeping the backend, the parallelism and the division
-//! algorithms over the same SQL text is how the benchmarks compare executor
-//! architectures end to end.
-//!
-//! [`ExecutionBackend::RowAtATime`]: div_physical::ExecutionBackend::RowAtATime
-//! [`ExecutionBackend::Columnar`]: div_physical::ExecutionBackend::Columnar
+//! planner of `div-physical`, and the streaming executor behind the engine's
+//! [`Cursor`](crate::Cursor) — these shims keep no execution plumbing of
+//! their own; [`run_query`] simply collects a cursor. The materializing
+//! backends selected by [`PlannerConfig::backend`] (row-at-a-time,
+//! whole-batch columnar, partition-parallel columnar) remain reachable
+//! through `div_physical::execute_with_config` for differential testing and
+//! the benchmarks; every strategy returns identical relations.
 
 use crate::{parse_query, translate_query};
 use div_algebra::Relation;
 use div_expr::{Catalog, ExprError};
-use div_physical::{execute_with_config, plan_query, ExecStats, PhysicalPlan, PlannerConfig};
+use div_physical::{plan_query, ExecStats, PhysicalPlan, PlannerConfig};
 
 type Result<T> = std::result::Result<T, ExprError>;
+
+/// Collapse the engine's structured error into the legacy [`ExprError`]
+/// these shims promised.
+fn flatten(err: crate::Error) -> ExprError {
+    match err {
+        crate::Error::Plan(err) => err,
+        other => ExprError::invalid(other.to_string()),
+    }
+}
 
 /// Compile a SQL query string down to a physical plan.
 ///
@@ -45,15 +48,21 @@ pub fn compile_query(sql: &str, catalog: &Catalog, config: &PlannerConfig) -> Re
     plan_query(&logical, config)
 }
 
-/// Parse, translate, plan and execute a SQL query on the backend selected by
-/// `config`, returning the result and the execution statistics.
+/// Parse, translate, plan and execute a SQL query, returning the collected
+/// result and the execution statistics.
 ///
 /// Deprecated shim: it skips the rewrite optimizer that
 /// [`Engine::query`](crate::Engine::query) runs by default. Migrate via
 /// `Engine::builder(catalog).planner_config(config).build().query(sql)`.
+///
+/// Since the streaming redesign this shim carries no execution plumbing of
+/// its own: it compiles the plan and drains a
+/// [`Cursor`](crate::Cursor) (`Cursor::collect`), so the deprecated
+/// surface and the engine run the exact same executor.
 #[deprecated(
     since = "0.1.0",
-    note = "use `div_sql::Engine::query` — it runs the rewrite optimizer in the loop"
+    note = "use `div_sql::Engine::query` — it runs the rewrite optimizer in the loop \
+            and returns an incremental `Cursor`"
 )]
 #[allow(deprecated)]
 pub fn run_query(
@@ -62,7 +71,9 @@ pub fn run_query(
     config: &PlannerConfig,
 ) -> Result<(Relation, ExecStats)> {
     let physical = compile_query(sql, catalog, config)?;
-    execute_with_config(&physical, catalog, config)
+    let cursor = crate::engine::Cursor::over(&physical, catalog, config).map_err(flatten)?;
+    let output = cursor.collect().map_err(flatten)?;
+    Ok((output.relation, output.stats))
 }
 
 #[cfg(test)]

@@ -112,7 +112,7 @@ fn main() {
         .planner_config(PlannerConfig::with_backend(ExecutionBackend::Columnar))
         .build();
     let output = engine
-        .query(
+        .query_collect(
             "SELECT s# FROM supplies AS s DIVIDE BY \
              (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
         )

@@ -1,6 +1,8 @@
-//! The `Engine` session API end to end: ad-hoc queries with the rewrite
-//! optimizer in the loop, prepared statements with `$name` parameters, and
-//! structured EXPLAIN / EXPLAIN ANALYZE reports.
+//! The `Engine` session API end to end, on the streaming `Cursor` front
+//! door: ad-hoc queries with the rewrite optimizer in the loop, incremental
+//! batch consumption, prepared statements with `$name` parameters, and
+//! structured EXPLAIN / EXPLAIN ANALYZE reports (now including the
+//! streaming executor's peak-resident-batch footprint).
 //!
 //! Run with `cargo run --example engine`.
 
@@ -22,17 +24,43 @@ fn main() {
     let engine = Engine::new(catalog);
 
     // 1. Ad-hoc query: parse → translate → optimize (laws + cost model) →
-    //    plan → execute, in one call.
+    //    plan, then *stream* the execution. `collect()` drains the cursor
+    //    into the classic (relation, stats) pair.
     let q2 = "SELECT s# FROM supplies AS s DIVIDE BY \
               (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#";
-    let output = engine.query(q2).expect("Q2 runs");
+    let output = engine
+        .query(q2)
+        .expect("Q2 compiles")
+        .collect()
+        .expect("Q2 runs");
     println!(
-        "Q2 (ad hoc): {} suppliers supply every blue part ({} rows scanned)\n",
+        "Q2 (collected): {} suppliers supply every blue part ({} rows scanned, \
+         peak {} resident rows)\n",
         output.relation.len(),
-        output.stats.rows_scanned
+        output.stats.rows_scanned,
+        output.stats.peak_resident_rows,
     );
 
-    // 2. EXPLAIN: what would the engine do? The report shows the logical
+    // 2. The same query consumed incrementally: the cursor is an iterator
+    //    of columnar batches, produced on demand.
+    let mut cursor = engine.query(q2).expect("Q2 compiles");
+    println!(
+        "Q2 (streamed), result schema {:?}:",
+        cursor.schema().names()
+    );
+    let mut batches = 0;
+    for batch in cursor.by_ref() {
+        let batch = batch.expect("batch streams");
+        batches += 1;
+        println!("  batch {batches}: {} rows", batch.num_rows());
+    }
+    let stats = cursor.finish_stats();
+    println!(
+        "  {} batches, {} output rows, peak {} resident rows\n",
+        batches, stats.output_rows, stats.peak_resident_rows
+    );
+
+    // 3. EXPLAIN: what would the engine do? The report shows the logical
     //    plan before and after the rewrite, the laws that fired, the cost
     //    estimates and the chosen physical operators.
     let filtered = "SELECT s#, color FROM supplies AS s DIVIDE BY parts AS p ON s.p# = p.p# \
@@ -40,11 +68,12 @@ fn main() {
     let explain = engine.explain(filtered).expect("explain compiles");
     println!("{explain}");
 
-    // 3. EXPLAIN ANALYZE adds measured execution statistics.
+    // 4. EXPLAIN ANALYZE adds measured execution statistics from the
+    //    streaming path (note the peak-resident lines).
     let analyzed = engine.explain_analyze(filtered).expect("analyze runs");
     println!("{analyzed}");
 
-    // 4. Prepared statements: compile once, bind and execute many times.
+    // 5. Prepared statements: compile once, bind and stream many times.
     //    The color literal of Q2 becomes a `$color` parameter.
     let stmt = engine
         .prepare(
@@ -59,7 +88,7 @@ fn main() {
     );
     for color in ["blue", "red", "green", "yellow", "black"] {
         let out = stmt
-            .execute(&engine, &Params::new().bind("color", color))
+            .execute_collect(&engine, &Params::new().bind("color", color))
             .expect("prepared Q2 executes");
         println!("  {color}: {} suppliers", out.relation.len());
     }

@@ -1,25 +1,50 @@
 #!/usr/bin/env bash
-# Run the key_pipeline criterion group and record its medians as JSON.
+# Run a criterion bench group and record its medians as JSON — the repo's
+# recorded perf-trajectory points.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]
+# Usage: scripts/bench_snapshot.sh [bench] [output.json]
 #
-# The output (default BENCH_key_pipeline.json at the repo root) is the
-# repo's recorded perf-trajectory point for the vectorized key pipeline:
-# per-benchmark median iteration times in nanoseconds, plus the
-# keyvector-vs-rowkey speedup for every paired workload. Re-run after
-# touching crates/columnar/src/{key_vector,hash_table}.rs or any hash
-# kernel, and commit the refreshed JSON alongside the change.
+#   scripts/bench_snapshot.sh                  # key_pipeline -> BENCH_key_pipeline.json
+#   scripts/bench_snapshot.sh streaming        # streaming    -> BENCH_streaming.json
+#
+# Each snapshot records per-benchmark median iteration times in nanoseconds
+# plus a fast-vs-slow speedup for every paired workload:
+#
+#   * key_pipeline pairs `keyvector` labels against their `rowkey` replicas
+#     (vectorized key pipeline vs the pre-pipeline kernels);
+#   * streaming pairs `cursor` labels against their `materialized`
+#     counterparts (streaming executor vs whole-batch columnar execution —
+#     the `first_batch` rows are the pagination-latency win).
+#
+# Re-run after touching the measured modules and commit the refreshed JSON
+# alongside the change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_key_pipeline.json}"
+bench="${1:-key_pipeline}"
+case "$bench" in
+key_pipeline)
+    fast="keyvector"
+    slow="rowkey"
+    ;;
+streaming)
+    fast="cursor"
+    slow="materialized"
+    ;;
+*)
+    echo "unknown bench '$bench' (expected key_pipeline or streaming)" >&2
+    exit 1
+    ;;
+esac
+out="${2:-BENCH_${bench}.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-cargo bench -p div-bench --bench key_pipeline | tee "$tmp"
+cargo bench -p div-bench --bench "$bench" | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-    -v cores="$(nproc 2>/dev/null || echo 1)" '
+    -v cores="$(nproc 2>/dev/null || echo 1)" \
+    -v bench="$bench" -v fast="$fast" -v slow="$slow" '
 # Bench lines look like:  key_pipeline/string_join/keyvector/1000   28.54µs/iter
 $NF ~ /\/iter$/ && NF == 2 {
     label = $1
@@ -35,7 +60,7 @@ $NF ~ /\/iter$/ && NF == 2 {
 }
 END {
     printf "{\n"
-    printf "  \"bench\": \"key_pipeline\",\n"
+    printf "  \"bench\": \"%s\",\n", bench
     printf "  \"recorded_at\": \"%s\",\n", date
     printf "  \"host_parallelism\": %s,\n", cores
     printf "  \"median_ns\": {\n"
@@ -43,16 +68,16 @@ END {
         printf "    \"%s\": %.0f%s\n", order[i], ns[order[i]], (i < n - 1) ? "," : ""
     }
     printf "  },\n"
-    printf "  \"speedup_vs_rowkey\": {\n"
+    printf "  \"speedup_vs_%s\": {\n", slow
     m = 0
     for (i = 0; i < n; i++) {
         label = order[i]
-        if (label !~ /keyvector/) continue
+        if (label !~ fast) continue
         other = label
-        sub(/keyvector/, "rowkey", other)
+        sub(fast, slow, other)
         if (other in ns && ns[label] > 0) {
             pair = label
-            sub(/\/keyvector/, "", pair)
+            sub("/" fast, "", pair)
             lines[m++] = sprintf("    \"%s\": %.2f", pair, ns[other] / ns[label])
         }
     }

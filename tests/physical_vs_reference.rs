@@ -298,6 +298,84 @@ fn assert_backends_agree(physical: &PhysicalPlan, catalog: &Catalog) {
 }
 
 #[test]
+fn cursor_streams_byte_identically_to_the_row_backend_on_every_shape() {
+    // The streaming-API differential: for all eleven differential plan
+    // shapes, at parallelism 1 and 4 and across chunk geometries (batch
+    // sizes that divide, straddle and exceed the inputs), the relation
+    // collected from an `Engine` `Cursor` must be byte-identical to the row
+    // backend's, with matching `output_rows`.
+    let mut catalog = Catalog::new();
+    catalog.register(
+        "supplies",
+        relation! { ["s#", "p#"] => [1, 1], [1, 2], [1, 3], [2, 1], [2, 2], [3, 2], [4, 1], [4, 3] },
+    );
+    catalog.register("wanted", relation! { ["p#"] => [1], [2] });
+    catalog.register(
+        "grouped",
+        relation! { ["p#", "c"] => [1, 1], [2, 1], [1, 2], [3, 2], [2, 3] },
+    );
+
+    for (shape_idx, logical) in differential_logical_plans().into_iter().enumerate() {
+        let physical = plan_query(&logical, &PlannerConfig::default()).unwrap();
+        let (expected, row_stats) =
+            execute_on_backend(&physical, &catalog, ExecutionBackend::RowAtATime).unwrap();
+        for parallelism in [1usize, 4] {
+            for batch_size in [1usize, 3, 4096] {
+                let config = PlannerConfig::default()
+                    .parallelism(parallelism)
+                    .batch_size(batch_size);
+                let engine = Engine::builder(catalog.clone())
+                    .planner_config(config)
+                    .without_optimizer() // differential: compare the raw plan
+                    .build();
+                let cursor = engine.stream_logical(&logical).unwrap();
+                let output = cursor.collect().unwrap();
+                assert_eq!(
+                    output.relation, expected,
+                    "shape #{shape_idx} diverges at parallelism {parallelism}, \
+                     batch_size {batch_size}:\n{logical}"
+                );
+                assert_eq!(
+                    output.stats.output_rows, row_stats.output_rows,
+                    "shape #{shape_idx}: output_rows diverge at parallelism {parallelism}, \
+                     batch_size {batch_size}"
+                );
+                assert_eq!(
+                    output.stats.rows_scanned, row_stats.rows_scanned,
+                    "shape #{shape_idx}: fully drained cursors scan everything exactly once"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cursor_take_one_short_circuits_the_source_scan() {
+    // The early-termination acceptance criterion: `cursor.take(1)` must
+    // leave the scan's row counter strictly below the table cardinality.
+    let table_rows = 50_000usize;
+    let mut catalog = Catalog::new();
+    let rows: Vec<Vec<i64>> = (0..table_rows as i64).map(|i| vec![i, i % 11]).collect();
+    catalog.register("big", Relation::from_rows(["a", "b"], rows).unwrap());
+    let engine = Engine::builder(catalog)
+        .planner_config(PlannerConfig::default().batch_size(512))
+        .build();
+    let mut cursor = engine.query("SELECT a, b FROM big WHERE b < 10").unwrap();
+    let first: Vec<_> = cursor.by_ref().take(1).collect();
+    assert_eq!(first.len(), 1);
+    assert!(first[0].as_ref().unwrap().num_rows() > 0);
+    let stats = cursor.finish_stats();
+    assert!(
+        stats.rows_scanned < table_rows,
+        "take(1) scanned {} of {} rows — the scan did not short-circuit",
+        stats.rows_scanned,
+        table_rows
+    );
+    // With batch_size 512 and a ~10/11 selective filter, one batch suffices.
+    assert_eq!(stats.rows_scanned, 512);
+}
+
+#[test]
 fn engine_optimizer_matches_raw_plans_on_every_shape_and_strategy() {
     // The optimizer-in-the-loop differential: for all eleven differential
     // plan shapes, `Engine::execute_logical` (rewrite optimizer ON, the
