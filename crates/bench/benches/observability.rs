@@ -1,0 +1,105 @@
+//! Cost of the observability layer: traced vs untraced execution.
+//!
+//! The claim under test (ISSUE 6 / `div_physical::trace`): attribution —
+//! the per-operator span tree with row, probe and resident counters —
+//! is always on and effectively free (plain integer bumps on state the
+//! executors already touch), while *wall-clock timing* reads two
+//! monotonic clocks per batch per operator and is therefore gated behind
+//! `PlannerConfig::tracing`. With tracing off, a drain must cost the
+//! same as it did before the span tree existed; with tracing on, the
+//! overhead should stay in the low single-digit percent range at
+//! realistic batch sizes.
+//!
+//! Benchmarks (every `*/untraced/*` id pairs with a `*/traced/*` id over
+//! the identical plan and catalog):
+//!
+//! * `drain` — Q2-style divide (supplies ÷ blue parts) drained to
+//!   completion through the streaming executor, tracing off vs on. The
+//!   divide exercises every counter class: scan rows, probe counts, and
+//!   blocking build state.
+//!
+//! `scripts/bench_snapshot.sh observability` records this group's
+//! medians as `BENCH_observability.json` — the recorded tracing-overhead
+//! datum of the repo's perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::Predicate;
+use div_bench::suppliers_parts_catalog;
+use div_expr::{Catalog, PlanBuilder};
+use div_physical::{plan_query, PhysicalPlan, PlannerConfig, StreamExecutor};
+
+/// Dividend widths (supplier counts) the sweep covers.
+const SCALES: [usize; 2] = [2_000, 8_000];
+
+fn catalog_for(suppliers: usize) -> Catalog {
+    suppliers_parts_catalog(suppliers, 50, 0.5)
+}
+
+/// Q2: supplies ÷ blue parts.
+fn divide_plan() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("supplies")
+        .divide(
+            PlanBuilder::scan("parts")
+                .select(Predicate::eq_value("color", "blue"))
+                .project(["p#"]),
+        )
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+fn untraced_config() -> PlannerConfig {
+    PlannerConfig::default().batch_size(1024)
+}
+
+fn traced_config() -> PlannerConfig {
+    untraced_config().tracing(true)
+}
+
+fn drain_rows(plan: &PhysicalPlan, catalog: &Catalog, config: &PlannerConfig) -> usize {
+    let mut stream = StreamExecutor::new(plan, catalog, config).unwrap();
+    let mut rows = 0;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        rows += batch.num_rows();
+    }
+    rows
+}
+
+fn report_span_profile() {
+    let catalog = catalog_for(SCALES[SCALES.len() - 1]);
+    let plan = divide_plan();
+    let mut stream = StreamExecutor::new(&plan, &catalog, &traced_config()).unwrap();
+    while stream.next_batch().unwrap().is_some() {}
+    let stats = stream.finish();
+    let timed: u64 = stats.operators.iter().map(|op| op.total_time_ns()).sum();
+    println!(
+        "span profile (divide, {} suppliers): {} operators, {} probes, {} ns attributed",
+        SCALES[SCALES.len() - 1],
+        stats.operators.len(),
+        stats.probes,
+        timed,
+    );
+}
+
+fn bench_observability(c: &mut Criterion) {
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    report_span_profile();
+
+    let mut group = c.benchmark_group("observability");
+    for scale in SCALES {
+        let catalog = catalog_for(scale);
+        let plan = divide_plan();
+        group.bench_with_input(BenchmarkId::new("drain/untraced", scale), &scale, |b, _| {
+            b.iter(|| drain_rows(&plan, &catalog, &untraced_config()))
+        });
+        group.bench_with_input(BenchmarkId::new("drain/traced", scale), &scale, |b, _| {
+            b.iter(|| drain_rows(&plan, &catalog, &traced_config()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observability);
+criterion_main!(benches);

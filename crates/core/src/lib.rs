@@ -55,15 +55,16 @@ pub mod prelude {
     pub use div_expr::{evaluate, plans_equivalent_on, Catalog, LogicalPlan, PlanBuilder};
     pub use div_physical::{
         execute, execute_on_backend, execute_with_config, execute_with_stats, plan_query,
-        DivisionAlgorithm, ExecutionBackend, GreatDivideAlgorithm, PlannerConfig, StreamExecutor,
+        DivisionAlgorithm, ExecutionBackend, GreatDivideAlgorithm, OperatorId, OperatorStats,
+        PlannerConfig, QueryTrace, StreamExecutor,
     };
     pub use div_rewrite::optimizer::CostModel;
     pub use div_rewrite::{Optimizer, RewriteContext, RewriteEngine, RuleSet};
     #[allow(deprecated)] // deliberate: the deprecated shim stays reachable through the facade
     pub use div_sql::run_query;
     pub use div_sql::{
-        parse_query, translate_query, Cursor, Engine, EngineBuilder, Explain, Params,
-        PreparedStatement, QueryOutput,
+        parse_query, translate_query, Cursor, Engine, EngineBuilder, EngineMetrics, Explain,
+        MetricsSnapshot, Params, PreparedStatement, QueryOutput,
     };
     pub use div_sql::{Error as SqlError, ParseError};
 }

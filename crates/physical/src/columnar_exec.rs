@@ -45,6 +45,7 @@ use crate::parallel_columnar::{
 };
 use crate::plan::PhysicalPlan;
 use crate::stats::ExecStats;
+use crate::trace::{OperatorId, QueryTrace};
 use crate::Result;
 use div_algebra::Relation;
 use div_columnar::{kernels, ColumnarBatch};
@@ -72,53 +73,83 @@ pub fn execute_columnar_parallel_with_stats(
     catalog: &Catalog,
     parallelism: usize,
 ) -> Result<(Relation, ExecStats)> {
+    exec_columnar_root(plan, catalog, parallelism, false)
+}
+
+/// Columnar-backend entry point: runs the plan with a per-operator trace
+/// (wall-clock spans only when `timing` is on) and publishes the finished
+/// tree as [`ExecStats::operators`].
+pub(crate) fn exec_columnar_root(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    parallelism: usize,
+    timing: bool,
+) -> Result<(Relation, ExecStats)> {
     let mut stats = ExecStats::default();
-    let batch = exec_batch(plan, catalog, &mut stats, true, parallelism.max(1))?;
+    let mut trace = QueryTrace::from_plan(plan).with_timing(timing);
+    let mut next_id = 0;
+    let batch = exec_batch(
+        plan,
+        catalog,
+        &mut stats,
+        &mut trace,
+        &mut next_id,
+        true,
+        parallelism.max(1),
+    )?;
+    stats.operators = trace.finish();
     let relation = batch.to_relation().map_err(ExprError::from)?;
     Ok((relation, stats))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_batch(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     stats: &mut ExecStats,
+    trace: &mut QueryTrace,
+    next_id: &mut usize,
     is_root: bool,
     parallelism: usize,
 ) -> Result<ColumnarBatch> {
+    // Pre-order id assignment, matching the skeleton built from the plan.
+    let id = OperatorId(*next_id);
+    *next_id += 1;
+    let started = trace.span_start();
     let batch = match plan {
         PhysicalPlan::TableScan { table } => ColumnarBatch::from_relation(catalog.table(table)?),
         PhysicalPlan::Values { relation } => ColumnarBatch::from_relation(relation),
         PhysicalPlan::Filter { input, predicate } => {
-            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
             parallel_filter_batches(&child, predicate, parallelism)?
         }
         PhysicalPlan::Project { input, attributes } => {
-            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
             let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             kernels::project(&child, &refs).map_err(ExprError::from)?
         }
         PhysicalPlan::Rename { input, renames } => {
-            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
             kernels::rename(&child, renames).map_err(ExprError::from)?
         }
         PhysicalPlan::Union { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             kernels::union(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::Intersect { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             kernels::intersect(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::Difference { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             kernels::difference(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             kernels::cross_product(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::NestedLoopJoin {
@@ -126,31 +157,35 @@ fn exec_batch(
             right,
             predicate,
         } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_theta_join_batches(&l, &r, predicate, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_join_batches(&l, &r, JoinKind::Natural, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_join_batches(&l, &r, JoinKind::Semi, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashAntiSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, false, parallelism)?;
+            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
+            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_join_batches(&l, &r, JoinKind::Anti, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashAggregate {
@@ -158,27 +193,29 @@ fn exec_batch(
             group_by,
             aggregates,
         } => {
-            let child = exec_batch(input, catalog, stats, false, parallelism)?;
+            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
             let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
             kernels::hash_aggregate(&child, &refs, aggregates).map_err(ExprError::from)?
         }
         PhysicalPlan::Divide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, false, parallelism)?;
-            let v = exec_batch(divisor, catalog, stats, false, parallelism)?;
+            let d = exec_batch(dividend, catalog, stats, trace, next_id, false, parallelism)?;
+            let v = exec_batch(divisor, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             stats.record("ColumnarHashDivision", out.batch.num_rows(), false, false);
             out.batch
         }
         PhysicalPlan::GreatDivide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, false, parallelism)?;
-            let v = exec_batch(divisor, catalog, stats, false, parallelism)?;
+            let d = exec_batch(dividend, catalog, stats, trace, next_id, false, parallelism)?;
+            let v = exec_batch(divisor, catalog, stats, trace, next_id, false, parallelism)?;
             let out = parallel_great_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
+            trace.add_probes(id, out.probes);
             stats.record(
                 "ColumnarCountingGreatDivision",
                 out.batch.num_rows(),
@@ -193,6 +230,12 @@ fn exec_batch(
         PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
     );
     stats.record(&plan.label(), batch.num_rows(), is_scan, is_root);
+    trace.set_rows_out(id, batch.num_rows());
+    if let Some(started) = started {
+        // One inclusive execution span per operator — the materializing
+        // counterpart of the streaming open/next/close split.
+        trace.add_next(id, started.elapsed());
+    }
     Ok(batch)
 }
 

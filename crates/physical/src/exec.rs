@@ -21,6 +21,7 @@ use crate::great_divide;
 use crate::plan::PhysicalPlan;
 use crate::planner::{ExecutionBackend, PlannerConfig};
 use crate::stats::ExecStats;
+use crate::trace::{OperatorId, QueryTrace};
 use crate::Result;
 use div_algebra::{Relation, Tuple};
 use div_expr::{Catalog, ExprError};
@@ -28,14 +29,29 @@ use std::collections::HashMap;
 
 /// Execute a physical plan against a catalog (row backend).
 pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
-    let mut stats = ExecStats::default();
-    exec_node(plan, catalog, &mut stats, true)
+    exec_root(plan, catalog, false).map(|(relation, _)| relation)
 }
 
 /// Execute a physical plan and return the execution statistics as well
 /// (row backend).
 pub fn execute_with_stats(plan: &PhysicalPlan, catalog: &Catalog) -> Result<(Relation, ExecStats)> {
     execute_on_backend(plan, catalog, ExecutionBackend::RowAtATime)
+}
+
+/// Row-backend entry point: runs the plan with a per-operator trace
+/// (wall-clock spans only when `timing` is on) and publishes the finished
+/// tree as [`ExecStats::operators`].
+pub(crate) fn exec_root(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    timing: bool,
+) -> Result<(Relation, ExecStats)> {
+    let mut stats = ExecStats::default();
+    let mut trace = QueryTrace::from_plan(plan).with_timing(timing);
+    let mut next_id = 0;
+    let result = exec_node(plan, catalog, &mut stats, &mut trace, &mut next_id, true)?;
+    stats.operators = trace.finish();
+    Ok((result, stats))
 }
 
 /// Execute a physical plan on an explicitly chosen backend (single-threaded;
@@ -57,11 +73,7 @@ pub fn execute_on_backend(
     backend: ExecutionBackend,
 ) -> Result<(Relation, ExecStats)> {
     match backend {
-        ExecutionBackend::RowAtATime => {
-            let mut stats = ExecStats::default();
-            let result = exec_node(plan, catalog, &mut stats, true)?;
-            Ok((result, stats))
-        }
+        ExecutionBackend::RowAtATime => exec_root(plan, catalog, false),
         ExecutionBackend::Columnar => {
             crate::columnar_exec::execute_columnar_with_stats(plan, catalog)
         }
@@ -85,13 +97,12 @@ pub fn execute_with_config(
     config: &PlannerConfig,
 ) -> Result<(Relation, ExecStats)> {
     match config.backend {
-        ExecutionBackend::RowAtATime => {
-            execute_on_backend(plan, catalog, ExecutionBackend::RowAtATime)
-        }
-        ExecutionBackend::Columnar => crate::columnar_exec::execute_columnar_parallel_with_stats(
+        ExecutionBackend::RowAtATime => exec_root(plan, catalog, config.tracing),
+        ExecutionBackend::Columnar => crate::columnar_exec::exec_columnar_root(
             plan,
             catalog,
             config.parallelism,
+            config.tracing,
         ),
     }
 }
@@ -100,19 +111,25 @@ pub(crate) fn exec_node(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     stats: &mut ExecStats,
+    trace: &mut QueryTrace,
+    next_id: &mut usize,
     is_root: bool,
 ) -> Result<Relation> {
+    // Pre-order id assignment, matching the skeleton built from the plan.
+    let id = OperatorId(*next_id);
+    *next_id += 1;
+    let started = trace.span_start();
     let result = match plan {
         PhysicalPlan::TableScan { table } => catalog.table(table)?.clone(),
         PhysicalPlan::Values { relation } => relation.clone(),
         PhysicalPlan::Filter { input, predicate } => {
-            exec_node(input, catalog, stats, false)?.select(predicate)?
+            exec_node(input, catalog, stats, trace, next_id, false)?.select(predicate)?
         }
         PhysicalPlan::Project { input, attributes } => {
-            exec_node(input, catalog, stats, false)?.project_owned(attributes)?
+            exec_node(input, catalog, stats, trace, next_id, false)?.project_owned(attributes)?
         }
         PhysicalPlan::Rename { input, renames } => {
-            let rel = exec_node(input, catalog, stats, false)?;
+            let rel = exec_node(input, catalog, stats, trace, next_id, false)?;
             rel.rename_with(|name| {
                 renames
                     .iter()
@@ -121,45 +138,58 @@ pub(crate) fn exec_node(
                     .unwrap_or_else(|| name.to_string())
             })?
         }
-        PhysicalPlan::Union { left, right } => exec_node(left, catalog, stats, false)?
-            .union(&exec_node(right, catalog, stats, false)?)?,
-        PhysicalPlan::Intersect { left, right } => exec_node(left, catalog, stats, false)?
-            .intersect(&exec_node(right, catalog, stats, false)?)?,
-        PhysicalPlan::Difference { left, right } => exec_node(left, catalog, stats, false)?
-            .difference(&exec_node(right, catalog, stats, false)?)?,
-        PhysicalPlan::CrossProduct { left, right } => exec_node(left, catalog, stats, false)?
-            .product(&exec_node(right, catalog, stats, false)?)?,
+        PhysicalPlan::Union { left, right } => {
+            exec_node(left, catalog, stats, trace, next_id, false)?
+                .union(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+        }
+        PhysicalPlan::Intersect { left, right } => {
+            exec_node(left, catalog, stats, trace, next_id, false)?
+                .intersect(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+        }
+        PhysicalPlan::Difference { left, right } => {
+            exec_node(left, catalog, stats, trace, next_id, false)?
+                .difference(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+        }
+        PhysicalPlan::CrossProduct { left, right } => {
+            exec_node(left, catalog, stats, trace, next_id, false)?
+                .product(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+        }
         PhysicalPlan::NestedLoopJoin {
             left,
             right,
             predicate,
         } => {
-            let l = exec_node(left, catalog, stats, false)?;
-            let r = exec_node(right, catalog, stats, false)?;
+            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
             stats.add_probes(l.len() * r.len());
+            trace.add_probes(id, l.len() * r.len());
             l.theta_join(&r, predicate)?
         }
         PhysicalPlan::HashJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, false)?;
-            let r = exec_node(right, catalog, stats, false)?;
-            hash_natural_join(&l, &r, stats)?
+            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            kernel_probes(stats, trace, id, |stats| hash_natural_join(&l, &r, stats))?
         }
         PhysicalPlan::HashSemiJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, false)?;
-            let r = exec_node(right, catalog, stats, false)?;
-            hash_semi_join(&l, &r, stats, false)?
+            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            kernel_probes(stats, trace, id, |stats| {
+                hash_semi_join(&l, &r, stats, false)
+            })?
         }
         PhysicalPlan::HashAntiSemiJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, false)?;
-            let r = exec_node(right, catalog, stats, false)?;
-            hash_semi_join(&l, &r, stats, true)?
+            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            kernel_probes(stats, trace, id, |stats| {
+                hash_semi_join(&l, &r, stats, true)
+            })?
         }
         PhysicalPlan::HashAggregate {
             input,
             group_by,
             aggregates,
         } => {
-            let rel = exec_node(input, catalog, stats, false)?;
+            let rel = exec_node(input, catalog, stats, trace, next_id, false)?;
             let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
             rel.group_aggregate(&refs, aggregates)?
         }
@@ -168,18 +198,22 @@ pub(crate) fn exec_node(
             divisor,
             algorithm,
         } => {
-            let d = exec_node(dividend, catalog, stats, false)?;
-            let v = exec_node(divisor, catalog, stats, false)?;
-            division::divide_with(&d, &v, *algorithm, stats)?
+            let d = exec_node(dividend, catalog, stats, trace, next_id, false)?;
+            let v = exec_node(divisor, catalog, stats, trace, next_id, false)?;
+            kernel_probes(stats, trace, id, |stats| {
+                division::divide_with(&d, &v, *algorithm, stats)
+            })?
         }
         PhysicalPlan::GreatDivide {
             dividend,
             divisor,
             algorithm,
         } => {
-            let d = exec_node(dividend, catalog, stats, false)?;
-            let v = exec_node(divisor, catalog, stats, false)?;
-            great_divide::great_divide_with(&d, &v, *algorithm, stats)?
+            let d = exec_node(dividend, catalog, stats, trace, next_id, false)?;
+            let v = exec_node(divisor, catalog, stats, trace, next_id, false)?;
+            kernel_probes(stats, trace, id, |stats| {
+                great_divide::great_divide_with(&d, &v, *algorithm, stats)
+            })?
         }
     };
     let is_scan = matches!(
@@ -187,7 +221,29 @@ pub(crate) fn exec_node(
         PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
     );
     stats.record(&plan.label(), result.len(), is_scan, is_root);
+    trace.set_rows_out(id, result.len());
+    if let Some(started) = started {
+        // One inclusive execution span per operator — the materializing
+        // counterpart of the streaming open/next/close split.
+        trace.add_next(id, started.elapsed());
+    }
     Ok(result)
+}
+
+/// Run a kernel that records probes into the aggregate counter and
+/// attribute the delta to operator `id` in the trace. The children of `id`
+/// have already executed when the kernel runs, so the delta is exactly the
+/// operator's own work.
+fn kernel_probes<T>(
+    stats: &mut ExecStats,
+    trace: &mut QueryTrace,
+    id: OperatorId,
+    kernel: impl FnOnce(&mut ExecStats) -> Result<T>,
+) -> Result<T> {
+    let before = stats.probes;
+    let out = kernel(stats)?;
+    trace.add_probes(id, stats.probes - before);
+    Ok(out)
 }
 
 /// Hash-based natural join: build a hash table over the right input keyed by

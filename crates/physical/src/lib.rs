@@ -38,7 +38,12 @@
 //!   operators transform them one at a time, and only genuinely blocking
 //!   operators buffer — memory scales with pipeline depth, not with the
 //!   largest intermediate, and early-terminated consumers short-circuit the
-//!   scans. This is the executor behind `div_sql`'s incremental `Cursor`.
+//!   scans. This is the executor behind `div_sql`'s incremental `Cursor`,
+//! * [`trace`] — the observability layer: a per-operator span tree
+//!   ([`trace::QueryTrace`]) recording rows, probes, retained state and
+//!   (when [`planner::PlannerConfig::tracing`] is on) wall-clock time for
+//!   every operator of every execution path; finished traces land in
+//!   [`stats::ExecStats::operators`] and feed `EXPLAIN ANALYZE`.
 //!
 //! All algorithms are validated against the reference semantics of
 //! [`div_algebra`] by unit tests here and by the cross-crate property tests in
@@ -86,6 +91,7 @@ pub mod plan;
 pub mod planner;
 pub mod stats;
 pub mod stream;
+pub mod trace;
 
 pub use columnar_exec::{
     execute_columnar, execute_columnar_parallel_with_stats, execute_columnar_with_stats,
@@ -97,6 +103,7 @@ pub use plan::PhysicalPlan;
 pub use planner::{plan_query, ExecutionBackend, PlannerConfig};
 pub use stats::ExecStats;
 pub use stream::{compile_stream, BatchStream, StreamContext, StreamExecutor};
+pub use trace::{OperatorId, OperatorStats, QueryTrace};
 
 /// Convenient result alias (errors come from the algebra / plan layers).
 pub type Result<T> = std::result::Result<T, div_expr::ExprError>;

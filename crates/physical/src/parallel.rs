@@ -14,6 +14,13 @@
 //! threads stand in for the query-engine nodes). Results and statistics are
 //! merged exactly as the laws prescribe, and the unit tests check equivalence
 //! with the sequential algorithms.
+//!
+//! These entry points run *kernels* over relations, not plans, so the
+//! per-worker [`ExecStats`] carry no operator span tree
+//! ([`ExecStats::operators`] stays empty; [`ExecStats::merge`] treats
+//! empty trees as a no-op). Plan-level parallel execution with full
+//! per-operator attribution goes through
+//! [`crate::columnar_exec`] / [`crate::parallel_columnar`] instead.
 
 use crate::division::{self, DivisionAlgorithm};
 use crate::great_divide::{self, GreatDivideAlgorithm};

@@ -68,6 +68,12 @@ pub struct PlannerConfig {
     /// ≥ 1; defaults to [`PlannerConfig::DEFAULT_BATCH_SIZE`]. Ignored by
     /// the materializing backends.
     pub batch_size: usize,
+    /// Record wall-clock spans in the per-operator trace
+    /// ([`crate::trace`]). Row, probe and retained-state attribution is
+    /// always on (it is O(1) bookkeeping the executors do anyway); this
+    /// flag only gates the `Instant` reads. Defaults to `false`; the
+    /// `Engine` turns it on for `explain_analyze`.
+    pub tracing: bool,
 }
 
 impl Default for PlannerConfig {
@@ -78,6 +84,7 @@ impl Default for PlannerConfig {
             backend: ExecutionBackend::RowAtATime,
             parallelism: 1,
             batch_size: PlannerConfig::DEFAULT_BATCH_SIZE,
+            tracing: false,
         }
     }
 }
@@ -140,6 +147,13 @@ impl PlannerConfig {
     /// to ≥ 1).
     pub fn batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// This configuration with wall-clock span recording switched on or
+    /// off (see [`PlannerConfig::tracing`]).
+    pub fn tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 }

@@ -1,12 +1,29 @@
-//! Execution statistics.
+//! Execution statistics: query-level aggregates plus the per-operator
+//! span tree.
 //!
 //! The metric the paper cares about is the *size of intermediate results*
 //! (Section 6: any basic-algebra simulation of division must produce
-//! quadratic intermediates). Every physical operator therefore reports the
-//! number of tuples it consumed and produced, and the executor aggregates the
-//! peak and total intermediate volumes so benches and tests can compare
-//! algorithms on exactly that axis.
+//! quadratic intermediates), and the aggregate counters here measure exactly
+//! that — tuples scanned, intermediate volume, peak intermediate, probes.
+//! Two later layers extended the picture:
+//!
+//! * **resident accounting** for the streaming executor
+//!   ([`crate::stream`]): `peak_resident_batches` / `peak_resident_rows`
+//!   track the executor-materialized footprint, the O(pipeline depth ×
+//!   batch size) memory claim streaming exists to make;
+//! * **per-operator attribution** ([`crate::trace`]): `operators` holds an
+//!   [`OperatorStats`] node per plan operator, keyed by its pre-order
+//!   [`OperatorId`](crate::trace::OperatorId), with that operator's own
+//!   rows in/out, probes, retained peak and (when tracing is enabled)
+//!   wall-clock spans. This is the tree `EXPLAIN ANALYZE` renders.
+//!
+//! The older `rows_per_operator` map survives as a *deprecated aggregated
+//! view*: it keys by label, so two operators with the same label merge into
+//! one entry, and kernel-level pseudo-operators (e.g. `ColumnarHashDivision`
+//! inside a `Divide` node) appear alongside plan operators. Prefer the
+//! `operators` tree for anything positional.
 
+use crate::trace::OperatorStats;
 use std::collections::BTreeMap;
 
 /// Aggregated execution statistics for one plan execution.
@@ -23,10 +40,25 @@ pub struct ExecStats {
     /// Total tuple comparisons / hash probes performed by division and join
     /// algorithms (a proxy for CPU work).
     pub probes: usize,
-    /// Tuples produced per operator label.
+    /// Tuples produced per operator *label* — the legacy aggregated view.
+    ///
+    /// Deprecated in favor of [`ExecStats::operators`]: labels are not
+    /// unique (two identical `Filter`s merge into one entry) and kernel
+    /// pseudo-operators are mixed in. Kept for compatibility; it will not
+    /// grow new information.
     pub rows_per_operator: BTreeMap<String, usize>,
-    /// Number of operators executed.
-    pub operators: usize,
+    /// Number of operator executions recorded (plan operators plus
+    /// kernel-level pseudo-operators; summed across parallel partitions).
+    pub operators_executed: usize,
+    /// The per-operator span tree: one [`OperatorStats`] node per plan
+    /// operator, indexed by its pre-order
+    /// [`OperatorId`](crate::trace::OperatorId) (`operators[i].id.0 == i`).
+    /// Row/probe/retained counters are always filled; the wall-clock fields
+    /// are non-zero only when tracing was enabled
+    /// ([`PlannerConfig::tracing`](crate::PlannerConfig::tracing)). Empty
+    /// for kernel-level executions that never ran a plan (e.g. the
+    /// per-partition worker stats inside [`crate::parallel`]).
+    pub operators: Vec<OperatorStats>,
     /// Peak number of executor-materialized batches simultaneously resident
     /// during a *streaming* execution ([`crate::stream`]): in-flight chunks
     /// plus blocking-operator state (build sides, buffered inputs, distinct
@@ -44,7 +76,7 @@ pub struct ExecStats {
 impl ExecStats {
     /// Record one operator execution.
     pub fn record(&mut self, label: &str, output_rows: usize, is_scan: bool, is_root: bool) {
-        self.operators += 1;
+        self.operators_executed += 1;
         if is_scan {
             self.rows_scanned += output_rows;
         } else if !is_root {
@@ -70,23 +102,49 @@ impl ExecStats {
     }
 
     /// Merge statistics from a sub-execution (e.g. a parallel partition).
+    ///
+    /// Aggregates are summed (peaks maxed) as before. The operator trees
+    /// merge structurally: if `self` has no tree, `other`'s is adopted; if
+    /// both trees describe the same plan shape (same length and labels),
+    /// nodes are combined pairwise (rows and probes summed, retained peaks
+    /// and times maxed — partitions run concurrently); trees of different
+    /// shapes keep `self`'s.
     pub fn merge(&mut self, other: &ExecStats) {
         self.rows_scanned += other.rows_scanned;
         self.intermediate_tuples += other.intermediate_tuples;
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
         self.probes += other.probes;
-        self.operators += other.operators;
+        self.operators_executed += other.operators_executed;
         self.peak_resident_batches = self.peak_resident_batches.max(other.peak_resident_batches);
         self.peak_resident_rows = self.peak_resident_rows.max(other.peak_resident_rows);
         for (label, rows) in &other.rows_per_operator {
             *self.rows_per_operator.entry(label.clone()).or_insert(0) += rows;
         }
+        if self.operators.is_empty() {
+            self.operators = other.operators.clone();
+        } else if same_shape(&self.operators, &other.operators) {
+            for (mine, theirs) in self.operators.iter_mut().zip(&other.operators) {
+                mine.rows_in += theirs.rows_in;
+                mine.rows_out += theirs.rows_out;
+                mine.probes += theirs.probes;
+                mine.peak_retained_rows = mine.peak_retained_rows.max(theirs.peak_retained_rows);
+                mine.time_open_ns = mine.time_open_ns.max(theirs.time_open_ns);
+                mine.time_next_ns = mine.time_next_ns.max(theirs.time_next_ns);
+                mine.time_close_ns = mine.time_close_ns.max(theirs.time_close_ns);
+            }
+        }
     }
+}
+
+fn same_shape(a: &[OperatorStats], b: &[OperatorStats]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.label == y.label)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{OperatorId, QueryTrace};
+    use crate::PhysicalPlan;
 
     #[test]
     fn record_distinguishes_scans_intermediates_and_root() {
@@ -98,7 +156,7 @@ mod tests {
         assert_eq!(stats.intermediate_tuples, 40);
         assert_eq!(stats.max_intermediate, 40);
         assert_eq!(stats.output_rows, 10);
-        assert_eq!(stats.operators, 3);
+        assert_eq!(stats.operators_executed, 3);
         assert_eq!(stats.rows_per_operator["HashDivision"], 40);
     }
 
@@ -131,5 +189,50 @@ mod tests {
         stats.note_resident(1, 50);
         assert_eq!(stats.peak_resident_batches, 3);
         assert_eq!(stats.peak_resident_rows, 300);
+    }
+
+    fn scan_tree(rows: usize) -> Vec<OperatorStats> {
+        let plan = PhysicalPlan::TableScan { table: "t".into() };
+        let mut trace = QueryTrace::from_plan(&plan);
+        trace.set_rows_out(OperatorId(0), rows);
+        trace.finish()
+    }
+
+    fn with_tree(rows: usize) -> ExecStats {
+        ExecStats {
+            operators: scan_tree(rows),
+            ..ExecStats::default()
+        }
+    }
+
+    #[test]
+    fn merge_adopts_a_tree_when_self_has_none() {
+        let mut a = ExecStats::default();
+        let b = with_tree(7);
+        a.merge(&b);
+        assert_eq!(a.operators.len(), 1);
+        assert_eq!(a.operators[0].rows_out, 7);
+    }
+
+    #[test]
+    fn merge_combines_same_shape_trees_nodewise() {
+        let mut a = with_tree(7);
+        a.operators[0].peak_retained_rows = 10;
+        let mut b = with_tree(5);
+        b.operators[0].probes = 3;
+        b.operators[0].peak_retained_rows = 4;
+        a.merge(&b);
+        assert_eq!(a.operators[0].rows_out, 12);
+        assert_eq!(a.operators[0].probes, 3);
+        assert_eq!(a.operators[0].peak_retained_rows, 10);
+    }
+
+    #[test]
+    fn merge_keeps_own_tree_on_shape_mismatch() {
+        let mut a = with_tree(7);
+        let mut b = with_tree(5);
+        b.operators[0].label = "SomethingElse".into();
+        a.merge(&b);
+        assert_eq!(a.operators[0].rows_out, 7);
     }
 }

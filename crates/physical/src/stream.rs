@@ -39,23 +39,34 @@
 //! [`ExecStats::peak_resident_batches`] / [`ExecStats::peak_resident_rows`]:
 //! for a pipeline of streaming operators that peak is O(depth ×
 //! batch_size), not O(table).
+//!
+//! Every operator additionally reports into the per-operator span tree of
+//! [`crate::trace`] under its pre-order [`OperatorId`]: rows out, probes
+//! and retained peaks always; wall-clock `open`/`next_batch`/`close` spans
+//! when [`PlannerConfig::tracing`] is on (each operator is then wrapped in
+//! a transparent `TimedStream` — the untraced path performs no clock
+//! reads). The finished tree is published as [`ExecStats::operators`] by
+//! [`StreamExecutor::finish`].
 
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerConfig;
 use crate::stats::ExecStats;
+use crate::trace::{OperatorId, QueryTrace};
 use crate::Result;
 use div_algebra::{AlgebraError, Predicate, Relation, Schema, Tuple};
 use div_columnar::kernels::{self, JoinBuild, KernelOutput, StreamingGreatDivide};
 use div_columnar::{partition, Column, ColumnarBatch, StreamingDistinct};
 use div_expr::{Catalog, ExprError};
+use std::time::Instant;
 
 /// Shared per-execution state threaded through every operator call:
-/// statistics, the configured chunk geometry, and the resident-batch
-/// accounting behind [`ExecStats::peak_resident_rows`].
+/// statistics, the per-operator trace, the configured chunk geometry, and
+/// the resident-batch accounting behind [`ExecStats::peak_resident_rows`].
 #[derive(Debug)]
 pub struct StreamContext {
     /// The statistics being accumulated.
     pub stats: ExecStats,
+    trace: QueryTrace,
     batch_size: usize,
     parallelism: usize,
     resident_rows: usize,
@@ -63,9 +74,10 @@ pub struct StreamContext {
 }
 
 impl StreamContext {
-    fn new(config: &PlannerConfig) -> StreamContext {
+    fn new(plan: &PhysicalPlan, config: &PlannerConfig) -> StreamContext {
         StreamContext {
             stats: ExecStats::default(),
+            trace: QueryTrace::from_plan(plan).with_timing(config.tracing),
             batch_size: config.batch_size.max(1),
             parallelism: config.parallelism.max(1),
             resident_rows: 0,
@@ -76,6 +88,12 @@ impl StreamContext {
     /// The configured chunk size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Record kernel probes both in the aggregate and against the operator.
+    fn add_probes(&mut self, id: OperatorId, probes: usize) {
+        self.stats.add_probes(probes);
+        self.trace.add_probes(id, probes);
     }
 
     /// Account for `rows` in `batches` newly materialized batches.
@@ -117,6 +135,7 @@ pub trait BatchStream {
 /// Per-operator bookkeeping shared by every [`BatchStream`] implementation.
 #[derive(Debug)]
 struct OpMeta {
+    id: OperatorId,
     label: String,
     emitted: usize,
     is_scan: bool,
@@ -125,8 +144,9 @@ struct OpMeta {
 }
 
 impl OpMeta {
-    fn new(plan: &PhysicalPlan, is_root: bool) -> OpMeta {
+    fn new(id: OperatorId, plan: &PhysicalPlan, is_root: bool) -> OpMeta {
         OpMeta {
+            id,
             label: plan.label(),
             emitted: 0,
             is_scan: matches!(
@@ -146,12 +166,14 @@ impl OpMeta {
         Some(batch)
     }
 
-    /// Record this operator's row total once.
+    /// Record this operator's row total once — in the aggregate stats and
+    /// against its node in the operator trace.
     fn record(&mut self, ctx: &mut StreamContext) {
         if !self.closed {
             self.closed = true;
             ctx.stats
                 .record(&self.label, self.emitted, self.is_scan, self.is_root);
+            ctx.trace.set_rows_out(self.id, self.emitted);
         }
     }
 }
@@ -329,8 +351,10 @@ struct RetainedState {
 }
 
 impl RetainedState {
-    /// Grow the retained footprint to `rows` (monotone).
-    fn grow_to(&mut self, ctx: &mut StreamContext, rows: usize) {
+    /// Grow the retained footprint to `rows` (monotone), attributing the
+    /// peak to operator `id` in the trace.
+    fn grow_to(&mut self, ctx: &mut StreamContext, id: OperatorId, rows: usize) {
+        ctx.trace.note_retained(id, rows);
         if rows > self.rows {
             let batches = usize::from(!self.counted_batch && rows > 0);
             self.counted_batch |= batches > 0;
@@ -373,7 +397,7 @@ impl BatchStream for ProjectStream<'_> {
                 Some(distinct) => {
                     let fresh = distinct.push(&projected);
                     let retained_rows = distinct.len();
-                    self.retained.grow_to(ctx, retained_rows);
+                    self.retained.grow_to(ctx, self.meta.id, retained_rows);
                     fresh
                 }
                 None => projected,
@@ -469,7 +493,8 @@ impl BatchStream for UnionStream<'_> {
                 self.distinct.push(&chunk)
             };
             consumed(ctx, &chunk);
-            self.retained.grow_to(ctx, self.distinct.len());
+            self.retained
+                .grow_to(ctx, self.meta.id, self.distinct.len());
             if fresh.num_rows() > 0 {
                 return Ok(self.meta.emit(ctx, fresh));
             }
@@ -521,7 +546,7 @@ impl HashJoinStream<'_> {
         // The drained batch now lives inside the build; keep its accounting
         // under the retained state.
         ctx.release(rows, 1);
-        self.retained.grow_to(ctx, rows);
+        self.retained.grow_to(ctx, self.meta.id, rows);
         self.build = Some(build);
         Ok(())
     }
@@ -542,7 +567,7 @@ impl BatchStream for HashJoinStream<'_> {
                 StreamJoinKind::Anti => build.probe_semi(&chunk, true),
             }
             .map_err(ExprError::from)?;
-            ctx.stats.add_probes(probes);
+            ctx.add_probes(self.meta.id, probes);
             consumed(ctx, &chunk);
             if batch.num_rows() > 0 {
                 return Ok(self.meta.emit(ctx, batch));
@@ -584,14 +609,14 @@ impl BatchStream for ThetaJoinStream<'_> {
             let batch = drain_to_batch(&mut right, ctx)?;
             right.close(ctx);
             ctx.release(batch.num_rows(), 1);
-            self.retained.grow_to(ctx, batch.num_rows());
+            self.retained.grow_to(ctx, self.meta.id, batch.num_rows());
             self.right_batch = Some(batch);
         }
         let right = self.right_batch.as_ref().expect("materialized above");
         while let Some(chunk) = self.left.next_batch(ctx)? {
             let KernelOutput { batch, probes } =
                 kernels::theta_join(&chunk, right, &self.predicate).map_err(ExprError::from)?;
-            ctx.stats.add_probes(probes);
+            ctx.add_probes(self.meta.id, probes);
             consumed(ctx, &chunk);
             if batch.num_rows() > 0 {
                 return Ok(self.meta.emit(ctx, batch));
@@ -649,7 +674,7 @@ impl BatchStream for DivideStream<'_> {
             divisor.close(ctx);
             let divisor_rows = divisor_batch.num_rows();
             ctx.release(divisor_rows, 1);
-            self.retained.grow_to(ctx, divisor_rows);
+            self.retained.grow_to(ctx, self.meta.id, divisor_rows);
             // `StreamingGreatDivide` degrades to the small divide exactly
             // when the divisor has no attributes of its own — which is the
             // planner's precondition for `PhysicalPlan::Divide` — so one
@@ -659,9 +684,10 @@ impl BatchStream for DivideStream<'_> {
                 .map_err(ExprError::from)?;
             while let Some(chunk) = self.dividend.next_batch(ctx)? {
                 let probes = state.consume(&chunk);
-                ctx.stats.add_probes(probes);
+                ctx.add_probes(self.meta.id, probes);
                 consumed(ctx, &chunk);
-                self.retained.grow_to(ctx, divisor_rows + state.groups());
+                self.retained
+                    .grow_to(ctx, self.meta.id, divisor_rows + state.groups());
             }
             let quotient = state.finish().map_err(ExprError::from)?;
             self.kernel_rows = Some(quotient.num_rows());
@@ -750,6 +776,9 @@ impl BatchStream for BlockingStream<'_> {
                 _ => unreachable!("blocking kind/arity mismatch is impossible by construction"),
             }
             .map_err(ExprError::from)?;
+            let buffered = left.num_rows() + right.as_ref().map_or(0, ColumnarBatch::num_rows);
+            ctx.trace
+                .note_retained(self.meta.id, buffered + result.num_rows());
             ctx.release(left.num_rows(), 1);
             if let Some(r) = &right {
                 ctx.release(r.num_rows(), 1);
@@ -795,17 +824,44 @@ fn schema_mismatch(left: &Schema, right: &Schema, operation: &'static str) -> Ex
 pub fn compile_stream<'a>(
     plan: &PhysicalPlan,
     catalog: &'a Catalog,
-    _config: &PlannerConfig,
+    config: &PlannerConfig,
 ) -> Result<Box<dyn BatchStream + 'a>> {
-    compile(plan, catalog, true)
+    // Standalone compilation (outside a `StreamExecutor`) discards the
+    // open-phase spans; ids are still assigned so runtime attribution works.
+    let mut trace = QueryTrace::from_plan(plan).with_timing(config.tracing);
+    let mut next_id = 0;
+    compile(plan, catalog, true, &mut trace, &mut next_id)
 }
 
 fn compile<'a>(
     plan: &PhysicalPlan,
     catalog: &'a Catalog,
     is_root: bool,
+    trace: &mut QueryTrace,
+    next_id: &mut usize,
 ) -> Result<Box<dyn BatchStream + 'a>> {
-    let meta = OpMeta::new(plan, is_root);
+    // Ids are assigned at entry of this pre-order walk, so they match the
+    // skeleton [`QueryTrace::from_plan`] built from the same plan.
+    let id = OperatorId(*next_id);
+    *next_id += 1;
+    let meta = OpMeta::new(id, plan, is_root);
+    let opened = trace.span_start();
+    let stream = compile_node(plan, catalog, meta, trace, next_id)?;
+    if let Some(started) = opened {
+        // Inclusive of the children compiled inside `compile_node`.
+        trace.add_open(id, started.elapsed());
+        return Ok(Box::new(TimedStream { id, inner: stream }));
+    }
+    Ok(stream)
+}
+
+fn compile_node<'a>(
+    plan: &PhysicalPlan,
+    catalog: &'a Catalog,
+    meta: OpMeta,
+    trace: &mut QueryTrace,
+    next_id: &mut usize,
+) -> Result<Box<dyn BatchStream + 'a>> {
     Ok(match plan {
         PhysicalPlan::TableScan { table } => Box::new(ScanStream::new(meta, catalog.table(table)?)),
         PhysicalPlan::Values { relation } => {
@@ -821,11 +877,11 @@ fn compile<'a>(
         }
         PhysicalPlan::Filter { input, predicate } => Box::new(FilterStream {
             meta,
-            child: compile(input, catalog, false)?,
+            child: compile(input, catalog, false, trace, next_id)?,
             predicate: predicate.clone(),
         }),
         PhysicalPlan::Project { input, attributes } => {
-            let child = compile(input, catalog, false)?;
+            let child = compile(input, catalog, false, trace, next_id)?;
             let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             let schema = child.schema().project(&refs).map_err(ExprError::from)?;
             let indices = child
@@ -847,7 +903,7 @@ fn compile<'a>(
             })
         }
         PhysicalPlan::Rename { input, renames } => {
-            let child = compile(input, catalog, false)?;
+            let child = compile(input, catalog, false, trace, next_id)?;
             let schema = child
                 .schema()
                 .rename_with(|name| {
@@ -865,8 +921,8 @@ fn compile<'a>(
             })
         }
         PhysicalPlan::Union { left, right } => {
-            let left = compile(left, catalog, false)?;
-            let right = compile(right, catalog, false)?;
+            let left = compile(left, catalog, false, trace, next_id)?;
+            let right = compile(right, catalog, false, trace, next_id)?;
             if !left.schema().is_compatible_with(right.schema()) {
                 return Err(schema_mismatch(left.schema(), right.schema(), "union"));
             }
@@ -887,8 +943,8 @@ fn compile<'a>(
             } else {
                 (BlockingKind::Difference, "difference")
             };
-            let left = compile(left, catalog, false)?;
-            let right = compile(right, catalog, false)?;
+            let left = compile(left, catalog, false, trace, next_id)?;
+            let right = compile(right, catalog, false, trace, next_id)?;
             if !left.schema().is_compatible_with(right.schema()) {
                 return Err(schema_mismatch(left.schema(), right.schema(), operation));
             }
@@ -903,8 +959,8 @@ fn compile<'a>(
             })
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            let left = compile(left, catalog, false)?;
-            let right = compile(right, catalog, false)?;
+            let left = compile(left, catalog, false, trace, next_id)?;
+            let right = compile(right, catalog, false, trace, next_id)?;
             let schema = left
                 .schema()
                 .concat(right.schema())
@@ -923,8 +979,8 @@ fn compile<'a>(
             right,
             predicate,
         } => {
-            let left = compile(left, catalog, false)?;
-            let right = compile(right, catalog, false)?;
+            let left = compile(left, catalog, false, trace, next_id)?;
+            let right = compile(right, catalog, false, trace, next_id)?;
             let schema = left
                 .schema()
                 .concat(right.schema())
@@ -947,8 +1003,8 @@ fn compile<'a>(
                 PhysicalPlan::HashSemiJoin { .. } => StreamJoinKind::Semi,
                 _ => StreamJoinKind::Anti,
             };
-            let left = compile(left, catalog, false)?;
-            let right = compile(right, catalog, false)?;
+            let left = compile(left, catalog, false, trace, next_id)?;
+            let right = compile(right, catalog, false, trace, next_id)?;
             let schema = match kind {
                 StreamJoinKind::Natural => left.schema().natural_union(right.schema()),
                 _ => left.schema().clone(),
@@ -968,7 +1024,7 @@ fn compile<'a>(
             group_by,
             aggregates,
         } => {
-            let child = compile(input, catalog, false)?;
+            let child = compile(input, catalog, false, trace, next_id)?;
             let mut names: Vec<String> = group_by.clone();
             for agg in aggregates {
                 child
@@ -1002,8 +1058,8 @@ fn compile<'a>(
             dividend, divisor, ..
         } => {
             let great = matches!(plan, PhysicalPlan::GreatDivide { .. });
-            let dividend = compile(dividend, catalog, false)?;
-            let divisor = compile(divisor, catalog, false)?;
+            let dividend = compile(dividend, catalog, false, trace, next_id)?;
+            let divisor = compile(divisor, catalog, false, trace, next_id)?;
             let schema = if great {
                 kernels::great_quotient_schema(dividend.schema(), divisor.schema())
             } else {
@@ -1022,6 +1078,36 @@ fn compile<'a>(
             })
         }
     })
+}
+
+/// Transparent timing wrapper installed around every operator when
+/// [`PlannerConfig::tracing`] is on: one `Instant` pair per `next_batch` /
+/// `close` call (never per row), accumulated into the operator's trace
+/// node. Spans are inclusive — children run inside the wrapped call — and
+/// the untraced path never constructs this type, so plain executions pay
+/// no clock reads at all.
+struct TimedStream<'a> {
+    id: OperatorId,
+    inner: Box<dyn BatchStream + 'a>,
+}
+
+impl BatchStream for TimedStream<'_> {
+    fn schema(&self) -> &Schema {
+        self.inner.schema()
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        let started = Instant::now();
+        let out = self.inner.next_batch(ctx);
+        ctx.trace.add_next(self.id, started.elapsed());
+        out
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        let started = Instant::now();
+        self.inner.close(ctx);
+        ctx.trace.add_close(self.id, started.elapsed());
+    }
 }
 
 /// Owned-batch variant of [`ScanStream`] for inline `Values` relations.
@@ -1107,11 +1193,13 @@ impl<'a> StreamExecutor<'a> {
         catalog: &'a Catalog,
         config: &PlannerConfig,
     ) -> Result<StreamExecutor<'a>> {
-        let root = compile_stream(plan, catalog, config)?;
+        let mut ctx = StreamContext::new(plan, config);
+        let mut next_id = 0;
+        let root = compile(plan, catalog, true, &mut ctx.trace, &mut next_id)?;
         let schema = root.schema().clone();
         Ok(StreamExecutor {
             root,
-            ctx: StreamContext::new(config),
+            ctx,
             schema,
             exhausted: false,
             last_emitted: 0,
@@ -1157,10 +1245,12 @@ impl<'a> StreamExecutor<'a> {
 
     /// Close the operator tree (recording every operator's totals — the
     /// rows each operator *actually* processed, which for an
-    /// early-terminated stream is less than the full input) and return the
+    /// early-terminated stream is less than the full input), finalize the
+    /// per-operator span tree into [`ExecStats::operators`], and return the
     /// statistics.
     pub fn finish(mut self) -> ExecStats {
         self.root.close(&mut self.ctx);
+        self.ctx.stats.operators = self.ctx.trace.finish();
         self.ctx.stats
     }
 }

@@ -23,6 +23,19 @@ pub struct AppliedRule {
     pub nodes_after: usize,
 }
 
+/// Tally rule applications by rule name (insertion-ordered by name).
+///
+/// Convenience for observability layers that keep per-law counters — e.g.
+/// the SQL engine's metrics registry — without caring about pass numbers or
+/// plan sizes.
+pub fn count_applications(applied: &[AppliedRule]) -> std::collections::BTreeMap<String, u64> {
+    let mut counts = std::collections::BTreeMap::new();
+    for a in applied {
+        *counts.entry(a.rule.clone()).or_insert(0u64) += 1;
+    }
+    counts
+}
+
 /// The result of running the engine.
 #[derive(Debug, Clone)]
 pub struct RewriteOutcome {
@@ -263,5 +276,21 @@ mod tests {
         assert!(first.nodes_before >= 3);
         assert!(first.nodes_after >= 3);
         assert!(first.reference.contains("Law"));
+    }
+
+    #[test]
+    fn count_applications_tallies_by_rule_name() {
+        let mk = |rule: &str| AppliedRule {
+            rule: rule.to_string(),
+            reference: "Law X".to_string(),
+            pass: 1,
+            nodes_before: 3,
+            nodes_after: 3,
+        };
+        let applied = [mk("law-15"), mk("law-14"), mk("law-15")];
+        let counts = count_applications(&applied);
+        assert_eq!(counts.get("law-15"), Some(&2));
+        assert_eq!(counts.get("law-14"), Some(&1));
+        assert_eq!(counts.len(), 2);
     }
 }

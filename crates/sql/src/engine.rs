@@ -33,7 +33,15 @@
 //!   structured [`Explain`] report — logical plan before and after the
 //!   rewrite, the laws that fired, cost estimates, the chosen physical
 //!   operators, and (for `explain_analyze`) the measured [`ExecStats`],
-//!   including the streaming executor's peak-resident-batch footprint.
+//!   including a per-operator span tree that lines cost-model estimates up
+//!   against actual row counts, wall time, hash probes and resident rows.
+//!
+//! The engine is also **observable**: every query updates the session-wide
+//! [`EngineMetrics`] registry (throughput
+//! counters, pipeline time split, latency histogram, per-law application
+//! counts — read it with [`Engine::metrics`]), and per-operator wall-clock
+//! tracing can be switched on for ordinary queries with
+//! [`EngineBuilder::with_tracing`] (`explain_analyze` always traces).
 //!
 //! ```
 //! use div_algebra::relation;
@@ -63,12 +71,14 @@
 //! ```
 
 use crate::error::Error;
+use crate::metrics::{EngineMetrics, MetricsSnapshot};
 use crate::{parse_query, translate_query};
 use div_algebra::{Relation, Schema, Value};
 use div_columnar::ColumnarBatch;
 use div_expr::{Catalog, LogicalPlan};
 use div_physical::{
-    plan_query, ExecStats, ExecutionBackend, PhysicalPlan, PlannerConfig, StreamExecutor,
+    plan_query, ExecStats, ExecutionBackend, OperatorStats, PhysicalPlan, PlannerConfig,
+    StreamExecutor,
 };
 use div_rewrite::engine::AppliedRule;
 use div_rewrite::optimizer::{CostEstimate, CostModel};
@@ -76,7 +86,8 @@ use div_rewrite::{OptimizedPlan, Optimizer, RewriteContext, RuleSet};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Result alias of the engine API.
 pub type Result<T> = std::result::Result<T, Error>;
@@ -176,6 +187,9 @@ pub struct Cursor<'a> {
     exec: Option<StreamExecutor<'a>>,
     schema: Schema,
     failed: bool,
+    rows: u64,
+    opened: Instant,
+    metrics: Option<&'a EngineMetrics>,
 }
 
 impl<'a> Cursor<'a> {
@@ -194,7 +208,26 @@ impl<'a> Cursor<'a> {
             exec: Some(exec),
             schema,
             failed: false,
+            rows: 0,
+            opened: Instant::now(),
+            metrics: None,
         })
+    }
+
+    /// Attach the engine's metrics registry: the cursor reports its row
+    /// count and execution latency there exactly once, when it finishes
+    /// (collect, `finish_stats` or drop — whichever comes first).
+    pub(crate) fn with_metrics(mut self, metrics: &'a EngineMetrics) -> Cursor<'a> {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Report this execution to the metrics registry (idempotent: the
+    /// registry reference is taken on first use; [`Drop`] calls this too).
+    fn record_metrics(&mut self) {
+        if let Some(metrics) = self.metrics.take() {
+            metrics.record_execution(self.rows, self.opened.elapsed());
+        }
     }
 
     /// The result schema (available before any batch is pulled).
@@ -217,6 +250,7 @@ impl<'a> Cursor<'a> {
         loop {
             match exec.next_batch() {
                 Ok(Some(batch)) => {
+                    self.rows += batch.num_rows() as u64;
                     for i in 0..batch.num_rows() {
                         relation
                             .insert(batch.row(i))
@@ -227,10 +261,9 @@ impl<'a> Cursor<'a> {
                 Err(err) => return Err(err.into()),
             }
         }
-        Ok(QueryOutput {
-            relation,
-            stats: exec.finish(),
-        })
+        let stats = exec.finish();
+        self.record_metrics();
+        Ok(QueryOutput { relation, stats })
     }
 
     /// Close the execution without consuming further batches and return
@@ -238,7 +271,9 @@ impl<'a> Cursor<'a> {
     /// termination, `rows_scanned` stays strictly below the scanned
     /// tables' cardinality.
     pub fn finish_stats(mut self) -> ExecStats {
-        self.exec.take().expect("cursor not yet finished").finish()
+        let stats = self.exec.take().expect("cursor not yet finished").finish();
+        self.record_metrics();
+        stats
     }
 }
 
@@ -250,13 +285,25 @@ impl Iterator for Cursor<'_> {
             return None;
         }
         match self.exec.as_mut()?.next_batch() {
-            Ok(Some(batch)) => Some(Ok(batch)),
+            Ok(Some(batch)) => {
+                self.rows += batch.num_rows() as u64;
+                Some(Ok(batch))
+            }
             Ok(None) => None,
             Err(err) => {
                 self.failed = true;
                 Some(Err(err.into()))
             }
         }
+    }
+}
+
+impl Drop for Cursor<'_> {
+    fn drop(&mut self) {
+        // An abandoned cursor (early drop, error mid-stream) still counts
+        // as one execution; `record_metrics` is a no-op when the cursor
+        // already reported on collect/finish.
+        self.record_metrics();
     }
 }
 
@@ -316,6 +363,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Switch per-operator wall-clock tracing on (or off) for ordinary
+    /// queries — shorthand for setting [`PlannerConfig::tracing`].
+    ///
+    /// With tracing on, every execution's [`ExecStats::operators`] span tree
+    /// carries open/next/close wall time per operator. Row, probe and
+    /// resident-row attribution is always on regardless of this flag; it
+    /// only gates the clock reads. Defaults to `false`;
+    /// [`Engine::explain_analyze`] always traces its execution.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.config.tracing = tracing;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Engine {
         Engine {
@@ -326,6 +386,8 @@ impl EngineBuilder {
                 .with_cost_model(self.cost_model),
             optimize: self.optimize,
             compile_count: AtomicU64::new(0),
+            metrics: EngineMetrics::default(),
+            prepared_cache: Mutex::new(BTreeMap::new()),
         }
     }
 }
@@ -339,7 +401,16 @@ pub struct Engine {
     optimizer: Optimizer,
     optimize: bool,
     compile_count: AtomicU64,
+    metrics: EngineMetrics,
+    /// Compiled statements keyed by SQL text, so repeated
+    /// [`Engine::prepare`] calls for the same statement reuse one
+    /// compilation. Entries are validated against the catalog version on
+    /// lookup; the cache is bounded by [`PREPARED_CACHE_CAPACITY`].
+    prepared_cache: Mutex<BTreeMap<String, PreparedStatement>>,
 }
+
+/// Maximum number of statements the engine's prepared-plan cache retains.
+const PREPARED_CACHE_CAPACITY: usize = 128;
 
 /// A statement compiled down to its optimized physical plan.
 ///
@@ -434,6 +505,40 @@ impl Engine {
         self.compile_count.load(Ordering::Relaxed)
     }
 
+    /// A point-in-time snapshot of the session-wide metrics registry:
+    /// queries executed, rows returned, the parse/optimize/plan/execute
+    /// time split, the execution-latency histogram, prepared-statement
+    /// cache hits and misses, and per-rewrite-law application counts.
+    ///
+    /// The snapshot renders as text ([`fmt::Display`]) or JSON
+    /// ([`MetricsSnapshot::to_json`]).
+    ///
+    /// ```
+    /// use div_algebra::relation;
+    /// use div_expr::Catalog;
+    /// use div_sql::Engine;
+    ///
+    /// let mut catalog = Catalog::new();
+    /// catalog.register("parts", relation! { ["p#"] => [1], [2], [3] });
+    /// let engine = Engine::new(catalog);
+    /// engine.query("SELECT p# FROM parts")?.collect_relation()?;
+    /// let metrics = engine.metrics();
+    /// assert_eq!(metrics.queries_executed, 1);
+    /// assert_eq!(metrics.rows_returned, 3);
+    /// # Ok::<(), div_sql::Error>(())
+    /// ```
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Parse `sql`, crediting the time to the metrics registry.
+    fn parse_timed(&self, sql: &str) -> Result<crate::Query> {
+        let started = Instant::now();
+        let query = parse_query(sql)?;
+        self.metrics.add_parse(started.elapsed());
+        Ok(query)
+    }
+
     /// Parse, translate, optimize and plan `sql`, and open a streaming
     /// [`Cursor`] over the result.
     ///
@@ -480,7 +585,7 @@ impl Engine {
     /// are substituted into the logical plan *before* the optimizer runs and
     /// the query gets the same rewrite search as its all-literal equivalent.
     pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<Cursor<'_>> {
-        let query = parse_query(sql)?;
+        let query = self.parse_timed(sql)?;
         check_bindings(params, &query.parameters())?;
         let compiled = self.compile_parsed(&query, params)?;
         self.cursor_for(&compiled.physical)
@@ -514,24 +619,59 @@ impl Engine {
     /// without the SQL front end.
     pub fn stream_logical(&self, logical: &LogicalPlan) -> Result<Cursor<'_>> {
         self.compile_count.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let optimized = self.optimize_plan(logical)?;
+        self.metrics.add_optimize(started.elapsed());
+        self.metrics.record_laws(&optimized.applied);
+        let started = Instant::now();
         let physical = plan_query(&optimized.plan, &self.config)?;
+        self.metrics.add_plan(started.elapsed());
         self.cursor_for(&physical)
     }
 
     /// Compile `sql` into a [`PreparedStatement`] holding the optimized
     /// physical plan. See [`PreparedStatement`] for the execution contract.
+    ///
+    /// Preparing the same SQL text twice against an unchanged catalog is
+    /// answered from a bounded per-engine plan cache without recompiling
+    /// (the returned statements share one plan `Arc`); catalog mutations
+    /// invalidate cached entries. Hits and misses are counted in
+    /// [`Engine::metrics`].
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
-        let query = parse_query(sql)?;
+        self.metrics.record_prepare();
+        if let Some(cached) = self
+            .prepared_cache
+            .lock()
+            .expect("prepared cache lock")
+            .get(sql)
+        {
+            if cached.catalog_version == self.catalog.version() {
+                self.metrics.record_prepared_cache(true);
+                return Ok(cached.clone());
+            }
+        }
+        self.metrics.record_prepared_cache(false);
+        let query = self.parse_timed(sql)?;
         let declared = query.parameters();
         let compiled = self.compile_parsed(&query, &Params::new())?;
-        Ok(PreparedStatement {
+        let statement = PreparedStatement {
             sql: sql.to_string(),
             template: Arc::new(compiled.physical),
             parameters: declared,
             catalog_version: self.catalog.version(),
             applied: compiled.applied,
-        })
+        };
+        let mut cache = self.prepared_cache.lock().expect("prepared cache lock");
+        if cache.len() >= PREPARED_CACHE_CAPACITY && !cache.contains_key(sql) {
+            // Bound the cache by evicting an arbitrary entry (the map is
+            // small and keyed by SQL text; LRU precision is not worth a
+            // recency list here).
+            if let Some(evict) = cache.keys().next().cloned() {
+                cache.remove(&evict);
+            }
+        }
+        cache.insert(sql.to_string(), statement.clone());
+        Ok(statement)
     }
 
     /// Compile `sql` and report the whole pipeline without executing it.
@@ -542,9 +682,11 @@ impl Engine {
 
     /// [`Engine::explain`] plus an actual execution: the report additionally
     /// carries the measured [`ExecStats`]. The execution runs through the
-    /// streaming path, so the statistics include the peak-resident-batch
-    /// accounting ([`ExecStats::peak_resident_rows`]). Statements with
-    /// parameters cannot be analyzed without bindings — pass them via
+    /// streaming path with per-operator tracing forced **on** (regardless of
+    /// [`EngineBuilder::with_tracing`]), so the report annotates every
+    /// physical operator with its actual row count, wall time, hash probes
+    /// and resident-row peak next to the cost-model estimate. Statements
+    /// with parameters cannot be analyzed without bindings — pass them via
     /// [`Engine::explain_analyze_with_params`].
     pub fn explain_analyze(&self, sql: &str) -> Result<Explain> {
         self.explain_analyze_with_params(sql, &Params::new())
@@ -552,14 +694,32 @@ impl Engine {
 
     /// [`Engine::explain_analyze`] with `$name` parameter bindings applied.
     pub fn explain_analyze_with_params(&self, sql: &str, params: &Params) -> Result<Explain> {
-        let query = parse_query(sql)?;
+        let query = self.parse_timed(sql)?;
         check_bindings(params, &query.parameters())?;
         let compiled = self.compile_parsed(&query, params)?;
-        let output = self.cursor_for(&compiled.physical)?.collect()?;
+        // Analysis is explicitly about per-operator behaviour: force the
+        // span-timing flag on for this one execution.
+        let mut config = self.config;
+        config.tracing = true;
+        let output = self
+            .cursor_with_config(&compiled.physical, &config)?
+            .collect()?;
         Ok(self.explain_from(sql, compiled, Some(output.stats)))
     }
 
     fn explain_from(&self, sql: &str, compiled: Compiled, stats: Option<ExecStats>) -> Explain {
+        // Cardinality estimates per operator, in the same pre-order the
+        // physical plan (and the executors' OperatorId numbering) uses:
+        // `plan_query` maps logical nodes to physical operators 1:1, so a
+        // pre-order walk of the optimized logical plan lines up with the
+        // physical tree.
+        let ctx = RewriteContext::with_catalog(&self.catalog);
+        let model = self.optimizer.cost_model();
+        let mut estimated_rows = Vec::with_capacity(compiled.physical.operator_count());
+        compiled
+            .optimized
+            .visit(&mut |node| estimated_rows.push(model.cardinality(node, &ctx)));
+        debug_assert_eq!(estimated_rows.len(), compiled.physical.operator_count());
         Explain {
             sql: sql.to_string(),
             logical: compiled.logical,
@@ -569,6 +729,7 @@ impl Engine {
             cost_after: compiled.cost_after,
             alternatives_considered: compiled.alternatives_considered,
             physical: compiled.physical,
+            estimated_rows,
             backend: self.config.backend,
             parallelism: self.config.parallelism,
             batch_size: self.config.batch_size,
@@ -577,7 +738,7 @@ impl Engine {
     }
 
     fn compile(&self, sql: &str) -> Result<Compiled> {
-        let query = parse_query(sql)?;
+        let query = self.parse_timed(sql)?;
         self.compile_parsed(&query, &Params::new())
     }
 
@@ -590,8 +751,13 @@ impl Engine {
         if !params.is_empty() {
             logical = logical.bind_parameters(params.map());
         }
+        let started = Instant::now();
         let optimized = self.optimize_plan(&logical)?;
+        self.metrics.add_optimize(started.elapsed());
+        self.metrics.record_laws(&optimized.applied);
+        let started = Instant::now();
         let physical = plan_query(&optimized.plan, &self.config)?;
+        self.metrics.add_plan(started.elapsed());
         Ok(Compiled {
             logical,
             optimized: optimized.plan,
@@ -621,6 +787,16 @@ impl Engine {
     /// Open a streaming cursor over a fully bound physical plan, rejecting
     /// plans that still carry `$name` placeholders.
     fn cursor_for(&self, physical: &PhysicalPlan) -> Result<Cursor<'_>> {
+        self.cursor_with_config(physical, &self.config)
+    }
+
+    /// [`Engine::cursor_for`] with an overridden planner configuration
+    /// (used by `explain_analyze` to force span timing on).
+    fn cursor_with_config(
+        &self,
+        physical: &PhysicalPlan,
+        config: &PlannerConfig,
+    ) -> Result<Cursor<'_>> {
         if physical.has_parameters() {
             let parameter = physical
                 .parameters()
@@ -629,7 +805,7 @@ impl Engine {
                 .expect("has_parameters implies at least one name");
             return Err(Error::UnboundParameter { parameter });
         }
-        Cursor::over(physical, &self.catalog, &self.config)
+        Ok(Cursor::over(physical, &self.catalog, config)?.with_metrics(&self.metrics))
     }
 }
 
@@ -738,6 +914,12 @@ pub struct Explain {
     pub alternatives_considered: usize,
     /// The physical plan the engine would execute (parameters unbound).
     pub physical: PhysicalPlan,
+    /// Cost-model cardinality estimate per physical operator, indexed by
+    /// the operator's pre-order (depth-first) position — the same numbering
+    /// as [`div_physical::OperatorId`] and the lines of
+    /// [`PhysicalPlan::explain`]. `explain_analyze` lines these up against
+    /// the measured per-operator row counts.
+    pub estimated_rows: Vec<f64>,
     /// The [`ExecutionBackend`] of the engine's [`PlannerConfig`]. The
     /// engine itself always executes through the streaming path; this is
     /// the backend the *materializing compatibility layer*
@@ -764,6 +946,54 @@ impl Explain {
     /// `true` when the optimizer changed the plan.
     pub fn rewritten(&self) -> bool {
         !self.applied.is_empty()
+    }
+
+    /// The measured per-operator span tree, in [`div_physical::OperatorId`]
+    /// pre-order — `Some` only for [`Engine::explain_analyze`] reports.
+    pub fn operator_stats(&self) -> Option<&[OperatorStats]> {
+        self.stats
+            .as_ref()
+            .filter(|s| !s.operators.is_empty())
+            .map(|s| s.operators.as_slice())
+    }
+
+    /// Per-operator estimation error (the *q-error*: the larger of
+    /// estimate and actual divided by the smaller, both clamped to ≥ 1, so
+    /// a perfect estimate scores 1.0) — `Some` only when the report carries
+    /// measured stats whose span tree matches the physical plan.
+    ///
+    /// This is the feedback signal an adaptive re-optimizer would consume;
+    /// see the roadmap's "learned/adaptive re-optimization" item.
+    pub fn estimation_errors(&self) -> Option<Vec<f64>> {
+        let operators = self.operator_stats()?;
+        if operators.len() != self.estimated_rows.len() {
+            return None;
+        }
+        Some(
+            operators
+                .iter()
+                .zip(&self.estimated_rows)
+                .map(|(op, &est)| q_error(est, op.rows_out))
+                .collect(),
+        )
+    }
+}
+
+/// The q-error of one cardinality estimate: `max(est, actual) / min(est,
+/// actual)` with both sides clamped to at least one tuple. Symmetric, and
+/// 1.0 means the estimate was exact.
+fn q_error(estimated: f64, actual: usize) -> f64 {
+    let est = estimated.max(1.0);
+    let act = (actual as f64).max(1.0);
+    est.max(act) / est.min(act)
+}
+
+/// Pre-order walk of the physical tree collecting `(depth, label)` pairs —
+/// the same numbering the executors assign [`div_physical::OperatorId`]s in.
+fn physical_preorder(plan: &PhysicalPlan, depth: usize, out: &mut Vec<(usize, String)>) {
+    out.push((depth, plan.label()));
+    for child in plan.children() {
+        physical_preorder(child, depth + 1, out);
     }
 }
 
@@ -806,16 +1036,72 @@ impl fmt::Display for Explain {
         }
         if let Some(stats) = &self.stats {
             writeln!(f, "execution stats:")?;
+            writeln!(
+                f,
+                "  executed via:        streaming executor (batch_size={}, parallelism={})",
+                self.batch_size, self.parallelism
+            )?;
             writeln!(f, "  output rows:         {}", stats.output_rows)?;
             writeln!(f, "  rows scanned:        {}", stats.rows_scanned)?;
             writeln!(f, "  intermediate tuples: {}", stats.intermediate_tuples)?;
             writeln!(f, "  max intermediate:    {}", stats.max_intermediate)?;
-            writeln!(f, "  operators:           {}", stats.operators)?;
+            writeln!(f, "  operators executed:  {}", stats.operators_executed)?;
             writeln!(f, "  peak resident rows:  {}", stats.peak_resident_rows)?;
             writeln!(
                 f,
                 "  peak resident batches: {}",
                 stats.peak_resident_batches
+            )?;
+            self.fmt_operator_tree(f, stats)?;
+        }
+        Ok(())
+    }
+}
+
+impl Explain {
+    /// Render the annotated per-operator tree of an analyzed report:
+    /// actual rows next to the cost-model estimate (with the q-error),
+    /// wall-clock time, hash probes and peak resident rows per operator.
+    fn fmt_operator_tree(&self, f: &mut fmt::Formatter<'_>, stats: &ExecStats) -> fmt::Result {
+        if stats.operators.is_empty() {
+            return Ok(());
+        }
+        let mut shape = Vec::with_capacity(stats.operators.len());
+        physical_preorder(&self.physical, 0, &mut shape);
+        if shape.len() != stats.operators.len() {
+            // A span tree from a different plan shape (should not happen
+            // through the engine API); skip the annotation rather than
+            // mislabel it.
+            return Ok(());
+        }
+        writeln!(
+            f,
+            "per-operator stats (est from cost model, err = q-error):"
+        )?;
+        for (i, (depth, _)) in shape.iter().enumerate() {
+            let op = &stats.operators[i];
+            let est = self.estimated_rows.get(i).copied();
+            write!(
+                f,
+                "  {}{} rows={}",
+                "  ".repeat(*depth),
+                op.label,
+                op.rows_out
+            )?;
+            if let Some(est) = est {
+                write!(
+                    f,
+                    " est_rows={} err={:.2}",
+                    est.round() as u64,
+                    q_error(est, op.rows_out)
+                )?;
+            }
+            writeln!(
+                f,
+                " time={} probes={} resident={}",
+                crate::metrics::fmt_ns(op.total_time_ns()),
+                op.probes,
+                op.peak_retained_rows
             )?;
         }
         Ok(())

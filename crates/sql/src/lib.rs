@@ -17,8 +17,10 @@
 //! rewrite optimizer of `div-rewrite` in the loop by default, returns results
 //! as an incremental streaming [`Cursor`] (an iterator of columnar batches
 //! whose early termination short-circuits the scans), supports prepared
-//! statements ([`Engine::prepare`]) and structured EXPLAIN reports
-//! ([`Engine::explain`]). Translation rules:
+//! statements ([`Engine::prepare`]), structured EXPLAIN reports
+//! ([`Engine::explain`], [`Engine::explain_analyze`] with per-operator
+//! estimate-vs-actual spans) and a session-wide metrics registry
+//! ([`Engine::metrics`], module [`metrics`]). Translation rules:
 //!
 //! * a `DIVIDE BY … ON` table reference becomes a [`LogicalPlan::SmallDivide`](div_expr::LogicalPlan::SmallDivide)
 //!   when every divisor attribute appears in the `ON` clause as a conjunction
@@ -54,6 +56,7 @@ pub mod engine;
 pub mod error;
 pub mod lexer;
 pub mod lower;
+pub mod metrics;
 pub mod parser;
 pub mod run;
 
@@ -62,6 +65,7 @@ pub use engine::{Cursor, Engine, EngineBuilder, Explain, Params, PreparedStateme
 pub use error::Error;
 pub use lexer::{tokenize, Token};
 pub use lower::translate_query;
+pub use metrics::{EngineMetrics, MetricsSnapshot};
 pub use parser::{parse_query, ParseError};
 #[allow(deprecated)]
 pub use run::{compile_query, run_query};

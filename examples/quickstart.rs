@@ -57,6 +57,6 @@ fn main() {
     println!("result:\n{result}");
     println!(
         "executed {} operators, scanned {} rows, produced {} intermediate tuples",
-        stats.operators, stats.rows_scanned, stats.intermediate_tuples
+        stats.operators_executed, stats.rows_scanned, stats.intermediate_tuples
     );
 }

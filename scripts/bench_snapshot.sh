@@ -14,7 +14,10 @@
 #     (vectorized key pipeline vs the pre-pipeline kernels);
 #   * streaming pairs `cursor` labels against their `materialized`
 #     counterparts (streaming executor vs whole-batch columnar execution —
-#     the `first_batch` rows are the pagination-latency win).
+#     the `first_batch` rows are the pagination-latency win);
+#   * observability pairs `untraced` labels against their `traced`
+#     counterparts (per-operator wall-clock tracing off vs on — the
+#     "speedup" is the tracing overhead, expected close to 1.0).
 #
 # Re-run after touching the measured modules and commit the refreshed JSON
 # alongside the change.
@@ -31,8 +34,12 @@ streaming)
     fast="cursor"
     slow="materialized"
     ;;
+observability)
+    fast="untraced"
+    slow="traced"
+    ;;
 *)
-    echo "unknown bench '$bench' (expected key_pipeline or streaming)" >&2
+    echo "unknown bench '$bench' (expected key_pipeline, streaming or observability)" >&2
     exit 1
     ;;
 esac
