@@ -1,0 +1,58 @@
+//! Re-record the golden corpus.
+//!
+//! ```text
+//! cargo run -p div-conformance --bin conformance_bless -- [tests/golden]
+//! ```
+//!
+//! Missing files are first materialized from the code-defined skeleton
+//! ([`div_conformance::golden::default_corpus`]), then every `.slt` file in
+//! the directory is executed with blessing on, rewriting its `expect`
+//! blocks in canonical rendering. Check the diff before committing.
+
+use div_conformance::golden::{default_corpus, golden_files, render_file, run_file};
+use std::path::PathBuf;
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("tests/golden"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+
+    let mut created = 0usize;
+    for skeleton in default_corpus() {
+        let path = dir.join(&skeleton.name);
+        if !path.exists() {
+            if let Err(e) = std::fs::write(&path, render_file(&skeleton)) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            created += 1;
+            println!("created skeleton {}", path.display());
+        }
+    }
+
+    std::env::set_var("CONFORMANCE_BLESS", "1");
+    let mut cases = 0usize;
+    let files = golden_files(&dir);
+    if files.is_empty() {
+        eprintln!("no .slt files under {}", dir.display());
+        std::process::exit(2);
+    }
+    for path in files {
+        match run_file(&path) {
+            Ok(report) => {
+                cases += report.cases;
+                println!("blessed {} ({} cases)", path.display(), report.cases);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("blessed {cases} cases total ({created} skeletons created)");
+}

@@ -1,0 +1,516 @@
+//! The differential oracle.
+//!
+//! For one [`CaseSpec`] the oracle computes the reference quotient with the
+//! interpreting evaluator ([`div_expr::evaluate`]), then executes **every
+//! formulation** of the case across the full execution matrix
+//!
+//! ```text
+//! {optimizer-on, optimizer-off} × {streaming, row, columnar} × parallelism {1, 4}
+//! ```
+//!
+//! (streaming through [`div_sql::Engine`], row/columnar through the
+//! materializing compatibility layer with a manually-run optimizer), and
+//! demands:
+//!
+//! * byte-identical relations from every strategy,
+//! * cross-formulation agreement up to column order,
+//! * `ExecStats` / span-tree consistency: pre-order ids, tree-shaped child
+//!   links, `rows_out` monotonicity through Filter/Project/Rename/Intersect,
+//!   probe aggregation, and resident-peak conventions (zero on the
+//!   materializing backends, nonzero for producing streaming runs),
+//! * parameter rebinding stability on prepared statements.
+
+use crate::grammar::{CaseSpec, QueryForm};
+use div_algebra::{Relation, Value};
+use div_expr::{Catalog, LogicalPlan};
+use div_physical::{execute_with_config, plan_query, ExecStats, ExecutionBackend, PlannerConfig};
+use div_rewrite::{Optimizer, RewriteContext};
+use div_sql::{Engine, Params};
+use std::fmt;
+
+/// A differential mismatch or invariant violation, with everything needed
+/// to replay it.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Seed of the failing case.
+    pub seed: u64,
+    /// Formulation that failed.
+    pub formulation: String,
+    /// Execution strategy that failed (or `reference` / `invariant`).
+    pub strategy: String,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+    /// The full case, rendered for replay.
+    pub case: String,
+}
+
+impl fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "conformance mismatch (seed {:#x}, formulation `{}`, strategy `{}`)",
+            self.seed, self.formulation, self.strategy
+        )?;
+        writeln!(f, "{}", self.detail)?;
+        writeln!(f, "replay: CONFORMANCE_SEED={:#x} (case 0)", self.seed)?;
+        write!(f, "case:\n{}", self.case)
+    }
+}
+
+/// Tally of what one case exercised.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseReport {
+    /// Number of formulations checked.
+    pub formulations: usize,
+    /// Number of strategy executions compared.
+    pub executions: usize,
+}
+
+struct Strategy {
+    name: &'static str,
+    optimize: bool,
+    exec: Exec,
+}
+
+enum Exec {
+    /// Through the SQL engine's streaming cursor.
+    Streaming {
+        parallelism: usize,
+        batch_size: usize,
+    },
+    /// Through the materializing compatibility layer.
+    Compat {
+        backend: ExecutionBackend,
+        parallelism: usize,
+    },
+}
+
+fn strategies() -> Vec<Strategy> {
+    vec![
+        Strategy {
+            name: "stream/opt/p1",
+            optimize: true,
+            exec: Exec::Streaming {
+                parallelism: 1,
+                batch_size: 1024,
+            },
+        },
+        Strategy {
+            name: "stream/opt/p4/b3",
+            optimize: true,
+            exec: Exec::Streaming {
+                parallelism: 4,
+                batch_size: 3,
+            },
+        },
+        Strategy {
+            name: "stream/raw/p1/b3",
+            optimize: false,
+            exec: Exec::Streaming {
+                parallelism: 1,
+                batch_size: 3,
+            },
+        },
+        Strategy {
+            name: "stream/raw/p4",
+            optimize: false,
+            exec: Exec::Streaming {
+                parallelism: 4,
+                batch_size: 1024,
+            },
+        },
+        Strategy {
+            name: "row/opt",
+            optimize: true,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::RowAtATime,
+                parallelism: 1,
+            },
+        },
+        Strategy {
+            name: "row/raw",
+            optimize: false,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::RowAtATime,
+                parallelism: 1,
+            },
+        },
+        Strategy {
+            name: "columnar/opt/p1",
+            optimize: true,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::Columnar,
+                parallelism: 1,
+            },
+        },
+        Strategy {
+            name: "columnar/raw/p1",
+            optimize: false,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::Columnar,
+                parallelism: 1,
+            },
+        },
+        Strategy {
+            name: "columnar/opt/p4",
+            optimize: true,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::Columnar,
+                parallelism: 4,
+            },
+        },
+        Strategy {
+            name: "columnar/raw/p4",
+            optimize: false,
+            exec: Exec::Compat {
+                backend: ExecutionBackend::Columnar,
+                parallelism: 4,
+            },
+        },
+    ]
+}
+
+/// Run one case through the full matrix. `Ok` carries execution tallies;
+/// `Err` carries the first mismatch found.
+pub fn check_case(spec: &CaseSpec) -> Result<CaseReport, Box<Mismatch>> {
+    let catalog = spec.catalog();
+    let mismatch = |formulation: &str, strategy: &str, detail: String| {
+        Box::new(Mismatch {
+            seed: spec.seed,
+            formulation: formulation.to_string(),
+            strategy: strategy.to_string(),
+            detail,
+            case: format!("{spec}"),
+        })
+    };
+
+    let reference = div_expr::evaluate(&spec.native_plan(), &catalog).map_err(|e| {
+        mismatch(
+            "native",
+            "reference",
+            format!("reference evaluation failed: {e}"),
+        )
+    })?;
+    let canonical_reference = canonicalize(&reference);
+
+    let mut report = CaseReport::default();
+    for formulation in spec.formulations() {
+        report.formulations += 1;
+
+        // The formulation's own logical plan (parameters substituted), used
+        // both as its exact expected result and by the compat backends.
+        let logical = match &formulation.form {
+            QueryForm::Sql { params, .. } => {
+                // Translate the literal-substituted rendering: the engine
+                // paths still run the `$param` text where present.
+                let literal_sql = if params.is_empty() {
+                    match &formulation.form {
+                        QueryForm::Sql { sql, .. } => sql.clone(),
+                        QueryForm::Logical(_) => unreachable!(),
+                    }
+                } else {
+                    spec.divide_by_sql(false)
+                };
+                let query = div_sql::parse_query(&literal_sql).map_err(|e| {
+                    mismatch(formulation.name, "parse", format!("`{literal_sql}`: {e}"))
+                })?;
+                div_sql::translate_query(&query, &catalog).map_err(|e| {
+                    mismatch(
+                        formulation.name,
+                        "translate",
+                        format!("`{literal_sql}`: {e}"),
+                    )
+                })?
+            }
+            QueryForm::Logical(plan) => plan.clone(),
+        };
+        let expected = div_expr::evaluate(&logical, &catalog).map_err(|e| {
+            mismatch(
+                formulation.name,
+                "reference",
+                format!("evaluation failed: {e}"),
+            )
+        })?;
+        if canonicalize(&expected) != canonical_reference {
+            return Err(mismatch(
+                formulation.name,
+                "reference",
+                format!(
+                    "formulation disagrees with the native reference\nexpected (canonical): {}\nactual (canonical): {}",
+                    render(&canonicalize(&reference)),
+                    render(&canonicalize(&expected)),
+                ),
+            ));
+        }
+
+        let optimized = optimize(&logical, &catalog);
+        for strategy in strategies() {
+            let outcome = match &strategy.exec {
+                Exec::Streaming {
+                    parallelism,
+                    batch_size,
+                } => {
+                    let config = PlannerConfig::default()
+                        .parallelism(*parallelism)
+                        .batch_size(*batch_size);
+                    let mut builder = Engine::builder(catalog.clone()).planner_config(config);
+                    if !strategy.optimize {
+                        builder = builder.without_optimizer();
+                    }
+                    let engine = builder.build();
+                    match &formulation.form {
+                        QueryForm::Sql { sql, params } if params.is_empty() => {
+                            engine.query_collect(sql).map(|o| (o.relation, o.stats))
+                        }
+                        QueryForm::Sql { sql, params } => {
+                            let bound = bind(params);
+                            engine
+                                .query_collect_with_params(sql, &bound)
+                                .map(|o| (o.relation, o.stats))
+                        }
+                        QueryForm::Logical(plan) => {
+                            engine.execute_logical(plan).map(|o| (o.relation, o.stats))
+                        }
+                    }
+                    .map_err(|e| e.to_string())
+                }
+                Exec::Compat {
+                    backend,
+                    parallelism,
+                } => {
+                    let config = PlannerConfig::with_backend(*backend).parallelism(*parallelism);
+                    let plan = if strategy.optimize {
+                        &optimized
+                    } else {
+                        &logical
+                    };
+                    plan_query(plan, &config)
+                        .and_then(|physical| execute_with_config(&physical, &catalog, &config))
+                        .map_err(|e| e.to_string())
+                }
+            };
+            let (relation, stats) = outcome.map_err(|e| {
+                mismatch(
+                    formulation.name,
+                    strategy.name,
+                    format!("execution failed: {e}"),
+                )
+            })?;
+            report.executions += 1;
+            if relation != expected {
+                return Err(mismatch(
+                    formulation.name,
+                    strategy.name,
+                    format!(
+                        "result disagrees with the reference evaluator\nexpected: {}\nactual: {}",
+                        render(&expected),
+                        render(&relation),
+                    ),
+                ));
+            }
+            let streaming = matches!(strategy.exec, Exec::Streaming { .. });
+            let parallelism = match &strategy.exec {
+                Exec::Streaming { parallelism, .. } | Exec::Compat { parallelism, .. } => {
+                    *parallelism
+                }
+            };
+            if let Err(detail) = check_stats(&stats, &relation, streaming, parallelism) {
+                return Err(mismatch(formulation.name, strategy.name, detail));
+            }
+        }
+
+        // Prepared-statement rebinding: bind, execute, rebind a different
+        // value, rebind the original — each run must match a literal query.
+        if let QueryForm::Sql { sql, params } = &formulation.form {
+            if !params.is_empty() {
+                report.executions += check_rebinding(spec, &catalog, sql, params)
+                    .map_err(|detail| mismatch(formulation.name, "prepared/rebind", detail))?;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Prepared-statement rebinding check; returns the number of executions.
+fn check_rebinding(
+    spec: &CaseSpec,
+    catalog: &Catalog,
+    sql: &str,
+    params: &[(String, Value)],
+) -> Result<usize, String> {
+    let engine = Engine::new(catalog.clone());
+    let prepared = engine
+        .prepare(sql)
+        .map_err(|e| format!("prepare failed: {e}"))?;
+    let mut executions = 0;
+    let (name, original) = &params[0];
+    let alternates = alternate_values(original);
+    for value in [original.clone(), alternates.clone(), original.clone()] {
+        let literal_sql = sql.replace(&format!("${name}"), &crate::grammar::sql_literal(&value));
+        let expected = engine
+            .query_collect(&literal_sql)
+            .map_err(|e| format!("literal query `{literal_sql}` failed: {e}"))?
+            .relation;
+        let bound = Params::new().bind(name.clone(), value.clone());
+        let got = prepared
+            .execute_collect(&engine, &bound)
+            .map_err(|e| format!("prepared execution failed for {value:?}: {e}"))?
+            .relation;
+        if got != expected {
+            return Err(format!(
+                "prepared rebinding of {name}={value:?} disagrees with the literal query\nexpected: {}\nactual: {}\ncase:\n{spec}",
+                render(&expected),
+                render(&got),
+            ));
+        }
+        executions += 2;
+    }
+    Ok(executions)
+}
+
+fn alternate_values(original: &Value) -> Value {
+    match original {
+        Value::Int(i) => Value::from((i + 1) % 5),
+        Value::Str(s) => Value::from(if &**s == "x" { "y" } else { "x" }),
+        other => other.clone(),
+    }
+}
+
+fn bind(params: &[(String, Value)]) -> Params {
+    let mut bound = Params::new();
+    for (name, value) in params {
+        bound = bound.bind(name.clone(), value.clone());
+    }
+    bound
+}
+
+fn optimize(plan: &LogicalPlan, catalog: &Catalog) -> LogicalPlan {
+    let ctx = RewriteContext::with_catalog(catalog);
+    Optimizer::new()
+        .optimize(plan, &ctx)
+        .map(|o| o.plan)
+        .unwrap_or_else(|_| plan.clone())
+}
+
+/// `ExecStats` / span-tree invariants shared by every strategy.
+pub fn check_stats(
+    stats: &ExecStats,
+    relation: &Relation,
+    streaming: bool,
+    parallelism: usize,
+) -> Result<(), String> {
+    if stats.output_rows != relation.len() {
+        return Err(format!(
+            "output_rows = {} but the result has {} tuples",
+            stats.output_rows,
+            relation.len()
+        ));
+    }
+    if !streaming && stats.peak_resident_batches != 0 {
+        return Err(format!(
+            "materializing backend reported peak_resident_batches = {}",
+            stats.peak_resident_batches
+        ));
+    }
+    if streaming && stats.output_rows > 0 && stats.peak_resident_batches == 0 {
+        return Err("streaming run produced rows with peak_resident_batches = 0".to_string());
+    }
+
+    let ops = &stats.operators;
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let max_probe = ops.iter().map(|o| o.probes).max().unwrap_or(0);
+    if stats.probes < max_probe {
+        return Err(format!(
+            "aggregate probes ({}) below a single operator's probes ({max_probe})",
+            stats.probes
+        ));
+    }
+    let mut seen_as_child = vec![false; ops.len()];
+    for (i, op) in ops.iter().enumerate() {
+        if op.id.0 != i {
+            return Err(format!("operator {i} carries id {}", op.id.0));
+        }
+        for child in &op.children {
+            if child.0 <= i || child.0 >= ops.len() {
+                return Err(format!(
+                    "operator {i} ({}) links child {} outside pre-order range",
+                    op.label, child.0
+                ));
+            }
+            if seen_as_child[child.0] {
+                return Err(format!("operator {} has two parents", child.0));
+            }
+            seen_as_child[child.0] = true;
+        }
+    }
+    if parallelism <= 1 && ops[0].rows_out != stats.output_rows {
+        return Err(format!(
+            "root operator {} reports rows_out = {} but output_rows = {}",
+            ops[0].label, ops[0].rows_out, stats.output_rows
+        ));
+    }
+    for op in ops {
+        let monotone = ["Filter", "Project", "Rename", "Intersect"]
+            .iter()
+            .any(|p| op.label.starts_with(p));
+        if monotone && op.rows_out > op.rows_in {
+            return Err(format!(
+                "operator {} grew its input: rows_in = {}, rows_out = {}",
+                op.label, op.rows_in, op.rows_out
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn canonicalize(relation: &Relation) -> Relation {
+    let mut names = relation.schema().names();
+    names.sort_unstable();
+    relation
+        .project(&names)
+        .expect("projection onto a relation's own columns")
+}
+
+fn render(relation: &Relation) -> String {
+    let rows: Vec<String> = relation
+        .tuples()
+        .map(|t| {
+            t.values()
+                .iter()
+                .map(crate::grammar::render_value)
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    format!(
+        "[{}] {{{}}}",
+        relation.schema().names().join(", "),
+        rows.join("; ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::CaseSpec;
+
+    #[test]
+    fn a_spread_of_seeds_passes_the_full_matrix() {
+        for seed in 0..40u64 {
+            let spec = CaseSpec::generate(seed);
+            if let Err(m) = check_case(&spec) {
+                panic!("{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn reports_count_formulations_and_executions() {
+        let spec = CaseSpec::generate(3);
+        let report = check_case(&spec).expect("seed 3 conforms");
+        assert!(report.formulations >= 2);
+        assert!(report.executions >= 10 * report.formulations);
+    }
+}

@@ -12,15 +12,23 @@
 //! scale with controllable selectivities and Zipf-skewed popularity, and
 //! [`partition`] provides the horizontal partitioning helpers used by the
 //! parallel-law experiments (Laws 2 and 13).
+//!
+//! [`scenarios`] adds three *realistic* division families beyond the paper's
+//! examples — RBAC role coverage, course completion, feature-flag rollout —
+//! with tunable cardinality, skew, divisor selectivity and null density.
+//! They are shared by the conformance fuzzer (`crates/conformance`), the
+//! integration tests and the benches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baskets;
 pub mod partition;
+pub mod scenarios;
 pub mod suppliers_parts;
 pub mod zipf;
 
 pub use baskets::{BasketConfig, BasketData};
+pub use scenarios::{ScenarioConfig, ScenarioData, ScenarioFamily, ScenarioNames};
 pub use suppliers_parts::{SuppliersPartsConfig, SuppliersPartsData};
 pub use zipf::ZipfSampler;

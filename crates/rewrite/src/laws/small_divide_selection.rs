@@ -107,6 +107,11 @@ impl RewriteRule for Law4DivisorSelectionReplication {
             if filtered.is_empty() {
                 return Ok(None);
             }
+        } else if divisor.contains_parameters() {
+            // An unbound `$parameter` defers the filter to execution time:
+            // non-emptiness can never be established while preparing, and a
+            // later binding may empty the divisor, so the rewrite is unsound.
+            return Ok(None);
         }
         Ok(Some(LogicalPlan::SmallDivide {
             dividend: Box::new(LogicalPlan::Select {

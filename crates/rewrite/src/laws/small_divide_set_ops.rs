@@ -37,11 +37,14 @@ impl RewriteRule for Law5IntersectionSplit {
             return Ok(None);
         }
         // Empty-divisor edge case (see DESIGN.md): with r2 = ∅ the law does
-        // not hold, so decline if the data shows an empty divisor.
+        // not hold, so decline if the data shows an empty divisor — or if an
+        // unbound `$parameter` keeps it from being checked until execution.
         if let Some(divisor_rel) = ctx.try_evaluate(divisor)? {
             if divisor_rel.is_empty() {
                 return Ok(None);
             }
+        } else if divisor.contains_parameters() {
+            return Ok(None);
         }
         Ok(Some(LogicalPlan::Intersect {
             left: Box::new(LogicalPlan::SmallDivide {
@@ -123,11 +126,14 @@ impl RewriteRule for Law6DifferenceSplit {
         if !contained {
             return Ok(None);
         }
-        // Empty-divisor edge case (see DESIGN.md), as for Laws 4 and 5.
+        // Empty-divisor edge case (see DESIGN.md), as for Laws 4 and 5 — and
+        // the same decline when `$parameter`s defer the check to execution.
         if let Some(divisor_rel) = ctx.try_evaluate(divisor)? {
             if divisor_rel.is_empty() {
                 return Ok(None);
             }
+        } else if divisor.contains_parameters() {
+            return Ok(None);
         }
         Ok(Some(LogicalPlan::Difference {
             left: Box::new(LogicalPlan::SmallDivide {

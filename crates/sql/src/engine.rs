@@ -957,6 +957,34 @@ impl Explain {
             .map(|s| s.operators.as_slice())
     }
 
+    /// A canonical one-line signature of the physical plan: operator labels
+    /// in pre-order with children parenthesized, e.g.
+    /// `HashDivide(Scan r1, Scan r2)`. Two compilations of the same query
+    /// produce equal signatures iff they chose the same physical shape, so
+    /// differential harnesses can compare optimizer-on vs optimizer-off
+    /// plans (or assert a rewrite actually changed the shape) without
+    /// string-diffing the full multi-line rendering.
+    pub fn plan_signature(&self) -> String {
+        fn walk(plan: &PhysicalPlan, out: &mut String) {
+            out.push_str(&plan.label());
+            let children = plan.children();
+            if children.is_empty() {
+                return;
+            }
+            out.push('(');
+            for (i, child) in children.into_iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                walk(child, out);
+            }
+            out.push(')');
+        }
+        let mut out = String::new();
+        walk(&self.physical, &mut out);
+        out
+    }
+
     /// Per-operator estimation error (the *q-error*: the larger of
     /// estimate and actual divided by the smaller, both clamped to ≥ 1, so
     /// a perfect estimate scores 1.0) — `Some` only when the report carries

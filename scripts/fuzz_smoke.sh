@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Differential fuzz smoke over the conformance grammar.
+#
+# Usage: scripts/fuzz_smoke.sh [cases]
+#
+# Runs the release-mode conformance fuzzer (grammar-generated division
+# queries, checked across every formulation x execution strategy). Defaults
+# to 10,000 cases — the acceptance bar for a local pre-merge run; CI runs a
+# 2,000-case smoke on every push.
+#
+# Environment:
+#   CONFORMANCE_SEED      base seed (decimal or 0x-hex); printed on failure
+#   CONFORMANCE_ARTIFACT  path for the failing-case repro file
+#                         (default: target/conformance-failure.txt)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CASES="${1:-10000}"
+ARTIFACT="${CONFORMANCE_ARTIFACT:-target/conformance-failure.txt}"
+
+exec cargo run --release -q -p div-conformance --bin conformance_fuzz -- \
+    --cases "$CASES" --artifact "$ARTIFACT"

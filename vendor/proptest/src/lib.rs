@@ -9,6 +9,13 @@
 //! cases. It does not implement shrinking: a failing case panics with the
 //! ordinary `assert!` message, which is enough for the property tests here
 //! because every generated value is small and printed by the assertion.
+//!
+//! Seeding is reproducible per *case*: every case derives its own seed from
+//! a base seed ([`test_runner::seed_for`]; case 0 reuses the base verbatim),
+//! a failing case prints its test name, case index and a
+//! `PROPTEST_SEED=0x…` replay line, and the base seed can be overridden via
+//! the `PROPTEST_SEED` (or `CONFORMANCE_SEED`) environment variable — set it
+//! to a printed failing seed to replay that case as case 0.
 
 #![forbid(unsafe_code)]
 
@@ -34,19 +41,87 @@ impl Default for ProptestConfig {
 
 /// The deterministic generator driving the properties.
 pub mod test_runner {
-    /// SplitMix64 with a fixed seed: every `cargo test` run replays the same
-    /// cases, so failures are reproducible without persistence files.
+    /// Base seed used when no environment override is present.
+    pub const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_d1ce;
+
+    /// The base seed for this test run: `PROPTEST_SEED` if set (decimal or
+    /// `0x…` hexadecimal), else `CONFORMANCE_SEED` (so one knob drives both
+    /// this stub and the conformance fuzzer), else [`DEFAULT_SEED`].
+    pub fn base_seed() -> u64 {
+        for var in ["PROPTEST_SEED", "CONFORMANCE_SEED"] {
+            if let Some(seed) = std::env::var(var).ok().and_then(|s| parse_seed(&s)) {
+                return seed;
+            }
+        }
+        DEFAULT_SEED
+    }
+
+    fn parse_seed(text: &str) -> Option<u64> {
+        let text = text.trim();
+        if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            text.parse().ok()
+        }
+    }
+
+    /// The seed of case `case` under base seed `base`. Case 0 uses the base
+    /// itself, so replaying a printed failing seed via `PROPTEST_SEED` hits
+    /// the failure on the first case.
+    pub fn seed_for(base: u64, case: u64) -> u64 {
+        if case == 0 {
+            return base;
+        }
+        let mut z = base ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Prints the failing case's replay line if dropped during a panic. The
+    /// [`crate::proptest!`] macro keeps one alive across each case body.
+    #[derive(Debug)]
+    pub struct FailureReporter {
+        /// Test function name.
+        pub test: &'static str,
+        /// Zero-based case index.
+        pub case: u32,
+        /// The case's derived seed.
+        pub seed: u64,
+    }
+
+    impl Drop for FailureReporter {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                eprintln!(
+                    "proptest: test `{}` failed at case {} (seed {:#x})",
+                    self.test, self.case, self.seed
+                );
+                eprintln!(
+                    "proptest: replay with PROPTEST_SEED={:#x} cargo test {}",
+                    self.seed, self.test
+                );
+            }
+        }
+    }
+
+    /// SplitMix64: every `cargo test` run replays the same cases (unless
+    /// `PROPTEST_SEED` overrides the base), so failures are reproducible
+    /// without persistence files.
     #[derive(Debug, Clone)]
     pub struct TestRng {
         state: u64,
     }
 
     impl TestRng {
-        /// A fresh deterministic generator.
+        /// A fresh deterministic generator with the fixed default seed.
         pub fn deterministic() -> Self {
-            TestRng {
-                state: 0x5eed_cafe_f00d_d1ce,
-            }
+            TestRng::from_seed(DEFAULT_SEED)
+        }
+
+        /// A generator seeded explicitly (used per case by `proptest!`).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
         }
 
         /// The next 64 random bits.
@@ -176,8 +251,15 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
-                let mut rng = $crate::test_runner::TestRng::deterministic();
+                let base = $crate::test_runner::base_seed();
                 for _case in 0..config.cases {
+                    let _seed = $crate::test_runner::seed_for(base, _case as u64);
+                    let mut rng = $crate::test_runner::TestRng::from_seed(_seed);
+                    let _reporter = $crate::test_runner::FailureReporter {
+                        test: stringify!($name),
+                        case: _case,
+                        seed: _seed,
+                    };
                     $(
                         let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
                     )+
@@ -259,5 +341,30 @@ mod tests {
         fn default_config_runs(v in prop::collection::vec(0..3i64, 0..4)) {
             prop_assert!(v.len() < 4);
         }
+    }
+
+    #[test]
+    fn case_zero_replays_the_base_seed() {
+        assert_eq!(crate::test_runner::seed_for(0x1234, 0), 0x1234);
+        assert_ne!(
+            crate::test_runner::seed_for(0x1234, 1),
+            crate::test_runner::seed_for(0x1234, 2)
+        );
+        assert_ne!(
+            crate::test_runner::seed_for(0x1234, 1),
+            crate::test_runner::seed_for(0x1235, 1)
+        );
+    }
+
+    #[test]
+    fn explicit_seeds_drive_distinct_sequences() {
+        let mut a = crate::test_runner::TestRng::from_seed(1);
+        let mut b = crate::test_runner::TestRng::from_seed(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a2 = crate::test_runner::TestRng::from_seed(1);
+        assert_eq!(
+            crate::test_runner::TestRng::from_seed(1).next_u64(),
+            a2.next_u64()
+        );
     }
 }
