@@ -12,6 +12,7 @@
 use crate::{ExprError, Result, SchemaProvider};
 use div_algebra::{Relation, Schema};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A declared foreign-key constraint: `from_table.from_attributes` references
 /// `to_table.to_attributes`.
@@ -28,9 +29,15 @@ pub struct ForeignKey {
 }
 
 /// An in-memory database: named relations plus integrity metadata.
+///
+/// Tables are stored behind [`Arc`]s, so cloning a catalog (the
+/// copy-on-write step of `div_sql::Engine::mutate_catalog`) copies only the
+/// name map, and executors can hold shared handles to the tables they scan
+/// ([`Catalog::table_shared`]) that outlive subsequent catalog mutations —
+/// the foundation of snapshot isolation for concurrent serving.
 #[derive(Debug, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Relation>,
+    tables: BTreeMap<String, Arc<Relation>>,
     unique_keys: BTreeMap<String, Vec<Vec<String>>>,
     foreign_keys: Vec<ForeignKey>,
     version: u64,
@@ -79,15 +86,46 @@ impl Catalog {
 
     /// Register (or replace) a table.
     pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
-        self.tables.insert(name.into(), relation);
+        self.tables.insert(name.into(), Arc::new(relation));
         self.version = next_version();
         self
+    }
+
+    /// Remove a table (and every constraint that mentions it). Returns the
+    /// removed relation, or an [`ExprError::UnknownTable`] error when no
+    /// such table is registered. Bumps the catalog version.
+    pub fn unregister(&mut self, name: &str) -> Result<Arc<Relation>> {
+        let removed = self
+            .tables
+            .remove(name)
+            .ok_or_else(|| ExprError::UnknownTable {
+                table: name.to_string(),
+            })?;
+        self.unique_keys.remove(name);
+        self.foreign_keys
+            .retain(|fk| fk.from_table != name && fk.to_table != name);
+        self.version = next_version();
+        Ok(removed)
     }
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> Result<&Relation> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| ExprError::UnknownTable {
+                table: name.to_string(),
+            })
+    }
+
+    /// Look up a table as a shared handle. The handle stays valid (and the
+    /// data immutable) even if the catalog is mutated or dropped afterwards
+    /// — streaming scans hold these so an in-flight query keeps reading the
+    /// snapshot it was planned against.
+    pub fn table_shared(&self, name: &str) -> Result<Arc<Relation>> {
+        self.tables
+            .get(name)
+            .cloned()
             .ok_or_else(|| ExprError::UnknownTable {
                 table: name.to_string(),
             })
@@ -100,7 +138,7 @@ impl Catalog {
 
     /// Iterate over `(name, relation)` pairs in name order.
     pub fn tables(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
-        self.tables.iter().map(|(n, r)| (n.as_str(), r))
+        self.tables.iter().map(|(n, r)| (n.as_str(), r.as_ref()))
     }
 
     /// Number of registered tables.
@@ -322,6 +360,40 @@ mod tests {
         a.register("t", relation! { ["x"] => [1] });
         b.register("t", relation! { ["x"] => [1] });
         assert_ne!(a.version(), b.version());
+    }
+
+    #[test]
+    fn unregister_removes_table_and_its_constraints() {
+        let mut c = catalog();
+        c.declare_unique("parts", &["p#"]).unwrap();
+        c.declare_foreign_key("supplies", &["p#"], "parts", &["p#"])
+            .unwrap();
+        let before = c.version();
+        let removed = c.unregister("parts").unwrap();
+        assert_eq!(removed.schema().names(), vec!["p#", "color"]);
+        assert!(!c.contains_table("parts"));
+        assert!(!c.is_unique("parts", &["p#"]));
+        assert!(c.foreign_keys().is_empty());
+        assert_ne!(c.version(), before);
+        assert!(matches!(
+            c.unregister("parts").unwrap_err(),
+            ExprError::UnknownTable { .. }
+        ));
+    }
+
+    #[test]
+    fn shared_table_handles_survive_catalog_mutation() {
+        let mut c = catalog();
+        let snapshot = c.table_shared("parts").unwrap();
+        assert_eq!(snapshot.len(), 2);
+        // Replacing the table gives later readers the new data, while the
+        // handle keeps reading the relation it was taken from.
+        c.register("parts", relation! { ["p#", "color"] => [9, "green"] });
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(c.table("parts").unwrap().len(), 1);
+        // Dropping the table entirely does not invalidate the handle either.
+        c.unregister("parts").unwrap();
+        assert_eq!(snapshot.len(), 2);
     }
 
     #[test]

@@ -57,6 +57,7 @@ use div_algebra::{AlgebraError, Predicate, Relation, Schema, Tuple};
 use div_columnar::kernels::{self, JoinBuild, KernelOutput, StreamingGreatDivide};
 use div_columnar::{partition, Column, ColumnarBatch, StreamingDistinct};
 use div_expr::{Catalog, ExprError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shared per-execution state threaded through every operator call:
@@ -120,7 +121,7 @@ impl StreamContext {
 /// statistics (whatever it actually processed, which is the early-
 /// termination contract) and releases retained state. Operators never emit
 /// empty batches.
-pub trait BatchStream {
+pub trait BatchStream: Send {
     /// The schema every emitted batch carries (known before execution).
     fn schema(&self) -> &Schema;
 
@@ -187,7 +188,7 @@ fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
 /// blocking-boundary primitive). The chunks' resident accounting transfers
 /// to the returned batch.
 fn drain_to_batch(
-    child: &mut Box<dyn BatchStream + '_>,
+    child: &mut Box<dyn BatchStream>,
     ctx: &mut StreamContext,
 ) -> Result<ColumnarBatch> {
     let mut chunks = Vec::new();
@@ -257,44 +258,66 @@ impl ChunkCursor {
 // Source operators
 // ---------------------------------------------------------------------------
 
-/// Chunked scan over a base table (or an inline `Values` relation): rows are
-/// converted to columnar chunks lazily, so an early-terminated consumer
-/// never pays for the rest of the table.
-struct ScanStream<'a> {
+/// Chunked scan over a base table: rows are converted to columnar chunks
+/// lazily, so an early-terminated consumer never pays for the rest of the
+/// table.
+///
+/// The scan holds a *shared snapshot handle* ([`Arc<Relation>`], from
+/// [`Catalog::table_shared`]) instead of a borrow, which is what frees the
+/// whole operator tree — and therefore `div_sql`'s `Cursor` — from the
+/// catalog's lifetime: a concurrent catalog mutation swaps the table out of
+/// the catalog, while this scan keeps streaming the snapshot it was
+/// compiled against. Between chunks the scan remembers only the last tuple
+/// emitted and re-enters the table's sorted tuple set in O(log n)
+/// ([`Relation::tuples_after`]).
+struct ScanStream {
     meta: OpMeta,
     schema: Schema,
-    /// Borrowed rows of the catalog table (or owned copies for `Values`).
-    tuples: Vec<&'a Tuple>,
-    pos: usize,
+    table: Arc<Relation>,
+    /// Last tuple of the previous chunk — the resumption key. `None` before
+    /// the first chunk.
+    last: Option<Tuple>,
+    done: bool,
 }
 
-impl<'a> ScanStream<'a> {
-    fn new(meta: OpMeta, relation: &'a Relation) -> ScanStream<'a> {
+impl ScanStream {
+    fn new(meta: OpMeta, table: Arc<Relation>) -> ScanStream {
         ScanStream {
             meta,
-            schema: relation.schema().clone(),
-            tuples: relation.tuples().collect(),
-            pos: 0,
+            schema: table.schema().clone(),
+            table,
+            last: None,
+            done: false,
         }
     }
 }
 
-impl BatchStream for ScanStream<'_> {
+impl BatchStream for ScanStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
 
     fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
-        if self.pos >= self.tuples.len() {
+        if self.done {
             return Ok(None);
         }
-        let end = (self.pos + ctx.batch_size).min(self.tuples.len());
-        let rows = &self.tuples[self.pos..end];
-        self.pos = end;
+        let rows: Vec<&Tuple> = self
+            .table
+            .tuples_after(self.last.as_ref())
+            .take(ctx.batch_size)
+            .collect();
+        if rows.is_empty() {
+            self.done = true;
+            return Ok(None);
+        }
+        if rows.len() < ctx.batch_size {
+            self.done = true;
+        }
         let columns: Vec<Column> = (0..self.schema.arity())
             .map(|c| Column::from_values(rows.iter().map(|t| &t.values()[c])))
             .collect();
         let chunk = ColumnarBatch::from_parts(self.schema.clone(), columns, rows.len());
+        self.last = rows.last().map(|t| (*t).clone());
         Ok(self.meta.emit(ctx, chunk))
     }
 
@@ -310,13 +333,13 @@ impl BatchStream for ScanStream<'_> {
 /// Predicate filter: one chunk in, at most one chunk out. Honors
 /// [`PlannerConfig::parallelism`] through the partition-parallel filter
 /// kernel.
-struct FilterStream<'a> {
+struct FilterStream {
     meta: OpMeta,
-    child: Box<dyn BatchStream + 'a>,
+    child: Box<dyn BatchStream>,
     predicate: Predicate,
 }
 
-impl BatchStream for FilterStream<'_> {
+impl BatchStream for FilterStream {
     fn schema(&self) -> &Schema {
         self.child.schema()
     }
@@ -376,16 +399,16 @@ impl RetainedState {
 /// operator preserves or restores distinctness), so a projection that keeps
 /// every input column cannot introduce duplicates and skips the store
 /// entirely (`distinct` is `None`).
-struct ProjectStream<'a> {
+struct ProjectStream {
     meta: OpMeta,
-    child: Box<dyn BatchStream + 'a>,
+    child: Box<dyn BatchStream>,
     schema: Schema,
     indices: Vec<usize>,
     distinct: Option<StreamingDistinct>,
     retained: RetainedState,
 }
 
-impl BatchStream for ProjectStream<'_> {
+impl BatchStream for ProjectStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -418,13 +441,13 @@ impl BatchStream for ProjectStream<'_> {
 }
 
 /// Attribute renaming: pure metadata, chunk through.
-struct RenameStream<'a> {
+struct RenameStream {
     meta: OpMeta,
-    child: Box<dyn BatchStream + 'a>,
+    child: Box<dyn BatchStream>,
     schema: Schema,
 }
 
-impl BatchStream for RenameStream<'_> {
+impl BatchStream for RenameStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -453,17 +476,17 @@ impl BatchStream for RenameStream<'_> {
 
 /// Set union: append both inputs chunk-at-a-time (right chunks conformed to
 /// the left schema), with a cross-chunk distinct store for set semantics.
-struct UnionStream<'a> {
+struct UnionStream {
     meta: OpMeta,
-    left: Box<dyn BatchStream + 'a>,
-    right: Box<dyn BatchStream + 'a>,
+    left: Box<dyn BatchStream>,
+    right: Box<dyn BatchStream>,
     schema: Schema,
     distinct: StreamingDistinct,
     retained: RetainedState,
     left_done: bool,
 }
 
-impl BatchStream for UnionStream<'_> {
+impl BatchStream for UnionStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -523,17 +546,17 @@ enum StreamJoinKind {
 /// Hash natural/semi/anti join: the right (build) side is drained eagerly
 /// into a [`JoinBuild`]; the left (probe) side then streams through it one
 /// chunk at a time.
-struct HashJoinStream<'a> {
+struct HashJoinStream {
     meta: OpMeta,
-    left: Box<dyn BatchStream + 'a>,
-    right: Option<Box<dyn BatchStream + 'a>>,
+    left: Box<dyn BatchStream>,
+    right: Option<Box<dyn BatchStream>>,
     kind: StreamJoinKind,
     schema: Schema,
     build: Option<JoinBuild>,
     retained: RetainedState,
 }
 
-impl HashJoinStream<'_> {
+impl HashJoinStream {
     fn ensure_build(&mut self, ctx: &mut StreamContext) -> Result<()> {
         if self.build.is_some() {
             return Ok(());
@@ -552,7 +575,7 @@ impl HashJoinStream<'_> {
     }
 }
 
-impl BatchStream for HashJoinStream<'_> {
+impl BatchStream for HashJoinStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -588,17 +611,17 @@ impl BatchStream for HashJoinStream<'_> {
 
 /// Nested-loop theta-join: the right side is materialized once, the left
 /// (probe) side streams through the theta-join kernel chunk-at-a-time.
-struct ThetaJoinStream<'a> {
+struct ThetaJoinStream {
     meta: OpMeta,
-    left: Box<dyn BatchStream + 'a>,
-    right: Option<Box<dyn BatchStream + 'a>>,
+    left: Box<dyn BatchStream>,
+    right: Option<Box<dyn BatchStream>>,
     predicate: Predicate,
     schema: Schema,
     right_batch: Option<ColumnarBatch>,
     retained: RetainedState,
 }
 
-impl BatchStream for ThetaJoinStream<'_> {
+impl BatchStream for ThetaJoinStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -639,10 +662,10 @@ impl BatchStream for ThetaJoinStream<'_> {
 /// chunk-at-a-time into coverage state (memory ∝ quotient groups, never the
 /// dividend). The quotient itself is only known at the end, so the output is
 /// served from a [`ChunkCursor`] once the dividend is exhausted.
-struct DivideStream<'a> {
+struct DivideStream {
     meta: OpMeta,
-    dividend: Box<dyn BatchStream + 'a>,
-    divisor: Option<Box<dyn BatchStream + 'a>>,
+    dividend: Box<dyn BatchStream>,
+    divisor: Option<Box<dyn BatchStream>>,
     great: bool,
     schema: Schema,
     out: Option<ChunkCursor>,
@@ -650,7 +673,7 @@ struct DivideStream<'a> {
     kernel_rows: Option<usize>,
 }
 
-impl DivideStream<'_> {
+impl DivideStream {
     fn kernel_label(&self) -> &'static str {
         if self.great {
             "ColumnarCountingGreatDivision"
@@ -660,7 +683,7 @@ impl DivideStream<'_> {
     }
 }
 
-impl BatchStream for DivideStream<'_> {
+impl BatchStream for DivideStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -738,16 +761,16 @@ enum BlockingKind {
 
 /// An explicit blocking boundary: drain the input(s), run the batch kernel
 /// once, serve the result in chunks.
-struct BlockingStream<'a> {
+struct BlockingStream {
     meta: OpMeta,
-    left: Box<dyn BatchStream + 'a>,
-    right: Option<Box<dyn BatchStream + 'a>>,
+    left: Box<dyn BatchStream>,
+    right: Option<Box<dyn BatchStream>>,
     kind: BlockingKind,
     schema: Schema,
     out: Option<ChunkCursor>,
 }
 
-impl BatchStream for BlockingStream<'_> {
+impl BatchStream for BlockingStream {
     fn schema(&self) -> &Schema {
         &self.schema
     }
@@ -821,11 +844,11 @@ fn schema_mismatch(left: &Schema, right: &Schema, operation: &'static str) -> Ex
 /// [`BatchStream`]. Schema inference and validation happen here, before any
 /// batch flows; the returned stream borrows the catalog's base tables (no
 /// table is copied until its rows are actually pulled).
-pub fn compile_stream<'a>(
+pub fn compile_stream(
     plan: &PhysicalPlan,
-    catalog: &'a Catalog,
+    catalog: &Catalog,
     config: &PlannerConfig,
-) -> Result<Box<dyn BatchStream + 'a>> {
+) -> Result<Box<dyn BatchStream>> {
     // Standalone compilation (outside a `StreamExecutor`) discards the
     // open-phase spans; ids are still assigned so runtime attribution works.
     let mut trace = QueryTrace::from_plan(plan).with_timing(config.tracing);
@@ -833,13 +856,13 @@ pub fn compile_stream<'a>(
     compile(plan, catalog, true, &mut trace, &mut next_id)
 }
 
-fn compile<'a>(
+fn compile(
     plan: &PhysicalPlan,
-    catalog: &'a Catalog,
+    catalog: &Catalog,
     is_root: bool,
     trace: &mut QueryTrace,
     next_id: &mut usize,
-) -> Result<Box<dyn BatchStream + 'a>> {
+) -> Result<Box<dyn BatchStream>> {
     // Ids are assigned at entry of this pre-order walk, so they match the
     // skeleton [`QueryTrace::from_plan`] built from the same plan.
     let id = OperatorId(*next_id);
@@ -855,15 +878,17 @@ fn compile<'a>(
     Ok(stream)
 }
 
-fn compile_node<'a>(
+fn compile_node(
     plan: &PhysicalPlan,
-    catalog: &'a Catalog,
+    catalog: &Catalog,
     meta: OpMeta,
     trace: &mut QueryTrace,
     next_id: &mut usize,
-) -> Result<Box<dyn BatchStream + 'a>> {
+) -> Result<Box<dyn BatchStream>> {
     Ok(match plan {
-        PhysicalPlan::TableScan { table } => Box::new(ScanStream::new(meta, catalog.table(table)?)),
+        PhysicalPlan::TableScan { table } => {
+            Box::new(ScanStream::new(meta, catalog.table_shared(table)?))
+        }
         PhysicalPlan::Values { relation } => {
             // Inline constants are owned by the plan, which does not outlive
             // compilation — materialize them as one pre-chunked cursor-less
@@ -1086,12 +1111,12 @@ fn compile_node<'a>(
 /// node. Spans are inclusive — children run inside the wrapped call — and
 /// the untraced path never constructs this type, so plain executions pay
 /// no clock reads at all.
-struct TimedStream<'a> {
+struct TimedStream {
     id: OperatorId,
-    inner: Box<dyn BatchStream + 'a>,
+    inner: Box<dyn BatchStream>,
 }
 
-impl BatchStream for TimedStream<'_> {
+impl BatchStream for TimedStream {
     fn schema(&self) -> &Schema {
         self.inner.schema()
     }
@@ -1175,24 +1200,24 @@ impl BatchStream for ValuesStream {
 /// assert_eq!(stats.rows_scanned, 3);
 /// # Ok::<(), div_expr::ExprError>(())
 /// ```
-pub struct StreamExecutor<'a> {
-    root: Box<dyn BatchStream + 'a>,
+pub struct StreamExecutor {
+    root: Box<dyn BatchStream>,
     ctx: StreamContext,
     schema: Schema,
     exhausted: bool,
     last_emitted: usize,
 }
 
-impl<'a> StreamExecutor<'a> {
+impl StreamExecutor {
     /// Compile `plan` into a streaming operator tree over `catalog`.
     ///
     /// Schema inference and validation run here; execution starts with the
     /// first [`StreamExecutor::next_batch`] call.
     pub fn new(
         plan: &PhysicalPlan,
-        catalog: &'a Catalog,
+        catalog: &Catalog,
         config: &PlannerConfig,
-    ) -> Result<StreamExecutor<'a>> {
+    ) -> Result<StreamExecutor> {
         let mut ctx = StreamContext::new(plan, config);
         let mut next_id = 0;
         let root = compile(plan, catalog, true, &mut ctx.trace, &mut next_id)?;
@@ -1255,7 +1280,7 @@ impl<'a> StreamExecutor<'a> {
     }
 }
 
-impl std::fmt::Debug for StreamExecutor<'_> {
+impl std::fmt::Debug for StreamExecutor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StreamExecutor")
             .field("schema", &self.schema)
@@ -1286,7 +1311,7 @@ mod tests {
         c
     }
 
-    fn collect(stream: &mut StreamExecutor<'_>) -> Relation {
+    fn collect(stream: &mut StreamExecutor) -> Relation {
         let mut out = Relation::empty(stream.schema().clone());
         while let Some(batch) = stream.next_batch().unwrap() {
             for i in 0..batch.num_rows() {

@@ -1,0 +1,274 @@
+//! A blocking wire-protocol client for tests, examples and benches.
+
+use crate::protocol::{self, ErrorCode};
+use div_algebra::Value;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking connection to a [`Server`](crate::Server).
+///
+/// One request is in flight at a time (the protocol is strictly
+/// request/response); methods block until the terminal `OK`/`ERR` line.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+}
+
+/// A collected query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Result column names, from the `SCHEMA` line.
+    pub columns: Vec<String>,
+    /// Result tuples, in server (sorted-set) order.
+    pub rows: Vec<Vec<Value>>,
+    /// The terminal `OK` detail (e.g. `"3 rows"`).
+    pub detail: String,
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed or closed before a terminal line arrived.
+    Io(io::Error),
+    /// The server answered `ERR <code> <message>`.
+    Server {
+        /// The typed error code (None when the token is unknown to this
+        /// client version).
+        code: Option<ErrorCode>,
+        /// The raw code token as sent.
+        code_token: String,
+        /// The human-readable message.
+        message: String,
+    },
+    /// The server sent something outside the protocol grammar.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "connection failed: {err}"),
+            ClientError::Server {
+                code_token,
+                message,
+                ..
+            } => write!(f, "server error {code_token}: {message}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl ClientError {
+    /// `true` when the failure is the server's typed, retryable overload /
+    /// drain signal (`BUSY`, `TIMEOUT`, `SHUTDOWN`).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Server {
+                code: Some(code),
+                ..
+            } if code.retryable()
+        )
+    }
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Connect with a socket read timeout (so a dead server surfaces as an
+    /// [`io::Error`] instead of a hang).
+    pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
+        let client = Client::connect(addr)?;
+        client.reader.get_ref().set_read_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Send one raw request line and collect the raw response lines, the
+    /// terminal (`OK ...` or `ERR ...`) included. This is the byte-level
+    /// surface differential tests compare against direct engine output; the
+    /// typed methods below are built on it.
+    pub fn exchange(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        self.read_response()
+    }
+
+    /// Read response lines up to and including the terminal line (used by
+    /// `exchange`, and directly for the `ERR BUSY` greeting an admission-
+    /// rejected connection receives without having sent anything).
+    pub fn read_response(&mut self) -> Result<Vec<String>, ClientError> {
+        let mut lines = Vec::new();
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed before terminal line",
+                )));
+            }
+            let line = line.trim_end_matches(['\n', '\r']).to_string();
+            let terminal = line == "OK" || line.starts_with("OK ") || line.starts_with("ERR ");
+            lines.push(line);
+            if terminal {
+                return Ok(lines);
+            }
+        }
+    }
+
+    /// `exchange`, then split a terminal `ERR` into [`ClientError::Server`].
+    fn request(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        let lines = self.exchange(line)?;
+        let terminal = lines
+            .last()
+            .expect("read_response always yields a terminal");
+        if let Some(err) = terminal.strip_prefix("ERR ") {
+            let (token, message) = err.split_once(' ').unwrap_or((err, ""));
+            return Err(ClientError::Server {
+                code: ErrorCode::parse(token),
+                code_token: token.to_string(),
+                message: message.to_string(),
+            });
+        }
+        Ok(lines)
+    }
+
+    fn collect_result(lines: Vec<String>) -> Result<QueryResult, ClientError> {
+        let mut columns = Vec::new();
+        let mut rows = Vec::new();
+        let mut detail = String::new();
+        for line in lines {
+            if let Some(schema) = line.strip_prefix("SCHEMA ") {
+                columns = schema.split('\t').map(str::to_string).collect();
+            } else if let Some(row) = line.strip_prefix("ROW ") {
+                let mut values = Vec::new();
+                for token in row.split('\t') {
+                    values.push(
+                        protocol::parse_value(token).map_err(|e| ClientError::Protocol(e.0))?,
+                    );
+                }
+                rows.push(values);
+            } else if line == "OK" || line.starts_with("OK ") {
+                detail = line.strip_prefix("OK").unwrap_or("").trim().to_string();
+            } else {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected data line `{line}`"
+                )));
+            }
+        }
+        Ok(QueryResult {
+            columns,
+            rows,
+            detail,
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.request("PING").map(|_| ())
+    }
+
+    /// Run ad-hoc SQL and collect the streamed result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, ClientError> {
+        let lines = self.request(&format!("QUERY {sql}"))?;
+        Self::collect_result(lines)
+    }
+
+    /// Prepare `sql` under `name` for later [`Client::execute`] calls on
+    /// this connection.
+    pub fn prepare(&mut self, name: &str, sql: &str) -> Result<(), ClientError> {
+        self.request(&format!("PREPARE {name} {sql}")).map(|_| ())
+    }
+
+    /// Execute a prepared statement with `$name=value` bindings.
+    pub fn execute(
+        &mut self,
+        name: &str,
+        params: &[(&str, Value)],
+    ) -> Result<QueryResult, ClientError> {
+        let mut line = format!("EXECUTE {name}");
+        for (key, value) in params {
+            line.push_str(&format!(" ${key}={}", protocol::encode_value(value)));
+        }
+        let lines = self.request(&line)?;
+        Self::collect_result(lines)
+    }
+
+    /// Fetch the `EXPLAIN` (or `EXPLAIN ANALYZE`) rendering of `sql`.
+    pub fn explain(&mut self, sql: &str, analyze: bool) -> Result<String, ClientError> {
+        let verb = if analyze {
+            "EXPLAIN ANALYZE"
+        } else {
+            "EXPLAIN"
+        };
+        let lines = self.request(&format!("{verb} {sql}"))?;
+        let mut out = String::new();
+        for line in lines {
+            if let Some(plan) = line.strip_prefix("PLAN ") {
+                out.push_str(plan);
+                out.push('\n');
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fetch the combined server+engine metrics JSON object.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let lines = self.request("METRICS")?;
+        lines
+            .iter()
+            .find_map(|l| l.strip_prefix("METRICS ").map(str::to_string))
+            .ok_or_else(|| ClientError::Protocol("METRICS reply carried no payload".into()))
+    }
+
+    /// Register (or replace) a table on the served engine's catalog.
+    pub fn register(
+        &mut self,
+        table: &str,
+        columns: &[&str],
+        rows: &[Vec<Value>],
+    ) -> Result<(), ClientError> {
+        let encoded_rows: Vec<String> = rows
+            .iter()
+            .map(|row| {
+                let values: Vec<String> = row.iter().map(protocol::encode_value).collect();
+                format!("({})", values.join(", "))
+            })
+            .collect();
+        let line = format!(
+            "MUTATE REGISTER {table} ({}) VALUES {}",
+            columns.join(", "),
+            encoded_rows.join("; ")
+        );
+        self.request(&line).map(|_| ())
+    }
+
+    /// Drop a table from the served engine's catalog.
+    pub fn drop_table(&mut self, table: &str) -> Result<(), ClientError> {
+        self.request(&format!("MUTATE DROP {table}")).map(|_| ())
+    }
+
+    /// End the session cleanly.
+    pub fn close(mut self) -> Result<(), ClientError> {
+        self.request("CLOSE").map(|_| ())
+    }
+}

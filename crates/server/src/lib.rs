@@ -1,0 +1,60 @@
+//! `div_server`: concurrent multi-client serving over a shared
+//! [`div_sql::Engine`].
+//!
+//! The engine already serves repeated traffic well on one thread (prepared
+//! statements, streaming cursors, metrics); this crate is the missing
+//! *front door*. One process hosts one engine behind a TCP listener; many
+//! clients connect, prepare, query and mutate concurrently:
+//!
+//! ```text
+//! clients ──TCP──► accept loop ──bounded queue──► worker pool ──► Engine
+//!                      │ (full)                      │             (Arc,
+//!                      └► ERR BUSY                   └► Cursor      shared)
+//! ```
+//!
+//! * **Thread-per-session workers** serve a line-delimited text protocol
+//!   (`QUERY`, `PREPARE`/`EXECUTE`, `EXPLAIN [ANALYZE]`, `METRICS`,
+//!   `MUTATE`, `CLOSE` — see [`protocol`]). Results stream batch-at-a-time
+//!   from the engine's [`div_sql::Cursor`], so early client disconnects
+//!   short-circuit the source scans.
+//! * **Admission control**: a bounded queue between the accept loop and the
+//!   workers turns overload into a fast, typed, retryable `ERR BUSY`
+//!   instead of unbounded queueing ([`ServerConfig::queue_depth`]).
+//! * **Safety under mutation**: every statement runs against one engine
+//!   catalog snapshot; sessions transparently re-prepare statements that
+//!   went stale under a concurrent `MUTATE`, so clients never see a mix of
+//!   old and new catalog states.
+//! * **Robustness**: per-connection read timeouts, a request-size cap, and
+//!   graceful shutdown that drains in-flight sessions
+//!   ([`ServerHandle::shutdown`]).
+//!
+//! ```no_run
+//! use div_expr::Catalog;
+//! use div_server::{Client, Server, ServerConfig};
+//! use div_sql::Engine;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::new(Catalog::new()));
+//! let server = Server::bind("127.0.0.1:0", engine, ServerConfig::default())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! client.register("parts", &["p#"], &[vec![1i64.into()], vec![2i64.into()]])?;
+//! let result = client.query("SELECT p# FROM parts")?;
+//! assert_eq!(result.rows.len(), 2);
+//! client.close()?;
+//! server.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+mod server;
+mod session;
+
+pub use client::{Client, ClientError, QueryResult};
+pub use metrics::ServerMetrics;
+pub use protocol::ErrorCode;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,73 @@
+//! The server-side metrics registry: connection and request accounting the
+//! engine's own [`div_sql::Engine::metrics`] registry cannot see.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters of the serving layer, shared by the accept loop and
+/// every session. Exposed over the wire by the `METRICS` command next to
+/// the engine registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections handed to a session worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused with `ERR BUSY` by admission control.
+    pub connections_rejected: AtomicU64,
+    /// Requests answered (with `OK` or `ERR`, across all sessions).
+    pub requests_served: AtomicU64,
+    /// Requests whose terminal line was an `ERR`.
+    pub requests_failed: AtomicU64,
+    /// Result rows streamed to clients.
+    pub rows_streamed: AtomicU64,
+    /// Result streams cut short because the client went away mid-response.
+    pub streams_cancelled: AtomicU64,
+    /// Stale prepared statements transparently re-prepared by a session.
+    pub stale_replans: AtomicU64,
+}
+
+impl ServerMetrics {
+    fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Bump `counter` by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Render the registry as a JSON object (hand-rolled; the workspace
+    /// deliberately carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"connections_accepted\": {}, \"connections_rejected\": {}, ",
+                "\"requests_served\": {}, \"requests_failed\": {}, ",
+                "\"rows_streamed\": {}, \"streams_cancelled\": {}, ",
+                "\"stale_replans\": {}}}"
+            ),
+            Self::get(&self.connections_accepted),
+            Self::get(&self.connections_rejected),
+            Self::get(&self.requests_served),
+            Self::get(&self.requests_failed),
+            Self::get(&self.rows_streamed),
+            Self::get(&self.streams_cancelled),
+            Self::get(&self.stale_replans),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_reflects_counters() {
+        let m = ServerMetrics::default();
+        ServerMetrics::bump(&m.connections_accepted);
+        ServerMetrics::bump(&m.rows_streamed);
+        ServerMetrics::bump(&m.rows_streamed);
+        let json = m.to_json();
+        assert!(json.contains("\"connections_accepted\": 1"), "{json}");
+        assert!(json.contains("\"rows_streamed\": 2"), "{json}");
+        assert!(json.contains("\"connections_rejected\": 0"), "{json}");
+    }
+}

@@ -1,0 +1,410 @@
+//! One client session: the per-connection request loop.
+//!
+//! A session owns one [`TcpStream`] and serves requests sequentially until
+//! the client closes, sends `CLOSE`, idles past the read timeout, exceeds
+//! the request-size limit, or the server starts draining for shutdown.
+//! Results stream batch-at-a-time straight off the engine's [`Cursor`], so
+//! a client that stops reading (or disconnects) stops the source scans
+//! short instead of forcing full materialization.
+
+use crate::metrics::ServerMetrics;
+use crate::protocol::{self, code_for, encode_row, encode_schema, err_line, ErrorCode, Request};
+use crate::server::ServerConfig;
+use div_algebra::Relation;
+use div_sql::{Engine, Error, Params, PreparedStatement};
+use std::collections::HashMap;
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often a blocked read wakes up to check the shutdown flag and the
+/// idle deadline.
+const POLL_TICK: Duration = Duration::from_millis(50);
+
+/// Why the session's line reader stopped producing.
+enum ReadOutcome {
+    /// One complete request line (without the trailing newline).
+    Line(String),
+    /// The line grew past [`ServerConfig::max_request_bytes`].
+    TooLarge,
+    /// No complete line arrived within [`ServerConfig::read_timeout`].
+    IdleTimeout,
+    /// The server is draining; stop between requests.
+    Shutdown,
+    /// The client closed the connection (EOF) or the socket failed.
+    Disconnected,
+}
+
+/// Reads newline-delimited request lines off the socket, enforcing the
+/// request-size cap and the idle timeout while staying responsive to the
+/// server's shutdown flag (the socket is polled with a short read timeout).
+struct LineReader<'a> {
+    stream: &'a TcpStream,
+    buf: Vec<u8>,
+    max_line: usize,
+    idle: Duration,
+    shutdown: &'a AtomicBool,
+}
+
+impl<'a> LineReader<'a> {
+    fn new(
+        stream: &'a TcpStream,
+        max_line: usize,
+        idle: Duration,
+        shutdown: &'a AtomicBool,
+    ) -> LineReader<'a> {
+        LineReader {
+            stream,
+            buf: Vec::new(),
+            max_line,
+            idle,
+            shutdown,
+        }
+    }
+
+    fn next_line(&mut self) -> ReadOutcome {
+        let deadline = Instant::now() + self.idle;
+        loop {
+            // A complete line may already be buffered from a previous read.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]);
+                return ReadOutcome::Line(text.trim_end_matches('\r').to_string());
+            }
+            if self.buf.len() > self.max_line {
+                return ReadOutcome::TooLarge;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return ReadOutcome::Shutdown;
+            }
+            if Instant::now() >= deadline {
+                return ReadOutcome::IdleTimeout;
+            }
+            let mut chunk = [0u8; 4096];
+            match (&mut &*self.stream).read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Disconnected,
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => return ReadOutcome::Disconnected,
+            }
+        }
+    }
+}
+
+/// Serve one connection to completion. Called on a worker thread; never
+/// panics outward on socket errors (a vanished client is normal).
+pub(crate) fn run_session(
+    stream: TcpStream,
+    engine: &Engine,
+    config: &ServerConfig,
+    metrics: &ServerMetrics,
+    shutdown: &AtomicBool,
+) {
+    // Short socket timeout so reads stay responsive to the shutdown flag;
+    // the *logical* idle timeout is enforced by the line reader.
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_nodelay(true);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(writer_stream);
+    let mut reader = LineReader::new(
+        &stream,
+        config.max_request_bytes,
+        config.read_timeout,
+        shutdown,
+    );
+    // Session-local prepared statements, by client-chosen name.
+    let mut prepared: HashMap<String, PreparedStatement> = HashMap::new();
+
+    loop {
+        match reader.next_line() {
+            ReadOutcome::Line(line) => {
+                let outcome = serve_request(&line, engine, metrics, &mut prepared, &mut writer);
+                ServerMetrics::bump(&metrics.requests_served);
+                match outcome {
+                    RequestOutcome::Continue => {}
+                    RequestOutcome::CloseSession => return,
+                    RequestOutcome::ClientGone => {
+                        ServerMetrics::bump(&metrics.streams_cancelled);
+                        return;
+                    }
+                }
+            }
+            ReadOutcome::TooLarge => {
+                ServerMetrics::bump(&metrics.requests_served);
+                ServerMetrics::bump(&metrics.requests_failed);
+                let _ = terminal(
+                    &mut writer,
+                    &err_line(
+                        ErrorCode::TooLarge,
+                        &format!(
+                            "request exceeds {} bytes; closing connection",
+                            config.max_request_bytes
+                        ),
+                    ),
+                );
+                return;
+            }
+            ReadOutcome::IdleTimeout => {
+                let _ = terminal(
+                    &mut writer,
+                    &err_line(ErrorCode::Timeout, "idle connection closed"),
+                );
+                return;
+            }
+            ReadOutcome::Shutdown => {
+                let _ = terminal(
+                    &mut writer,
+                    &err_line(ErrorCode::Shutdown, "server is shutting down"),
+                );
+                return;
+            }
+            ReadOutcome::Disconnected => return,
+        }
+    }
+}
+
+/// What serving one request decided about the session.
+enum RequestOutcome {
+    Continue,
+    CloseSession,
+    /// A write failed mid-response: the client disconnected while we were
+    /// streaming. The open cursor was dropped, short-circuiting its scans.
+    ClientGone,
+}
+
+/// Write `line` and flush; any failure means the client is gone.
+fn terminal(writer: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+fn serve_request(
+    line: &str,
+    engine: &Engine,
+    metrics: &ServerMetrics,
+    prepared: &mut HashMap<String, PreparedStatement>,
+    writer: &mut BufWriter<TcpStream>,
+) -> RequestOutcome {
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err(bad) => {
+            ServerMetrics::bump(&metrics.requests_failed);
+            return match terminal(writer, &err_line(ErrorCode::Malformed, &bad.0)) {
+                Ok(()) => RequestOutcome::Continue,
+                Err(_) => RequestOutcome::ClientGone,
+            };
+        }
+    };
+    let result = match request {
+        Request::Ping => terminal(writer, "OK pong").map(|()| RequestOutcome::Continue),
+        Request::Close => {
+            let _ = terminal(writer, "OK bye");
+            return RequestOutcome::CloseSession;
+        }
+        Request::Query(sql) => match engine.query(&sql) {
+            Ok(cursor) => return stream_cursor(cursor, metrics, writer),
+            Err(err) => engine_error(&err, metrics, writer),
+        },
+        Request::Prepare { name, sql } => match engine.prepare(&sql) {
+            Ok(statement) => {
+                let detail = format!(
+                    "OK prepared {name} parameters={}",
+                    statement.parameters().len()
+                );
+                prepared.insert(name, statement);
+                terminal(writer, &detail).map(|()| RequestOutcome::Continue)
+            }
+            Err(err) => engine_error(&err, metrics, writer),
+        },
+        Request::Execute { name, params } => {
+            let statement = match prepared.get(&name) {
+                Some(statement) => statement,
+                None => {
+                    ServerMetrics::bump(&metrics.requests_failed);
+                    let msg = format!("no prepared statement named `{name}` in this session");
+                    return match terminal(writer, &err_line(ErrorCode::UnknownStatement, &msg)) {
+                        Ok(()) => RequestOutcome::Continue,
+                        Err(_) => RequestOutcome::ClientGone,
+                    };
+                }
+            };
+            let mut bound = Params::new();
+            for (key, value) in params {
+                bound = bound.bind(key, value);
+            }
+            match statement.execute(engine, &bound) {
+                Ok(cursor) => return stream_cursor(cursor, metrics, writer),
+                Err(Error::StalePlan { .. }) => {
+                    // The catalog moved under the cached plan. Re-prepare
+                    // transparently: the client keeps its statement name and
+                    // never sees a stale result.
+                    match engine.prepare(statement.sql()) {
+                        Ok(fresh) => {
+                            ServerMetrics::bump(&metrics.stale_replans);
+                            let retry = fresh.execute(engine, &bound);
+                            prepared.insert(name, fresh);
+                            match retry {
+                                Ok(cursor) => return stream_cursor(cursor, metrics, writer),
+                                Err(err) => engine_error(&err, metrics, writer),
+                            }
+                        }
+                        Err(err) => engine_error(&err, metrics, writer),
+                    }
+                }
+                Err(err) => engine_error(&err, metrics, writer),
+            }
+        }
+        Request::Explain { sql, analyze } => {
+            let report = if analyze {
+                engine.explain_analyze(&sql)
+            } else {
+                engine.explain(&sql)
+            };
+            match report {
+                Ok(explain) => {
+                    let rendered = explain.to_string();
+                    (|| {
+                        for plan_line in rendered.lines() {
+                            writer.write_all(b"PLAN ")?;
+                            writer.write_all(plan_line.as_bytes())?;
+                            writer.write_all(b"\n")?;
+                        }
+                        terminal(writer, "OK")
+                    })()
+                    .map(|()| RequestOutcome::Continue)
+                }
+                Err(err) => engine_error(&err, metrics, writer),
+            }
+        }
+        Request::Metrics => {
+            let json = format!(
+                "METRICS {{\"server\": {}, \"engine\": {}}}",
+                metrics.to_json(),
+                engine.metrics().to_json()
+            );
+            (|| {
+                writer.write_all(json.as_bytes())?;
+                writer.write_all(b"\n")?;
+                terminal(writer, "OK")
+            })()
+            .map(|()| RequestOutcome::Continue)
+        }
+        Request::Register {
+            table,
+            columns,
+            rows,
+        } => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            match Relation::from_rows(names, rows) {
+                Ok(relation) => {
+                    let version = engine.mutate_catalog(|catalog| {
+                        catalog.register(table.as_str(), relation);
+                        catalog.version()
+                    });
+                    terminal(writer, &format!("OK version {version}"))
+                        .map(|()| RequestOutcome::Continue)
+                }
+                Err(err) => {
+                    ServerMetrics::bump(&metrics.requests_failed);
+                    terminal(writer, &err_line(ErrorCode::Plan, &err.to_string()))
+                        .map(|()| RequestOutcome::Continue)
+                }
+            }
+        }
+        Request::Drop(table) => {
+            let dropped = engine
+                .mutate_catalog(|catalog| catalog.unregister(&table).map(|_| catalog.version()));
+            match dropped {
+                Ok(version) => terminal(writer, &format!("OK version {version}"))
+                    .map(|()| RequestOutcome::Continue),
+                Err(err) => {
+                    ServerMetrics::bump(&metrics.requests_failed);
+                    terminal(writer, &err_line(ErrorCode::Plan, &err.to_string()))
+                        .map(|()| RequestOutcome::Continue)
+                }
+            }
+        }
+    };
+    match result {
+        Ok(outcome) => outcome,
+        Err(_) => RequestOutcome::ClientGone,
+    }
+}
+
+/// Report an engine error as its typed `ERR` line.
+fn engine_error(
+    err: &Error,
+    metrics: &ServerMetrics,
+    writer: &mut BufWriter<TcpStream>,
+) -> io::Result<RequestOutcome> {
+    ServerMetrics::bump(&metrics.requests_failed);
+    terminal(writer, &err_line(code_for(err), &err.to_string())).map(|()| RequestOutcome::Continue)
+}
+
+/// Stream a cursor's result: `SCHEMA`, then one `ROW` line per tuple
+/// (flushed batch-at-a-time), then `OK <n> rows`. A failed write drops the
+/// cursor immediately — the executor's early-termination contract stops the
+/// source scans short for clients that went away mid-result.
+fn stream_cursor(
+    mut cursor: div_sql::Cursor,
+    metrics: &ServerMetrics,
+    writer: &mut BufWriter<TcpStream>,
+) -> RequestOutcome {
+    let schema_line = {
+        let names: Vec<&str> = cursor.schema().names();
+        encode_schema(&names)
+    };
+    if writer
+        .write_all(schema_line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .is_err()
+    {
+        return RequestOutcome::ClientGone;
+    }
+    let mut rows: u64 = 0;
+    for batch in cursor.by_ref() {
+        let batch = match batch {
+            Ok(batch) => batch,
+            Err(err) => {
+                // Mid-stream failure: the ERR line is still the terminal.
+                ServerMetrics::bump(&metrics.requests_failed);
+                return match terminal(writer, &err_line(code_for(&err), &err.to_string())) {
+                    Ok(()) => RequestOutcome::Continue,
+                    Err(_) => RequestOutcome::ClientGone,
+                };
+            }
+        };
+        for i in 0..batch.num_rows() {
+            let tuple = batch.row(i);
+            let line = encode_row(tuple.values());
+            if writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                return RequestOutcome::ClientGone;
+            }
+            rows += 1;
+            ServerMetrics::bump(&metrics.rows_streamed);
+        }
+        // Flush per batch: the client sees results incrementally and a
+        // vanished client surfaces as a write error on the next batch.
+        if writer.flush().is_err() {
+            return RequestOutcome::ClientGone;
+        }
+    }
+    match terminal(writer, &format!("OK {rows} rows")) {
+        Ok(()) => RequestOutcome::Continue,
+        Err(_) => RequestOutcome::ClientGone,
+    }
+}

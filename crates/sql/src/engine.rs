@@ -83,10 +83,11 @@ use div_physical::{
 use div_rewrite::engine::AppliedRule;
 use div_rewrite::optimizer::{CostEstimate, CostModel};
 use div_rewrite::{OptimizedPlan, Optimizer, RewriteContext, RuleSet};
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Result alias of the engine API.
@@ -182,26 +183,34 @@ pub struct QueryOutput {
 /// assert_eq!(rows, 1);
 /// # Ok::<(), div_sql::Error>(())
 /// ```
+/// A cursor is **self-contained**: the streaming operator tree inside it
+/// holds shared snapshot handles to the tables it scans (not borrows of the
+/// engine's catalog), so an open cursor keeps streaming consistent
+/// pre-mutation data even while [`Engine::mutate_catalog`] swaps the
+/// catalog underneath it — the snapshot-isolation contract concurrent
+/// serving relies on.
 #[derive(Debug)]
-pub struct Cursor<'a> {
-    exec: Option<StreamExecutor<'a>>,
+pub struct Cursor {
+    exec: Option<StreamExecutor>,
     schema: Schema,
     failed: bool,
     rows: u64,
     opened: Instant,
-    metrics: Option<&'a EngineMetrics>,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
-impl<'a> Cursor<'a> {
+impl Cursor {
     /// Start a streaming execution of `physical` over `catalog`. This is
     /// the engine-room constructor shared by [`Engine::query`],
     /// [`PreparedStatement::execute`] and the deprecated free-function
     /// shims; it does *not* check for unbound parameters (the engine does).
+    /// The compiled operator tree captures shared handles to the scanned
+    /// tables, so the returned cursor does not borrow `catalog`.
     pub(crate) fn over(
         physical: &PhysicalPlan,
-        catalog: &'a Catalog,
+        catalog: &Catalog,
         config: &PlannerConfig,
-    ) -> Result<Cursor<'a>> {
+    ) -> Result<Cursor> {
         let exec = StreamExecutor::new(physical, catalog, config)?;
         let schema = exec.schema().clone();
         Ok(Cursor {
@@ -217,7 +226,7 @@ impl<'a> Cursor<'a> {
     /// Attach the engine's metrics registry: the cursor reports its row
     /// count and execution latency there exactly once, when it finishes
     /// (collect, `finish_stats` or drop — whichever comes first).
-    pub(crate) fn with_metrics(mut self, metrics: &'a EngineMetrics) -> Cursor<'a> {
+    pub(crate) fn with_metrics(mut self, metrics: Arc<EngineMetrics>) -> Cursor {
         self.metrics = Some(metrics);
         self
     }
@@ -277,7 +286,7 @@ impl<'a> Cursor<'a> {
     }
 }
 
-impl Iterator for Cursor<'_> {
+impl Iterator for Cursor {
     type Item = Result<ColumnarBatch>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -298,7 +307,7 @@ impl Iterator for Cursor<'_> {
     }
 }
 
-impl Drop for Cursor<'_> {
+impl Drop for Cursor {
     fn drop(&mut self) {
         // An abandoned cursor (early drop, error mid-stream) still counts
         // as one execution; `record_metrics` is a no-op when the cursor
@@ -379,14 +388,14 @@ impl EngineBuilder {
     /// Finish the builder.
     pub fn build(self) -> Engine {
         Engine {
-            catalog: self.catalog,
+            catalog: RwLock::new(Arc::new(self.catalog)),
             config: self.config,
             optimizer: Optimizer::new()
                 .with_rules(self.rules)
                 .with_cost_model(self.cost_model),
             optimize: self.optimize,
             compile_count: AtomicU64::new(0),
-            metrics: EngineMetrics::default(),
+            metrics: Arc::new(EngineMetrics::default()),
             prepared_cache: Mutex::new(BTreeMap::new()),
         }
     }
@@ -394,14 +403,26 @@ impl EngineBuilder {
 
 /// A SQL session: a catalog plus the configured optimize-and-execute
 /// pipeline. See the [module documentation](self) for an overview.
+///
+/// The engine is `Send + Sync` and designed to be shared (`Arc<Engine>`)
+/// across threads: the catalog lives behind a snapshot scheme — readers
+/// take a cheap [`Arc<Catalog>`] snapshot ([`Engine::catalog`]) that every
+/// step of one statement (compile, version check, execute) runs against,
+/// while [`Engine::mutate_catalog`] applies writes to a copy and swaps the
+/// snapshot in atomically. A statement therefore never observes a
+/// half-applied mutation, and open [`Cursor`]s keep streaming their
+/// pre-mutation snapshot.
 #[derive(Debug)]
 pub struct Engine {
-    catalog: Catalog,
+    /// The current catalog snapshot. Readers clone the `Arc` (read lock held
+    /// only for the clone); `mutate_catalog` briefly takes the write lock to
+    /// swap in the successor snapshot.
+    catalog: RwLock<Arc<Catalog>>,
     config: PlannerConfig,
     optimizer: Optimizer,
     optimize: bool,
     compile_count: AtomicU64,
-    metrics: EngineMetrics,
+    metrics: Arc<EngineMetrics>,
     /// Compiled statements keyed by SQL text, so repeated
     /// [`Engine::prepare`] calls for the same statement reuse one
     /// compilation. Entries are validated against the catalog version on
@@ -458,16 +479,59 @@ impl Engine {
         }
     }
 
-    /// The catalog this engine serves.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// The current catalog snapshot.
+    ///
+    /// The returned handle is immutable and stable: concurrent
+    /// [`Engine::mutate_catalog`] calls swap the engine's snapshot but never
+    /// change a handle already taken, so a caller that binds the snapshot
+    /// once sees one consistent catalog version across any number of reads.
+    pub fn catalog(&self) -> Arc<Catalog> {
+        Arc::clone(&self.catalog.read())
     }
 
-    /// Mutable access to the catalog (registering tables, declaring
-    /// constraints). Any mutation bumps the catalog version and thereby
-    /// invalidates previously prepared statements.
+    /// Mutable access to the catalog through exclusive engine ownership.
+    ///
+    /// Deprecated: it requires `&mut Engine`, which a shared
+    /// (`Arc<Engine>`) serving deployment cannot produce — use
+    /// [`Engine::mutate_catalog`], which works through `&self`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::mutate_catalog, which works through a shared engine"
+    )]
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        Arc::make_mut(self.catalog.get_mut())
+    }
+
+    /// Apply a catalog mutation atomically and swap in the successor
+    /// snapshot.
+    ///
+    /// The closure runs on a private copy of the current catalog (cheap:
+    /// tables are shared `Arc` handles, so the copy is metadata-sized);
+    /// statements compiled against the old snapshot keep executing it, and
+    /// every statement that starts after `mutate_catalog` returns sees the
+    /// whole mutation. Mutations that change the catalog (register, drop,
+    /// constraint declarations) bump the catalog version, which invalidates
+    /// prepared statements ([`Error::StalePlan`]) and the engine's prepared
+    /// cache entries.
+    ///
+    /// ```
+    /// use div_algebra::relation;
+    /// use div_expr::Catalog;
+    /// use div_sql::Engine;
+    ///
+    /// let engine = Engine::new(Catalog::new());
+    /// engine.mutate_catalog(|catalog| {
+    ///     catalog.register("parts", relation! { ["p#"] => [1], [2] });
+    /// });
+    /// assert_eq!(engine.query("SELECT p# FROM parts")?.collect_relation()?.len(), 2);
+    /// # Ok::<(), div_sql::Error>(())
+    /// ```
+    pub fn mutate_catalog<R>(&self, mutate: impl FnOnce(&mut Catalog) -> R) -> R {
+        let mut slot = self.catalog.write();
+        let mut next = Catalog::clone(&slot);
+        let out = mutate(&mut next);
+        *slot = Arc::new(next);
+        out
     }
 
     /// The planner configuration in use.
@@ -574,7 +638,7 @@ impl Engine {
     ///
     /// Statements with `$name` parameters cannot run ad hoc — prepare them
     /// and bind values, or use [`Engine::query_with_params`].
-    pub fn query(&self, sql: &str) -> Result<Cursor<'_>> {
+    pub fn query(&self, sql: &str) -> Result<Cursor> {
         self.query_with_params(sql, &Params::new())
     }
 
@@ -584,11 +648,14 @@ impl Engine {
     /// placeholders still unresolved — the bindings are known here, so they
     /// are substituted into the logical plan *before* the optimizer runs and
     /// the query gets the same rewrite search as its all-literal equivalent.
-    pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<Cursor<'_>> {
+    pub fn query_with_params(&self, sql: &str, params: &Params) -> Result<Cursor> {
+        // One snapshot for the whole statement: compile and execute see the
+        // same catalog version even under concurrent `mutate_catalog`.
+        let catalog = self.catalog();
         let query = self.parse_timed(sql)?;
         check_bindings(params, &query.parameters())?;
-        let compiled = self.compile_parsed(&query, params)?;
-        self.cursor_for(&compiled.physical)
+        let compiled = self.compile_parsed(&query, params, &catalog)?;
+        self.cursor_for(&compiled.physical, &catalog)
     }
 
     /// [`Engine::query`], fully collected: the compatibility shim that
@@ -617,16 +684,17 @@ impl Engine {
     /// Optimize and plan an already-translated logical plan, and open a
     /// streaming [`Cursor`] over the result — the tail of [`Engine::query`]
     /// without the SQL front end.
-    pub fn stream_logical(&self, logical: &LogicalPlan) -> Result<Cursor<'_>> {
+    pub fn stream_logical(&self, logical: &LogicalPlan) -> Result<Cursor> {
+        let catalog = self.catalog();
         self.compile_count.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        let optimized = self.optimize_plan(logical)?;
+        let optimized = self.optimize_plan(logical, &catalog)?;
         self.metrics.add_optimize(started.elapsed());
         self.metrics.record_laws(&optimized.applied);
         let started = Instant::now();
         let physical = plan_query(&optimized.plan, &self.config)?;
         self.metrics.add_plan(started.elapsed());
-        self.cursor_for(&physical)
+        self.cursor_for(&physical, &catalog)
     }
 
     /// Compile `sql` into a [`PreparedStatement`] holding the optimized
@@ -638,14 +706,13 @@ impl Engine {
     /// invalidate cached entries. Hits and misses are counted in
     /// [`Engine::metrics`].
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        // One snapshot for the whole prepare: the cache-validity check and
+        // the recorded `catalog_version` agree even if a concurrent
+        // `mutate_catalog` lands mid-call.
+        let catalog = self.catalog();
         self.metrics.record_prepare();
-        if let Some(cached) = self
-            .prepared_cache
-            .lock()
-            .expect("prepared cache lock")
-            .get(sql)
-        {
-            if cached.catalog_version == self.catalog.version() {
+        if let Some(cached) = self.prepared_cache.lock().get(sql) {
+            if cached.catalog_version == catalog.version() {
                 self.metrics.record_prepared_cache(true);
                 return Ok(cached.clone());
             }
@@ -653,15 +720,15 @@ impl Engine {
         self.metrics.record_prepared_cache(false);
         let query = self.parse_timed(sql)?;
         let declared = query.parameters();
-        let compiled = self.compile_parsed(&query, &Params::new())?;
+        let compiled = self.compile_parsed(&query, &Params::new(), &catalog)?;
         let statement = PreparedStatement {
             sql: sql.to_string(),
             template: Arc::new(compiled.physical),
             parameters: declared,
-            catalog_version: self.catalog.version(),
+            catalog_version: catalog.version(),
             applied: compiled.applied,
         };
-        let mut cache = self.prepared_cache.lock().expect("prepared cache lock");
+        let mut cache = self.prepared_cache.lock();
         if cache.len() >= PREPARED_CACHE_CAPACITY && !cache.contains_key(sql) {
             // Bound the cache by evicting an arbitrary entry (the map is
             // small and keyed by SQL text; LRU precision is not worth a
@@ -676,8 +743,9 @@ impl Engine {
 
     /// Compile `sql` and report the whole pipeline without executing it.
     pub fn explain(&self, sql: &str) -> Result<Explain> {
-        let compiled = self.compile(sql)?;
-        Ok(self.explain_from(sql, compiled, None))
+        let catalog = self.catalog();
+        let compiled = self.compile(sql, &catalog)?;
+        Ok(self.explain_from(sql, compiled, None, &catalog))
     }
 
     /// [`Engine::explain`] plus an actual execution: the report additionally
@@ -694,26 +762,33 @@ impl Engine {
 
     /// [`Engine::explain_analyze`] with `$name` parameter bindings applied.
     pub fn explain_analyze_with_params(&self, sql: &str, params: &Params) -> Result<Explain> {
+        let catalog = self.catalog();
         let query = self.parse_timed(sql)?;
         check_bindings(params, &query.parameters())?;
-        let compiled = self.compile_parsed(&query, params)?;
+        let compiled = self.compile_parsed(&query, params, &catalog)?;
         // Analysis is explicitly about per-operator behaviour: force the
         // span-timing flag on for this one execution.
         let mut config = self.config;
         config.tracing = true;
         let output = self
-            .cursor_with_config(&compiled.physical, &config)?
+            .cursor_with_config(&compiled.physical, &catalog, &config)?
             .collect()?;
-        Ok(self.explain_from(sql, compiled, Some(output.stats)))
+        Ok(self.explain_from(sql, compiled, Some(output.stats), &catalog))
     }
 
-    fn explain_from(&self, sql: &str, compiled: Compiled, stats: Option<ExecStats>) -> Explain {
+    fn explain_from(
+        &self,
+        sql: &str,
+        compiled: Compiled,
+        stats: Option<ExecStats>,
+        catalog: &Catalog,
+    ) -> Explain {
         // Cardinality estimates per operator, in the same pre-order the
         // physical plan (and the executors' OperatorId numbering) uses:
         // `plan_query` maps logical nodes to physical operators 1:1, so a
         // pre-order walk of the optimized logical plan lines up with the
         // physical tree.
-        let ctx = RewriteContext::with_catalog(&self.catalog);
+        let ctx = RewriteContext::with_catalog(catalog);
         let model = self.optimizer.cost_model();
         let mut estimated_rows = Vec::with_capacity(compiled.physical.operator_count());
         compiled
@@ -737,22 +812,28 @@ impl Engine {
         }
     }
 
-    fn compile(&self, sql: &str) -> Result<Compiled> {
+    fn compile(&self, sql: &str, catalog: &Catalog) -> Result<Compiled> {
         let query = self.parse_timed(sql)?;
-        self.compile_parsed(&query, &Params::new())
+        self.compile_parsed(&query, &Params::new(), catalog)
     }
 
-    /// The shared compile pipeline. Known `params` are bound into the
-    /// logical plan before optimization (empty for `prepare`, whose
-    /// placeholders must survive into the cached template).
-    fn compile_parsed(&self, query: &crate::Query, params: &Params) -> Result<Compiled> {
+    /// The shared compile pipeline over one catalog snapshot. Known
+    /// `params` are bound into the logical plan before optimization (empty
+    /// for `prepare`, whose placeholders must survive into the cached
+    /// template).
+    fn compile_parsed(
+        &self,
+        query: &crate::Query,
+        params: &Params,
+        catalog: &Catalog,
+    ) -> Result<Compiled> {
         self.compile_count.fetch_add(1, Ordering::Relaxed);
-        let mut logical = translate_query(query, &self.catalog)?;
+        let mut logical = translate_query(query, catalog)?;
         if !params.is_empty() {
             logical = logical.bind_parameters(params.map());
         }
         let started = Instant::now();
-        let optimized = self.optimize_plan(&logical)?;
+        let optimized = self.optimize_plan(&logical, catalog)?;
         self.metrics.add_optimize(started.elapsed());
         self.metrics.record_laws(&optimized.applied);
         let started = Instant::now();
@@ -769,8 +850,8 @@ impl Engine {
         })
     }
 
-    fn optimize_plan(&self, logical: &LogicalPlan) -> Result<OptimizedPlan> {
-        let ctx = RewriteContext::with_catalog(&self.catalog);
+    fn optimize_plan(&self, logical: &LogicalPlan, catalog: &Catalog) -> Result<OptimizedPlan> {
+        let ctx = RewriteContext::with_catalog(catalog);
         if !self.optimize {
             let cost = self.optimizer.cost_model().cost(logical, &ctx);
             return Ok(OptimizedPlan {
@@ -784,10 +865,11 @@ impl Engine {
         Ok(self.optimizer.optimize(logical, &ctx)?)
     }
 
-    /// Open a streaming cursor over a fully bound physical plan, rejecting
-    /// plans that still carry `$name` placeholders.
-    fn cursor_for(&self, physical: &PhysicalPlan) -> Result<Cursor<'_>> {
-        self.cursor_with_config(physical, &self.config)
+    /// Open a streaming cursor over a fully bound physical plan against one
+    /// catalog snapshot, rejecting plans that still carry `$name`
+    /// placeholders.
+    fn cursor_for(&self, physical: &PhysicalPlan, catalog: &Catalog) -> Result<Cursor> {
+        self.cursor_with_config(physical, catalog, &self.config)
     }
 
     /// [`Engine::cursor_for`] with an overridden planner configuration
@@ -795,8 +877,9 @@ impl Engine {
     fn cursor_with_config(
         &self,
         physical: &PhysicalPlan,
+        catalog: &Catalog,
         config: &PlannerConfig,
-    ) -> Result<Cursor<'_>> {
+    ) -> Result<Cursor> {
         if physical.has_parameters() {
             let parameter = physical
                 .parameters()
@@ -805,7 +888,7 @@ impl Engine {
                 .expect("has_parameters implies at least one name");
             return Err(Error::UnboundParameter { parameter });
         }
-        Ok(Cursor::over(physical, &self.catalog, config)?.with_metrics(&self.metrics))
+        Ok(Cursor::over(physical, catalog, config)?.with_metrics(Arc::clone(&self.metrics)))
     }
 }
 
@@ -865,8 +948,12 @@ impl PreparedStatement {
     ///   statement does not declare;
     /// * [`Error::UnboundParameter`] when a declared parameter has no
     ///   binding.
-    pub fn execute<'e>(&self, engine: &'e Engine, params: &Params) -> Result<Cursor<'e>> {
-        let catalog_version = engine.catalog().version();
+    pub fn execute(&self, engine: &Engine, params: &Params) -> Result<Cursor> {
+        // One snapshot for the version check *and* the execution: a
+        // concurrent `mutate_catalog` between the two cannot slip a changed
+        // catalog under a plan that just passed validation.
+        let catalog = engine.catalog();
+        let catalog_version = catalog.version();
         if catalog_version != self.catalog_version {
             return Err(Error::StalePlan {
                 prepared_version: self.catalog_version,
@@ -877,10 +964,10 @@ impl PreparedStatement {
         if params.is_empty() {
             // Nothing to substitute — stream the cached template directly
             // (`cursor_for` still rejects unbound placeholders).
-            return engine.cursor_for(&self.template);
+            return engine.cursor_for(&self.template, &catalog);
         }
         let bound = self.template.bind_parameters(params.map());
-        engine.cursor_for(&bound)
+        engine.cursor_for(&bound, &catalog)
     }
 
     /// [`PreparedStatement::execute`], fully collected into a
@@ -1225,17 +1312,127 @@ mod tests {
 
     #[test]
     fn prepared_statements_detect_catalog_mutation() {
-        let mut engine = Engine::new(catalog());
+        let engine = Engine::new(catalog());
         let stmt = engine.prepare(Q2).unwrap();
         assert_eq!(stmt.catalog_version(), engine.catalog().version());
-        engine
-            .catalog_mut()
-            .register("new_table", relation! { ["x"] => [1] });
+        engine.mutate_catalog(|c| {
+            c.register("new_table", relation! { ["x"] => [1] });
+        });
         let err = stmt.execute(&engine, &Params::new()).unwrap_err();
         assert!(matches!(err, Error::StalePlan { .. }));
         // Re-preparing against the mutated catalog works again.
         let stmt = engine.prepare(Q2).unwrap();
         assert!(stmt.execute(&engine, &Params::new()).is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_catalog_mut_still_invalidates_prepared_statements() {
+        let mut engine = Engine::new(catalog());
+        let stmt = engine.prepare(Q2).unwrap();
+        engine
+            .catalog_mut()
+            .register("new_table", relation! { ["x"] => [1] });
+        assert!(matches!(
+            stmt.execute(&engine, &Params::new()),
+            Err(Error::StalePlan { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        fn assert_sendable<T: Send>() {}
+        assert_shareable::<Engine>();
+        assert_shareable::<PreparedStatement>();
+        // A cursor is a single-consumer handle: it moves across threads
+        // (sessions) but is never shared.
+        assert_sendable::<Cursor>();
+    }
+
+    #[test]
+    fn open_cursors_stream_their_snapshot_across_mutations() {
+        let engine = Engine::builder(catalog())
+            .planner_config(PlannerConfig::default().batch_size(1))
+            .build();
+        let expected = engine.query_collect(Q2).unwrap().relation;
+        let mut cursor = engine.query(Q2).unwrap();
+        // Pull one batch, then drop every table the plan scans.
+        let first = cursor.next().unwrap().unwrap();
+        assert_eq!(first.num_rows(), 1);
+        engine.mutate_catalog(|c| {
+            c.unregister("supplies").unwrap();
+            c.unregister("parts").unwrap();
+        });
+        assert!(engine.query(Q2).is_err(), "new statements see the drop");
+        let mut streamed = Relation::empty(cursor.schema().clone());
+        streamed.insert(first.row(0)).unwrap();
+        for batch in cursor.by_ref() {
+            let batch = batch.unwrap();
+            for i in 0..batch.num_rows() {
+                streamed.insert(batch.row(i)).unwrap();
+            }
+        }
+        assert_eq!(streamed, expected, "snapshot isolation for open cursors");
+    }
+
+    #[test]
+    fn concurrent_queries_and_mutations_never_mix_catalog_states() {
+        use std::sync::atomic::AtomicBool;
+        // Two known catalog states: divisor = {1} (state A, answer {1, 2})
+        // vs divisor = {1, 2, 3} (state B, answer {2}). Concurrent readers
+        // must always see exactly one of the two answers.
+        let engine = Arc::new(Engine::new(catalog()));
+        let expected_a = engine
+            .query_collect(
+                "SELECT s# FROM supplies AS s DIVIDE BY \
+                            (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+            )
+            .unwrap()
+            .relation;
+        let expected_b = relation! { ["s#"] => [2] };
+        let stop = Arc::new(AtomicBool::new(false));
+        let mutator = {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let blue = relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "red"] };
+                let all_blue =
+                    relation! { ["p#", "color"] => [1, "blue"], [2, "blue"], [3, "blue"] };
+                let mut flip = false;
+                while !stop.load(Ordering::Relaxed) {
+                    let next = if flip { all_blue.clone() } else { blue.clone() };
+                    engine.mutate_catalog(|c| {
+                        c.unregister("parts").unwrap();
+                        c.register("parts", next);
+                    });
+                    flip = !flip;
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let (a, b) = (expected_a.clone(), expected_b.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let got = engine
+                            .query_collect(
+                                "SELECT s# FROM supplies AS s DIVIDE BY \
+                                 (SELECT p# FROM parts WHERE color = 'blue') AS p ON s.p# = p.p#",
+                            )
+                            .unwrap()
+                            .relation;
+                        assert!(got == a || got == b, "torn catalog state observed: {got:?}");
+                    }
+                })
+            })
+            .collect();
+        for r in readers {
+            r.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        mutator.join().unwrap();
     }
 
     #[test]
@@ -1254,7 +1451,7 @@ mod tests {
         ));
         // An engine over a clone of the same catalog shares the stamp (the
         // data is identical), so the statement remains valid there.
-        let engine_c = Engine::new(engine_a.catalog().clone());
+        let engine_c = Engine::new(engine_a.catalog().as_ref().clone());
         assert!(stmt.execute(&engine_c, &Params::new()).is_ok());
     }
 

@@ -80,9 +80,12 @@ fn main() {
         engine.planner_config().batch_size,
     );
     let explain = engine.explain(deep).expect("explain compiles");
-    let (_, mat) =
-        execute_with_config(&explain.physical, engine.catalog(), engine.planner_config())
-            .expect("materializing run");
+    let (_, mat) = execute_with_config(
+        &explain.physical,
+        &engine.catalog(),
+        engine.planner_config(),
+    )
+    .expect("materializing run");
     println!(
         "  materializing: max intermediate  = {:>6} (whole filtered table)",
         mat.max_intermediate

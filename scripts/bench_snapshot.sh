@@ -6,6 +6,7 @@
 #
 #   scripts/bench_snapshot.sh                  # key_pipeline -> BENCH_key_pipeline.json
 #   scripts/bench_snapshot.sh streaming        # streaming    -> BENCH_streaming.json
+#   scripts/bench_snapshot.sh serving          # serving      -> BENCH_serving.json
 #
 # Each snapshot records per-benchmark median iteration times in nanoseconds
 # plus a fast-vs-slow speedup for every paired workload:
@@ -25,6 +26,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 bench="${1:-key_pipeline}"
+
+# The serving bench is not a criterion group: it drives a real TCP server
+# with concurrent clients and emits the snapshot JSON itself (QPS and
+# latency percentiles per workload mix — ad-hoc vs prepared vs mutating).
+if [ "$bench" = serving ]; then
+    out="${2:-BENCH_serving.json}"
+    BENCH_RECORDED_AT="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+        cargo run --release --bin serving_bench >"$out"
+    echo "wrote $out"
+    exit 0
+fi
+
 case "$bench" in
 key_pipeline)
     fast="keyvector"

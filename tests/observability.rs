@@ -403,7 +403,7 @@ fn engine_metrics_count_queries_rows_and_laws() {
 
 #[test]
 fn prepared_statement_cache_counts_hits_and_misses() {
-    let mut engine = Engine::new(catalog());
+    let engine = Engine::new(catalog());
     let first = engine.prepare(Q2).unwrap();
     let second = engine.prepare(Q2).unwrap();
     assert_eq!(engine.compile_count(), 1, "second prepare is a cache hit");
@@ -418,9 +418,9 @@ fn prepared_statement_cache_counts_hits_and_misses() {
 
     // Catalog mutation invalidates the cached entry: the next prepare
     // recompiles (a miss), and the stale statement refuses to run.
-    engine
-        .catalog_mut()
-        .register("extra", relation! { ["x"] => [1] });
+    engine.mutate_catalog(|c| {
+        c.register("extra", relation! { ["x"] => [1] });
+    });
     let third = engine.prepare(Q2).unwrap();
     assert_eq!(engine.compile_count(), 2);
     assert!(!Arc::ptr_eq(first.plan(), third.plan()));

@@ -1,0 +1,242 @@
+//! Concurrency stress: many clients hammer one served engine with a mixed
+//! ad-hoc/prepared workload while the catalog mutates mid-flight. The
+//! correctness contract under test is snapshot isolation at the statement
+//! level — every result equals the quotient of *some* complete catalog
+//! state, never a mix of two.
+
+use div_algebra::{Relation, Value};
+use div_datagen::scenarios::{generate, ScenarioConfig, ScenarioFamily};
+use div_server::{Client, ClientError, Server, ServerConfig};
+use div_sql::Engine;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 16;
+const ITERATIONS: usize = 25;
+
+fn sorted_rows(relation: &Relation) -> Vec<Vec<Value>> {
+    let mut rows: Vec<Vec<Value>> = relation.tuples().map(|t| t.values().to_vec()).collect();
+    rows.sort();
+    rows
+}
+
+fn relation_rows(relation: &Relation) -> Vec<Vec<Value>> {
+    relation.tuples().map(|t| t.values().to_vec()).collect()
+}
+
+/// Run one workload iteration, retrying the retryable wire errors (`BUSY`,
+/// plus `STALE_PLAN` for the unlucky schedule where the catalog moves again
+/// between a session's transparent re-prepare and its execution).
+fn run_with_retry(
+    mut attempt: impl FnMut() -> Result<Vec<Vec<Value>>, ClientError>,
+) -> Vec<Vec<Value>> {
+    for _ in 0..50 {
+        match attempt() {
+            Ok(rows) => return rows,
+            Err(err) if err.is_retryable() => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(ClientError::Server {
+                code: Some(div_server::ErrorCode::StalePlan),
+                ..
+            }) => {}
+            Err(other) => panic!("workload failed: {other}"),
+        }
+    }
+    panic!("no successful attempt in 50 tries");
+}
+
+#[test]
+fn concurrent_clients_survive_catalog_mutations_without_torn_results() {
+    let data = generate(&ScenarioConfig {
+        family: ScenarioFamily::Rbac,
+        entities: 60,
+        items: 12,
+        membership: 0.6,
+        full_entities: 0.2,
+        null_density: 0.0,
+        ..ScenarioConfig::default()
+    });
+    let names = data.names();
+    let sql = data.small_divide_sql();
+
+    // The two catalog states the mutator flips between, and the exact
+    // quotient each implies (computed against the reference algebra).
+    let divisor_a = data.divisor.clone();
+    let divisor_b = Relation::from_rows(
+        [names.item_column],
+        vec![vec![Value::from("role0")], vec![Value::from("role1")]],
+    )
+    .unwrap();
+    let expected_a = sorted_rows(&data.dividend.divide(&divisor_a).unwrap());
+    let expected_b = sorted_rows(&data.dividend.divide(&divisor_b).unwrap());
+    assert_ne!(
+        expected_a, expected_b,
+        "the two states must be distinguishable for the test to mean anything"
+    );
+
+    let engine = Arc::new(Engine::new(data.catalog()));
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        ServerConfig {
+            workers: CLIENTS + 4,
+            queue_depth: CLIENTS * 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Mutator: flip the divisor table between the two known states through
+    // the wire protocol, as fast as the server accepts it.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mutator = {
+        let stop = Arc::clone(&stop);
+        let rows_a = relation_rows(&divisor_a);
+        let rows_b = relation_rows(&divisor_b);
+        let divisor_table = names.divisor_table;
+        let item_column = names.item_column;
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("mutator connects");
+            let mut flips = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let rows = if flips.is_multiple_of(2) {
+                    &rows_b
+                } else {
+                    &rows_a
+                };
+                client
+                    .register(divisor_table, &[item_column], rows)
+                    .expect("mutation accepted");
+                flips += 1;
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            // Leave the catalog in state A so post-join assertions are
+            // deterministic.
+            client
+                .register(divisor_table, &[item_column], &rows_a)
+                .expect("final mutation accepted");
+            let _ = client.close();
+            flips
+        })
+    };
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let sql = sql.clone();
+            let (expected_a, expected_b) = (expected_a.clone(), expected_b.clone());
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                let prepared = i % 2 == 1;
+                if prepared {
+                    client.prepare("workload", &sql).expect("prepare succeeds");
+                }
+                for _ in 0..ITERATIONS {
+                    let rows = run_with_retry(|| {
+                        let result = if prepared {
+                            client.execute("workload", &[])?
+                        } else {
+                            client.query(&sql)?
+                        };
+                        let mut rows = result.rows;
+                        rows.sort();
+                        Ok(rows)
+                    });
+                    assert!(
+                        rows == expected_a || rows == expected_b,
+                        "torn result: {} rows matches neither state ({} / {} expected)",
+                        rows.len(),
+                        expected_a.len(),
+                        expected_b.len()
+                    );
+                }
+                let _ = client.close();
+            })
+        })
+        .collect();
+
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let flips = mutator.join().expect("mutator thread");
+    assert!(flips > 0, "the mutator actually ran");
+
+    // Deterministic transparent-replan check: prepare, mutate, execute.
+    let mut client = Client::connect(addr).unwrap();
+    client.prepare("after", &sql).unwrap();
+    client
+        .register(
+            names.divisor_table,
+            &[names.item_column],
+            &relation_rows(&divisor_b),
+        )
+        .unwrap();
+    let result = client.execute("after", &[]).unwrap();
+    let mut rows = result.rows;
+    rows.sort();
+    assert_eq!(
+        rows, expected_b,
+        "the session re-prepared against the mutated catalog"
+    );
+    let replans = server.metrics().stale_replans.load(Ordering::Relaxed);
+    assert!(replans >= 1, "at least the deterministic replan: {replans}");
+
+    // The engine saw real concurrency: every client iteration executed.
+    let snapshot = engine.metrics();
+    assert!(
+        snapshot.queries_executed >= (CLIENTS * ITERATIONS) as u64,
+        "queries_executed = {}",
+        snapshot.queries_executed
+    );
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// The engine-level regression for the satellite contract: a prepared
+/// statement crossing a mutation either recompiles (fresh prepare) or
+/// surfaces `StalePlan` — it never silently serves pre-mutation rows.
+#[test]
+fn prepared_statements_never_serve_stale_rows_across_mutation() {
+    let data = generate(&ScenarioConfig {
+        family: ScenarioFamily::Courses,
+        entities: 30,
+        items: 8,
+        ..ScenarioConfig::default()
+    });
+    let names = data.names();
+    let engine = Engine::new(data.catalog());
+    let sql = data.small_divide_sql();
+    let stmt = engine.prepare(&sql).unwrap();
+    let before = stmt
+        .execute_collect(&engine, &div_sql::Params::new())
+        .unwrap()
+        .relation;
+
+    // Shrink the divisor: the quotient can only grow.
+    let shrunk = Relation::from_rows([names.item_column], vec![vec![Value::Int(100)]]).unwrap();
+    engine.mutate_catalog(|c| {
+        c.register(names.divisor_table, shrunk);
+    });
+
+    // The old handle refuses to run...
+    let err = stmt
+        .execute_collect(&engine, &div_sql::Params::new())
+        .unwrap_err();
+    assert!(matches!(err, div_sql::Error::StalePlan { .. }), "{err}");
+
+    // ...and a fresh prepare sees exactly the post-mutation state.
+    let fresh = engine.prepare(&sql).unwrap();
+    let after = fresh
+        .execute_collect(&engine, &div_sql::Params::new())
+        .unwrap()
+        .relation;
+    let expected = data
+        .dividend
+        .divide(&Relation::from_rows([names.item_column], vec![vec![Value::Int(100)]]).unwrap())
+        .unwrap();
+    assert_eq!(after, expected);
+    assert!(after.len() >= before.len(), "quotient grew or stayed");
+}

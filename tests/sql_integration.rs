@@ -209,11 +209,11 @@ fn prepared_statements_reuse_one_compilation_across_bindings() {
 
 #[test]
 fn prepared_statements_go_stale_when_the_catalog_changes() {
-    let mut engine = textbook_engine();
+    let engine = textbook_engine();
     let stmt = engine.prepare(Q2).unwrap();
-    engine
-        .catalog_mut()
-        .register("parts", relation! { ["p#", "color"] => [1, "blue"] });
+    engine.mutate_catalog(|c| {
+        c.register("parts", relation! { ["p#", "color"] => [1, "blue"] });
+    });
     let err = stmt.execute_collect(&engine, &Params::new()).unwrap_err();
     assert!(matches!(err, SqlError::StalePlan { .. }), "got {err}");
 }

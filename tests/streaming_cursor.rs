@@ -112,7 +112,7 @@ fn deep_pipeline_peak_is_bounded_by_batch_size_not_table_size() {
     let analyzed = materializing.explain(sql).unwrap();
     let (_, mat_stats) = execute_with_config(
         &analyzed.physical,
-        materializing.catalog(),
+        &materializing.catalog(),
         materializing.planner_config(),
     )
     .unwrap();

@@ -1,6 +1,7 @@
-//! A minimal stand-in for `crossbeam::scope`, implemented with
-//! `std::thread::scope` (stabilized in Rust 1.63, after crossbeam's scoped
-//! threads were designed).
+//! A minimal stand-in for `crossbeam::scope` (implemented with
+//! `std::thread::scope`, stabilized in Rust 1.63 after crossbeam's scoped
+//! threads were designed) plus the bounded MPMC [`channel`] used by
+//! `div_server`'s admission-controlled worker pool.
 //!
 //! The container this workspace builds in has no network access to a crate
 //! registry, so the real `crossbeam` cannot be fetched. API differences kept
@@ -9,6 +10,8 @@
 //! `std::thread::scope` converts child panics into a panic of the parent.
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 use std::any::Any;
 

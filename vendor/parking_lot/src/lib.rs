@@ -1,15 +1,18 @@
 //! A minimal stand-in for the parts of the crates.io `parking_lot` API this
-//! workspace uses (`Mutex::new`, `lock`, `into_inner`), implemented on top of
-//! `std::sync::Mutex`.
+//! workspace uses (`Mutex` and `RwLock` with their `new`/`lock`/`read`/
+//! `write`/`into_inner` surface), implemented on top of `std::sync`.
 //!
 //! The container this workspace builds in has no network access to a crate
 //! registry, so the real `parking_lot` cannot be fetched. The semantic
-//! difference that matters here is poisoning: `parking_lot` has none, so this
-//! wrapper transparently recovers the data from a poisoned std mutex.
+//! difference that matters here is poisoning: `parking_lot` has none, so
+//! these wrappers transparently recover the data from a poisoned std lock.
 
 #![forbid(unsafe_code)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard, PoisonError};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard, PoisonError, RwLock as StdRwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
@@ -38,14 +41,64 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A readers-writer lock whose guards never return a poison error.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new readers-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquire shared read access, ignoring poisoning like `parking_lot`.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire exclusive write access, ignoring poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive access through `&mut self` without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_and_into_inner_roundtrip() {
         let m = Mutex::new(vec![1, 2]);
         m.lock().push(3);
         assert_eq!(m.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_read_write_and_into_inner() {
+        let mut l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 2);
+        }
+        *l.write() += 1;
+        *l.get_mut() += 1;
+        assert_eq!(l.into_inner(), 3);
     }
 }
