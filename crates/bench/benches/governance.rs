@@ -1,0 +1,99 @@
+//! Cost of query-lifecycle governance: guarded vs unguarded execution.
+//!
+//! The claim under test (`div_physical::guard`): a fully armed
+//! [`QueryGuard`] — cancellation token, wall-clock deadline and
+//! resident-row budget, all checked at every batch boundary of every
+//! operator — costs close to nothing when it never trips. The ungoverned
+//! path is a single branch per check; the armed path adds one atomic
+//! load, one `Instant::now` and two integer compares per batch per
+//! operator, amortized over `batch_size` rows.
+//!
+//! Benchmarks (every `*/unguarded/*` id pairs with a `*/guarded/*` id
+//! over the identical plan and catalog; the guarded run arms all three
+//! limits generously enough that none ever trips, so both runs do the
+//! same relational work):
+//!
+//! * `drain` — Q2-style divide (supplies ÷ blue parts) drained to
+//!   completion. The divide holds blocking state, so the resident-row
+//!   accounting the budget check reads is live on every batch.
+//!
+//! `scripts/bench_snapshot.sh governance` records this group's medians
+//! as `BENCH_governance.json` — the recorded governance-overhead datum
+//! of the repo's perf trajectory (the "speedup" is the guard overhead,
+//! expected close to 1.0).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::Predicate;
+use div_bench::suppliers_parts_catalog;
+use div_expr::{Catalog, PlanBuilder};
+use div_physical::{
+    plan_query, CancelToken, PhysicalPlan, PlannerConfig, QueryGuard, StreamExecutor,
+};
+use std::time::Duration;
+
+/// Dividend widths (supplier counts) the sweep covers.
+const SCALES: [usize; 2] = [2_000, 8_000];
+
+fn catalog_for(suppliers: usize) -> Catalog {
+    suppliers_parts_catalog(suppliers, 50, 0.5)
+}
+
+/// Q2: supplies ÷ blue parts.
+fn divide_plan() -> PhysicalPlan {
+    let logical = PlanBuilder::scan("supplies")
+        .divide(
+            PlanBuilder::scan("parts")
+                .select(Predicate::eq_value("color", "blue"))
+                .project(["p#"]),
+        )
+        .build();
+    plan_query(&logical, &PlannerConfig::default()).unwrap()
+}
+
+/// All three limits armed, none tight enough to ever trip.
+fn armed_guard() -> QueryGuard {
+    QueryGuard::default()
+        .with_token(CancelToken::new())
+        .with_deadline(Duration::from_secs(3_600))
+        .with_budget_rows(usize::MAX / 2)
+}
+
+fn drain_rows(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+    guard: QueryGuard,
+) -> usize {
+    let mut stream = StreamExecutor::with_guard(plan, catalog, config, guard).unwrap();
+    let mut rows = 0;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        rows += batch.num_rows();
+    }
+    rows
+}
+
+fn bench_governance(c: &mut Criterion) {
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let config = PlannerConfig::default().batch_size(1024);
+    let mut group = c.benchmark_group("governance");
+    for scale in SCALES {
+        let catalog = catalog_for(scale);
+        let plan = divide_plan();
+        group.bench_with_input(
+            BenchmarkId::new("drain/unguarded", scale),
+            &scale,
+            |b, _| b.iter(|| drain_rows(&plan, &catalog, &config, QueryGuard::default())),
+        );
+        group.bench_with_input(BenchmarkId::new("drain/guarded", scale), &scale, |b, _| {
+            b.iter(|| drain_rows(&plan, &catalog, &config, armed_guard()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_governance);
+criterion_main!(benches);

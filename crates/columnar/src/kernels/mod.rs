@@ -24,6 +24,6 @@ pub use join::{
     hash_natural_join, hash_natural_join_prehashed, hash_semi_join, hash_semi_join_prehashed,
     JoinBuild, KernelOutput,
 };
-pub use product::{cross_product, theta_join};
+pub use product::{cross_product, cross_product_slice, theta_join};
 pub use project::{project, rename, union};
 pub use set_ops::{difference, intersect};

@@ -33,11 +33,32 @@ use div_algebra::Predicate;
 /// [`DuplicateAttribute`](div_algebra::AlgebraError::DuplicateAttribute)
 /// error is returned.
 pub fn cross_product(left: &ColumnarBatch, right: &ColumnarBatch) -> Result<ColumnarBatch> {
+    cross_product_slice(left, 0..left.num_rows(), right)
+}
+
+/// Cartesian product of a *slice* of the left operand with the whole right
+/// operand: `left[left_rows] × right`. The streaming executor's
+/// `CrossProduct` operator serves its output in bounded slices through this
+/// kernel, so governance limits (deadlines, memory budgets) trip within one
+/// batch boundary instead of after the full `|left| · |right|` result has
+/// been materialized. `cross_product` is the `0..left.num_rows()` case.
+///
+/// # Errors
+///
+/// Same schema-disjointness requirement as [`cross_product`]. An
+/// out-of-bounds or inverted range is clamped to `left`'s row count.
+pub fn cross_product_slice(
+    left: &ColumnarBatch,
+    left_rows: std::ops::Range<usize>,
+    right: &ColumnarBatch,
+) -> Result<ColumnarBatch> {
     let schema = left.schema().concat(right.schema())?;
-    let (l_rows, r_rows) = (left.num_rows(), right.num_rows());
+    let start = left_rows.start.min(left.num_rows());
+    let end = left_rows.end.min(left.num_rows()).max(start);
+    let (l_rows, r_rows) = (end - start, right.num_rows());
     let mut left_indices = Vec::with_capacity(l_rows * r_rows);
     let mut right_indices = Vec::with_capacity(l_rows * r_rows);
-    for i in 0..l_rows {
+    for i in start..end {
         for j in 0..r_rows {
             left_indices.push(i);
             right_indices.push(j);
@@ -120,6 +141,35 @@ mod tests {
             .unwrap()
             .theta_join(&r.to_relation().unwrap(), &bad);
         assert_eq!(theta_join(&l, &r, &bad).is_err(), reference.is_err());
+    }
+
+    #[test]
+    fn slices_concatenate_to_the_full_product() {
+        let (l, r) = inputs();
+        let full = cross_product(&l, &r).unwrap();
+        let mut rows = Vec::new();
+        for start in 0..l.num_rows() {
+            let slice = cross_product_slice(&l, start..start + 1, &r).unwrap();
+            assert_eq!(slice.num_rows(), r.num_rows());
+            rows.extend(
+                slice
+                    .to_relation()
+                    .unwrap()
+                    .tuples()
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(rows.len(), full.num_rows());
+        let full_rel = full.to_relation().unwrap();
+        assert!(rows.iter().all(|row| full_rel.contains(row)));
+    }
+
+    #[test]
+    fn slice_ranges_clamp_to_the_left_row_count() {
+        let (l, r) = inputs();
+        assert_eq!(cross_product_slice(&l, 0..99, &r).unwrap().num_rows(), 6);
+        assert_eq!(cross_product_slice(&l, 5..99, &r).unwrap().num_rows(), 0);
     }
 
     #[test]

@@ -19,6 +19,28 @@ pub enum ExprError {
     },
     /// An error bubbled up from the algebra layer while evaluating.
     Algebra(AlgebraError),
+    /// The query's cancellation token was tripped while this operator was
+    /// producing rows.
+    Cancelled {
+        /// Label of the operator that observed the cancellation.
+        operator: String,
+    },
+    /// The query ran past its wall-clock deadline.
+    DeadlineExceeded {
+        /// Label of the operator that observed the expired deadline.
+        operator: String,
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The query's resident-row memory budget was exceeded.
+    MemoryBudget {
+        /// Label of the operator whose emission tripped the budget.
+        operator: String,
+        /// The configured budget, in resident rows.
+        budget_rows: usize,
+        /// Resident rows at the moment the budget tripped.
+        resident_rows: usize,
+    },
 }
 
 impl fmt::Display for ExprError {
@@ -29,6 +51,24 @@ impl fmt::Display for ExprError {
             }
             ExprError::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
             ExprError::Algebra(err) => write!(f, "algebra error: {err}"),
+            ExprError::Cancelled { operator } => {
+                write!(f, "query cancelled (at operator {operator})")
+            }
+            ExprError::DeadlineExceeded { operator, limit_ms } => {
+                write!(
+                    f,
+                    "deadline of {limit_ms}ms exceeded (at operator {operator})"
+                )
+            }
+            ExprError::MemoryBudget {
+                operator,
+                budget_rows,
+                resident_rows,
+            } => write!(
+                f,
+                "memory budget of {budget_rows} resident rows exceeded \
+                 ({resident_rows} resident, at operator {operator})"
+            ),
         }
     }
 }

@@ -39,6 +39,7 @@
 //! [`DivisionAlgorithm`](crate::DivisionAlgorithm) chosen by the planner
 //! selects among *row* algorithms and is not consulted here.
 
+use crate::guard::QueryGuard;
 use crate::parallel_columnar::{
     parallel_divide_batches, parallel_filter_batches, parallel_great_divide_batches,
     parallel_join_batches, parallel_theta_join_batches, JoinKind,
@@ -73,17 +74,19 @@ pub fn execute_columnar_parallel_with_stats(
     catalog: &Catalog,
     parallelism: usize,
 ) -> Result<(Relation, ExecStats)> {
-    exec_columnar_root(plan, catalog, parallelism, false)
+    exec_columnar_root(plan, catalog, parallelism, false, &QueryGuard::default())
 }
 
 /// Columnar-backend entry point: runs the plan with a per-operator trace
 /// (wall-clock spans only when `timing` is on) and publishes the finished
-/// tree as [`ExecStats::operators`].
+/// tree as [`ExecStats::operators`]. The guard is consulted once per
+/// operator, after its output batch materializes.
 pub(crate) fn exec_columnar_root(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     parallelism: usize,
     timing: bool,
+    guard: &QueryGuard,
 ) -> Result<(Relation, ExecStats)> {
     let mut stats = ExecStats::default();
     let mut trace = QueryTrace::from_plan(plan).with_timing(timing);
@@ -96,6 +99,7 @@ pub(crate) fn exec_columnar_root(
         &mut next_id,
         true,
         parallelism.max(1),
+        guard,
     )?;
     stats.operators = trace.finish();
     let relation = batch.to_relation().map_err(ExprError::from)?;
@@ -111,6 +115,7 @@ fn exec_batch(
     next_id: &mut usize,
     is_root: bool,
     parallelism: usize,
+    guard: &QueryGuard,
 ) -> Result<ColumnarBatch> {
     // Pre-order id assignment, matching the skeleton built from the plan.
     let id = OperatorId(*next_id);
@@ -120,36 +125,135 @@ fn exec_batch(
         PhysicalPlan::TableScan { table } => ColumnarBatch::from_relation(catalog.table(table)?),
         PhysicalPlan::Values { relation } => ColumnarBatch::from_relation(relation),
         PhysicalPlan::Filter { input, predicate } => {
-            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
+            let child = exec_batch(
+                input,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             parallel_filter_batches(&child, predicate, parallelism)?
         }
         PhysicalPlan::Project { input, attributes } => {
-            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
+            let child = exec_batch(
+                input,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             kernels::project(&child, &refs).map_err(ExprError::from)?
         }
         PhysicalPlan::Rename { input, renames } => {
-            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
+            let child = exec_batch(
+                input,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             kernels::rename(&child, renames).map_err(ExprError::from)?
         }
         PhysicalPlan::Union { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             kernels::union(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::Intersect { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             kernels::intersect(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::Difference { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             kernels::difference(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             kernels::cross_product(&l, &r).map_err(ExprError::from)?
         }
         PhysicalPlan::NestedLoopJoin {
@@ -157,32 +261,104 @@ fn exec_batch(
             right,
             predicate,
         } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_theta_join_batches(&l, &r, predicate, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_join_batches(&l, &r, JoinKind::Natural, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_join_batches(&l, &r, JoinKind::Semi, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
             out.batch
         }
         PhysicalPlan::HashAntiSemiJoin { left, right } => {
-            let l = exec_batch(left, catalog, stats, trace, next_id, false, parallelism)?;
-            let r = exec_batch(right, catalog, stats, trace, next_id, false, parallelism)?;
+            let l = exec_batch(
+                left,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let r = exec_batch(
+                right,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_join_batches(&l, &r, JoinKind::Anti, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
@@ -193,15 +369,42 @@ fn exec_batch(
             group_by,
             aggregates,
         } => {
-            let child = exec_batch(input, catalog, stats, trace, next_id, false, parallelism)?;
+            let child = exec_batch(
+                input,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
             kernels::hash_aggregate(&child, &refs, aggregates).map_err(ExprError::from)?
         }
         PhysicalPlan::Divide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, trace, next_id, false, parallelism)?;
-            let v = exec_batch(divisor, catalog, stats, trace, next_id, false, parallelism)?;
+            let d = exec_batch(
+                dividend,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let v = exec_batch(
+                divisor,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
@@ -211,8 +414,26 @@ fn exec_batch(
         PhysicalPlan::GreatDivide {
             dividend, divisor, ..
         } => {
-            let d = exec_batch(dividend, catalog, stats, trace, next_id, false, parallelism)?;
-            let v = exec_batch(divisor, catalog, stats, trace, next_id, false, parallelism)?;
+            let d = exec_batch(
+                dividend,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
+            let v = exec_batch(
+                divisor,
+                catalog,
+                stats,
+                trace,
+                next_id,
+                false,
+                parallelism,
+                guard,
+            )?;
             let out = parallel_great_divide_batches(&d, &v, parallelism)?;
             stats.add_probes(out.probes);
             trace.add_probes(id, out.probes);
@@ -229,6 +450,9 @@ fn exec_batch(
         plan,
         PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
     );
+    // On a materializing backend the operator's whole output is the
+    // resident quantity the budget meters.
+    guard.check(batch.num_rows(), &plan.label())?;
     stats.record(&plan.label(), batch.num_rows(), is_scan, is_root);
     trace.set_rows_out(id, batch.num_rows());
     if let Some(started) = started {

@@ -18,6 +18,7 @@
 
 use crate::division;
 use crate::great_divide;
+use crate::guard::QueryGuard;
 use crate::plan::PhysicalPlan;
 use crate::planner::{ExecutionBackend, PlannerConfig};
 use crate::stats::ExecStats;
@@ -29,7 +30,7 @@ use std::collections::HashMap;
 
 /// Execute a physical plan against a catalog (row backend).
 pub fn execute(plan: &PhysicalPlan, catalog: &Catalog) -> Result<Relation> {
-    exec_root(plan, catalog, false).map(|(relation, _)| relation)
+    exec_root(plan, catalog, false, &QueryGuard::default()).map(|(relation, _)| relation)
 }
 
 /// Execute a physical plan and return the execution statistics as well
@@ -40,16 +41,28 @@ pub fn execute_with_stats(plan: &PhysicalPlan, catalog: &Catalog) -> Result<(Rel
 
 /// Row-backend entry point: runs the plan with a per-operator trace
 /// (wall-clock spans only when `timing` is on) and publishes the finished
-/// tree as [`ExecStats::operators`].
+/// tree as [`ExecStats::operators`]. The guard is consulted once per
+/// operator, after its output materializes — coarser than the streaming
+/// executor's per-batch checks, but enough to stop a runaway plan between
+/// operators.
 pub(crate) fn exec_root(
     plan: &PhysicalPlan,
     catalog: &Catalog,
     timing: bool,
+    guard: &QueryGuard,
 ) -> Result<(Relation, ExecStats)> {
     let mut stats = ExecStats::default();
     let mut trace = QueryTrace::from_plan(plan).with_timing(timing);
     let mut next_id = 0;
-    let result = exec_node(plan, catalog, &mut stats, &mut trace, &mut next_id, true)?;
+    let result = exec_node(
+        plan,
+        catalog,
+        &mut stats,
+        &mut trace,
+        &mut next_id,
+        true,
+        guard,
+    )?;
     stats.operators = trace.finish();
     Ok((result, stats))
 }
@@ -73,7 +86,7 @@ pub fn execute_on_backend(
     backend: ExecutionBackend,
 ) -> Result<(Relation, ExecStats)> {
     match backend {
-        ExecutionBackend::RowAtATime => exec_root(plan, catalog, false),
+        ExecutionBackend::RowAtATime => exec_root(plan, catalog, false, &QueryGuard::default()),
         ExecutionBackend::Columnar => {
             crate::columnar_exec::execute_columnar_with_stats(plan, catalog)
         }
@@ -96,13 +109,15 @@ pub fn execute_with_config(
     catalog: &Catalog,
     config: &PlannerConfig,
 ) -> Result<(Relation, ExecStats)> {
+    let guard = QueryGuard::from_config(config);
     match config.backend {
-        ExecutionBackend::RowAtATime => exec_root(plan, catalog, config.tracing),
+        ExecutionBackend::RowAtATime => exec_root(plan, catalog, config.tracing, &guard),
         ExecutionBackend::Columnar => crate::columnar_exec::exec_columnar_root(
             plan,
             catalog,
             config.parallelism,
             config.tracing,
+            &guard,
         ),
     }
 }
@@ -114,6 +129,7 @@ pub(crate) fn exec_node(
     trace: &mut QueryTrace,
     next_id: &mut usize,
     is_root: bool,
+    guard: &QueryGuard,
 ) -> Result<Relation> {
     // Pre-order id assignment, matching the skeleton built from the plan.
     let id = OperatorId(*next_id);
@@ -123,13 +139,14 @@ pub(crate) fn exec_node(
         PhysicalPlan::TableScan { table } => catalog.table(table)?.clone(),
         PhysicalPlan::Values { relation } => relation.clone(),
         PhysicalPlan::Filter { input, predicate } => {
-            exec_node(input, catalog, stats, trace, next_id, false)?.select(predicate)?
+            exec_node(input, catalog, stats, trace, next_id, false, guard)?.select(predicate)?
         }
         PhysicalPlan::Project { input, attributes } => {
-            exec_node(input, catalog, stats, trace, next_id, false)?.project_owned(attributes)?
+            exec_node(input, catalog, stats, trace, next_id, false, guard)?
+                .project_owned(attributes)?
         }
         PhysicalPlan::Rename { input, renames } => {
-            let rel = exec_node(input, catalog, stats, trace, next_id, false)?;
+            let rel = exec_node(input, catalog, stats, trace, next_id, false, guard)?;
             rel.rename_with(|name| {
                 renames
                     .iter()
@@ -139,47 +156,51 @@ pub(crate) fn exec_node(
             })?
         }
         PhysicalPlan::Union { left, right } => {
-            exec_node(left, catalog, stats, trace, next_id, false)?
-                .union(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+            exec_node(left, catalog, stats, trace, next_id, false, guard)?.union(&exec_node(
+                right, catalog, stats, trace, next_id, false, guard,
+            )?)?
         }
         PhysicalPlan::Intersect { left, right } => {
-            exec_node(left, catalog, stats, trace, next_id, false)?
-                .intersect(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+            exec_node(left, catalog, stats, trace, next_id, false, guard)?.intersect(&exec_node(
+                right, catalog, stats, trace, next_id, false, guard,
+            )?)?
         }
         PhysicalPlan::Difference { left, right } => {
-            exec_node(left, catalog, stats, trace, next_id, false)?
-                .difference(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+            exec_node(left, catalog, stats, trace, next_id, false, guard)?.difference(
+                &exec_node(right, catalog, stats, trace, next_id, false, guard)?,
+            )?
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            exec_node(left, catalog, stats, trace, next_id, false)?
-                .product(&exec_node(right, catalog, stats, trace, next_id, false)?)?
+            exec_node(left, catalog, stats, trace, next_id, false, guard)?.product(&exec_node(
+                right, catalog, stats, trace, next_id, false, guard,
+            )?)?
         }
         PhysicalPlan::NestedLoopJoin {
             left,
             right,
             predicate,
         } => {
-            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
-            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            let l = exec_node(left, catalog, stats, trace, next_id, false, guard)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false, guard)?;
             stats.add_probes(l.len() * r.len());
             trace.add_probes(id, l.len() * r.len());
             l.theta_join(&r, predicate)?
         }
         PhysicalPlan::HashJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
-            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            let l = exec_node(left, catalog, stats, trace, next_id, false, guard)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false, guard)?;
             kernel_probes(stats, trace, id, |stats| hash_natural_join(&l, &r, stats))?
         }
         PhysicalPlan::HashSemiJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
-            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            let l = exec_node(left, catalog, stats, trace, next_id, false, guard)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false, guard)?;
             kernel_probes(stats, trace, id, |stats| {
                 hash_semi_join(&l, &r, stats, false)
             })?
         }
         PhysicalPlan::HashAntiSemiJoin { left, right } => {
-            let l = exec_node(left, catalog, stats, trace, next_id, false)?;
-            let r = exec_node(right, catalog, stats, trace, next_id, false)?;
+            let l = exec_node(left, catalog, stats, trace, next_id, false, guard)?;
+            let r = exec_node(right, catalog, stats, trace, next_id, false, guard)?;
             kernel_probes(stats, trace, id, |stats| {
                 hash_semi_join(&l, &r, stats, true)
             })?
@@ -189,7 +210,7 @@ pub(crate) fn exec_node(
             group_by,
             aggregates,
         } => {
-            let rel = exec_node(input, catalog, stats, trace, next_id, false)?;
+            let rel = exec_node(input, catalog, stats, trace, next_id, false, guard)?;
             let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
             rel.group_aggregate(&refs, aggregates)?
         }
@@ -198,8 +219,8 @@ pub(crate) fn exec_node(
             divisor,
             algorithm,
         } => {
-            let d = exec_node(dividend, catalog, stats, trace, next_id, false)?;
-            let v = exec_node(divisor, catalog, stats, trace, next_id, false)?;
+            let d = exec_node(dividend, catalog, stats, trace, next_id, false, guard)?;
+            let v = exec_node(divisor, catalog, stats, trace, next_id, false, guard)?;
             kernel_probes(stats, trace, id, |stats| {
                 division::divide_with(&d, &v, *algorithm, stats)
             })?
@@ -209,8 +230,8 @@ pub(crate) fn exec_node(
             divisor,
             algorithm,
         } => {
-            let d = exec_node(dividend, catalog, stats, trace, next_id, false)?;
-            let v = exec_node(divisor, catalog, stats, trace, next_id, false)?;
+            let d = exec_node(dividend, catalog, stats, trace, next_id, false, guard)?;
+            let v = exec_node(divisor, catalog, stats, trace, next_id, false, guard)?;
             kernel_probes(stats, trace, id, |stats| {
                 great_divide::great_divide_with(&d, &v, *algorithm, stats)
             })?
@@ -220,6 +241,9 @@ pub(crate) fn exec_node(
         plan,
         PhysicalPlan::TableScan { .. } | PhysicalPlan::Values { .. }
     );
+    // On a materializing backend the operator's whole output is the
+    // resident quantity the budget meters.
+    guard.check(result.len(), &plan.label())?;
     stats.record(&plan.label(), result.len(), is_scan, is_root);
     trace.set_rows_out(id, result.len());
     if let Some(started) = started {

@@ -39,6 +39,13 @@
 //!   operators buffer — memory scales with pipeline depth, not with the
 //!   largest intermediate, and early-terminated consumers short-circuit the
 //!   scans. This is the executor behind `div_sql`'s incremental `Cursor`,
+//! * [`guard`] — cooperative query governance: a per-cursor
+//!   [`guard::QueryGuard`] (cancellation token, wall-clock deadline,
+//!   resident-row budget) checked at every batch boundary of the streaming
+//!   executor and every operator of the materializing ones,
+//! * [`failpoint`] — named fault-injection sites at operator
+//!   open/next_batch/close, armed per-test (cargo feature `failpoints`,
+//!   on by default; disarmed cost is one relaxed atomic load),
 //! * [`trace`] — the observability layer: a per-operator span tree
 //!   ([`trace::QueryTrace`]) recording rows, probes, retained state and
 //!   (when [`planner::PlannerConfig::tracing`] is on) wall-clock time for
@@ -84,7 +91,9 @@
 pub mod columnar_exec;
 pub mod division;
 pub mod exec;
+pub mod failpoint;
 pub mod great_divide;
+pub mod guard;
 pub mod parallel;
 pub mod parallel_columnar;
 pub mod plan;
@@ -98,7 +107,9 @@ pub use columnar_exec::{
 };
 pub use division::DivisionAlgorithm;
 pub use exec::{execute, execute_on_backend, execute_with_config, execute_with_stats};
+pub use failpoint::FailAction;
 pub use great_divide::GreatDivideAlgorithm;
+pub use guard::{CancelToken, QueryGuard};
 pub use plan::PhysicalPlan;
 pub use planner::{plan_query, ExecutionBackend, PlannerConfig};
 pub use stats::ExecStats;

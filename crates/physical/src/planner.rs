@@ -12,6 +12,7 @@ use crate::great_divide::GreatDivideAlgorithm;
 use crate::plan::PhysicalPlan;
 use crate::Result;
 use div_expr::LogicalPlan;
+use std::time::Duration;
 
 /// The executor a plan runs on.
 ///
@@ -74,6 +75,21 @@ pub struct PlannerConfig {
     /// flag only gates the `Instant` reads. Defaults to `false`; the
     /// `Engine` turns it on for `explain_analyze`.
     pub tracing: bool,
+    /// Wall-clock deadline for query execution, measured from cursor open.
+    /// Enforced cooperatively by [`crate::guard::QueryGuard`] at every
+    /// batch boundary of the streaming executor and at every operator
+    /// boundary of the materializing executors; a trip surfaces
+    /// [`div_expr::ExprError::DeadlineExceeded`]. `None` (the default)
+    /// disables the check.
+    pub deadline: Option<Duration>,
+    /// Resident-row memory budget: the maximum rows the streaming executor
+    /// may hold resident (in-flight batches plus blocking-operator state,
+    /// the quantity tracked as `peak_resident_rows`) at any batch boundary.
+    /// The materializing executors check each operator's output cardinality
+    /// against the same ceiling. A trip surfaces
+    /// [`div_expr::ExprError::MemoryBudget`]. `None` (the default) disables
+    /// the check.
+    pub memory_budget_rows: Option<usize>,
 }
 
 impl Default for PlannerConfig {
@@ -85,6 +101,8 @@ impl Default for PlannerConfig {
             parallelism: 1,
             batch_size: PlannerConfig::DEFAULT_BATCH_SIZE,
             tracing: false,
+            deadline: None,
+            memory_budget_rows: None,
         }
     }
 }
@@ -155,6 +173,25 @@ impl PlannerConfig {
     pub fn tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
         self
+    }
+
+    /// This configuration with a wall-clock execution deadline (see
+    /// [`PlannerConfig::deadline`]).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This configuration with a resident-row memory budget, clamped to
+    /// ≥ 1 (see [`PlannerConfig::memory_budget_rows`]).
+    pub fn memory_budget_rows(mut self, budget: usize) -> Self {
+        self.memory_budget_rows = Some(budget.max(1));
+        self
+    }
+
+    /// Whether any governance limit (deadline or memory budget) is set.
+    pub fn is_governed(&self) -> bool {
+        self.deadline.is_some() || self.memory_budget_rows.is_some()
     }
 }
 

@@ -71,6 +71,12 @@ pub struct ExecStats {
     /// batch size), not O(table) — the memory claim the streaming executor
     /// exists to make.
     pub peak_resident_rows: usize,
+    /// Rows still resident when the streaming executor finished (after the
+    /// root pipeline was closed). Must be `0`: any other value means an
+    /// operator leaked accounting on an abort path. The governance
+    /// regression tests assert on this after cancelled / deadline-tripped /
+    /// budget-tripped drains. Always `0` on the materializing backends.
+    pub resident_rows_on_finish: usize,
 }
 
 impl ExecStats {
@@ -117,6 +123,10 @@ impl ExecStats {
         self.operators_executed += other.operators_executed;
         self.peak_resident_batches = self.peak_resident_batches.max(other.peak_resident_batches);
         self.peak_resident_rows = self.peak_resident_rows.max(other.peak_resident_rows);
+        // A leak in any sub-execution is a leak of the whole execution.
+        self.resident_rows_on_finish = self
+            .resident_rows_on_finish
+            .max(other.resident_rows_on_finish);
         for (label, rows) in &other.rows_per_operator {
             *self.rows_per_operator.entry(label.clone()).or_insert(0) += rows;
         }

@@ -48,6 +48,7 @@
 //! reads). The finished tree is published as [`ExecStats::operators`] by
 //! [`StreamExecutor::finish`].
 
+use crate::guard::QueryGuard;
 use crate::plan::PhysicalPlan;
 use crate::planner::PlannerConfig;
 use crate::stats::ExecStats;
@@ -72,10 +73,11 @@ pub struct StreamContext {
     parallelism: usize,
     resident_rows: usize,
     resident_batches: usize,
+    guard: QueryGuard,
 }
 
 impl StreamContext {
-    fn new(plan: &PhysicalPlan, config: &PlannerConfig) -> StreamContext {
+    fn new(plan: &PhysicalPlan, config: &PlannerConfig, guard: QueryGuard) -> StreamContext {
         StreamContext {
             stats: ExecStats::default(),
             trace: QueryTrace::from_plan(plan).with_timing(config.tracing),
@@ -83,6 +85,7 @@ impl StreamContext {
             parallelism: config.parallelism.max(1),
             resident_rows: 0,
             resident_batches: 0,
+            guard,
         }
     }
 
@@ -109,6 +112,12 @@ impl StreamContext {
     fn release(&mut self, rows: usize, batches: usize) {
         self.resident_rows = self.resident_rows.saturating_sub(rows);
         self.resident_batches = self.resident_batches.saturating_sub(batches);
+    }
+
+    /// Consult the query guard against the current resident footprint,
+    /// attributing a trip to `label`.
+    fn check_guard(&self, label: &str) -> Result<()> {
+        self.guard.check(self.resident_rows, label)
     }
 }
 
@@ -160,11 +169,27 @@ impl OpMeta {
     }
 
     /// Account an emitted batch (acquiring it in the resident tracking) and
-    /// pass it on.
-    fn emit(&mut self, ctx: &mut StreamContext, batch: ColumnarBatch) -> Option<ColumnarBatch> {
-        self.emitted += batch.num_rows();
-        ctx.acquire(batch.num_rows(), 1);
-        Some(batch)
+    /// pass it on — unless the query guard trips, in which case the batch
+    /// is rolled back out of the accounting and the typed governance error
+    /// propagates instead. This is the cooperative enforcement point: every
+    /// operator's emissions funnel through here, so cancellation, deadline
+    /// and budget are all observed within one batch boundary. The
+    /// `{label}.next_batch` failpoint fires here too.
+    fn emit(
+        &mut self,
+        ctx: &mut StreamContext,
+        batch: ColumnarBatch,
+    ) -> Result<Option<ColumnarBatch>> {
+        crate::failpoint::hit(&self.label, "next_batch")?;
+        let rows = batch.num_rows();
+        self.emitted += rows;
+        ctx.acquire(rows, 1);
+        if let Err(err) = ctx.check_guard(&self.label) {
+            ctx.release(rows, 1);
+            self.emitted -= rows;
+            return Err(err);
+        }
+        Ok(Some(batch))
     }
 
     /// Record this operator's row total once — in the aggregate stats and
@@ -172,6 +197,9 @@ impl OpMeta {
     fn record(&mut self, ctx: &mut StreamContext) {
         if !self.closed {
             self.closed = true;
+            // Close-site failpoints can only delay (close is infallible);
+            // an armed error action is deliberately swallowed.
+            let _ = crate::failpoint::hit(&self.label, "close");
             ctx.stats
                 .record(&self.label, self.emitted, self.is_scan, self.is_root);
             ctx.trace.set_rows_out(self.id, self.emitted);
@@ -186,14 +214,29 @@ fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
 
 /// Drain `child` completely and concatenate its chunks into one batch (the
 /// blocking-boundary primitive). The chunks' resident accounting transfers
-/// to the returned batch.
+/// to the returned batch. `label` is the draining (parent) operator, which
+/// the guard blames when the materialized buffer itself trips the budget —
+/// the build-phase enforcement point of the blocking operators.
 fn drain_to_batch(
     child: &mut Box<dyn BatchStream>,
     ctx: &mut StreamContext,
+    label: &str,
 ) -> Result<ColumnarBatch> {
     let mut chunks = Vec::new();
-    while let Some(chunk) = child.next_batch(ctx)? {
-        chunks.push(chunk);
+    loop {
+        match child.next_batch(ctx) {
+            Ok(Some(chunk)) => chunks.push(chunk),
+            Ok(None) => break,
+            Err(err) => {
+                // The chunks already accumulated were acquired by the
+                // child's emissions; they die here, so their accounting
+                // must be rolled back before the error propagates.
+                for chunk in &chunks {
+                    consumed(ctx, chunk);
+                }
+                return Err(err);
+            }
+        }
     }
     let schema = child.schema().clone();
     let batch = partition::concat_batches(&chunks).unwrap_or_else(|| ColumnarBatch::empty(schema));
@@ -201,6 +244,10 @@ fn drain_to_batch(
         consumed(ctx, chunk);
     }
     ctx.acquire(batch.num_rows(), 1);
+    if let Err(err) = ctx.check_guard(label) {
+        ctx.release(batch.num_rows(), 1);
+        return Err(err);
+    }
     Ok(batch)
 }
 
@@ -318,7 +365,7 @@ impl BatchStream for ScanStream {
             .collect();
         let chunk = ColumnarBatch::from_parts(self.schema.clone(), columns, rows.len());
         self.last = rows.last().map(|t| (*t).clone());
-        Ok(self.meta.emit(ctx, chunk))
+        self.meta.emit(ctx, chunk)
     }
 
     fn close(&mut self, ctx: &mut StreamContext) {
@@ -346,14 +393,15 @@ impl BatchStream for FilterStream {
 
     fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
         while let Some(chunk) = self.child.next_batch(ctx)? {
-            let out = crate::parallel_columnar::parallel_filter_batches(
+            let filtered = crate::parallel_columnar::parallel_filter_batches(
                 &chunk,
                 &self.predicate,
                 ctx.parallelism,
-            )?;
+            );
             consumed(ctx, &chunk);
+            let out = filtered?;
             if out.num_rows() > 0 {
-                return Ok(self.meta.emit(ctx, out));
+                return self.meta.emit(ctx, out);
             }
         }
         Ok(None)
@@ -427,7 +475,7 @@ impl BatchStream for ProjectStream {
             };
             consumed(ctx, &chunk);
             if fresh.num_rows() > 0 {
-                return Ok(self.meta.emit(ctx, fresh));
+                return self.meta.emit(ctx, fresh);
             }
         }
         Ok(None)
@@ -463,7 +511,7 @@ impl BatchStream for RenameStream {
                 consumed(ctx, &chunk);
                 let (_, columns, rows) = chunk.into_parts();
                 let out = ColumnarBatch::from_parts(self.schema.clone(), columns, rows);
-                Ok(self.meta.emit(ctx, out))
+                self.meta.emit(ctx, out)
             }
         }
     }
@@ -509,17 +557,19 @@ impl BatchStream for UnionStream {
             };
             // Only right-side chunks need a conforming copy; left chunks
             // feed the distinct store directly.
-            let fresh = if conform {
-                let aligned = chunk.conform_to(&self.schema).map_err(ExprError::from)?;
-                self.distinct.push(&aligned)
+            let pushed = if conform {
+                chunk
+                    .conform_to(&self.schema)
+                    .map(|aligned| self.distinct.push(&aligned))
             } else {
-                self.distinct.push(&chunk)
+                Ok(self.distinct.push(&chunk))
             };
             consumed(ctx, &chunk);
+            let fresh = pushed.map_err(ExprError::from)?;
             self.retained
                 .grow_to(ctx, self.meta.id, self.distinct.len());
             if fresh.num_rows() > 0 {
-                return Ok(self.meta.emit(ctx, fresh));
+                return self.meta.emit(ctx, fresh);
             }
         }
     }
@@ -562,10 +612,24 @@ impl HashJoinStream {
             return Ok(());
         }
         let mut right = self.right.take().expect("build side compiled once");
-        let batch = drain_to_batch(&mut right, ctx)?;
+        let batch = match drain_to_batch(&mut right, ctx, &self.meta.label) {
+            Ok(batch) => batch,
+            Err(err) => {
+                // Put the child back so close() still tears down its
+                // subtree (releasing any retained state it holds).
+                self.right = Some(right);
+                return Err(err);
+            }
+        };
         right.close(ctx);
         let rows = batch.num_rows();
-        let build = JoinBuild::new(self.left.schema(), batch).map_err(ExprError::from)?;
+        let build = match JoinBuild::new(self.left.schema(), batch) {
+            Ok(build) => build,
+            Err(err) => {
+                ctx.release(rows, 1);
+                return Err(ExprError::from(err));
+            }
+        };
         // The drained batch now lives inside the build; keep its accounting
         // under the retained state.
         ctx.release(rows, 1);
@@ -584,16 +648,18 @@ impl BatchStream for HashJoinStream {
         self.ensure_build(ctx)?;
         let build = self.build.as_ref().expect("built above");
         while let Some(chunk) = self.left.next_batch(ctx)? {
-            let KernelOutput { batch, probes } = match self.kind {
+            let probed = match self.kind {
                 StreamJoinKind::Natural => build.probe_natural(&chunk),
                 StreamJoinKind::Semi => build.probe_semi(&chunk, false),
                 StreamJoinKind::Anti => build.probe_semi(&chunk, true),
-            }
-            .map_err(ExprError::from)?;
-            ctx.add_probes(self.meta.id, probes);
+            };
+            // The probed chunk is finished with either way — release it
+            // before a kernel error can propagate past its accounting.
             consumed(ctx, &chunk);
+            let KernelOutput { batch, probes } = probed.map_err(ExprError::from)?;
+            ctx.add_probes(self.meta.id, probes);
             if batch.num_rows() > 0 {
-                return Ok(self.meta.emit(ctx, batch));
+                return self.meta.emit(ctx, batch);
             }
         }
         Ok(None)
@@ -629,7 +695,13 @@ impl BatchStream for ThetaJoinStream {
     fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
         if self.right_batch.is_none() {
             let mut right = self.right.take().expect("right side compiled once");
-            let batch = drain_to_batch(&mut right, ctx)?;
+            let batch = match drain_to_batch(&mut right, ctx, &self.meta.label) {
+                Ok(batch) => batch,
+                Err(err) => {
+                    self.right = Some(right);
+                    return Err(err);
+                }
+            };
             right.close(ctx);
             ctx.release(batch.num_rows(), 1);
             self.retained.grow_to(ctx, self.meta.id, batch.num_rows());
@@ -637,12 +709,12 @@ impl BatchStream for ThetaJoinStream {
         }
         let right = self.right_batch.as_ref().expect("materialized above");
         while let Some(chunk) = self.left.next_batch(ctx)? {
-            let KernelOutput { batch, probes } =
-                kernels::theta_join(&chunk, right, &self.predicate).map_err(ExprError::from)?;
-            ctx.add_probes(self.meta.id, probes);
+            let joined = kernels::theta_join(&chunk, right, &self.predicate);
             consumed(ctx, &chunk);
+            let KernelOutput { batch, probes } = joined.map_err(ExprError::from)?;
+            ctx.add_probes(self.meta.id, probes);
             if batch.num_rows() > 0 {
-                return Ok(self.meta.emit(ctx, batch));
+                return self.meta.emit(ctx, batch);
             }
         }
         Ok(None)
@@ -693,7 +765,13 @@ impl BatchStream for DivideStream {
             // Build phase: materialize the divisor, then stream the whole
             // dividend through the coverage state.
             let mut divisor = self.divisor.take().expect("divisor compiled once");
-            let divisor_batch = drain_to_batch(&mut divisor, ctx)?;
+            let divisor_batch = match drain_to_batch(&mut divisor, ctx, &self.meta.label) {
+                Ok(batch) => batch,
+                Err(err) => {
+                    self.divisor = Some(divisor);
+                    return Err(err);
+                }
+            };
             divisor.close(ctx);
             let divisor_rows = divisor_batch.num_rows();
             ctx.release(divisor_rows, 1);
@@ -711,6 +789,9 @@ impl BatchStream for DivideStream {
                 consumed(ctx, &chunk);
                 self.retained
                     .grow_to(ctx, self.meta.id, divisor_rows + state.groups());
+                // The coverage state itself can outgrow the budget even
+                // though each consumed chunk passed its own check.
+                ctx.check_guard(&self.meta.label)?;
             }
             let quotient = state.finish().map_err(ExprError::from)?;
             self.kernel_rows = Some(quotient.num_rows());
@@ -720,7 +801,7 @@ impl BatchStream for DivideStream {
         }
         let out = self.out.as_mut().expect("set above");
         match out.next(ctx) {
-            Some(chunk) => Ok(self.meta.emit(ctx, chunk)),
+            Some(chunk) => self.meta.emit(ctx, chunk),
             None => Ok(None),
         }
     }
@@ -747,11 +828,12 @@ impl BatchStream for DivideStream {
 // Blocking operators
 // ---------------------------------------------------------------------------
 
-/// Which fully blocking binary kernel a [`BlockingStream`] runs.
+/// Which fully blocking binary kernel a [`BlockingStream`] runs. The
+/// Cartesian product is *not* here: its output is quadratic, so it gets the
+/// incremental [`ProductStream`] whose emissions stay guard-checkable.
 enum BlockingKind {
     Intersect,
     Difference,
-    Product,
     /// Unary aggregation (the `right` child is absent).
     Aggregate {
         group_by: Vec<String>,
@@ -777,15 +859,22 @@ impl BatchStream for BlockingStream {
 
     fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
         if self.out.is_none() {
-            let left = drain_to_batch(&mut self.left, ctx)?;
+            let left = drain_to_batch(&mut self.left, ctx, &self.meta.label)?;
             let right = match self.right.as_mut() {
-                Some(right) => Some(drain_to_batch(right, ctx)?),
+                Some(right) => match drain_to_batch(right, ctx, &self.meta.label) {
+                    Ok(batch) => Some(batch),
+                    Err(err) => {
+                        // The left side was already drained and acquired;
+                        // roll it back before the error propagates.
+                        ctx.release(left.num_rows(), 1);
+                        return Err(err);
+                    }
+                },
                 None => None,
             };
             let result = match (&self.kind, &right) {
                 (BlockingKind::Intersect, Some(r)) => kernels::intersect(&left, r),
                 (BlockingKind::Difference, Some(r)) => kernels::difference(&left, r),
-                (BlockingKind::Product, Some(r)) => kernels::cross_product(&left, r),
                 (
                     BlockingKind::Aggregate {
                         group_by,
@@ -797,21 +886,25 @@ impl BatchStream for BlockingStream {
                     kernels::hash_aggregate(&left, &refs, aggregates)
                 }
                 _ => unreachable!("blocking kind/arity mismatch is impossible by construction"),
-            }
-            .map_err(ExprError::from)?;
+            };
             let buffered = left.num_rows() + right.as_ref().map_or(0, ColumnarBatch::num_rows);
-            ctx.trace
-                .note_retained(self.meta.id, buffered + result.num_rows());
             ctx.release(left.num_rows(), 1);
             if let Some(r) = &right {
                 ctx.release(r.num_rows(), 1);
             }
+            let result = result.map_err(ExprError::from)?;
+            ctx.trace
+                .note_retained(self.meta.id, buffered + result.num_rows());
             ctx.acquire(result.num_rows(), 1);
+            if let Err(err) = ctx.check_guard(&self.meta.label) {
+                ctx.release(result.num_rows(), 1);
+                return Err(err);
+            }
             self.out = Some(ChunkCursor::new(result));
         }
         let out = self.out.as_mut().expect("set above");
         match out.next(ctx) {
-            Some(chunk) => Ok(self.meta.emit(ctx, chunk)),
+            Some(chunk) => self.meta.emit(ctx, chunk),
             None => Ok(None),
         }
     }
@@ -821,6 +914,88 @@ impl BatchStream for BlockingStream {
         if let Some(out) = self.out.as_mut() {
             out.release(ctx);
         }
+        self.left.close(ctx);
+        if let Some(right) = self.right.as_mut() {
+            right.close(ctx);
+        }
+    }
+}
+
+/// Cartesian product served incrementally: both inputs are drained (they
+/// are genuinely blocking — every pair must be formed), but the quadratic
+/// *output* is produced one bounded slice at a time —
+/// [`kernels::cross_product_slice`] crosses a few left rows against the
+/// whole right side per call, sized so each emitted chunk is about
+/// `batch_size` rows. A runaway product under a deadline or budget is
+/// therefore stopped at the next batch boundary instead of after
+/// materializing |L|·|R| rows, which is the whole point of the governance
+/// layer.
+struct ProductStream {
+    meta: OpMeta,
+    left: Box<dyn BatchStream>,
+    right: Option<Box<dyn BatchStream>>,
+    schema: Schema,
+    /// Drained `(left, right)` inputs, kept for the duration of the serve
+    /// phase under `retained` accounting.
+    inputs: Option<(ColumnarBatch, ColumnarBatch)>,
+    /// Next left row to cross.
+    pos: usize,
+    retained: RetainedState,
+    done: bool,
+}
+
+impl BatchStream for ProductStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.inputs.is_none() {
+            let left = drain_to_batch(&mut self.left, ctx, &self.meta.label)?;
+            let mut right_child = self.right.take().expect("right side compiled once");
+            let right = match drain_to_batch(&mut right_child, ctx, &self.meta.label) {
+                Ok(batch) => batch,
+                Err(err) => {
+                    ctx.release(left.num_rows(), 1);
+                    self.right = Some(right_child);
+                    return Err(err);
+                }
+            };
+            right_child.close(ctx);
+            // Both inputs stay buffered while slices are served; move their
+            // accounting under the retained state so a budget trip mid-serve
+            // still drains to zero at close.
+            ctx.release(left.num_rows(), 1);
+            ctx.release(right.num_rows(), 1);
+            self.retained
+                .grow_to(ctx, self.meta.id, left.num_rows() + right.num_rows());
+            self.inputs = Some((left, right));
+        }
+        let (left, right) = self.inputs.as_ref().expect("drained above");
+        let (l_rows, r_rows) = (left.num_rows(), right.num_rows());
+        if self.pos >= l_rows || r_rows == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        // Cross enough left rows that the chunk is about batch_size rows.
+        let per_slice = (ctx.batch_size / r_rows.max(1)).max(1);
+        let end = (self.pos + per_slice).min(l_rows);
+        let chunk =
+            kernels::cross_product_slice(left, self.pos..end, right).map_err(ExprError::from)?;
+        self.pos = end;
+        if self.pos >= l_rows {
+            self.done = true;
+        }
+        self.meta.emit(ctx, chunk)
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.inputs = None;
         self.left.close(ctx);
         if let Some(right) = self.right.as_mut() {
             right.close(ctx);
@@ -868,6 +1043,7 @@ fn compile(
     let id = OperatorId(*next_id);
     *next_id += 1;
     let meta = OpMeta::new(id, plan, is_root);
+    crate::failpoint::hit(&meta.label, "open")?;
     let opened = trace.span_start();
     let stream = compile_node(plan, catalog, meta, trace, next_id)?;
     if let Some(started) = opened {
@@ -990,13 +1166,15 @@ fn compile_node(
                 .schema()
                 .concat(right.schema())
                 .map_err(ExprError::from)?;
-            Box::new(BlockingStream {
+            Box::new(ProductStream {
                 meta,
                 left,
                 right: Some(right),
-                kind: BlockingKind::Product,
                 schema,
-                out: None,
+                inputs: None,
+                pos: 0,
+                retained: RetainedState::default(),
+                done: false,
             })
         }
         PhysicalPlan::NestedLoopJoin {
@@ -1156,7 +1334,7 @@ impl BatchStream for ValuesStream {
         let indices: Vec<usize> = (self.pos..end).collect();
         let chunk = self.batch.gather(&indices);
         self.pos = end;
-        Ok(self.meta.emit(ctx, chunk))
+        self.meta.emit(ctx, chunk)
     }
 
     fn close(&mut self, ctx: &mut StreamContext) {
@@ -1218,7 +1396,20 @@ impl StreamExecutor {
         catalog: &Catalog,
         config: &PlannerConfig,
     ) -> Result<StreamExecutor> {
-        let mut ctx = StreamContext::new(plan, config);
+        StreamExecutor::with_guard(plan, catalog, config, QueryGuard::from_config(config))
+    }
+
+    /// Like [`StreamExecutor::new`], but with an explicit [`QueryGuard`] —
+    /// the hook for attaching a [`crate::guard::CancelToken`] or a guard
+    /// whose deadline was armed by a caller (e.g. a serving session)
+    /// rather than derived from the config at compile time.
+    pub fn with_guard(
+        plan: &PhysicalPlan,
+        catalog: &Catalog,
+        config: &PlannerConfig,
+        guard: QueryGuard,
+    ) -> Result<StreamExecutor> {
+        let mut ctx = StreamContext::new(plan, config, guard);
         let mut next_id = 0;
         let root = compile(plan, catalog, true, &mut ctx.trace, &mut next_id)?;
         let schema = root.schema().clone();
@@ -1274,7 +1465,13 @@ impl StreamExecutor {
     /// per-operator span tree into [`ExecStats::operators`], and return the
     /// statistics.
     pub fn finish(mut self) -> ExecStats {
+        // The batch handed out last has left the pipeline (its rows belong
+        // to the consumer now), exactly as in `next_batch`.
+        self.ctx
+            .release(self.last_emitted, usize::from(self.last_emitted > 0));
+        self.last_emitted = 0;
         self.root.close(&mut self.ctx);
+        self.ctx.stats.resident_rows_on_finish = self.ctx.resident_rows;
         self.ctx.stats.operators = self.ctx.trace.finish();
         self.ctx.stats
     }
@@ -1294,7 +1491,10 @@ impl std::fmt::Debug for StreamExecutor {
 mod tests {
     use super::*;
     use crate::exec::execute_with_stats;
+    use crate::guard::CancelToken;
     use crate::planner::plan_query;
+    #[cfg(feature = "failpoints")]
+    use crate::FailAction;
     use div_algebra::{relation, AggregateCall, CompareOp};
     use div_expr::PlanBuilder;
 
@@ -1505,5 +1705,137 @@ mod tests {
         assert!(stream.next_batch().unwrap().is_none());
         let stats = stream.finish();
         assert_eq!(stats.output_rows, 0);
+    }
+
+    /// A big self-product: |big| × |big| = 4M output rows, the runaway shape
+    /// governance exists to stop.
+    fn runaway_product() -> (Catalog, div_expr::LogicalPlan) {
+        let mut c = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..2_000).map(|i| vec![i]).collect();
+        c.register("big", Relation::from_rows(["a"], rows.clone()).unwrap());
+        c.register("big2", Relation::from_rows(["b"], rows).unwrap());
+        let logical = PlanBuilder::scan("big")
+            .product(PlanBuilder::scan("big2"))
+            .build();
+        (c, logical)
+    }
+
+    fn drain_to_error(stream: &mut StreamExecutor) -> ExprError {
+        loop {
+            match stream.next_batch() {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("stream finished without tripping the guard"),
+                Err(err) => return err,
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_aborts_mid_drain_and_residency_drains_to_zero() {
+        let (c, logical) = runaway_product();
+        let config = PlannerConfig::default().batch_size(64);
+        let plan = plan_query(&logical, &config).unwrap();
+        let token = CancelToken::new();
+        let guard = QueryGuard::default().with_token(token.clone());
+        let mut stream = StreamExecutor::with_guard(&plan, &c, &config, guard).unwrap();
+        assert!(stream.next_batch().unwrap().is_some(), "runs until tripped");
+        token.cancel();
+        let err = drain_to_error(&mut stream);
+        assert!(matches!(err, ExprError::Cancelled { .. }), "got {err}");
+        // Fused after the error, and teardown releases every resident row.
+        assert!(stream.next_batch().unwrap().is_none());
+        let stats = stream.finish();
+        assert_eq!(stats.resident_rows_on_finish, 0);
+    }
+
+    #[test]
+    fn deadline_aborts_within_one_batch_boundary() {
+        let (c, logical) = runaway_product();
+        let config = PlannerConfig::default()
+            .batch_size(64)
+            .deadline(std::time::Duration::from_millis(50));
+        let plan = plan_query(&logical, &config).unwrap();
+        let started = std::time::Instant::now();
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        let err = drain_to_error(&mut stream);
+        assert!(
+            matches!(err, ExprError::DeadlineExceeded { limit_ms: 50, .. }),
+            "got {err}"
+        );
+        // 4M-row product at batch 64 takes far longer than 50ms; the trip
+        // must come within one batch of the deadline, not at the end.
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(5),
+            "took {:?}",
+            started.elapsed()
+        );
+        let stats = stream.finish();
+        assert_eq!(stats.resident_rows_on_finish, 0);
+    }
+
+    #[test]
+    fn memory_budget_aborts_the_blocking_build_and_reports_the_operator() {
+        let (c, logical) = runaway_product();
+        // Budget below the drained input size: the product's buffered
+        // inputs (2000 + 2000 rows) blow the 1000-row budget during build.
+        let config = PlannerConfig::default()
+            .batch_size(64)
+            .memory_budget_rows(1_000);
+        let plan = plan_query(&logical, &config).unwrap();
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        let err = drain_to_error(&mut stream);
+        match err {
+            ExprError::MemoryBudget {
+                operator,
+                budget_rows,
+                resident_rows,
+            } => {
+                assert_eq!(budget_rows, 1_000);
+                assert!(resident_rows > 1_000);
+                assert!(!operator.is_empty());
+            }
+            other => panic!("expected MemoryBudget, got {other}"),
+        }
+        let stats = stream.finish();
+        assert_eq!(stats.resident_rows_on_finish, 0);
+    }
+
+    #[test]
+    fn governed_but_untripped_stream_matches_the_ungoverned_result() {
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .natural_join(PlanBuilder::scan("parts"))
+            .build();
+        let ungoverned = PlannerConfig::default().batch_size(2);
+        let governed = ungoverned
+            .deadline(std::time::Duration::from_secs(60))
+            .memory_budget_rows(1_000_000);
+        let plan = plan_query(&logical, &ungoverned).unwrap();
+        let mut base = StreamExecutor::new(&plan, &c, &ungoverned).unwrap();
+        let expected = collect(&mut base);
+        let mut stream = StreamExecutor::new(&plan, &c, &governed).unwrap();
+        let got = collect(&mut stream);
+        assert_eq!(got, expected);
+        assert_eq!(stream.finish().resident_rows_on_finish, 0);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failpoint_error_mid_stream_leaves_no_resident_rows() {
+        let _serial = crate::failpoint::test_serial();
+        crate::failpoint::disarm_all();
+        let c = catalog();
+        let logical = PlanBuilder::scan("supplies")
+            .natural_join(PlanBuilder::scan("parts"))
+            .build();
+        let config = PlannerConfig::default().batch_size(2);
+        let plan = plan_query(&logical, &config).unwrap();
+        crate::failpoint::arm("HashJoin.next_batch", FailAction::Error("chaos".into()));
+        let mut stream = StreamExecutor::new(&plan, &c, &config).unwrap();
+        let err = drain_to_error(&mut stream);
+        crate::failpoint::disarm_all();
+        assert!(err.to_string().contains("failpoint HashJoin.next_batch"));
+        let stats = stream.finish();
+        assert_eq!(stats.resident_rows_on_finish, 0);
     }
 }

@@ -4,8 +4,54 @@ use crate::protocol::{self, ErrorCode};
 use div_algebra::Value;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Bounded retry of *retryable* server errors (`BUSY`, `TIMEOUT`,
+/// `SHUTDOWN` — exactly [`ErrorCode::retryable`]), attached to a client
+/// with [`Client::with_retry`].
+///
+/// Those codes all mean "the request was fine, the server just would not
+/// take it right now", and the server closes the connection after sending
+/// them — so each retry reconnects and resends after an exponentially
+/// growing, jittered backoff. Non-retryable errors (including the
+/// governance aborts `CANCELLED`/`DEADLINE`/`MEMORY`) surface immediately.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub attempts: u32,
+    /// Backoff before retry `n` is `base_delay × 2ⁿ`, jittered down by up
+    /// to 50% so synchronized clients do not stampede in lockstep.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry number `attempt` (0-based).
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << attempt.min(10));
+        // Jitter in [1/2, 1): xorshift over the subsecond clock — good
+        // enough for decorrelating retries, and dependency-free.
+        let mut x = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+            .unwrap_or(0x9e37_79b9)
+            | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let scale = 512 + (x % 512) as u32; // of 1024
+        exp * scale / 1024
+    }
+}
 
 /// A blocking connection to a [`Server`](crate::Server).
 ///
@@ -14,6 +60,11 @@ use std::time::Duration;
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
+    /// The resolved peer, kept for reconnects (`None` only if resolution
+    /// yielded nothing the connect could still use).
+    addr: Option<SocketAddr>,
+    read_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
 }
 
 /// A collected query result.
@@ -87,17 +138,45 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr().ok();
         Ok(Client {
             reader: BufReader::new(stream),
+            addr: peer,
+            read_timeout: None,
+            retry: None,
         })
     }
 
     /// Connect with a socket read timeout (so a dead server surfaces as an
     /// [`io::Error`] instead of a hang).
     pub fn connect_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Client> {
-        let client = Client::connect(addr)?;
+        let mut client = Client::connect(addr)?;
         client.reader.get_ref().set_read_timeout(Some(timeout))?;
+        client.read_timeout = Some(timeout);
         Ok(client)
+    }
+
+    /// This client retrying retryable server errors under `policy`
+    /// (reconnect + jittered exponential backoff). See [`RetryPolicy`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Client {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Re-establish the connection to the peer this client first connected
+    /// to, preserving the configured read timeout.
+    fn reconnect(&mut self) -> io::Result<()> {
+        let addr = self.addr.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "peer address unknown; cannot reconnect",
+            )
+        })?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// Send one raw request line and collect the raw response lines, the
@@ -136,7 +215,7 @@ impl Client {
     }
 
     /// `exchange`, then split a terminal `ERR` into [`ClientError::Server`].
-    fn request(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+    fn request_once(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
         let lines = self.exchange(line)?;
         let terminal = lines
             .last()
@@ -150,6 +229,54 @@ impl Client {
             });
         }
         Ok(lines)
+    }
+
+    /// `true` for I/O failures that mean the connection itself dropped —
+    /// the race where an admission-rejected peer closes before our request
+    /// line even lands. The server always writes a terminal before closing
+    /// in non-crash paths, so a dropped connection implies the request was
+    /// not executed and resending is safe.
+    fn connection_dropped(err: &ClientError) -> bool {
+        matches!(err, ClientError::Io(e) if matches!(
+            e.kind(),
+            io::ErrorKind::BrokenPipe
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::NotConnected
+        ))
+    }
+
+    /// [`Client::request_once`] under the configured [`RetryPolicy`]:
+    /// retryable server errors (and dropped connections) sleep through a
+    /// jittered backoff, reconnect (the server closes the connection after
+    /// `BUSY`/`TIMEOUT`/`SHUTDOWN`) and resend. Safe even for `MUTATE`: a
+    /// retryable code means the request was never executed.
+    fn request(&mut self, line: &str) -> Result<Vec<String>, ClientError> {
+        let Some(policy) = self.retry.clone() else {
+            return self.request_once(line);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.request_once(line) {
+                Ok(lines) => return Ok(lines),
+                Err(err)
+                    if (err.is_retryable() || Self::connection_dropped(&err))
+                        && attempt < policy.attempts => {}
+                Err(err) => return Err(err),
+            }
+            // Back off, then reconnect — spending further attempts if the
+            // server is also rejecting fresh connections right now.
+            loop {
+                std::thread::sleep(policy.backoff(attempt));
+                attempt += 1;
+                match self.reconnect() {
+                    Ok(()) => break,
+                    Err(_) if attempt < policy.attempts => continue,
+                    Err(io_err) => return Err(ClientError::Io(io_err)),
+                }
+            }
+        }
     }
 
     fn collect_result(lines: Vec<String>) -> Result<QueryResult, ClientError> {
@@ -267,8 +394,67 @@ impl Client {
         self.request(&format!("MUTATE DROP {table}")).map(|_| ())
     }
 
+    /// This connection's server-side session id (from `SESSION`), the
+    /// handle another connection passes to [`Client::cancel`].
+    pub fn session_id(&mut self) -> Result<u64, ClientError> {
+        let lines = self.request("SESSION")?;
+        lines
+            .last()
+            .and_then(|l| l.strip_prefix("OK session "))
+            .and_then(|id| id.trim().parse().ok())
+            .ok_or_else(|| ClientError::Protocol("SESSION reply carried no id".into()))
+    }
+
+    /// Cancel the statement session `id` is currently running (on another
+    /// connection). Returns `true` when a statement was actually in flight.
+    pub fn cancel(&mut self, id: u64) -> Result<bool, ClientError> {
+        let lines = self.request(&format!("CANCEL {id}"))?;
+        match lines.last().map(String::as_str) {
+            Some(line) if line.starts_with("OK cancelled") => Ok(true),
+            Some(line) if line.starts_with("OK idle") => Ok(false),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected CANCEL reply {other:?}"
+            ))),
+        }
+    }
+
     /// End the session cleanly.
     pub fn close(mut self) -> Result<(), ClientError> {
         self.request("CLOSE").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_jitters_within_half() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(100),
+        };
+        for attempt in 0..4u32 {
+            let full = Duration::from_millis(100) * (1 << attempt);
+            for _ in 0..8 {
+                let delay = policy.backoff(attempt);
+                assert!(
+                    delay >= full / 2,
+                    "attempt {attempt}: {delay:?} < {full:?}/2"
+                );
+                assert!(delay < full, "attempt {attempt}: {delay:?} >= {full:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_shift_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            attempts: u32::MAX,
+            base_delay: Duration::from_millis(1),
+        };
+        // Far past the 2¹⁰ cap: must not panic or wrap.
+        let delay = policy.backoff(40);
+        assert!(delay <= Duration::from_millis(1024));
     }
 }

@@ -27,6 +27,16 @@
 //! * **Robustness**: per-connection read timeouts, a request-size cap, and
 //!   graceful shutdown that drains in-flight sessions
 //!   ([`ServerHandle::shutdown`]).
+//! * **Lifecycle governance**: every statement runs under a
+//!   [`div_sql::QueryGuard`] — a per-statement cancellation token
+//!   (`SESSION` reports the id, `CANCEL <id>` from any other connection
+//!   trips it), plus the server-wide default deadline and resident-row
+//!   budget of [`ServerConfig::default_deadline`] /
+//!   [`ServerConfig::default_budget_rows`]. Aborts surface as the typed,
+//!   non-retryable wire codes `CANCELLED`, `DEADLINE` and `MEMORY`, and
+//!   the worker is freed at the next batch boundary. The bundled
+//!   [`Client`] can retry the *retryable* codes with jittered exponential
+//!   backoff ([`Client::with_retry`], [`RetryPolicy`]).
 //!
 //! ```no_run
 //! use div_expr::Catalog;
@@ -54,7 +64,7 @@ pub mod protocol;
 mod server;
 mod session;
 
-pub use client::{Client, ClientError, QueryResult};
+pub use client::{Client, ClientError, QueryResult, RetryPolicy};
 pub use metrics::ServerMetrics;
 pub use protocol::ErrorCode;
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -22,6 +22,14 @@ pub struct ServerMetrics {
     pub streams_cancelled: AtomicU64,
     /// Stale prepared statements transparently re-prepared by a session.
     pub stale_replans: AtomicU64,
+    /// Statements aborted by an explicit `CANCEL` (wire code `CANCELLED`).
+    pub queries_cancelled: AtomicU64,
+    /// Statements aborted by their wall-clock deadline (wire code
+    /// `DEADLINE`).
+    pub deadline_aborts: AtomicU64,
+    /// Statements aborted by their resident-row memory budget (wire code
+    /// `MEMORY`).
+    pub budget_aborts: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -42,7 +50,8 @@ impl ServerMetrics {
                 "{{\"connections_accepted\": {}, \"connections_rejected\": {}, ",
                 "\"requests_served\": {}, \"requests_failed\": {}, ",
                 "\"rows_streamed\": {}, \"streams_cancelled\": {}, ",
-                "\"stale_replans\": {}}}"
+                "\"stale_replans\": {}, \"queries_cancelled\": {}, ",
+                "\"deadline_aborts\": {}, \"budget_aborts\": {}}}"
             ),
             Self::get(&self.connections_accepted),
             Self::get(&self.connections_rejected),
@@ -51,6 +60,9 @@ impl ServerMetrics {
             Self::get(&self.rows_streamed),
             Self::get(&self.streams_cancelled),
             Self::get(&self.stale_replans),
+            Self::get(&self.queries_cancelled),
+            Self::get(&self.deadline_aborts),
+            Self::get(&self.budget_aborts),
         )
     }
 }
@@ -65,9 +77,13 @@ mod tests {
         ServerMetrics::bump(&m.connections_accepted);
         ServerMetrics::bump(&m.rows_streamed);
         ServerMetrics::bump(&m.rows_streamed);
+        ServerMetrics::bump(&m.deadline_aborts);
         let json = m.to_json();
         assert!(json.contains("\"connections_accepted\": 1"), "{json}");
         assert!(json.contains("\"rows_streamed\": 2"), "{json}");
         assert!(json.contains("\"connections_rejected\": 0"), "{json}");
+        assert!(json.contains("\"deadline_aborts\": 1"), "{json}");
+        assert!(json.contains("\"queries_cancelled\": 0"), "{json}");
+        assert!(json.contains("\"budget_aborts\": 0"), "{json}");
     }
 }

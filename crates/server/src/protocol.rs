@@ -53,6 +53,16 @@ pub enum ErrorCode {
     Timeout,
     /// The server is draining for shutdown. Retryable elsewhere.
     Shutdown,
+    /// The statement was cancelled (`CANCEL <session>` from another
+    /// connection, or the token was tripped server-side). Not retryable:
+    /// somebody asked for this statement to stop.
+    Cancelled,
+    /// The statement ran past its wall-clock deadline. Not retryable
+    /// verbatim — the same statement would time out again.
+    Deadline,
+    /// The statement's resident-row footprint exceeded its memory budget.
+    /// Not retryable verbatim.
+    Memory,
 }
 
 impl ErrorCode {
@@ -70,6 +80,9 @@ impl ErrorCode {
             ErrorCode::Busy => "BUSY",
             ErrorCode::Timeout => "TIMEOUT",
             ErrorCode::Shutdown => "SHUTDOWN",
+            ErrorCode::Cancelled => "CANCELLED",
+            ErrorCode::Deadline => "DEADLINE",
+            ErrorCode::Memory => "MEMORY",
         }
     }
 
@@ -95,6 +108,9 @@ impl ErrorCode {
             ErrorCode::Busy,
             ErrorCode::Timeout,
             ErrorCode::Shutdown,
+            ErrorCode::Cancelled,
+            ErrorCode::Deadline,
+            ErrorCode::Memory,
         ]
         .into_iter()
         .find(|c| c.as_str() == token)
@@ -115,6 +131,9 @@ pub fn code_for(err: &div_sql::Error) -> ErrorCode {
         div_sql::Error::UnboundParameter { .. } => ErrorCode::UnboundParameter,
         div_sql::Error::UnknownParameter { .. } => ErrorCode::UnknownParameter,
         div_sql::Error::StalePlan { .. } => ErrorCode::StalePlan,
+        div_sql::Error::Cancelled { .. } => ErrorCode::Cancelled,
+        div_sql::Error::DeadlineExceeded { .. } => ErrorCode::Deadline,
+        div_sql::Error::MemoryBudget { .. } => ErrorCode::Memory,
     }
 }
 
@@ -171,6 +190,16 @@ pub enum Request {
     },
     /// Drop a table: `MUTATE DROP t`.
     Drop(String),
+    /// Report this connection's session id (`OK session <id>`), the handle
+    /// another connection needs to `CANCEL` this session's statements.
+    Session,
+    /// Trip the cancellation token of the statement session `<id>` is
+    /// currently running. Idempotent: answers `OK cancelled <id>` when a
+    /// statement was in flight, `OK idle <id>` otherwise (including ids
+    /// that never existed — by the time the answer arrives the statement
+    /// could have finished anyway, so "unknown" and "idle" are the same
+    /// observable fact).
+    Cancel(u64),
     /// End the session; the server answers `OK bye` and closes.
     Close,
 }
@@ -256,6 +285,11 @@ pub fn parse_request(line: &str) -> Result<Request, MalformedRequest> {
         }
         "METRICS" => expect_no_rest("METRICS", rest, Request::Metrics),
         "MUTATE" => parse_mutate(rest),
+        "SESSION" => expect_no_rest("SESSION", rest, Request::Session),
+        "CANCEL" => rest
+            .parse::<u64>()
+            .map(Request::Cancel)
+            .map_err(|_| malformed("usage: CANCEL <session-id>")),
         "CLOSE" => expect_no_rest("CLOSE", rest, Request::Close),
         other => Err(malformed(format!("unknown command `{other}`"))),
     }
@@ -500,6 +534,13 @@ impl<'a> Tokenizer<'a> {
 
     /// The byte length of the literal starting at the front of `s` (which
     /// must start with `'`), including both quotes.
+    ///
+    /// The byte walk cannot hand a non-boundary length to `split_at`: the
+    /// returned length always ends on a `'` byte (0x27), which in UTF-8
+    /// only ever encodes the quote character itself — continuation bytes
+    /// are ≥ 0x80. A `\` that skips into the middle of a multi-byte
+    /// character merely lands on a continuation byte that matches neither
+    /// arm, so the scan resynchronizes at the next quote.
     fn quoted_len(s: &str) -> Result<usize, MalformedRequest> {
         debug_assert!(s.starts_with('\''));
         let bytes = s.as_bytes();
@@ -650,6 +691,8 @@ mod tests {
             parse_request("MUTATE DROP t").unwrap(),
             Request::Drop("t".into())
         );
+        assert_eq!(parse_request("SESSION").unwrap(), Request::Session);
+        assert_eq!(parse_request("CANCEL 42").unwrap(), Request::Cancel(42));
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
     }
 
@@ -673,9 +716,38 @@ mod tests {
             "MUTATE REGISTER t (a) VALUES ('unterminated)",
             "PING extra",
             "METRICS now",
+            "CANCEL",
+            "CANCEL not-a-number",
+            "CANCEL -3",
+            "SESSION 5",
         ] {
             assert!(parse_request(line).is_err(), "should reject {line:?}");
         }
+    }
+
+    #[test]
+    fn governance_errors_map_to_their_wire_codes() {
+        assert_eq!(
+            code_for(&div_sql::Error::Cancelled {
+                operator: "Scan".into()
+            }),
+            ErrorCode::Cancelled
+        );
+        assert_eq!(
+            code_for(&div_sql::Error::DeadlineExceeded {
+                operator: "CrossProduct".into(),
+                limit_ms: 50,
+            }),
+            ErrorCode::Deadline
+        );
+        assert_eq!(
+            code_for(&div_sql::Error::MemoryBudget {
+                operator: "HashJoin".into(),
+                budget_rows: 10,
+                resident_rows: 25,
+            }),
+            ErrorCode::Memory
+        );
     }
 
     #[test]
@@ -692,11 +764,19 @@ mod tests {
             ErrorCode::Busy,
             ErrorCode::Timeout,
             ErrorCode::Shutdown,
+            ErrorCode::Cancelled,
+            ErrorCode::Deadline,
+            ErrorCode::Memory,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert!(ErrorCode::Busy.retryable());
         assert!(!ErrorCode::Parse.retryable());
+        // Governance aborts are deliberate outcomes, not transient overload:
+        // resending the same statement verbatim would just trip again.
+        assert!(!ErrorCode::Cancelled.retryable());
+        assert!(!ErrorCode::Deadline.retryable());
+        assert!(!ErrorCode::Memory.retryable());
         assert_eq!(
             err_line(ErrorCode::Parse, "bad\nthing"),
             "ERR PARSE bad thing"

@@ -15,7 +15,7 @@
 
 use crate::metrics::ServerMetrics;
 use crate::protocol::{err_line, ErrorCode};
-use crate::session::run_session;
+use crate::session::{run_session, CancelRegistry};
 use crossbeam::channel::{self, TrySendError};
 use div_sql::Engine;
 use std::io::{self, Write};
@@ -40,6 +40,15 @@ pub struct ServerConfig {
     /// Maximum bytes of one request line; longer requests are answered
     /// with `ERR TOO_LARGE` and the connection is closed.
     pub max_request_bytes: usize,
+    /// Default wall-clock deadline for every statement a session runs.
+    /// A statement that outlives it aborts at its next batch boundary with
+    /// `ERR DEADLINE`. `None` (the default) leaves statements governed
+    /// only by the engine's own configuration.
+    pub default_deadline: Option<Duration>,
+    /// Default resident-row memory budget for every statement a session
+    /// runs; exceeding it aborts the statement with `ERR MEMORY`. `None`
+    /// (the default) defers to the engine's own configuration.
+    pub default_budget_rows: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +58,8 @@ impl Default for ServerConfig {
             queue_depth: 16,
             read_timeout: Duration::from_secs(30),
             max_request_bytes: 64 * 1024,
+            default_deadline: None,
+            default_budget_rows: None,
         }
     }
 }
@@ -77,29 +88,43 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let metrics = Arc::new(ServerMetrics::default());
+        let cancels = Arc::new(CancelRegistry::default());
         let (tx, rx) = channel::bounded::<TcpStream>(config.queue_depth.max(1));
 
-        let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                let engine = Arc::clone(&engine);
-                let config = config.clone();
-                let metrics = Arc::clone(&metrics);
-                let shutdown = Arc::clone(&shutdown);
-                std::thread::Builder::new()
-                    .name(format!("div-server-worker-{i}"))
-                    .spawn(move || {
-                        // recv fails only when the accept loop dropped the
-                        // sender: shutdown. A session already handed over is
-                        // served to completion (graceful drain).
-                        while let Ok(stream) = rx.recv() {
-                            run_session(stream, &engine, &config, &metrics, &shutdown);
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        // A failed worker spawn (thread exhaustion, resource limits)
+        // degrades the pool instead of panicking out of `bind`; only a
+        // pool of zero workers is a start-up error, because such a server
+        // would accept connections it can never serve.
+        let mut workers: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+        let mut spawn_failure: Option<io::Error> = None;
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let engine = Arc::clone(&engine);
+            let config = config.clone();
+            let metrics = Arc::clone(&metrics);
+            let shutdown = Arc::clone(&shutdown);
+            let cancels = Arc::clone(&cancels);
+            let spawned = std::thread::Builder::new()
+                .name(format!("div-server-worker-{i}"))
+                .spawn(move || {
+                    // recv fails only when the accept loop dropped the
+                    // sender: shutdown. A session already handed over is
+                    // served to completion (graceful drain).
+                    while let Ok(stream) = rx.recv() {
+                        run_session(stream, &engine, &config, &metrics, &shutdown, &cancels);
+                    }
+                });
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(err) => spawn_failure = Some(err),
+            }
+        }
         drop(rx);
+        if workers.is_empty() {
+            drop(tx); // no receivers anyway, but make the teardown explicit
+            return Err(spawn_failure
+                .unwrap_or_else(|| io::Error::other("no session workers could be spawned")));
+        }
 
         let accept_thread = {
             let shutdown = Arc::clone(&shutdown);
@@ -109,7 +134,19 @@ impl Server {
                 .spawn(move || {
                     accept_loop(listener, tx, &shutdown, &metrics);
                 })
-                .expect("spawn accept thread")
+        };
+        let accept_thread = match accept_thread {
+            Ok(handle) => handle,
+            Err(err) => {
+                // Spawning the accept loop failed after the workers came
+                // up: the sender went down with the failed closure, so the
+                // workers see a disconnect and exit; join them before
+                // surfacing the error.
+                for worker in workers {
+                    let _ = worker.join();
+                }
+                return Err(err);
+            }
         };
 
         Ok(ServerHandle {

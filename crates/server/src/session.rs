@@ -11,12 +11,73 @@ use crate::metrics::ServerMetrics;
 use crate::protocol::{self, code_for, encode_row, encode_schema, err_line, ErrorCode, Request};
 use crate::server::ServerConfig;
 use div_algebra::Relation;
-use div_sql::{Engine, Error, Params, PreparedStatement};
+use div_sql::{CancelToken, Engine, Error, Params, PreparedStatement, QueryGuard};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Process-wide session id source: ids stay unique across every server a
+/// test process starts, so a `CANCEL` can never alias a session of another
+/// server instance.
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The in-flight statement registry: session id → the cancellation token
+/// of the statement that session is currently running.
+///
+/// A session registers a fresh token immediately before opening a cursor
+/// and deregisters it (drop guard, so error paths included) when the
+/// statement's terminal line has been decided. `CANCEL <id>` served on any
+/// *other* connection trips the token; the governed executor observes the
+/// trip at its next batch boundary.
+#[derive(Debug, Default)]
+pub(crate) struct CancelRegistry {
+    inner: Mutex<HashMap<u64, CancelToken>>,
+}
+
+impl CancelRegistry {
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn register(&self, session: u64, token: CancelToken) {
+        self.lock().insert(session, token);
+    }
+
+    fn deregister(&self, session: u64) {
+        self.lock().remove(&session);
+    }
+
+    /// Trip the token of `session`'s in-flight statement. `false` when the
+    /// session is idle (or unknown — indistinguishable to the caller).
+    fn cancel(&self, session: u64) -> bool {
+        match self.lock().get(&session) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Deregisters the session's in-flight statement on drop, so no terminal
+/// path (clean finish, engine error, vanished client) can leak a stale
+/// token into the registry.
+struct ArmedStatement<'a> {
+    registry: &'a CancelRegistry,
+    session: u64,
+}
+
+impl Drop for ArmedStatement<'_> {
+    fn drop(&mut self) {
+        self.registry.deregister(self.session);
+    }
+}
 
 /// How often a blocked read wakes up to check the shutdown flag and the
 /// idle deadline.
@@ -105,7 +166,9 @@ pub(crate) fn run_session(
     config: &ServerConfig,
     metrics: &ServerMetrics,
     shutdown: &AtomicBool,
+    cancels: &CancelRegistry,
 ) {
+    let session_id = NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed);
     // Short socket timeout so reads stay responsive to the shutdown flag;
     // the *logical* idle timeout is enforced by the line reader.
     let _ = stream.set_read_timeout(Some(POLL_TICK));
@@ -127,7 +190,16 @@ pub(crate) fn run_session(
     loop {
         match reader.next_line() {
             ReadOutcome::Line(line) => {
-                let outcome = serve_request(&line, engine, metrics, &mut prepared, &mut writer);
+                let outcome = serve_request(
+                    &line,
+                    session_id,
+                    engine,
+                    config,
+                    metrics,
+                    cancels,
+                    &mut prepared,
+                    &mut writer,
+                );
                 ServerMetrics::bump(&metrics.requests_served);
                 match outcome {
                     RequestOutcome::Continue => {}
@@ -188,10 +260,47 @@ fn terminal(writer: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
     writer.flush()
 }
 
+/// Build the guard for one statement: the engine's configured defaults,
+/// overridden by the server's session-wide defaults, observing `token`.
+/// The deadline arms here — immediately before the cursor opens.
+fn statement_guard(engine: &Engine, config: &ServerConfig, token: CancelToken) -> QueryGuard {
+    let mut guard = QueryGuard::from_config(engine.planner_config()).with_token(token);
+    if let Some(deadline) = config.default_deadline {
+        guard = guard.with_deadline(deadline);
+    }
+    if let Some(budget) = config.default_budget_rows {
+        guard = guard.with_budget_rows(budget);
+    }
+    guard
+}
+
+/// Register a fresh cancellation token for the statement this session is
+/// about to run. The returned drop guard deregisters it on every exit path.
+fn arm_statement<'a>(
+    session_id: u64,
+    cancels: &'a CancelRegistry,
+    engine: &Engine,
+    config: &ServerConfig,
+) -> (QueryGuard, ArmedStatement<'a>) {
+    let token = CancelToken::new();
+    cancels.register(session_id, token.clone());
+    (
+        statement_guard(engine, config, token),
+        ArmedStatement {
+            registry: cancels,
+            session: session_id,
+        },
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn serve_request(
     line: &str,
+    session_id: u64,
     engine: &Engine,
+    config: &ServerConfig,
     metrics: &ServerMetrics,
+    cancels: &CancelRegistry,
     prepared: &mut HashMap<String, PreparedStatement>,
     writer: &mut BufWriter<TcpStream>,
 ) -> RequestOutcome {
@@ -211,10 +320,13 @@ fn serve_request(
             let _ = terminal(writer, "OK bye");
             return RequestOutcome::CloseSession;
         }
-        Request::Query(sql) => match engine.query(&sql) {
-            Ok(cursor) => return stream_cursor(cursor, metrics, writer),
-            Err(err) => engine_error(&err, metrics, writer),
-        },
+        Request::Query(sql) => {
+            let (guard, _armed) = arm_statement(session_id, cancels, engine, config);
+            match engine.query_guarded(&sql, &Params::new(), guard) {
+                Ok(cursor) => return stream_cursor(cursor, metrics, writer),
+                Err(err) => engine_error(&err, metrics, writer),
+            }
+        }
         Request::Prepare { name, sql } => match engine.prepare(&sql) {
             Ok(statement) => {
                 let detail = format!(
@@ -242,16 +354,19 @@ fn serve_request(
             for (key, value) in params {
                 bound = bound.bind(key, value);
             }
-            match statement.execute(engine, &bound) {
+            let (guard, _armed) = arm_statement(session_id, cancels, engine, config);
+            match statement.execute_guarded(engine, &bound, guard.clone()) {
                 Ok(cursor) => return stream_cursor(cursor, metrics, writer),
                 Err(Error::StalePlan { .. }) => {
                     // The catalog moved under the cached plan. Re-prepare
                     // transparently: the client keeps its statement name and
-                    // never sees a stale result.
+                    // never sees a stale result. The retry reuses the guard
+                    // (same token, same deadline arm time): to the client
+                    // this is still one statement.
                     match engine.prepare(statement.sql()) {
                         Ok(fresh) => {
                             ServerMetrics::bump(&metrics.stale_replans);
-                            let retry = fresh.execute(engine, &bound);
+                            let retry = fresh.execute_guarded(engine, &bound, guard);
                             prepared.insert(name, fresh);
                             match retry {
                                 Ok(cursor) => return stream_cursor(cursor, metrics, writer),
@@ -321,6 +436,17 @@ fn serve_request(
                 }
             }
         }
+        Request::Session => {
+            terminal(writer, &format!("OK session {session_id}")).map(|()| RequestOutcome::Continue)
+        }
+        Request::Cancel(target) => {
+            let verdict = if cancels.cancel(target) {
+                "cancelled"
+            } else {
+                "idle"
+            };
+            terminal(writer, &format!("OK {verdict} {target}")).map(|()| RequestOutcome::Continue)
+        }
         Request::Drop(table) => {
             let dropped = engine
                 .mutate_catalog(|catalog| catalog.unregister(&table).map(|_| catalog.version()));
@@ -341,6 +467,17 @@ fn serve_request(
     }
 }
 
+/// Count a governance abort under its own metric (in addition to the
+/// generic `requests_failed` bump every `ERR` terminal gets).
+fn governance_bump(err: &Error, metrics: &ServerMetrics) {
+    match err {
+        Error::Cancelled { .. } => ServerMetrics::bump(&metrics.queries_cancelled),
+        Error::DeadlineExceeded { .. } => ServerMetrics::bump(&metrics.deadline_aborts),
+        Error::MemoryBudget { .. } => ServerMetrics::bump(&metrics.budget_aborts),
+        _ => {}
+    }
+}
+
 /// Report an engine error as its typed `ERR` line.
 fn engine_error(
     err: &Error,
@@ -348,6 +485,7 @@ fn engine_error(
     writer: &mut BufWriter<TcpStream>,
 ) -> io::Result<RequestOutcome> {
     ServerMetrics::bump(&metrics.requests_failed);
+    governance_bump(err, metrics);
     terminal(writer, &err_line(code_for(err), &err.to_string())).map(|()| RequestOutcome::Continue)
 }
 
@@ -377,7 +515,10 @@ fn stream_cursor(
             Ok(batch) => batch,
             Err(err) => {
                 // Mid-stream failure: the ERR line is still the terminal.
+                // Dropping the cursor here closes the pipeline exactly like
+                // a client disconnect — resident accounting drains to zero.
                 ServerMetrics::bump(&metrics.requests_failed);
+                governance_bump(&err, metrics);
                 return match terminal(writer, &err_line(code_for(&err), &err.to_string())) {
                     Ok(()) => RequestOutcome::Continue,
                     Err(_) => RequestOutcome::ClientGone,

@@ -78,7 +78,7 @@ use div_columnar::ColumnarBatch;
 use div_expr::{Catalog, LogicalPlan};
 use div_physical::{
     plan_query, ExecStats, ExecutionBackend, OperatorStats, PhysicalPlan, PlannerConfig,
-    StreamExecutor,
+    QueryGuard, StreamExecutor,
 };
 use div_rewrite::engine::AppliedRule;
 use div_rewrite::optimizer::{CostEstimate, CostModel};
@@ -211,7 +211,20 @@ impl Cursor {
         catalog: &Catalog,
         config: &PlannerConfig,
     ) -> Result<Cursor> {
-        let exec = StreamExecutor::new(physical, catalog, config)?;
+        Cursor::over_guarded(physical, catalog, config, QueryGuard::from_config(config))
+    }
+
+    /// [`Cursor::over`] with an explicit [`QueryGuard`] — the constructor
+    /// behind [`Engine::query_guarded`]. The guard's deadline (if any) was
+    /// armed when the guard was built, so callers should build it
+    /// immediately before opening the cursor.
+    pub(crate) fn over_guarded(
+        physical: &PhysicalPlan,
+        catalog: &Catalog,
+        config: &PlannerConfig,
+        guard: QueryGuard,
+    ) -> Result<Cursor> {
+        let exec = StreamExecutor::with_guard(physical, catalog, config, guard)?;
         let schema = exec.schema().clone();
         Ok(Cursor {
             exec: Some(exec),
@@ -369,6 +382,26 @@ impl EngineBuilder {
     /// differential testing and for measuring what the laws buy.
     pub fn without_optimizer(mut self) -> Self {
         self.optimize = false;
+        self
+    }
+
+    /// Set a default wall-clock deadline for every query this engine runs —
+    /// shorthand for [`PlannerConfig::deadline`]. The clock starts when each
+    /// cursor opens; a query that outlives it aborts at its next batch
+    /// boundary with [`Error::DeadlineExceeded`]. Per-query guards
+    /// ([`Engine::query_guarded`]) override this default.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.config = self.config.deadline(deadline);
+        self
+    }
+
+    /// Set a default resident-row memory budget for every query this engine
+    /// runs — shorthand for [`PlannerConfig::memory_budget_rows`]. A query
+    /// whose executor-resident footprint (in-flight batches plus blocking
+    /// state) exceeds the budget aborts with [`Error::MemoryBudget`].
+    /// Per-query guards ([`Engine::query_guarded`]) override this default.
+    pub fn with_memory_budget(mut self, budget_rows: usize) -> Self {
+        self.config = self.config.memory_budget_rows(budget_rows);
         self
     }
 
@@ -658,6 +691,38 @@ impl Engine {
         self.cursor_for(&compiled.physical, &catalog)
     }
 
+    /// [`Engine::query_with_params`] under an explicit [`QueryGuard`]:
+    /// the caller-supplied guard *replaces* the engine's config-derived
+    /// default (deadline / budget set at build time), so a serving session
+    /// can attach its own [`CancelToken`](div_physical::CancelToken) and
+    /// per-session limits. Build the guard immediately before this call —
+    /// deadlines are armed at guard construction.
+    ///
+    /// ```
+    /// use div_algebra::relation;
+    /// use div_expr::Catalog;
+    /// use div_sql::{CancelToken, Engine, Params, QueryGuard};
+    ///
+    /// let mut catalog = Catalog::new();
+    /// catalog.register("parts", relation! { ["p#"] => [1], [2] });
+    /// let engine = Engine::new(catalog);
+    /// let token = CancelToken::new();
+    /// let guard = QueryGuard::default().with_token(token.clone());
+    /// let cursor = engine.query_guarded("SELECT p# FROM parts", &Params::new(), guard)?;
+    /// token.cancel();
+    /// // The next pull observes the trip.
+    /// let err = cursor.collect().unwrap_err();
+    /// assert!(matches!(err, div_sql::Error::Cancelled { .. }));
+    /// # Ok::<(), div_sql::Error>(())
+    /// ```
+    pub fn query_guarded(&self, sql: &str, params: &Params, guard: QueryGuard) -> Result<Cursor> {
+        let catalog = self.catalog();
+        let query = self.parse_timed(sql)?;
+        check_bindings(params, &query.parameters())?;
+        let compiled = self.compile_parsed(&query, params, &catalog)?;
+        self.cursor_guarded(&compiled.physical, &catalog, &self.config, guard)
+    }
+
     /// [`Engine::query`], fully collected: the compatibility shim that
     /// returns the pre-cursor [`QueryOutput`] (whole relation plus
     /// statistics) in one call.
@@ -880,6 +945,19 @@ impl Engine {
         catalog: &Catalog,
         config: &PlannerConfig,
     ) -> Result<Cursor> {
+        // The config-derived guard arms the engine-default deadline/budget
+        // here, at cursor-open time.
+        self.cursor_guarded(physical, catalog, config, QueryGuard::from_config(config))
+    }
+
+    /// The guard-explicit cursor opener every execution path funnels into.
+    fn cursor_guarded(
+        &self,
+        physical: &PhysicalPlan,
+        catalog: &Catalog,
+        config: &PlannerConfig,
+        guard: QueryGuard,
+    ) -> Result<Cursor> {
         if physical.has_parameters() {
             let parameter = physical
                 .parameters()
@@ -888,7 +966,8 @@ impl Engine {
                 .expect("has_parameters implies at least one name");
             return Err(Error::UnboundParameter { parameter });
         }
-        Ok(Cursor::over(physical, catalog, config)?.with_metrics(Arc::clone(&self.metrics)))
+        Ok(Cursor::over_guarded(physical, catalog, config, guard)?
+            .with_metrics(Arc::clone(&self.metrics)))
     }
 }
 
@@ -949,6 +1028,19 @@ impl PreparedStatement {
     /// * [`Error::UnboundParameter`] when a declared parameter has no
     ///   binding.
     pub fn execute(&self, engine: &Engine, params: &Params) -> Result<Cursor> {
+        let guard = QueryGuard::from_config(engine.planner_config());
+        self.execute_guarded(engine, params, guard)
+    }
+
+    /// [`PreparedStatement::execute`] under an explicit [`QueryGuard`] —
+    /// the caller's guard replaces the engine's config-derived default,
+    /// exactly as in [`Engine::query_guarded`].
+    pub fn execute_guarded(
+        &self,
+        engine: &Engine,
+        params: &Params,
+        guard: QueryGuard,
+    ) -> Result<Cursor> {
         // One snapshot for the version check *and* the execution: a
         // concurrent `mutate_catalog` between the two cannot slip a changed
         // catalog under a plan that just passed validation.
@@ -963,11 +1055,11 @@ impl PreparedStatement {
         check_bindings(params, &self.parameters)?;
         if params.is_empty() {
             // Nothing to substitute — stream the cached template directly
-            // (`cursor_for` still rejects unbound placeholders).
-            return engine.cursor_for(&self.template, &catalog);
+            // (`cursor_guarded` still rejects unbound placeholders).
+            return engine.cursor_guarded(&self.template, &catalog, engine.planner_config(), guard);
         }
         let bound = self.template.bind_parameters(params.map());
-        engine.cursor_for(&bound, &catalog)
+        engine.cursor_guarded(&bound, &catalog, engine.planner_config(), guard)
     }
 
     /// [`PreparedStatement::execute`], fully collected into a
@@ -1567,5 +1659,119 @@ mod tests {
         let rendered = analyzed.to_string();
         assert!(rendered.contains("peak resident rows:"));
         assert!(rendered.contains("peak resident batches:"));
+    }
+
+    /// A catalog whose self-product is far too large to finish under a tight
+    /// limit — the governance tests' runaway workload.
+    fn runaway_catalog() -> Catalog {
+        let mut catalog = Catalog::new();
+        let rows: Vec<Vec<i64>> = (0..1_500).map(|i| vec![i]).collect();
+        catalog.register(
+            "l",
+            div_algebra::Relation::from_rows(["a"], rows.clone()).unwrap(),
+        );
+        catalog.register("r", div_algebra::Relation::from_rows(["b"], rows).unwrap());
+        catalog
+    }
+
+    const RUNAWAY: &str = "SELECT a, b FROM l, r";
+
+    #[test]
+    fn engine_default_deadline_aborts_runaway_queries_and_frees_the_session() {
+        let engine = Engine::builder(runaway_catalog())
+            .planner_config(PlannerConfig::default().batch_size(64))
+            .with_deadline(std::time::Duration::from_millis(50))
+            .build();
+        let err = engine.query(RUNAWAY).unwrap().collect().unwrap_err();
+        assert!(
+            matches!(err, Error::DeadlineExceeded { limit_ms: 50, .. }),
+            "got {err}"
+        );
+        // The engine is untouched by the abort: a follow-up query under the
+        // same default deadline succeeds.
+        let out = engine
+            .query("SELECT a FROM l WHERE a < 3")
+            .unwrap()
+            .collect()
+            .unwrap();
+        assert_eq!(out.relation.len(), 3);
+    }
+
+    #[test]
+    fn engine_default_memory_budget_aborts_runaway_queries() {
+        let engine = Engine::builder(runaway_catalog())
+            .planner_config(PlannerConfig::default().batch_size(64))
+            .with_memory_budget(1_000)
+            .build();
+        let err = engine.query(RUNAWAY).unwrap().collect().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Error::MemoryBudget {
+                    budget_rows: 1_000,
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn cancellation_token_aborts_an_open_cursor() {
+        let engine = Engine::new(runaway_catalog());
+        let token = div_physical::CancelToken::new();
+        let guard = QueryGuard::default().with_token(token.clone());
+        let mut cursor = engine
+            .query_guarded(RUNAWAY, &Params::new(), guard)
+            .unwrap();
+        assert!(cursor.next().unwrap().is_ok(), "runs until cancelled");
+        token.cancel();
+        let err = cursor
+            .find_map(|batch| batch.err())
+            .expect("cancellation must surface");
+        assert!(matches!(err, Error::Cancelled { .. }), "got {err}");
+    }
+
+    #[test]
+    fn aborted_drain_releases_resident_rows_like_a_disconnect() {
+        // The satellite-f regression: a deadline/budget abort mid-drain must
+        // leave the cursor's resident accounting exactly where a client
+        // disconnect would — drained to zero once the cursor closes.
+        let engine = Engine::builder(runaway_catalog())
+            .planner_config(PlannerConfig::default().batch_size(64))
+            .with_memory_budget(1_000)
+            .build();
+        let mut cursor = engine.query(RUNAWAY).unwrap();
+        let err = cursor
+            .find_map(|batch| batch.err())
+            .expect("budget must trip");
+        assert!(matches!(err, Error::MemoryBudget { .. }));
+        let stats = cursor.finish_stats();
+        assert_eq!(
+            stats.resident_rows_on_finish, 0,
+            "aborted drain leaked resident accounting"
+        );
+    }
+
+    #[test]
+    fn guarded_prepared_statement_observes_its_token() {
+        let engine = Engine::new(runaway_catalog());
+        let stmt = engine.prepare(RUNAWAY).unwrap();
+        let token = div_physical::CancelToken::new();
+        token.cancel();
+        let guard = QueryGuard::default().with_token(token);
+        let err = stmt
+            .execute_guarded(&engine, &Params::new(), guard)
+            .unwrap()
+            .collect()
+            .unwrap_err();
+        assert!(matches!(err, Error::Cancelled { .. }), "got {err}");
+    }
+
+    #[test]
+    fn ungoverned_queries_are_unaffected_by_the_governance_plumbing() {
+        let engine = Engine::new(catalog());
+        let out = engine.query_collect(Q2).unwrap();
+        assert_eq!(out.stats.resident_rows_on_finish, 0);
     }
 }

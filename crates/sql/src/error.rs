@@ -40,6 +40,28 @@ pub enum Error {
         /// Current catalog version.
         catalog_version: u64,
     },
+    /// The query's cancellation token was tripped
+    /// (see [`CancelToken`](crate::CancelToken)).
+    Cancelled {
+        /// Operator span that observed the cancellation.
+        operator: String,
+    },
+    /// The query ran past its wall-clock deadline.
+    DeadlineExceeded {
+        /// Operator span that observed the expiry.
+        operator: String,
+        /// The configured deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The query's resident-row footprint exceeded its memory budget.
+    MemoryBudget {
+        /// Operator span whose emission tripped the budget.
+        operator: String,
+        /// The configured budget, in resident rows.
+        budget_rows: usize,
+        /// The resident footprint that tripped it.
+        resident_rows: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -82,6 +104,24 @@ impl fmt::Display for Error {
                  {prepared_version}, but the catalog is now at version {catalog_version}; \
                  prepare the statement again"
             ),
+            Error::Cancelled { operator } => {
+                write!(f, "query cancelled (at operator {operator})")
+            }
+            Error::DeadlineExceeded { operator, limit_ms } => {
+                write!(
+                    f,
+                    "deadline of {limit_ms}ms exceeded (at operator {operator})"
+                )
+            }
+            Error::MemoryBudget {
+                operator,
+                budget_rows,
+                resident_rows,
+            } => write!(
+                f,
+                "memory budget of {budget_rows} resident rows exceeded \
+                 ({resident_rows} resident, at operator {operator})"
+            ),
         }
     }
 }
@@ -104,7 +144,25 @@ impl From<ParseError> for Error {
 
 impl From<ExprError> for Error {
     fn from(err: ExprError) -> Self {
-        Error::Plan(err)
+        // The governance trips are lifecycle outcomes, not plan failures —
+        // they keep their own variants so servers can map them to typed
+        // wire codes without string matching.
+        match err {
+            ExprError::Cancelled { operator } => Error::Cancelled { operator },
+            ExprError::DeadlineExceeded { operator, limit_ms } => {
+                Error::DeadlineExceeded { operator, limit_ms }
+            }
+            ExprError::MemoryBudget {
+                operator,
+                budget_rows,
+                resident_rows,
+            } => Error::MemoryBudget {
+                operator,
+                budget_rows,
+                resident_rows,
+            },
+            other => Error::Plan(other),
+        }
     }
 }
 
@@ -160,5 +218,40 @@ mod tests {
         assert!(err.to_string().contains('3'));
         assert!(err.to_string().contains('5'));
         assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn governance_trips_convert_to_their_own_variants() {
+        let err: Error = ExprError::Cancelled {
+            operator: "Filter(x)".into(),
+        }
+        .into();
+        assert_eq!(
+            err,
+            Error::Cancelled {
+                operator: "Filter(x)".into()
+            }
+        );
+        let err: Error = ExprError::DeadlineExceeded {
+            operator: "CrossProduct".into(),
+            limit_ms: 50,
+        }
+        .into();
+        assert!(matches!(err, Error::DeadlineExceeded { limit_ms: 50, .. }));
+        assert!(err.to_string().contains("50ms"));
+        let err: Error = ExprError::MemoryBudget {
+            operator: "Union".into(),
+            budget_rows: 10,
+            resident_rows: 25,
+        }
+        .into();
+        assert!(matches!(
+            err,
+            Error::MemoryBudget {
+                budget_rows: 10,
+                resident_rows: 25,
+                ..
+            }
+        ));
     }
 }

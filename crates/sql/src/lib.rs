@@ -61,6 +61,7 @@ pub mod parser;
 pub mod run;
 
 pub use ast::{Query, SelectItem, SqlCondition, SqlOperand, TableFactor, TableReference};
+pub use div_physical::{CancelToken, QueryGuard};
 pub use engine::{Cursor, Engine, EngineBuilder, Explain, Params, PreparedStatement, QueryOutput};
 pub use error::Error;
 pub use lexer::{tokenize, Token};

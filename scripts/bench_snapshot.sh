@@ -18,7 +18,11 @@
 #     the `first_batch` rows are the pagination-latency win);
 #   * observability pairs `untraced` labels against their `traced`
 #     counterparts (per-operator wall-clock tracing off vs on — the
-#     "speedup" is the tracing overhead, expected close to 1.0).
+#     "speedup" is the tracing overhead, expected close to 1.0);
+#   * governance pairs `unguarded` labels against their `guarded`
+#     counterparts (QueryGuard cancellation/deadline/budget checks off vs
+#     fully armed — the "speedup" is the guard overhead, expected close
+#     to 1.0).
 #
 # Re-run after touching the measured modules and commit the refreshed JSON
 # alongside the change.
@@ -51,8 +55,12 @@ observability)
     fast="untraced"
     slow="traced"
     ;;
+governance)
+    fast="unguarded"
+    slow="guarded"
+    ;;
 *)
-    echo "unknown bench '$bench' (expected key_pipeline, streaming or observability)" >&2
+    echo "unknown bench '$bench' (expected key_pipeline, streaming, observability or governance)" >&2
     exit 1
     ;;
 esac

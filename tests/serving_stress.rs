@@ -6,11 +6,11 @@
 
 use div_algebra::{Relation, Value};
 use div_datagen::scenarios::{generate, ScenarioConfig, ScenarioFamily};
-use div_server::{Client, ClientError, Server, ServerConfig};
+use div_server::{Client, ClientError, ErrorCode, RetryPolicy, Server, ServerConfig};
 use div_sql::Engine;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const CLIENTS: usize = 16;
 const ITERATIONS: usize = 25;
@@ -192,6 +192,203 @@ fn concurrent_clients_survive_catalog_mutations_without_torn_results() {
         snapshot.queries_executed
     );
     client.close().unwrap();
+    server.shutdown();
+}
+
+/// Two 1500-row tables whose cross product (2.25M rows) takes long enough
+/// to stream that governance limits reliably trip mid-flight.
+fn runaway_engine() -> Arc<Engine> {
+    let mut catalog = div_expr::Catalog::new();
+    let rows = |n: i64| (0..n).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>();
+    catalog.register("l", Relation::from_rows(["a"], rows(1500)).unwrap());
+    catalog.register("r", Relation::from_rows(["b"], rows(1500)).unwrap());
+    Arc::new(Engine::new(catalog))
+}
+
+const RUNAWAY: &str = "SELECT a, b FROM l, r";
+
+/// The headline acceptance scenario: a runaway cross product under a 50ms
+/// server-default deadline aborts within one batch boundary with the typed
+/// `DEADLINE` error, the worker is freed, and a follow-up query on the same
+/// connection succeeds.
+#[test]
+fn runaway_cross_product_aborts_on_deadline_and_frees_the_worker() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        runaway_engine(),
+        ServerConfig {
+            workers: 2,
+            default_deadline: Some(Duration::from_millis(50)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let started = Instant::now();
+    let err = client.query(RUNAWAY).unwrap_err();
+    let elapsed = started.elapsed();
+    match &err {
+        ClientError::Server {
+            code: Some(ErrorCode::Deadline),
+            message,
+            ..
+        } => {
+            assert!(message.contains("50ms"), "{message}");
+            assert!(message.contains("at operator"), "{message}");
+        }
+        other => panic!("expected ERR DEADLINE, got {other}"),
+    }
+    assert!(!err.is_retryable(), "deadline aborts are not retryable");
+    // "Within one batch boundary" at wire scale: the 2.25M-row product
+    // takes far longer than this to stream in full.
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "aborted after {elapsed:?}"
+    );
+
+    // The session and its worker survived the abort: a statement that fits
+    // the deadline runs fine on the very same connection.
+    let small = client.query("SELECT a FROM l WHERE a = 7").unwrap();
+    assert_eq!(small.rows, vec![vec![Value::Int(7)]]);
+
+    let aborts = server.metrics().deadline_aborts.load(Ordering::Relaxed);
+    assert!(aborts >= 1, "deadline abort counted: {aborts}");
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// `CANCEL <id>` from a second connection trips the first connection's
+/// in-flight statement, which terminates with `ERR CANCELLED`; the victim
+/// session stays healthy.
+#[test]
+fn cancel_from_another_connection_aborts_an_in_flight_statement() {
+    let server = Server::bind("127.0.0.1:0", runaway_engine(), ServerConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    let mut victim = Client::connect(addr).unwrap();
+    let session = victim.session_id().unwrap();
+
+    let runner = std::thread::spawn(move || {
+        let err = victim.query(RUNAWAY).unwrap_err();
+        // After the abort the same connection keeps working.
+        let follow_up = victim.query("SELECT a FROM l WHERE a = 3").unwrap();
+        let _ = victim.close();
+        (err, follow_up)
+    });
+
+    // Poke CANCEL until the victim's statement is registered in flight.
+    let mut canceller = Client::connect(addr).unwrap();
+    let mut tripped = false;
+    for _ in 0..500 {
+        if canceller.cancel(session).unwrap() {
+            tripped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(tripped, "the statement was seen in flight");
+
+    let (err, follow_up) = runner.join().expect("victim thread");
+    match &err {
+        ClientError::Server {
+            code: Some(ErrorCode::Cancelled),
+            message,
+            ..
+        } => assert!(message.contains("cancelled"), "{message}"),
+        other => panic!("expected ERR CANCELLED, got {other}"),
+    }
+    assert_eq!(follow_up.rows, vec![vec![Value::Int(3)]]);
+
+    // Cancelling the now-idle session reports idle (idempotent).
+    assert!(!canceller.cancel(session).unwrap());
+    let cancelled = server.metrics().queries_cancelled.load(Ordering::Relaxed);
+    assert!(cancelled >= 1, "cancellation counted: {cancelled}");
+    let _ = canceller.close();
+    server.shutdown();
+}
+
+/// A server-default resident-row budget aborts the runaway statement with
+/// the typed `MEMORY` error carrying budget and observed footprint.
+#[test]
+fn default_memory_budget_aborts_with_the_typed_wire_error() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        runaway_engine(),
+        ServerConfig {
+            // Above one default batch (1024 rows), below the product's
+            // retained build side — small statements pass, the runaway
+            // trips.
+            default_budget_rows: Some(2_000),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client.query(RUNAWAY).unwrap_err();
+    match &err {
+        ClientError::Server {
+            code: Some(ErrorCode::Memory),
+            message,
+            ..
+        } => assert!(message.contains("2000 resident rows"), "{message}"),
+        other => panic!("expected ERR MEMORY, got {other}"),
+    }
+    // Small statements stay under the budget and run normally.
+    let ok = client.query("SELECT a FROM l WHERE a = 1").unwrap();
+    assert_eq!(ok.rows.len(), 1);
+    let aborts = server.metrics().budget_aborts.load(Ordering::Relaxed);
+    assert!(aborts >= 1, "budget abort counted: {aborts}");
+    client.close().unwrap();
+    server.shutdown();
+}
+
+/// A client with a [`RetryPolicy`] rides out admission-control rejection:
+/// it reconnects with backoff until the saturated server frees up.
+#[test]
+fn retry_client_rides_out_admission_rejection() {
+    let data = generate(&ScenarioConfig {
+        family: ScenarioFamily::Rbac,
+        entities: 20,
+        items: 6,
+        ..ScenarioConfig::default()
+    });
+    let sql = data.small_divide_sql();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(Engine::new(data.catalog())),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_millis(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // Saturate: one served session plus one silent connection in the queue.
+    let mut holder = Client::connect(addr).unwrap();
+    holder.ping().unwrap();
+    let _queued = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Free the worker shortly; the silent connection then occupies it until
+    // the short read timeout expires.
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        let _ = holder.close();
+    });
+
+    let mut client = Client::connect(addr).unwrap().with_retry(RetryPolicy {
+        attempts: 12,
+        base_delay: Duration::from_millis(25),
+    });
+    let result = client.query(&sql).expect("retry eventually succeeds");
+    assert!(!result.columns.is_empty());
+    release.join().unwrap();
+    let _ = client.close();
     server.shutdown();
 }
 

@@ -238,6 +238,159 @@ fn shutdown_drains_idle_sessions_with_a_typed_error() {
     drain.join().unwrap();
 }
 
+/// `SESSION` reports an id; `CANCEL` of an idle or unknown session is an
+/// idempotent no-op with a typed acknowledgement either way.
+#[test]
+fn session_ids_are_reported_and_idle_cancel_is_a_noop() {
+    let server = serve(ServerConfig::default());
+    let mut a = Client::connect(server.local_addr()).unwrap();
+    let mut b = Client::connect(server.local_addr()).unwrap();
+    let id_a = a.session_id().unwrap();
+    let id_b = b.session_id().unwrap();
+    assert_ne!(id_a, id_b, "sessions get distinct ids");
+    // Asking again returns the same id: the id names the session, not the
+    // request.
+    assert_eq!(a.session_id().unwrap(), id_a);
+    // Neither session has a statement in flight; unknown ids answer the
+    // same way (an unknown and an idle session are indistinguishable).
+    assert!(!b.cancel(id_a).unwrap());
+    assert!(!b.cancel(u64::MAX).unwrap());
+    // Cancelling did not poison anything.
+    assert_eq!(a.query(Q2).unwrap().rows.len(), 2);
+    a.close().unwrap();
+    b.close().unwrap();
+    server.shutdown();
+}
+
+mod codec_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestRng;
+
+    /// Hostile strings over a pool heavy in the codec's special characters:
+    /// quotes, escapes, framing bytes, separators and multi-byte unicode.
+    #[derive(Clone, Copy)]
+    struct WireString {
+        max_len: usize,
+    }
+
+    const POOL: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        '7',
+        ' ',
+        '\'',
+        '\\',
+        '\n',
+        '\r',
+        '\t',
+        '$',
+        '=',
+        ',',
+        ';',
+        '(',
+        ')',
+        '{',
+        '}',
+        '-',
+        '#',
+        '\u{e9}',
+        '\u{4e16}',
+        '\u{1f600}',
+        'n',
+        'r',
+        't',
+        'x',
+    ];
+
+    impl Strategy for WireString {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len = rng.below(self.max_len as u64 + 1) as usize;
+            (0..len)
+                .map(|_| POOL[rng.below(POOL.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Any value a result row can carry (sets excluded: no wire command
+    /// accepts a set literal, matching the codec's documented domain).
+    struct AnyValue;
+
+    impl Strategy for AnyValue {
+        type Value = Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Value {
+            match rng.below(4) {
+                0 => Value::Null,
+                1 => Value::Bool(rng.below(2) == 0),
+                2 => Value::Int(rng.next_u64() as i64),
+                _ => Value::from(WireString { max_len: 24 }.generate(rng)),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+        /// `encode_value` → `parse_value` is the identity for every value a
+        /// result row can carry, and the encoding never breaks the
+        /// one-line-per-message framing.
+        #[test]
+        fn value_codec_round_trips(value in AnyValue) {
+            let encoded = protocol::encode_value(&value);
+            prop_assert!(!encoded.contains('\n'), "framing-safe: {encoded:?}");
+            prop_assert!(!encoded.contains('\r'), "framing-safe: {encoded:?}");
+            let decoded = protocol::parse_value(&encoded)
+                .expect("every encoding parses back");
+            prop_assert_eq!(decoded, value);
+        }
+
+        /// Whole rows survive the tab-separated `ROW` framing.
+        #[test]
+        fn row_codec_round_trips(values in prop::collection::vec(AnyValue, 1..6)) {
+            let line = protocol::encode_row(&values);
+            let payload = line.strip_prefix("ROW ").expect("ROW prefix");
+            let decoded: Vec<Value> = payload
+                .split('\t')
+                .map(|t| protocol::parse_value(t).expect("cell parses"))
+                .collect();
+            prop_assert_eq!(decoded, values);
+        }
+
+        /// The request parser never panics, whatever bytes arrive — every
+        /// line either parses or is a typed `MalformedRequest`.
+        #[test]
+        fn request_parser_total_on_arbitrary_lines(line in WireString { max_len: 80 }) {
+            let _ = protocol::parse_request(&line);
+        }
+
+        /// Adversarial near-grammar lines: a real verb with garbage
+        /// arguments (quotes, escapes, unicode) must never panic either.
+        #[test]
+        fn request_parser_total_on_near_grammar_lines(
+            verb in 0..8usize,
+            garbage in WireString { max_len: 60 },
+        ) {
+            const VERBS: [&str; 8] = [
+                "QUERY", "PREPARE", "EXECUTE", "MUTATE REGISTER",
+                "MUTATE DROP", "EXPLAIN", "CANCEL", "SESSION",
+            ];
+            let _ = protocol::parse_request(&format!("{} {garbage}", VERBS[verb]));
+        }
+
+        /// `parse_value` is total too: arbitrary tokens either yield a
+        /// value or a typed error, never a panic — including unterminated
+        /// quotes and dangling escapes.
+        #[test]
+        fn value_parser_total_on_arbitrary_tokens(token in WireString { max_len: 40 }) {
+            let _ = protocol::parse_value(&token);
+        }
+    }
+}
+
 /// The server's `ROW` lines are byte-identical to encoding the direct
 /// engine result with the same codec — the serving layer adds framing, not
 /// interpretation.
