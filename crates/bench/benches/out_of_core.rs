@@ -1,0 +1,172 @@
+//! Out-of-core execution: the price of spilling, and what zone maps save.
+//!
+//! Two claims under test (`div_physical::stream_spill`, `div_storage`):
+//!
+//! * Hybrid hash operators under a resident-row budget complete by
+//!   partitioning to disk instead of aborting, at a bounded slowdown —
+//!   every `*/inmemory/*` id pairs with a `*/spilled/*` id over the
+//!   identical plan and catalog, the spilled run squeezed to an eighth of
+//!   its input so it genuinely recurses through disk:
+//!   - `divide` — Q2-style divide (supplies ÷ blue parts),
+//!   - `join` — natural join supplies ⋈ parts, build side spilled,
+//!   - `aggregate` — parts-per-supplier grouped count.
+//! * File-backed scans stream without materializing, and zone maps make
+//!   selective scans cheaper than full ones (warm OS page cache — the
+//!   datum is decode + skip cost, not disk latency):
+//!   - `file_scan/full` — drain every chunk of a 50k-row table file,
+//!   - `file_scan/zonemap` — the same file under a selective pushed-down
+//!     predicate (zone maps skip ~31/32 chunks),
+//!   - `file_scan/ram` — the in-catalog scan of the same rows, the
+//!     memory-resident baseline.
+//!
+//! `scripts/bench_snapshot.sh out_of_core` records this group's medians as
+//! `BENCH_out_of_core.json` — the recorded out-of-core datum of the repo's
+//! perf trajectory (the "speedup" is the spill overhead factor, expected
+//! modestly above 1.0).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use div_algebra::{AggregateCall, CompareOp, Predicate, Relation};
+use div_bench::suppliers_parts_catalog;
+use div_expr::{Catalog, LogicalPlan, PlanBuilder};
+use div_physical::{plan_query, PlannerConfig, QueryGuard, StreamExecutor};
+use div_storage::{TableReader, TableWriter};
+
+/// Dividend widths (supplier counts) the operator sweep covers.
+const SCALES: [usize; 2] = [2_000, 8_000];
+
+fn catalog_for(suppliers: usize) -> Catalog {
+    suppliers_parts_catalog(suppliers, 50, 0.5)
+}
+
+fn shapes() -> Vec<(&'static str, LogicalPlan)> {
+    vec![
+        (
+            "divide",
+            PlanBuilder::scan("supplies")
+                .divide(
+                    PlanBuilder::scan("parts")
+                        .select(Predicate::eq_value("color", "blue"))
+                        .project(["p#"]),
+                )
+                .build(),
+        ),
+        (
+            // Self-join: the *right* child is the build side, so the build
+            // holds all 50k supplies rows and must partition to disk, while
+            // every probe row still matches exactly once (output stays
+            // 1:1, no per-chunk blow-up). No projection on top — a
+            // relational projection deduplicates, and its seen-set is
+            // (deliberately) non-spillable blocking state that would
+            // dominate the budget.
+            "join",
+            PlanBuilder::scan("supplies")
+                .natural_join(PlanBuilder::scan("supplies"))
+                .build(),
+        ),
+        (
+            "aggregate",
+            PlanBuilder::scan("supplies")
+                .group_aggregate(["s#"], [AggregateCall::count("p#", "n")])
+                .build(),
+        ),
+    ]
+}
+
+fn drain_rows(logical: &LogicalPlan, catalog: &Catalog, config: &PlannerConfig) -> usize {
+    let plan = plan_query(logical, config).unwrap();
+    let guard = QueryGuard::from_config(config);
+    let mut stream = StreamExecutor::with_guard(&plan, catalog, config, guard).unwrap();
+    let mut rows = 0;
+    while let Some(batch) = stream.next_batch().unwrap() {
+        rows += batch.num_rows();
+    }
+    rows
+}
+
+fn bench_out_of_core(c: &mut Criterion) {
+    println!(
+        "host parallelism: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let mut group = c.benchmark_group("out_of_core");
+
+    for scale in SCALES {
+        let catalog = catalog_for(scale);
+        let rows_in = catalog.table("supplies").unwrap().len();
+        let inmemory = PlannerConfig::default().batch_size(1024);
+        // An eighth of the input: the build sides cannot fit, so every
+        // spilling operator partitions to disk and recurses.
+        let spilled = PlannerConfig::default()
+            .batch_size(1024)
+            .memory_budget_rows((rows_in / 8).max(1))
+            .spill_to_disk(true);
+        for (name, logical) in shapes() {
+            let baseline = drain_rows(&logical, &catalog, &inmemory);
+            assert_eq!(
+                drain_rows(&logical, &catalog, &spilled),
+                baseline,
+                "{name}: spilled run diverges"
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/inmemory"), scale),
+                &scale,
+                |b, _| b.iter(|| drain_rows(&logical, &catalog, &inmemory)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/spilled"), scale),
+                &scale,
+                |b, _| b.iter(|| drain_rows(&logical, &catalog, &spilled)),
+            );
+        }
+    }
+
+    // File-backed scans: 50k rows in 512-row chunks, written once.
+    let rows = 50_000i64;
+    let table = Relation::from_rows(["a", "b"], (0..rows).map(|i| vec![i, i % 97])).unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "div_bench_out_of_core_{}.divcol",
+        std::process::id()
+    ));
+    TableWriter::write_relation(&path, &table, 512).unwrap();
+    let reader = TableReader::open(&path).unwrap();
+    let selective = Predicate::cmp_value("a", CompareOp::Lt, 1_500);
+
+    group.bench_with_input(BenchmarkId::new("file_scan/full", rows), &rows, |b, _| {
+        b.iter(|| {
+            let mut cursor = reader.scan(None).unwrap();
+            let mut n = 0usize;
+            while let Some(chunk) = cursor.next_chunk().unwrap() {
+                n += chunk.num_rows();
+            }
+            n
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new("file_scan/zonemap", rows),
+        &rows,
+        |b, _| {
+            b.iter(|| {
+                let mut cursor = reader.scan(Some(&selective)).unwrap();
+                let mut n = 0usize;
+                while let Some(chunk) = cursor.next_chunk().unwrap() {
+                    n += chunk.num_rows();
+                }
+                n
+            })
+        },
+    );
+    let mut ram_catalog = Catalog::new();
+    ram_catalog.register("big", table);
+    let scan = PlanBuilder::scan("big").build();
+    let scan_config = PlannerConfig::default().batch_size(1024);
+    group.bench_with_input(BenchmarkId::new("file_scan/ram", rows), &rows, |b, _| {
+        b.iter(|| drain_rows(&scan, &ram_catalog, &scan_config))
+    });
+
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_out_of_core);
+criterion_main!(benches);

@@ -69,6 +69,24 @@ pub fn hash_partition_keyed(
     key_columns: &[usize],
     partitions: usize,
 ) -> Vec<(ColumnarBatch, KeyVector)> {
+    hash_partition_seeded(batch, key_columns, partitions, 0)
+}
+
+/// [`hash_partition_keyed`] with a routing seed folded into every key code
+/// before mixing. Seed `0` is byte-identical to [`hash_partition_keyed`].
+///
+/// The seed exists for *recursive* partitioning (Graefe-style hybrid hash
+/// spilling): all rows of one level-`n` partition share a routing hash by
+/// construction, so re-partitioning them with the same function would put
+/// everything back into a single bucket. Deriving a fresh seed per
+/// recursion level re-randomizes the routing while preserving the key
+/// disjointness guarantee (equal keys still land together, at every level).
+pub fn hash_partition_seeded(
+    batch: &ColumnarBatch,
+    key_columns: &[usize],
+    partitions: usize,
+    seed: u64,
+) -> Vec<(ColumnarBatch, KeyVector)> {
     let partitions = partitions.max(1);
     let keys = KeyVector::build(batch, key_columns);
     if partitions == 1 {
@@ -76,7 +94,7 @@ pub fn hash_partition_keyed(
     }
     let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); partitions];
     for row in 0..batch.num_rows() {
-        buckets[fast_range(mix(keys.code(row)), partitions)].push(row);
+        buckets[fast_range(mix(keys.code(row) ^ seed), partitions)].push(row);
     }
     buckets
         .into_iter()

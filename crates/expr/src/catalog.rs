@@ -9,10 +9,10 @@
 //! the rewrite rules can check these preconditions the way a real optimizer
 //! would (from schema metadata, not by scanning the data).
 
-use crate::{ExprError, Result, SchemaProvider};
+use crate::{ExprError, ExternalTable, Result, SchemaProvider};
 use div_algebra::{Relation, Schema};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A declared foreign-key constraint: `from_table.from_attributes` references
 /// `to_table.to_attributes`.
@@ -28,6 +28,59 @@ pub struct ForeignKey {
     pub to_attributes: Vec<String>,
 }
 
+/// One catalog entry: either an in-memory relation or a handle to an
+/// external (file-backed) table.
+///
+/// External entries carry a lazily-populated materialization cache so the
+/// `&Relation`-returning lookups ([`Catalog::table`]) keep working: the
+/// first such lookup loads the file, later ones (and catalog clones, which
+/// share the [`Arc`]'d cell) reuse the loaded copy. Streaming executors
+/// never touch the cache — they scan chunk-at-a-time through
+/// [`Catalog::external`].
+#[derive(Debug, Clone)]
+enum TableEntry {
+    Memory(Arc<Relation>),
+    External {
+        table: Arc<dyn ExternalTable>,
+        cache: Arc<OnceLock<Arc<Relation>>>,
+    },
+}
+
+impl TableEntry {
+    /// The entry as a shared in-memory relation, materializing (and
+    /// caching) an external table on first use.
+    fn resolve(&self) -> Result<&Arc<Relation>> {
+        match self {
+            TableEntry::Memory(rel) => Ok(rel),
+            TableEntry::External { table, cache } => {
+                if let Some(rel) = cache.get() {
+                    return Ok(rel);
+                }
+                let loaded = Arc::new(table.materialize()?);
+                // A concurrent materialization may have won the race; both
+                // loaded the same file, so either copy is fine.
+                Ok(cache.get_or_init(|| loaded))
+            }
+        }
+    }
+
+    /// The relation if it is resident in memory (always for `Memory`
+    /// entries, only after materialization for external ones).
+    fn resident(&self) -> Option<&Relation> {
+        match self {
+            TableEntry::Memory(rel) => Some(rel),
+            TableEntry::External { cache, .. } => cache.get().map(Arc::as_ref),
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        match self {
+            TableEntry::Memory(rel) => rel.schema(),
+            TableEntry::External { table, .. } => table.schema(),
+        }
+    }
+}
+
 /// An in-memory database: named relations plus integrity metadata.
 ///
 /// Tables are stored behind [`Arc`]s, so cloning a catalog (the
@@ -35,9 +88,15 @@ pub struct ForeignKey {
 /// name map, and executors can hold shared handles to the tables they scan
 /// ([`Catalog::table_shared`]) that outlive subsequent catalog mutations —
 /// the foundation of snapshot isolation for concurrent serving.
+///
+/// A table may alternatively be *external* — backed by a file through the
+/// [`ExternalTable`] trait and registered with
+/// [`register_external`](Catalog::register_external) — in which case the
+/// catalog holds only the handle and (after first use) a cached
+/// materialization.
 #[derive(Debug, Clone)]
 pub struct Catalog {
-    tables: BTreeMap<String, Arc<Relation>>,
+    tables: BTreeMap<String, TableEntry>,
     unique_keys: BTreeMap<String, Vec<Vec<String>>>,
     foreign_keys: Vec<ForeignKey>,
     version: u64,
@@ -86,14 +145,47 @@ impl Catalog {
 
     /// Register (or replace) a table.
     pub fn register(&mut self, name: impl Into<String>, relation: Relation) -> &mut Self {
-        self.tables.insert(name.into(), Arc::new(relation));
+        self.tables
+            .insert(name.into(), TableEntry::Memory(Arc::new(relation)));
         self.version = next_version();
         self
     }
 
+    /// Register (or replace) a table backed by an external store (a
+    /// `div-storage` file, typically). The catalog keeps only the handle;
+    /// the data is read chunk-at-a-time by streaming scans
+    /// ([`Catalog::external`]) and materialized into RAM at most once, on
+    /// the first [`Catalog::table`]-style lookup.
+    pub fn register_external(
+        &mut self,
+        name: impl Into<String>,
+        table: Arc<dyn ExternalTable>,
+    ) -> &mut Self {
+        self.tables.insert(
+            name.into(),
+            TableEntry::External {
+                table,
+                cache: Arc::new(OnceLock::new()),
+            },
+        );
+        self.version = next_version();
+        self
+    }
+
+    /// The external-table handle behind `name`, if `name` is registered as
+    /// an external table. In-memory tables and unknown names return `None`
+    /// — callers fall back to [`Catalog::table_shared`].
+    pub fn external(&self, name: &str) -> Option<Arc<dyn ExternalTable>> {
+        match self.tables.get(name) {
+            Some(TableEntry::External { table, .. }) => Some(Arc::clone(table)),
+            _ => None,
+        }
+    }
+
     /// Remove a table (and every constraint that mentions it). Returns the
-    /// removed relation, or an [`ExprError::UnknownTable`] error when no
-    /// such table is registered. Bumps the catalog version.
+    /// removed relation (materializing an external table if it was never
+    /// loaded), or an [`ExprError::UnknownTable`] error when no such table
+    /// is registered. Bumps the catalog version.
     pub fn unregister(&mut self, name: &str) -> Result<Arc<Relation>> {
         let removed = self
             .tables
@@ -105,30 +197,32 @@ impl Catalog {
         self.foreign_keys
             .retain(|fk| fk.from_table != name && fk.to_table != name);
         self.version = next_version();
-        Ok(removed)
+        Ok(Arc::clone(removed.resolve()?))
     }
 
-    /// Look up a table.
+    /// Look up a table, materializing an external table on first use.
     pub fn table(&self, name: &str) -> Result<&Relation> {
         self.tables
             .get(name)
-            .map(Arc::as_ref)
             .ok_or_else(|| ExprError::UnknownTable {
                 table: name.to_string(),
             })
+            .and_then(|entry| entry.resolve().map(Arc::as_ref))
     }
 
     /// Look up a table as a shared handle. The handle stays valid (and the
     /// data immutable) even if the catalog is mutated or dropped afterwards
     /// — streaming scans hold these so an in-flight query keeps reading the
-    /// snapshot it was planned against.
+    /// snapshot it was planned against. External tables are materialized
+    /// (once) to produce the handle; streaming scans avoid this by asking
+    /// for [`Catalog::external`] first.
     pub fn table_shared(&self, name: &str) -> Result<Arc<Relation>> {
         self.tables
             .get(name)
-            .cloned()
             .ok_or_else(|| ExprError::UnknownTable {
                 table: name.to_string(),
             })
+            .and_then(|entry| entry.resolve().cloned())
     }
 
     /// `true` if a table with this name is registered.
@@ -137,8 +231,14 @@ impl Catalog {
     }
 
     /// Iterate over `(name, relation)` pairs in name order.
+    ///
+    /// Only memory-resident data is yielded: external tables appear after
+    /// their first materializing lookup and are silently skipped before it
+    /// (this iterator cannot fail and must not do IO).
     pub fn tables(&self) -> impl Iterator<Item = (&str, &Relation)> + '_ {
-        self.tables.iter().map(|(n, r)| (n.as_str(), r.as_ref()))
+        self.tables
+            .iter()
+            .filter_map(|(n, entry)| entry.resident().map(|r| (n.as_str(), r)))
     }
 
     /// Number of registered tables.
@@ -259,7 +359,7 @@ impl Catalog {
 
 impl SchemaProvider for Catalog {
     fn table_schema(&self, name: &str) -> Option<Schema> {
-        self.tables.get(name).map(|r| r.schema().clone())
+        self.tables.get(name).map(|entry| entry.schema().clone())
     }
 }
 

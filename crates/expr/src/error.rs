@@ -41,6 +41,12 @@ pub enum ExprError {
         /// Resident rows at the moment the budget tripped.
         resident_rows: usize,
     },
+    /// An error raised by the storage layer: on-disk table format
+    /// corruption, checksum mismatches, or spill-file IO failures.
+    Storage {
+        /// Human-readable description (the storage error's display form).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExprError {
@@ -69,6 +75,7 @@ impl fmt::Display for ExprError {
                 "memory budget of {budget_rows} resident rows exceeded \
                  ({resident_rows} resident, at operator {operator})"
             ),
+            ExprError::Storage { detail } => write!(f, "storage error: {detail}"),
         }
     }
 }

@@ -40,6 +40,7 @@ pub mod catalog;
 pub mod equivalence;
 pub mod error;
 pub mod eval;
+pub mod external;
 pub mod plan;
 pub mod schema;
 
@@ -48,6 +49,7 @@ pub use catalog::Catalog;
 pub use equivalence::{plans_equivalent_on, EquivalenceReport};
 pub use error::ExprError;
 pub use eval::{evaluate, evaluate_with_stats, EvalStats};
+pub use external::{ExternalScan, ExternalTable};
 pub use plan::{LogicalPlan, Transformed};
 pub use schema::{infer_schema, SchemaProvider};
 

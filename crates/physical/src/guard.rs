@@ -67,6 +67,7 @@ pub struct QueryGuard {
     token: Option<CancelToken>,
     deadline: Option<(Instant, Duration)>,
     budget_rows: Option<usize>,
+    spill: bool,
 }
 
 impl QueryGuard {
@@ -81,6 +82,7 @@ impl QueryGuard {
         if let Some(budget) = config.memory_budget_rows {
             guard = guard.with_budget_rows(budget);
         }
+        guard.spill = config.spill_to_disk;
         guard
     }
 
@@ -100,6 +102,28 @@ impl QueryGuard {
     pub fn with_budget_rows(mut self, budget: usize) -> Self {
         self.budget_rows = Some(budget.max(1));
         self
+    }
+
+    /// This guard preferring spill-to-disk over aborting on memory
+    /// pressure. The budget check itself is unchanged — it remains the
+    /// backstop — but operators that *can* spill consult
+    /// [`QueryGuard::spill_budget`] and partition to disk before the
+    /// budget would trip.
+    pub fn with_spill(mut self, spill: bool) -> Self {
+        self.spill = spill;
+        self
+    }
+
+    /// The resident-row threshold at which spilling operators should start
+    /// partitioning to disk: the memory budget when spilling is enabled,
+    /// `None` otherwise (operators then run fully in memory and the budget,
+    /// if any, aborts).
+    pub fn spill_budget(&self) -> Option<usize> {
+        if self.spill {
+            self.budget_rows
+        } else {
+            None
+        }
     }
 
     /// Whether any limit is armed — `false` means [`QueryGuard::check`] is

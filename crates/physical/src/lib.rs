@@ -100,6 +100,7 @@ pub mod plan;
 pub mod planner;
 pub mod stats;
 pub mod stream;
+mod stream_spill;
 pub mod trace;
 
 pub use columnar_exec::{

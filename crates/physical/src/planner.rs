@@ -90,6 +90,16 @@ pub struct PlannerConfig {
     /// [`div_expr::ExprError::MemoryBudget`]. `None` (the default) disables
     /// the check.
     pub memory_budget_rows: Option<usize>,
+    /// Spill to disk instead of aborting when the memory budget would trip.
+    /// When `true` *and* a [`PlannerConfig::memory_budget_rows`] budget is
+    /// set, the streaming executor compiles the hybrid partitioned-hash
+    /// variants of hash join, divide and aggregation: they stay in memory
+    /// while the build state fits, partition their inputs to disk (via
+    /// `div-storage` spill files) when the budget would trip, and recurse
+    /// per partition — Graefe's hybrid hash-division design. Without a
+    /// budget the flag is inert. Defaults to `false`: the budget aborts
+    /// with [`div_expr::ExprError::MemoryBudget`] as before.
+    pub spill_to_disk: bool,
 }
 
 impl Default for PlannerConfig {
@@ -103,6 +113,7 @@ impl Default for PlannerConfig {
             tracing: false,
             deadline: None,
             memory_budget_rows: None,
+            spill_to_disk: false,
         }
     }
 }
@@ -186,6 +197,13 @@ impl PlannerConfig {
     /// ≥ 1 (see [`PlannerConfig::memory_budget_rows`]).
     pub fn memory_budget_rows(mut self, budget: usize) -> Self {
         self.memory_budget_rows = Some(budget.max(1));
+        self
+    }
+
+    /// This configuration spilling to disk instead of aborting on memory
+    /// pressure (see [`PlannerConfig::spill_to_disk`]).
+    pub fn spill_to_disk(mut self, spill: bool) -> Self {
+        self.spill_to_disk = spill;
         self
     }
 

@@ -77,6 +77,19 @@ pub struct ExecStats {
     /// regression tests assert on this after cancelled / deadline-tripped /
     /// budget-tripped drains. Always `0` on the materializing backends.
     pub resident_rows_on_finish: usize,
+    /// Chunks of an attached (file-backed) table the scan skipped without
+    /// reading because the chunk's zone maps proved the pushed-down filter
+    /// cannot match any row in it.
+    pub chunks_skipped: usize,
+    /// Spill partition files created by the hybrid hash operators (every
+    /// recursion level counts its own files).
+    pub spill_partitions: usize,
+    /// Rows written to spill files. With multi-level recursion a row is
+    /// counted once per level it is rewritten at, so this exceeding the
+    /// input cardinality is evidence of recursive re-partitioning.
+    pub spill_rows_written: usize,
+    /// Rows read back from spill files.
+    pub spill_rows_read: usize,
 }
 
 impl ExecStats {
@@ -127,6 +140,10 @@ impl ExecStats {
         self.resident_rows_on_finish = self
             .resident_rows_on_finish
             .max(other.resident_rows_on_finish);
+        self.chunks_skipped += other.chunks_skipped;
+        self.spill_partitions += other.spill_partitions;
+        self.spill_rows_written += other.spill_rows_written;
+        self.spill_rows_read += other.spill_rows_read;
         for (label, rows) in &other.rows_per_operator {
             *self.rows_per_operator.entry(label.clone()).or_insert(0) += rows;
         }

@@ -95,13 +95,13 @@ impl StreamContext {
     }
 
     /// Record kernel probes both in the aggregate and against the operator.
-    fn add_probes(&mut self, id: OperatorId, probes: usize) {
+    pub(crate) fn add_probes(&mut self, id: OperatorId, probes: usize) {
         self.stats.add_probes(probes);
         self.trace.add_probes(id, probes);
     }
 
     /// Account for `rows` in `batches` newly materialized batches.
-    fn acquire(&mut self, rows: usize, batches: usize) {
+    pub(crate) fn acquire(&mut self, rows: usize, batches: usize) {
         self.resident_rows += rows;
         self.resident_batches += batches;
         self.stats
@@ -109,15 +109,32 @@ impl StreamContext {
     }
 
     /// Account for the release of previously acquired batches.
-    fn release(&mut self, rows: usize, batches: usize) {
+    pub(crate) fn release(&mut self, rows: usize, batches: usize) {
         self.resident_rows = self.resident_rows.saturating_sub(rows);
         self.resident_batches = self.resident_batches.saturating_sub(batches);
     }
 
     /// Consult the query guard against the current resident footprint,
     /// attributing a trip to `label`.
-    fn check_guard(&self, label: &str) -> Result<()> {
+    pub(crate) fn check_guard(&self, label: &str) -> Result<()> {
         self.guard.check(self.resident_rows, label)
+    }
+
+    /// Rows currently resident (in-flight chunks plus retained state).
+    pub(crate) fn resident_rows(&self) -> usize {
+        self.resident_rows
+    }
+
+    /// Attribute a transient retained-state peak to operator `id` in the
+    /// trace (no accounting change — pair with explicit acquire/release).
+    pub(crate) fn note_retained(&mut self, id: OperatorId, rows: usize) {
+        self.trace.note_retained(id, rows);
+    }
+
+    /// The resident-row threshold at which spilling operators should start
+    /// partitioning to disk (see [`QueryGuard::spill_budget`]).
+    pub(crate) fn spill_threshold(&self) -> Option<usize> {
+        self.guard.spill_budget()
     }
 }
 
@@ -144,13 +161,13 @@ pub trait BatchStream: Send {
 
 /// Per-operator bookkeeping shared by every [`BatchStream`] implementation.
 #[derive(Debug)]
-struct OpMeta {
-    id: OperatorId,
-    label: String,
+pub(crate) struct OpMeta {
+    pub(crate) id: OperatorId,
+    pub(crate) label: String,
     emitted: usize,
     is_scan: bool,
     is_root: bool,
-    closed: bool,
+    pub(crate) closed: bool,
 }
 
 impl OpMeta {
@@ -175,7 +192,7 @@ impl OpMeta {
     /// operator's emissions funnel through here, so cancellation, deadline
     /// and budget are all observed within one batch boundary. The
     /// `{label}.next_batch` failpoint fires here too.
-    fn emit(
+    pub(crate) fn emit(
         &mut self,
         ctx: &mut StreamContext,
         batch: ColumnarBatch,
@@ -194,7 +211,7 @@ impl OpMeta {
 
     /// Record this operator's row total once — in the aggregate stats and
     /// against its node in the operator trace.
-    fn record(&mut self, ctx: &mut StreamContext) {
+    pub(crate) fn record(&mut self, ctx: &mut StreamContext) {
         if !self.closed {
             self.closed = true;
             // Close-site failpoints can only delay (close is infallible);
@@ -208,7 +225,7 @@ impl OpMeta {
 }
 
 /// Release an input chunk after the operator is done with it.
-fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
+pub(crate) fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
     ctx.release(chunk.num_rows(), 1);
 }
 
@@ -217,7 +234,7 @@ fn consumed(ctx: &mut StreamContext, chunk: &ColumnarBatch) {
 /// to the returned batch. `label` is the draining (parent) operator, which
 /// the guard blames when the materialized buffer itself trips the budget —
 /// the build-phase enforcement point of the blocking operators.
-fn drain_to_batch(
+pub(crate) fn drain_to_batch(
     child: &mut Box<dyn BatchStream>,
     ctx: &mut StreamContext,
     label: &str,
@@ -254,13 +271,13 @@ fn drain_to_batch(
 /// Serve a materialized batch downstream in `batch_size` chunks, releasing
 /// it when exhausted.
 #[derive(Debug, Default)]
-struct ChunkCursor {
+pub(crate) struct ChunkCursor {
     batch: Option<ColumnarBatch>,
     pos: usize,
 }
 
 impl ChunkCursor {
-    fn new(batch: ColumnarBatch) -> ChunkCursor {
+    pub(crate) fn new(batch: ColumnarBatch) -> ChunkCursor {
         ChunkCursor {
             batch: Some(batch),
             pos: 0,
@@ -272,7 +289,7 @@ impl ChunkCursor {
     /// *source* batch's accounting (including the whole-batch handover,
     /// whose creation-time acquire is released here so `emit`'s acquire
     /// does not double-count it).
-    fn next(&mut self, ctx: &mut StreamContext) -> Option<ColumnarBatch> {
+    pub(crate) fn next(&mut self, ctx: &mut StreamContext) -> Option<ColumnarBatch> {
         let rows = self.batch.as_ref()?.num_rows();
         if self.pos >= rows {
             self.release(ctx);
@@ -294,7 +311,7 @@ impl ChunkCursor {
         Some(chunk)
     }
 
-    fn release(&mut self, ctx: &mut StreamContext) {
+    pub(crate) fn release(&mut self, ctx: &mut StreamContext) {
         if let Some(batch) = self.batch.take() {
             ctx.release(batch.num_rows(), 1);
         }
@@ -373,6 +390,89 @@ impl BatchStream for ScanStream {
     }
 }
 
+/// Chunked scan over an *attached* (file-backed) table: chunks stream
+/// straight off disk through [`div_expr::ExternalScan`], so the table is
+/// never materialized in memory — a file larger than the resident-row
+/// budget flows through a pipeline of streaming operators chunk by chunk.
+///
+/// When a parent filter pushed its predicate down here, the file's
+/// per-column zone maps let the cursor skip whole chunks that provably
+/// cannot match; the skips are reported as [`ExecStats::chunks_skipped`].
+/// Skipping is conservative (a surviving chunk may still contain
+/// non-matching rows), so the parent filter always re-applies the
+/// predicate.
+struct ExternalScanStream {
+    meta: OpMeta,
+    schema: Schema,
+    table: Arc<dyn div_expr::ExternalTable>,
+    predicate: Option<Predicate>,
+    /// Opened lazily on the first pull — compilation does no IO.
+    scan: Option<Box<dyn div_expr::ExternalScan>>,
+    /// Skips already added to the stats (the cursor reports a running
+    /// total; the delta is folded in after every read).
+    reported_skips: usize,
+    done: bool,
+}
+
+impl ExternalScanStream {
+    fn new(
+        meta: OpMeta,
+        table: Arc<dyn div_expr::ExternalTable>,
+        predicate: Option<Predicate>,
+    ) -> ExternalScanStream {
+        ExternalScanStream {
+            meta,
+            schema: table.schema().clone(),
+            table,
+            predicate,
+            scan: None,
+            reported_skips: 0,
+            done: false,
+        }
+    }
+
+    fn note_skips(&mut self, ctx: &mut StreamContext) {
+        if let Some(scan) = self.scan.as_ref() {
+            let total = scan.chunks_skipped();
+            ctx.stats.chunks_skipped += total - self.reported_skips;
+            self.reported_skips = total;
+        }
+    }
+}
+
+impl BatchStream for ExternalScanStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        if self.scan.is_none() {
+            self.scan = Some(self.table.open_scan(self.predicate.as_ref())?);
+        }
+        loop {
+            let next = self.scan.as_mut().expect("opened above").next_chunk();
+            self.note_skips(ctx);
+            match next? {
+                Some(chunk) if chunk.num_rows() > 0 => return self.meta.emit(ctx, chunk),
+                Some(_) => continue,
+                None => {
+                    self.done = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        // An early-terminated scan still reports the chunks it skipped.
+        self.note_skips(ctx);
+        self.meta.record(ctx);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Pipelining operators
 // ---------------------------------------------------------------------------
@@ -416,7 +516,7 @@ impl BatchStream for FilterStream {
 /// Tracks the rows retained by a cross-chunk state object (distinct store,
 /// divide groups, join build) in the resident accounting.
 #[derive(Debug, Default)]
-struct RetainedState {
+pub(crate) struct RetainedState {
     rows: usize,
     counted_batch: bool,
 }
@@ -424,7 +524,7 @@ struct RetainedState {
 impl RetainedState {
     /// Grow the retained footprint to `rows` (monotone), attributing the
     /// peak to operator `id` in the trace.
-    fn grow_to(&mut self, ctx: &mut StreamContext, id: OperatorId, rows: usize) {
+    pub(crate) fn grow_to(&mut self, ctx: &mut StreamContext, id: OperatorId, rows: usize) {
         ctx.trace.note_retained(id, rows);
         if rows > self.rows {
             let batches = usize::from(!self.counted_batch && rows > 0);
@@ -434,7 +534,7 @@ impl RetainedState {
         }
     }
 
-    fn release(&mut self, ctx: &mut StreamContext) {
+    pub(crate) fn release(&mut self, ctx: &mut StreamContext) {
         ctx.release(self.rows, usize::from(self.counted_batch));
         self.rows = 0;
         self.counted_batch = false;
@@ -587,7 +687,8 @@ impl BatchStream for UnionStream {
 // ---------------------------------------------------------------------------
 
 /// Which hash join a [`HashJoinStream`] evaluates.
-enum StreamJoinKind {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StreamJoinKind {
     Natural,
     Semi,
     Anti,
@@ -1028,15 +1129,32 @@ pub fn compile_stream(
     // open-phase spans; ids are still assigned so runtime attribution works.
     let mut trace = QueryTrace::from_plan(plan).with_timing(config.tracing);
     let mut next_id = 0;
-    compile(plan, catalog, true, &mut trace, &mut next_id)
+    compile(plan, catalog, config, true, &mut trace, &mut next_id)
 }
 
 fn compile(
     plan: &PhysicalPlan,
     catalog: &Catalog,
+    config: &PlannerConfig,
     is_root: bool,
     trace: &mut QueryTrace,
     next_id: &mut usize,
+) -> Result<Box<dyn BatchStream>> {
+    compile_with_pushdown(plan, catalog, config, is_root, trace, next_id, None)
+}
+
+/// Like [`compile`], but with a predicate the *immediate* plan node may
+/// push down — only the `TableScan` arm consumes it (handing it to an
+/// attached table's zone-map-skipping scan); every other node ignores it,
+/// so a pushdown never crosses more than one plan edge.
+fn compile_with_pushdown(
+    plan: &PhysicalPlan,
+    catalog: &Catalog,
+    config: &PlannerConfig,
+    is_root: bool,
+    trace: &mut QueryTrace,
+    next_id: &mut usize,
+    pushdown: Option<&Predicate>,
 ) -> Result<Box<dyn BatchStream>> {
     // Ids are assigned at entry of this pre-order walk, so they match the
     // skeleton [`QueryTrace::from_plan`] built from the same plan.
@@ -1045,7 +1163,7 @@ fn compile(
     let meta = OpMeta::new(id, plan, is_root);
     crate::failpoint::hit(&meta.label, "open")?;
     let opened = trace.span_start();
-    let stream = compile_node(plan, catalog, meta, trace, next_id)?;
+    let stream = compile_node(plan, catalog, config, meta, trace, next_id, pushdown)?;
     if let Some(started) = opened {
         // Inclusive of the children compiled inside `compile_node`.
         trace.add_open(id, started.elapsed());
@@ -1057,14 +1175,21 @@ fn compile(
 fn compile_node(
     plan: &PhysicalPlan,
     catalog: &Catalog,
+    config: &PlannerConfig,
     meta: OpMeta,
     trace: &mut QueryTrace,
     next_id: &mut usize,
+    pushdown: Option<&Predicate>,
 ) -> Result<Box<dyn BatchStream>> {
+    // Spilling variants are compiled only when the configuration both asks
+    // for them and arms the budget they spill against; otherwise the plain
+    // operators run (and the budget, if any, aborts).
+    let spill = config.spill_to_disk && config.memory_budget_rows.is_some();
     Ok(match plan {
-        PhysicalPlan::TableScan { table } => {
-            Box::new(ScanStream::new(meta, catalog.table_shared(table)?))
-        }
+        PhysicalPlan::TableScan { table } => match catalog.external(table) {
+            Some(external) => Box::new(ExternalScanStream::new(meta, external, pushdown.cloned())),
+            None => Box::new(ScanStream::new(meta, catalog.table_shared(table)?)),
+        },
         PhysicalPlan::Values { relation } => {
             // Inline constants are owned by the plan, which does not outlive
             // compilation — materialize them as one pre-chunked cursor-less
@@ -1078,11 +1203,23 @@ fn compile_node(
         }
         PhysicalPlan::Filter { input, predicate } => Box::new(FilterStream {
             meta,
-            child: compile(input, catalog, false, trace, next_id)?,
+            // The filter's own predicate is offered to its child as a
+            // pushdown (consumed only by attached-table scans, whose zone
+            // maps may then skip whole chunks). The filter still re-applies
+            // the predicate — chunk skipping is conservative, not exact.
+            child: compile_with_pushdown(
+                input,
+                catalog,
+                config,
+                false,
+                trace,
+                next_id,
+                Some(predicate),
+            )?,
             predicate: predicate.clone(),
         }),
         PhysicalPlan::Project { input, attributes } => {
-            let child = compile(input, catalog, false, trace, next_id)?;
+            let child = compile(input, catalog, config, false, trace, next_id)?;
             let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
             let schema = child.schema().project(&refs).map_err(ExprError::from)?;
             let indices = child
@@ -1104,7 +1241,7 @@ fn compile_node(
             })
         }
         PhysicalPlan::Rename { input, renames } => {
-            let child = compile(input, catalog, false, trace, next_id)?;
+            let child = compile(input, catalog, config, false, trace, next_id)?;
             let schema = child
                 .schema()
                 .rename_with(|name| {
@@ -1122,8 +1259,8 @@ fn compile_node(
             })
         }
         PhysicalPlan::Union { left, right } => {
-            let left = compile(left, catalog, false, trace, next_id)?;
-            let right = compile(right, catalog, false, trace, next_id)?;
+            let left = compile(left, catalog, config, false, trace, next_id)?;
+            let right = compile(right, catalog, config, false, trace, next_id)?;
             if !left.schema().is_compatible_with(right.schema()) {
                 return Err(schema_mismatch(left.schema(), right.schema(), "union"));
             }
@@ -1144,8 +1281,8 @@ fn compile_node(
             } else {
                 (BlockingKind::Difference, "difference")
             };
-            let left = compile(left, catalog, false, trace, next_id)?;
-            let right = compile(right, catalog, false, trace, next_id)?;
+            let left = compile(left, catalog, config, false, trace, next_id)?;
+            let right = compile(right, catalog, config, false, trace, next_id)?;
             if !left.schema().is_compatible_with(right.schema()) {
                 return Err(schema_mismatch(left.schema(), right.schema(), operation));
             }
@@ -1160,8 +1297,8 @@ fn compile_node(
             })
         }
         PhysicalPlan::CrossProduct { left, right } => {
-            let left = compile(left, catalog, false, trace, next_id)?;
-            let right = compile(right, catalog, false, trace, next_id)?;
+            let left = compile(left, catalog, config, false, trace, next_id)?;
+            let right = compile(right, catalog, config, false, trace, next_id)?;
             let schema = left
                 .schema()
                 .concat(right.schema())
@@ -1182,8 +1319,8 @@ fn compile_node(
             right,
             predicate,
         } => {
-            let left = compile(left, catalog, false, trace, next_id)?;
-            let right = compile(right, catalog, false, trace, next_id)?;
+            let left = compile(left, catalog, config, false, trace, next_id)?;
+            let right = compile(right, catalog, config, false, trace, next_id)?;
             let schema = left
                 .schema()
                 .concat(right.schema())
@@ -1206,28 +1343,34 @@ fn compile_node(
                 PhysicalPlan::HashSemiJoin { .. } => StreamJoinKind::Semi,
                 _ => StreamJoinKind::Anti,
             };
-            let left = compile(left, catalog, false, trace, next_id)?;
-            let right = compile(right, catalog, false, trace, next_id)?;
+            let left = compile(left, catalog, config, false, trace, next_id)?;
+            let right = compile(right, catalog, config, false, trace, next_id)?;
             let schema = match kind {
                 StreamJoinKind::Natural => left.schema().natural_union(right.schema()),
                 _ => left.schema().clone(),
             };
-            Box::new(HashJoinStream {
-                meta,
-                left,
-                right: Some(right),
-                kind,
-                schema,
-                build: None,
-                retained: RetainedState::default(),
-            })
+            if spill {
+                Box::new(crate::stream_spill::SpillingHashJoinStream::new(
+                    meta, left, right, kind, schema,
+                ))
+            } else {
+                Box::new(HashJoinStream {
+                    meta,
+                    left,
+                    right: Some(right),
+                    kind,
+                    schema,
+                    build: None,
+                    retained: RetainedState::default(),
+                })
+            }
         }
         PhysicalPlan::HashAggregate {
             input,
             group_by,
             aggregates,
         } => {
-            let child = compile(input, catalog, false, trace, next_id)?;
+            let child = compile(input, catalog, config, false, trace, next_id)?;
             let mut names: Vec<String> = group_by.clone();
             for agg in aggregates {
                 child
@@ -1242,17 +1385,30 @@ fn compile_node(
                 .projection_indices(&group_by.iter().map(String::as_str).collect::<Vec<_>>())
                 .map_err(ExprError::from)?;
             let schema = Schema::new(names).map_err(ExprError::from)?;
-            Box::new(BlockingStream {
-                meta,
-                left: child,
-                right: None,
-                kind: BlockingKind::Aggregate {
-                    group_by: group_by.clone(),
-                    aggregates: aggregates.clone(),
-                },
-                schema,
-                out: None,
-            })
+            // An aggregation without grouping attributes has nothing to
+            // partition on (every row belongs to the one global group), so
+            // it stays a plain blocking boundary even in spill mode.
+            if spill && !group_by.is_empty() {
+                Box::new(crate::stream_spill::SpillingAggregateStream::new(
+                    meta,
+                    child,
+                    group_by.clone(),
+                    aggregates.clone(),
+                    schema,
+                ))
+            } else {
+                Box::new(BlockingStream {
+                    meta,
+                    left: child,
+                    right: None,
+                    kind: BlockingKind::Aggregate {
+                        group_by: group_by.clone(),
+                        aggregates: aggregates.clone(),
+                    },
+                    schema,
+                    out: None,
+                })
+            }
         }
         PhysicalPlan::Divide {
             dividend, divisor, ..
@@ -1261,24 +1417,30 @@ fn compile_node(
             dividend, divisor, ..
         } => {
             let great = matches!(plan, PhysicalPlan::GreatDivide { .. });
-            let dividend = compile(dividend, catalog, false, trace, next_id)?;
-            let divisor = compile(divisor, catalog, false, trace, next_id)?;
+            let dividend = compile(dividend, catalog, config, false, trace, next_id)?;
+            let divisor = compile(divisor, catalog, config, false, trace, next_id)?;
             let schema = if great {
                 kernels::great_quotient_schema(dividend.schema(), divisor.schema())
             } else {
                 kernels::quotient_schema(dividend.schema(), divisor.schema())
             }
             .map_err(ExprError::from)?;
-            Box::new(DivideStream {
-                meta,
-                dividend,
-                divisor: Some(divisor),
-                great,
-                schema,
-                out: None,
-                retained: RetainedState::default(),
-                kernel_rows: None,
-            })
+            if spill {
+                Box::new(crate::stream_spill::SpillingDivideStream::new(
+                    meta, dividend, divisor, great, schema,
+                ))
+            } else {
+                Box::new(DivideStream {
+                    meta,
+                    dividend,
+                    divisor: Some(divisor),
+                    great,
+                    schema,
+                    out: None,
+                    retained: RetainedState::default(),
+                    kernel_rows: None,
+                })
+            }
         }
     })
 }
@@ -1411,7 +1573,7 @@ impl StreamExecutor {
     ) -> Result<StreamExecutor> {
         let mut ctx = StreamContext::new(plan, config, guard);
         let mut next_id = 0;
-        let root = compile(plan, catalog, true, &mut ctx.trace, &mut next_id)?;
+        let root = compile(plan, catalog, config, true, &mut ctx.trace, &mut next_id)?;
         let schema = root.schema().clone();
         Ok(StreamExecutor {
             root,

@@ -1,0 +1,1145 @@
+//! Hybrid partitioned-hash (spill-to-disk) variants of the blocking
+//! streaming operators: hash join, divide / great divide, and grouped
+//! aggregation.
+//!
+//! These are the out-of-core half of Graefe's hybrid hash design, which the
+//! hash-division family this workspace reproduces is explicitly built on:
+//!
+//! 1. **Stay in memory while it fits.** The operator buffers its build-side
+//!    input exactly like its in-memory sibling. If the input is exhausted
+//!    before the resident-row budget is approached, the buffered chunks are
+//!    fed to the ordinary kernel — same code path, same result, no IO.
+//! 2. **Partition to disk under pressure.** When the global resident
+//!    footprint comes within a safety margin of the budget (two batches —
+//!    the trigger must fire *before* a child emission would trip the
+//!    [`crate::guard::QueryGuard`], whose check lives at the emit boundary),
+//!    everything buffered plus everything still arriving is routed into
+//!    [`SPILL_FANOUT`] spill files by the hash of the operator's key:
+//!    the join's common attributes, the division's quotient attributes
+//!    (Law 2: partitioning the dividend on the quotient attributes with the
+//!    divisor replicated preserves the quotient), aggregation's grouping
+//!    attributes. Key-disjoint partitions make per-partition results
+//!    independent, so their union is the exact operator result.
+//! 3. **Recurse per partition.** A partition that still does not fit is
+//!    re-partitioned from disk with a fresh level seed
+//!    ([`div_columnar::partition::hash_partition_seeded`] — all rows of one
+//!    partition share their level-0 routing hash, so recursion *must*
+//!    re-seed), up to [`MAX_SPILL_LEVELS`]; a level-capped partition (every
+//!    row sharing one key) is served anyway and the budget backstop aborts
+//!    honestly if it truly cannot fit.
+//!
+//! Spill files use the `div-storage` table format (checksummed, columnar),
+//! live in a per-operator [`SpillManager`] temp directory, and are deleted
+//! eagerly as they are consumed; the manager's `Drop` removes the directory
+//! on *every* exit path, including mid-spill errors. The `spill.write` /
+//! `spill.read` failpoints fire before every file write / chunk read, so
+//! the chaos suite can fault either direction of the traffic. Spill volume
+//! is reported as [`ExecStats::spill_partitions`] /
+//! [`ExecStats::spill_rows_written`] / [`ExecStats::spill_rows_read`].
+//!
+//! [`ExecStats::spill_partitions`]: crate::stats::ExecStats::spill_partitions
+//! [`ExecStats::spill_rows_written`]: crate::stats::ExecStats::spill_rows_written
+//! [`ExecStats::spill_rows_read`]: crate::stats::ExecStats::spill_rows_read
+
+use crate::stream::{
+    consumed, drain_to_batch, BatchStream, ChunkCursor, OpMeta, RetainedState, StreamContext,
+    StreamJoinKind,
+};
+use crate::trace::OperatorId;
+use crate::Result;
+use div_algebra::{AggregateCall, Schema};
+use div_columnar::kernels::{self, JoinBuild, KernelOutput, StreamingGreatDivide};
+use div_columnar::{partition, ColumnarBatch};
+use div_expr::ExprError;
+use div_storage::{SpillHandle, SpillManager, SpillWriter, TableScanCursor};
+
+/// Fan-out of every partitioning pass. Small on purpose: each level divides
+/// the data by ~4, so even a tiny budget reaches a fitting partition within
+/// a few levels, and the file count stays bounded.
+pub(crate) const SPILL_FANOUT: usize = 4;
+
+/// Recursion depth cap. A partition that still exceeds the budget after
+/// this many re-partitionings is dominated by one key value; further
+/// splitting cannot help, so it is served as-is and the budget backstop
+/// decides.
+pub(crate) const MAX_SPILL_LEVELS: usize = 6;
+
+/// Routing seed for recursion level `level` (level 0 — the first, in-line
+/// partitioning pass — uses seed 0, the plain [`partition::hash_partition_keyed`]
+/// routing). The odd multiplier is the golden-ratio mixing constant.
+fn spill_seed(level: usize) -> u64 {
+    (level as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Safety margin (in rows) kept between the resident footprint and the
+/// budget: spilling triggers while at least this much headroom remains, so
+/// the next child emission (≤ one batch) and one in-flight spill chunk
+/// cannot trip the guard first.
+fn spill_margin(ctx: &StreamContext) -> usize {
+    2 * ctx.batch_size()
+}
+
+/// Write one batch to a spill file, counting it and honoring the
+/// `spill.write` failpoint.
+fn spill_write(
+    ctx: &mut StreamContext,
+    writer: &mut SpillWriter,
+    batch: &ColumnarBatch,
+) -> Result<()> {
+    crate::failpoint::hit("spill", "write")?;
+    writer.write(batch).map_err(ExprError::from)?;
+    ctx.stats.spill_rows_written += batch.num_rows();
+    Ok(())
+}
+
+/// Open a spill partition for chunk-at-a-time reading (`spill.read`
+/// failpoint fires here and before every chunk).
+fn open_spill(handle: &SpillHandle) -> Result<TableScanCursor> {
+    crate::failpoint::hit("spill", "read")?;
+    let reader = handle.open().map_err(ExprError::from)?;
+    reader.scan(None).map_err(ExprError::from)
+}
+
+/// Pull the next chunk off a spill cursor, counting the rows read.
+fn next_spill_chunk(
+    ctx: &mut StreamContext,
+    cursor: &mut TableScanCursor,
+) -> Result<Option<ColumnarBatch>> {
+    crate::failpoint::hit("spill", "read")?;
+    match cursor.next_chunk().map_err(ExprError::from)? {
+        Some(chunk) => {
+            ctx.stats.spill_rows_read += chunk.num_rows();
+            Ok(Some(chunk))
+        }
+        None => Ok(None),
+    }
+}
+
+/// One fan-out's worth of open spill files plus the routing that feeds
+/// them: rows are distributed by the seeded hash of their key columns.
+struct PartitionWriters {
+    writers: Vec<Option<SpillWriter>>,
+    key_cols: Vec<usize>,
+    seed: u64,
+}
+
+impl PartitionWriters {
+    fn create(
+        manager: &mut SpillManager,
+        ctx: &mut StreamContext,
+        schema: &Schema,
+        key_cols: Vec<usize>,
+        seed: u64,
+    ) -> Result<PartitionWriters> {
+        let mut writers = Vec::with_capacity(SPILL_FANOUT);
+        for _ in 0..SPILL_FANOUT {
+            writers.push(Some(
+                manager
+                    .create_file(schema.clone())
+                    .map_err(ExprError::from)?,
+            ));
+            ctx.stats.spill_partitions += 1;
+        }
+        Ok(PartitionWriters {
+            writers,
+            key_cols,
+            seed,
+        })
+    }
+
+    /// Route one chunk into the partition files.
+    fn route(&mut self, ctx: &mut StreamContext, chunk: &ColumnarBatch) -> Result<()> {
+        let parts =
+            partition::hash_partition_seeded(chunk, &self.key_cols, self.writers.len(), self.seed);
+        for (i, (part, _keys)) in parts.into_iter().enumerate() {
+            if part.num_rows() > 0 {
+                let writer = self.writers[i].as_mut().expect("writer live until finish");
+                spill_write(ctx, writer, &part)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Seal all files into readable handles (in partition order).
+    fn finish(mut self) -> Result<Vec<SpillHandle>> {
+        self.writers
+            .drain(..)
+            .map(|w| {
+                w.expect("writer live until finish")
+                    .finish()
+                    .map_err(ExprError::from)
+            })
+            .collect()
+    }
+}
+
+/// Re-partition one on-disk partition into [`SPILL_FANOUT`] fresh files
+/// with the given level seed. The source file is left for the caller to
+/// delete (it still owns the handle).
+fn repartition(
+    ctx: &mut StreamContext,
+    manager: &mut SpillManager,
+    schema: &Schema,
+    key_cols: &[usize],
+    handle: &SpillHandle,
+    seed: u64,
+) -> Result<Vec<SpillHandle>> {
+    let mut writers = PartitionWriters::create(manager, ctx, schema, key_cols.to_vec(), seed)?;
+    let mut cursor = open_spill(handle)?;
+    while let Some(chunk) = next_spill_chunk(ctx, &mut cursor)? {
+        writers.route(ctx, &chunk)?;
+    }
+    writers.finish()
+}
+
+/// Recursively split the first-pass partitions until each satisfies `fits`
+/// (on its row count) or the level cap is reached; empty partitions are
+/// dropped. Returns the leaf worklist.
+fn plan_single_leaves(
+    ctx: &mut StreamContext,
+    manager: &mut SpillManager,
+    schema: &Schema,
+    key_cols: &[usize],
+    first: Vec<SpillHandle>,
+    fits: &dyn Fn(usize) -> bool,
+) -> Result<Vec<SpillHandle>> {
+    let mut work: Vec<(SpillHandle, usize)> = first.into_iter().map(|h| (h, 1)).collect();
+    let mut leaves = Vec::new();
+    while let Some((handle, level)) = work.pop() {
+        if handle.rows() == 0 {
+            handle.delete();
+            continue;
+        }
+        if fits(handle.rows()) || level >= MAX_SPILL_LEVELS {
+            leaves.push(handle);
+            continue;
+        }
+        let split = repartition(ctx, manager, schema, key_cols, &handle, spill_seed(level))?;
+        handle.delete();
+        for h in split {
+            work.push((h, level + 1));
+        }
+    }
+    Ok(leaves)
+}
+
+/// The build-side accumulator of every hybrid operator: buffers chunks in
+/// memory (they remain under their emitters' resident accounting) until
+/// the spill trigger fires, then becomes a disk router. Chunks handed to
+/// [`SpillSink::push`] are *always* balanced — buffered ones stay
+/// accounted until consumed or rolled back, routed ones are released as
+/// they hit disk.
+struct SpillSink {
+    schema: Schema,
+    key_cols: Vec<usize>,
+    threshold: Option<usize>,
+    buffered: Vec<ColumnarBatch>,
+    spill: Option<(SpillManager, PartitionWriters)>,
+}
+
+impl SpillSink {
+    fn new(schema: Schema, key_cols: Vec<usize>, threshold: Option<usize>) -> SpillSink {
+        SpillSink {
+            schema,
+            key_cols,
+            threshold,
+            buffered: Vec::new(),
+            spill: None,
+        }
+    }
+
+    fn spilled(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Accept one child-emitted chunk (already acquired by the emitter).
+    fn push(&mut self, ctx: &mut StreamContext, chunk: ColumnarBatch) -> Result<()> {
+        if let Some((_, writers)) = self.spill.as_mut() {
+            let routed = writers.route(ctx, &chunk);
+            consumed(ctx, &chunk);
+            return routed;
+        }
+        self.buffered.push(chunk);
+        if let Some(threshold) = self.threshold {
+            if ctx.resident_rows() + spill_margin(ctx) > threshold {
+                self.activate(ctx)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Switch to disk: create the spill directory and flush everything
+    /// buffered through the partitioner. Accounting for every buffered
+    /// chunk is released here whether routing succeeds or not.
+    fn activate(&mut self, ctx: &mut StreamContext) -> Result<()> {
+        let mut manager = SpillManager::new().map_err(ExprError::from)?;
+        let mut writers = PartitionWriters::create(
+            &mut manager,
+            ctx,
+            &self.schema,
+            self.key_cols.clone(),
+            spill_seed(0),
+        )?;
+        let mut first_err = None;
+        for chunk in &self.buffered {
+            if first_err.is_none() {
+                first_err = writers.route(ctx, chunk).err();
+            }
+            consumed(ctx, chunk);
+        }
+        self.buffered.clear();
+        if let Some(err) = first_err {
+            return Err(err);
+        }
+        self.spill = Some((manager, writers));
+        Ok(())
+    }
+
+    /// Release the accounting of anything still buffered (error path).
+    fn rollback(&mut self, ctx: &mut StreamContext) {
+        for chunk in &self.buffered {
+            consumed(ctx, chunk);
+        }
+        self.buffered.clear();
+    }
+
+    /// The buffered chunks of a sink that never triggered (in-memory
+    /// completion path); their accounting stays with the caller.
+    fn into_buffered(self) -> Vec<ColumnarBatch> {
+        debug_assert!(self.spill.is_none());
+        self.buffered
+    }
+
+    /// Seal the first-pass partition files of a triggered sink.
+    fn finish_spill(self, _ctx: &mut StreamContext) -> Result<(SpillManager, Vec<SpillHandle>)> {
+        let (manager, writers) = self.spill.expect("finish_spill requires a triggered sink");
+        Ok((manager, writers.finish()?))
+    }
+}
+
+/// Drain `child` through `sink`, keeping the accounting balanced on every
+/// error path.
+fn drain_into_sink(
+    child: &mut Box<dyn BatchStream>,
+    ctx: &mut StreamContext,
+    sink: &mut SpillSink,
+) -> Result<()> {
+    loop {
+        match child.next_batch(ctx) {
+            Ok(Some(chunk)) => {
+                if let Err(err) = sink.push(ctx, chunk) {
+                    sink.rollback(ctx);
+                    return Err(err);
+                }
+            }
+            Ok(None) => return Ok(()),
+            Err(err) => {
+                sink.rollback(ctx);
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Concatenate buffered chunks into one batch, transferring their resident
+/// accounting to it (the blocking-boundary hand-off of
+/// [`drain_to_batch`](crate::stream::drain_to_batch), for chunks that were
+/// buffered by a [`SpillSink`] instead).
+fn consolidate(
+    ctx: &mut StreamContext,
+    label: &str,
+    schema: &Schema,
+    chunks: Vec<ColumnarBatch>,
+) -> Result<ColumnarBatch> {
+    let batch =
+        partition::concat_batches(&chunks).unwrap_or_else(|| ColumnarBatch::empty(schema.clone()));
+    for chunk in &chunks {
+        consumed(ctx, chunk);
+    }
+    ctx.acquire(batch.num_rows(), 1);
+    if let Err(err) = ctx.check_guard(label) {
+        ctx.release(batch.num_rows(), 1);
+        return Err(err);
+    }
+    Ok(batch)
+}
+
+// ---------------------------------------------------------------------------
+// Spilling hash join
+// ---------------------------------------------------------------------------
+
+/// One join partition pair being served: the loaded build table and the
+/// probe partition streaming off disk.
+struct JoinLeaf {
+    build: JoinBuild,
+    cursor: TableScanCursor,
+}
+
+/// How a [`SpillingHashJoinStream`] ended up after its build phase.
+enum JoinState {
+    /// The build side fit: identical to the in-memory [`HashJoinStream`]
+    /// from here on.
+    ///
+    /// [`HashJoinStream`]: crate::stream
+    InMemory { build: Box<JoinBuild> },
+    /// Both sides were partitioned to disk on their common attributes;
+    /// pairs are served one at a time.
+    Spilled {
+        /// Owns the spill directory for the lifetime of the serve phase.
+        _manager: SpillManager,
+        /// Remaining (build, probe) partition pairs.
+        pairs: Vec<(SpillHandle, SpillHandle)>,
+        /// Boxed: a loaded leaf dwarfs the in-memory variant.
+        current: Option<Box<JoinLeaf>>,
+    },
+}
+
+/// Hybrid hash natural/semi/anti join: in-memory while the build side
+/// fits, Grace-style partitioned with per-partition recursion when it does
+/// not. Both sides are routed by the *same* seeded hash of the common
+/// attributes (in identical attribute order), so matching rows always land
+/// in the same partition pair.
+pub(crate) struct SpillingHashJoinStream {
+    meta: OpMeta,
+    left: Box<dyn BatchStream>,
+    right: Option<Box<dyn BatchStream>>,
+    kind: StreamJoinKind,
+    schema: Schema,
+    /// The build (right) side's schema — kept past the build child's
+    /// hand-off because leaf loading needs it for empty partitions.
+    build_schema: Schema,
+    state: Option<JoinState>,
+    retained: RetainedState,
+}
+
+impl SpillingHashJoinStream {
+    pub(crate) fn new(
+        meta: OpMeta,
+        left: Box<dyn BatchStream>,
+        right: Box<dyn BatchStream>,
+        kind: StreamJoinKind,
+        schema: Schema,
+    ) -> SpillingHashJoinStream {
+        let build_schema = right.schema().clone();
+        SpillingHashJoinStream {
+            meta,
+            left,
+            right: Some(right),
+            kind,
+            schema,
+            build_schema,
+            state: None,
+            retained: RetainedState::default(),
+        }
+    }
+
+    fn ensure_state(&mut self, ctx: &mut StreamContext) -> Result<()> {
+        if self.state.is_some() {
+            return Ok(());
+        }
+        let left_schema = self.left.schema().clone();
+        let mut right = self.right.take().expect("build side compiled once");
+        let right_schema = right.schema().clone();
+        // The key attribute *order* must be identical on both sides so the
+        // per-row key codes — and therefore the routing — agree.
+        let key_names = left_schema.common_attributes(&right_schema);
+        let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+        let build_keys = right_schema
+            .projection_indices(&key_refs)
+            .map_err(ExprError::from)?;
+        let probe_keys = left_schema
+            .projection_indices(&key_refs)
+            .map_err(ExprError::from)?;
+
+        let mut sink = SpillSink::new(
+            right_schema.clone(),
+            build_keys.clone(),
+            ctx.spill_threshold(),
+        );
+        if let Err(err) = drain_into_sink(&mut right, ctx, &mut sink) {
+            // Put the child back so close() still tears down its subtree.
+            self.right = Some(right);
+            return Err(err);
+        }
+        right.close(ctx);
+
+        if !sink.spilled() {
+            // In-memory completion: same hand-off as HashJoinStream.
+            let batch = consolidate(ctx, &self.meta.label, &right_schema, sink.into_buffered())?;
+            let rows = batch.num_rows();
+            let build = match JoinBuild::new(&left_schema, batch) {
+                Ok(build) => build,
+                Err(err) => {
+                    ctx.release(rows, 1);
+                    return Err(ExprError::from(err));
+                }
+            };
+            ctx.release(rows, 1);
+            self.retained.grow_to(ctx, self.meta.id, rows);
+            self.state = Some(JoinState::InMemory {
+                build: Box::new(build),
+            });
+            return Ok(());
+        }
+
+        // Spilled: the probe side goes to disk too, routed with the same
+        // level-0 seed on the same key attributes.
+        let (mut manager, build_first) = sink.finish_spill(ctx)?;
+        let mut probe_writers = PartitionWriters::create(
+            &mut manager,
+            ctx,
+            &left_schema,
+            probe_keys.clone(),
+            spill_seed(0),
+        )?;
+        loop {
+            match self.left.next_batch(ctx) {
+                Ok(Some(chunk)) => {
+                    let routed = probe_writers.route(ctx, &chunk);
+                    consumed(ctx, &chunk);
+                    routed?;
+                }
+                Ok(None) => break,
+                Err(err) => return Err(err),
+            }
+        }
+        let probe_first = probe_writers.finish()?;
+
+        let threshold = ctx.spill_threshold().expect("spilled only under a budget");
+        let margin = spill_margin(ctx);
+        let mut work: Vec<((SpillHandle, SpillHandle), usize)> = build_first
+            .into_iter()
+            .zip(probe_first)
+            .map(|pair| (pair, 1))
+            .collect();
+        let mut pairs = Vec::new();
+        while let Some(((build, probe), level)) = work.pop() {
+            // An anti-join emits every probe row of a partition whose build
+            // side is empty, so only probe-empty pairs are skippable there.
+            let skippable = match self.kind {
+                StreamJoinKind::Anti => probe.rows() == 0,
+                _ => build.rows() == 0 || probe.rows() == 0,
+            };
+            if skippable {
+                build.delete();
+                probe.delete();
+                continue;
+            }
+            if build.rows() + margin <= threshold || level >= MAX_SPILL_LEVELS {
+                pairs.push((build, probe));
+                continue;
+            }
+            let seed = spill_seed(level);
+            let new_build =
+                repartition(ctx, &mut manager, &right_schema, &build_keys, &build, seed)?;
+            build.delete();
+            let new_probe =
+                repartition(ctx, &mut manager, &left_schema, &probe_keys, &probe, seed)?;
+            probe.delete();
+            for pair in new_build.into_iter().zip(new_probe) {
+                work.push((pair, level + 1));
+            }
+        }
+        self.state = Some(JoinState::Spilled {
+            _manager: manager,
+            pairs,
+            current: None,
+        });
+        Ok(())
+    }
+}
+
+/// Load one partition pair: materialize the build file into a
+/// [`JoinBuild`], open the probe file for streaming.
+fn load_join_leaf(
+    ctx: &mut StreamContext,
+    id: OperatorId,
+    label: &str,
+    retained: &mut RetainedState,
+    probe_schema: &Schema,
+    build_schema: &Schema,
+    (build_handle, probe_handle): (SpillHandle, SpillHandle),
+) -> Result<Box<JoinLeaf>> {
+    let mut chunks = Vec::new();
+    let mut cursor = open_spill(&build_handle)?;
+    loop {
+        match next_spill_chunk(ctx, &mut cursor) {
+            Ok(Some(chunk)) => {
+                ctx.acquire(chunk.num_rows(), 1);
+                chunks.push(chunk);
+            }
+            Ok(None) => break,
+            Err(err) => {
+                for chunk in &chunks {
+                    consumed(ctx, chunk);
+                }
+                return Err(err);
+            }
+        }
+    }
+    drop(cursor);
+    build_handle.delete();
+    let batch = consolidate(ctx, label, build_schema, chunks)?;
+    let rows = batch.num_rows();
+    let build = match JoinBuild::new(probe_schema, batch) {
+        Ok(build) => build,
+        Err(err) => {
+            ctx.release(rows, 1);
+            return Err(ExprError::from(err));
+        }
+    };
+    ctx.release(rows, 1);
+    retained.grow_to(ctx, id, rows);
+    let cursor = open_spill(&probe_handle)?;
+    // The cursor keeps its own open file descriptor; unlinking now keeps
+    // peak disk usage flat across leaves.
+    probe_handle.delete();
+    Ok(Box::new(JoinLeaf { build, cursor }))
+}
+
+impl BatchStream for SpillingHashJoinStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        self.ensure_state(ctx)?;
+        match self.state.as_mut().expect("built above") {
+            JoinState::InMemory { build } => {
+                while let Some(chunk) = self.left.next_batch(ctx)? {
+                    let probed = match self.kind {
+                        StreamJoinKind::Natural => build.probe_natural(&chunk),
+                        StreamJoinKind::Semi => build.probe_semi(&chunk, false),
+                        StreamJoinKind::Anti => build.probe_semi(&chunk, true),
+                    };
+                    consumed(ctx, &chunk);
+                    let KernelOutput { batch, probes } = probed.map_err(ExprError::from)?;
+                    ctx.add_probes(self.meta.id, probes);
+                    if batch.num_rows() > 0 {
+                        return self.meta.emit(ctx, batch);
+                    }
+                }
+                Ok(None)
+            }
+            JoinState::Spilled { pairs, current, .. } => loop {
+                if let Some(leaf) = current.as_mut() {
+                    match next_spill_chunk(ctx, &mut leaf.cursor)? {
+                        Some(chunk) => {
+                            ctx.acquire(chunk.num_rows(), 1);
+                            let probed = match self.kind {
+                                StreamJoinKind::Natural => leaf.build.probe_natural(&chunk),
+                                StreamJoinKind::Semi => leaf.build.probe_semi(&chunk, false),
+                                StreamJoinKind::Anti => leaf.build.probe_semi(&chunk, true),
+                            };
+                            consumed(ctx, &chunk);
+                            let KernelOutput { batch, probes } = probed.map_err(ExprError::from)?;
+                            ctx.add_probes(self.meta.id, probes);
+                            if batch.num_rows() > 0 {
+                                return self.meta.emit(ctx, batch);
+                            }
+                        }
+                        None => {
+                            self.retained.release(ctx);
+                            *current = None;
+                        }
+                    }
+                } else if let Some(pair) = pairs.pop() {
+                    *current = Some(load_join_leaf(
+                        ctx,
+                        self.meta.id,
+                        &self.meta.label,
+                        &mut self.retained,
+                        self.left.schema(),
+                        &self.build_schema,
+                        pair,
+                    )?);
+                } else {
+                    return Ok(None);
+                }
+            },
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        // Dropping the state drops the SpillManager, removing the spill
+        // directory (and any files an abort left behind).
+        self.state = None;
+        self.left.close(ctx);
+        if let Some(right) = self.right.as_mut() {
+            right.close(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spilling divide / great divide
+// ---------------------------------------------------------------------------
+
+/// How a [`SpillingDivideStream`] ended up after its build phase.
+enum DivideState {
+    /// The dividend fit: the quotient was computed in one pass.
+    InMemory { out: ChunkCursor },
+    /// The dividend was partitioned on the quotient attributes; each leaf
+    /// is divided by the (replicated, in-memory) divisor on demand.
+    Spilled {
+        _manager: SpillManager,
+        divisor: ColumnarBatch,
+        leaves: Vec<SpillHandle>,
+        out: Option<ChunkCursor>,
+    },
+}
+
+/// Hybrid hash division (small and great): the divisor is always
+/// materialized in memory; the *dividend* spills. Partitioning the dividend
+/// on the quotient attributes with the divisor replicated into every
+/// partition preserves the quotient (Law 2 of the division framework) —
+/// each leaf's quotient rows are exactly the full quotient's rows for the
+/// quotient-attribute values hashed into that leaf.
+pub(crate) struct SpillingDivideStream {
+    meta: OpMeta,
+    dividend: Box<dyn BatchStream>,
+    divisor: Option<Box<dyn BatchStream>>,
+    great: bool,
+    schema: Schema,
+    state: Option<DivideState>,
+    /// Divisor rows, accounted for the whole serve phase (it is replicated
+    /// into every leaf).
+    retained_divisor: RetainedState,
+    /// Per-leaf coverage-state rows (released between leaves).
+    retained: RetainedState,
+    kernel_rows: Option<usize>,
+}
+
+impl SpillingDivideStream {
+    pub(crate) fn new(
+        meta: OpMeta,
+        dividend: Box<dyn BatchStream>,
+        divisor: Box<dyn BatchStream>,
+        great: bool,
+        schema: Schema,
+    ) -> SpillingDivideStream {
+        SpillingDivideStream {
+            meta,
+            dividend,
+            divisor: Some(divisor),
+            great,
+            schema,
+            state: None,
+            retained_divisor: RetainedState::default(),
+            retained: RetainedState::default(),
+            kernel_rows: None,
+        }
+    }
+
+    fn kernel_label(&self) -> &'static str {
+        if self.great {
+            "ColumnarCountingGreatDivision"
+        } else {
+            "ColumnarHashDivision"
+        }
+    }
+
+    fn build(&mut self, ctx: &mut StreamContext) -> Result<()> {
+        // Divisor first, exactly like DivideStream.
+        let mut divisor = self.divisor.take().expect("divisor compiled once");
+        let divisor_batch = match drain_to_batch(&mut divisor, ctx, &self.meta.label) {
+            Ok(batch) => batch,
+            Err(err) => {
+                self.divisor = Some(divisor);
+                return Err(err);
+            }
+        };
+        divisor.close(ctx);
+        let divisor_rows = divisor_batch.num_rows();
+        ctx.release(divisor_rows, 1);
+        self.retained_divisor
+            .grow_to(ctx, self.meta.id, divisor_rows);
+
+        // The quotient attributes: dividend attributes the divisor lacks.
+        let dividend_schema = self.dividend.schema().clone();
+        let key_names = dividend_schema.difference_attributes(divisor_batch.schema());
+        let key_refs: Vec<&str> = key_names.iter().map(String::as_str).collect();
+        let key_cols = dividend_schema
+            .projection_indices(&key_refs)
+            .map_err(ExprError::from)?;
+
+        let mut sink = SpillSink::new(
+            dividend_schema.clone(),
+            key_cols.clone(),
+            ctx.spill_threshold(),
+        );
+        drain_into_sink(&mut self.dividend, ctx, &mut sink)?;
+
+        if !sink.spilled() {
+            // In-memory completion: feed the buffered chunks through the
+            // streaming coverage state in arrival order — the same
+            // consume/finish sequence (and so the same quotient) as
+            // DivideStream.
+            let mut state = StreamingGreatDivide::new(&dividend_schema, divisor_batch)
+                .map_err(ExprError::from)?;
+            let buffered = sink.into_buffered();
+            let mut first_err = None;
+            for chunk in &buffered {
+                if first_err.is_none() {
+                    let probes = state.consume(chunk);
+                    ctx.add_probes(self.meta.id, probes);
+                    consumed(ctx, chunk);
+                    self.retained.grow_to(ctx, self.meta.id, state.groups());
+                    first_err = ctx.check_guard(&self.meta.label).err();
+                } else {
+                    consumed(ctx, chunk);
+                }
+            }
+            if let Some(err) = first_err {
+                return Err(err);
+            }
+            let quotient = state.finish().map_err(ExprError::from)?;
+            self.kernel_rows = Some(quotient.num_rows());
+            self.retained.release(ctx);
+            self.retained_divisor.release(ctx);
+            ctx.acquire(quotient.num_rows(), 1);
+            self.state = Some(DivideState::InMemory {
+                out: ChunkCursor::new(quotient),
+            });
+            return Ok(());
+        }
+
+        let (mut manager, first) = sink.finish_spill(ctx)?;
+        let threshold = ctx.spill_threshold().expect("spilled only under a budget");
+        let margin = spill_margin(ctx);
+        // A leaf fits when the replicated divisor, the leaf's coverage
+        // state (≤ its row count) and one in-flight chunk stay under the
+        // budget together.
+        let fits = move |rows: usize| divisor_rows + rows + margin <= threshold;
+        let leaves =
+            plan_single_leaves(ctx, &mut manager, &dividend_schema, &key_cols, first, &fits)?;
+        self.kernel_rows = Some(0);
+        self.state = Some(DivideState::Spilled {
+            _manager: manager,
+            divisor: divisor_batch,
+            leaves,
+            out: None,
+        });
+        Ok(())
+    }
+}
+
+/// Divide one dividend partition by the (replicated) divisor.
+fn divide_leaf(
+    ctx: &mut StreamContext,
+    id: OperatorId,
+    label: &str,
+    retained: &mut RetainedState,
+    dividend_schema: &Schema,
+    divisor: &ColumnarBatch,
+    handle: SpillHandle,
+) -> Result<ColumnarBatch> {
+    let mut state =
+        StreamingGreatDivide::new(dividend_schema, divisor.clone()).map_err(ExprError::from)?;
+    let mut cursor = open_spill(&handle)?;
+    while let Some(chunk) = next_spill_chunk(ctx, &mut cursor)? {
+        ctx.acquire(chunk.num_rows(), 1);
+        let probes = state.consume(&chunk);
+        ctx.add_probes(id, probes);
+        consumed(ctx, &chunk);
+        retained.grow_to(ctx, id, state.groups());
+        ctx.check_guard(label)?;
+    }
+    drop(cursor);
+    handle.delete();
+    let quotient = state.finish().map_err(ExprError::from)?;
+    retained.release(ctx);
+    ctx.acquire(quotient.num_rows(), 1);
+    Ok(quotient)
+}
+
+impl BatchStream for SpillingDivideStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.state.is_none() {
+            self.build(ctx)?;
+        }
+        match self.state.as_mut().expect("built above") {
+            DivideState::InMemory { out } => match out.next(ctx) {
+                Some(chunk) => self.meta.emit(ctx, chunk),
+                None => Ok(None),
+            },
+            DivideState::Spilled {
+                divisor,
+                leaves,
+                out,
+                ..
+            } => loop {
+                if let Some(cursor) = out.as_mut() {
+                    if let Some(chunk) = cursor.next(ctx) {
+                        return self.meta.emit(ctx, chunk);
+                    }
+                    *out = None;
+                }
+                match leaves.pop() {
+                    Some(handle) => {
+                        let quotient = divide_leaf(
+                            ctx,
+                            self.meta.id,
+                            &self.meta.label,
+                            &mut self.retained,
+                            self.dividend.schema(),
+                            divisor,
+                            handle,
+                        )?;
+                        *self.kernel_rows.get_or_insert(0) += quotient.num_rows();
+                        *out = Some(ChunkCursor::new(quotient));
+                    }
+                    None => {
+                        self.retained_divisor.release(ctx);
+                        return Ok(None);
+                    }
+                }
+            },
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        if !self.meta.closed {
+            if let Some(rows) = self.kernel_rows {
+                ctx.stats.record(self.kernel_label(), rows, false, false);
+            }
+        }
+        self.meta.record(ctx);
+        self.retained.release(ctx);
+        self.retained_divisor.release(ctx);
+        if let Some(state) = self.state.as_mut() {
+            match state {
+                DivideState::InMemory { out } => out.release(ctx),
+                DivideState::Spilled { out, .. } => {
+                    if let Some(out) = out.as_mut() {
+                        out.release(ctx);
+                    }
+                }
+            }
+        }
+        self.state = None;
+        self.dividend.close(ctx);
+        if let Some(divisor) = self.divisor.as_mut() {
+            divisor.close(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spilling grouped aggregation
+// ---------------------------------------------------------------------------
+
+/// How a [`SpillingAggregateStream`] ended up after its build phase.
+enum AggState {
+    InMemory {
+        out: ChunkCursor,
+    },
+    Spilled {
+        _manager: SpillManager,
+        leaves: Vec<SpillHandle>,
+        out: Option<ChunkCursor>,
+    },
+}
+
+/// Hybrid hash aggregation: the input is partitioned on the *grouping*
+/// attributes, so every group lands wholly inside one partition and the
+/// per-partition aggregates are exact — their union is the full result.
+/// Compiled only for a non-empty `GROUP BY` (a global aggregate has
+/// nothing to partition on).
+pub(crate) struct SpillingAggregateStream {
+    meta: OpMeta,
+    child: Box<dyn BatchStream>,
+    group_by: Vec<String>,
+    aggregates: Vec<AggregateCall>,
+    schema: Schema,
+    state: Option<AggState>,
+}
+
+impl SpillingAggregateStream {
+    pub(crate) fn new(
+        meta: OpMeta,
+        child: Box<dyn BatchStream>,
+        group_by: Vec<String>,
+        aggregates: Vec<AggregateCall>,
+        schema: Schema,
+    ) -> SpillingAggregateStream {
+        SpillingAggregateStream {
+            meta,
+            child,
+            group_by,
+            aggregates,
+            schema,
+            state: None,
+        }
+    }
+
+    fn build(&mut self, ctx: &mut StreamContext) -> Result<()> {
+        let input_schema = self.child.schema().clone();
+        let key_refs: Vec<&str> = self.group_by.iter().map(String::as_str).collect();
+        let key_cols = input_schema
+            .projection_indices(&key_refs)
+            .map_err(ExprError::from)?;
+        let mut sink = SpillSink::new(
+            input_schema.clone(),
+            key_cols.clone(),
+            ctx.spill_threshold(),
+        );
+        drain_into_sink(&mut self.child, ctx, &mut sink)?;
+
+        if !sink.spilled() {
+            // In-memory completion: one consolidated kernel run, the same
+            // sequence (and result) as the plain blocking aggregate.
+            let batch = consolidate(ctx, &self.meta.label, &input_schema, sink.into_buffered())?;
+            let result = aggregate_batch(
+                ctx,
+                self.meta.id,
+                &self.meta.label,
+                &self.group_by,
+                &self.aggregates,
+                batch,
+            )?;
+            self.state = Some(AggState::InMemory {
+                out: ChunkCursor::new(result),
+            });
+            return Ok(());
+        }
+
+        let (mut manager, first) = sink.finish_spill(ctx)?;
+        let threshold = ctx.spill_threshold().expect("spilled only under a budget");
+        let margin = spill_margin(ctx);
+        // During a leaf both the consolidated input and its aggregate
+        // (≤ input rows) are resident.
+        let fits = move |rows: usize| 2 * rows + margin <= threshold;
+        let leaves = plan_single_leaves(ctx, &mut manager, &input_schema, &key_cols, first, &fits)?;
+        self.state = Some(AggState::Spilled {
+            _manager: manager,
+            leaves,
+            out: None,
+        });
+        Ok(())
+    }
+}
+
+/// Run the aggregation kernel over one consolidated (and already acquired)
+/// input batch, swapping the accounting to the result.
+fn aggregate_batch(
+    ctx: &mut StreamContext,
+    id: OperatorId,
+    label: &str,
+    group_by: &[String],
+    aggregates: &[AggregateCall],
+    batch: ColumnarBatch,
+) -> Result<ColumnarBatch> {
+    let refs: Vec<&str> = group_by.iter().map(String::as_str).collect();
+    let result = kernels::hash_aggregate(&batch, &refs, aggregates);
+    let input_rows = batch.num_rows();
+    ctx.release(input_rows, 1);
+    let result = result.map_err(ExprError::from)?;
+    ctx.note_retained(id, input_rows + result.num_rows());
+    ctx.acquire(result.num_rows(), 1);
+    if let Err(err) = ctx.check_guard(label) {
+        ctx.release(result.num_rows(), 1);
+        return Err(err);
+    }
+    Ok(result)
+}
+
+/// Aggregate one on-disk partition.
+fn aggregate_leaf(
+    ctx: &mut StreamContext,
+    id: OperatorId,
+    label: &str,
+    input_schema: &Schema,
+    group_by: &[String],
+    aggregates: &[AggregateCall],
+    handle: SpillHandle,
+) -> Result<ColumnarBatch> {
+    let mut chunks = Vec::new();
+    let mut cursor = open_spill(&handle)?;
+    loop {
+        match next_spill_chunk(ctx, &mut cursor) {
+            Ok(Some(chunk)) => {
+                ctx.acquire(chunk.num_rows(), 1);
+                chunks.push(chunk);
+            }
+            Ok(None) => break,
+            Err(err) => {
+                for chunk in &chunks {
+                    consumed(ctx, chunk);
+                }
+                return Err(err);
+            }
+        }
+    }
+    drop(cursor);
+    handle.delete();
+    let batch = consolidate(ctx, label, input_schema, chunks)?;
+    aggregate_batch(ctx, id, label, group_by, aggregates, batch)
+}
+
+impl BatchStream for SpillingAggregateStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_batch(&mut self, ctx: &mut StreamContext) -> Result<Option<ColumnarBatch>> {
+        if self.state.is_none() {
+            self.build(ctx)?;
+        }
+        match self.state.as_mut().expect("built above") {
+            AggState::InMemory { out } => match out.next(ctx) {
+                Some(chunk) => self.meta.emit(ctx, chunk),
+                None => Ok(None),
+            },
+            AggState::Spilled { leaves, out, .. } => loop {
+                if let Some(cursor) = out.as_mut() {
+                    if let Some(chunk) = cursor.next(ctx) {
+                        return self.meta.emit(ctx, chunk);
+                    }
+                    *out = None;
+                }
+                match leaves.pop() {
+                    Some(handle) => {
+                        let result = aggregate_leaf(
+                            ctx,
+                            self.meta.id,
+                            &self.meta.label,
+                            self.child.schema(),
+                            &self.group_by,
+                            &self.aggregates,
+                            handle,
+                        )?;
+                        if result.num_rows() > 0 {
+                            *out = Some(ChunkCursor::new(result));
+                        } else {
+                            ctx.release(result.num_rows(), 1);
+                        }
+                    }
+                    None => return Ok(None),
+                }
+            },
+        }
+    }
+
+    fn close(&mut self, ctx: &mut StreamContext) {
+        self.meta.record(ctx);
+        if let Some(state) = self.state.as_mut() {
+            match state {
+                AggState::InMemory { out } => out.release(ctx),
+                AggState::Spilled { out, .. } => {
+                    if let Some(out) = out.as_mut() {
+                        out.release(ctx);
+                    }
+                }
+            }
+        }
+        self.state = None;
+        self.child.close(ctx);
+    }
+}

@@ -389,6 +389,13 @@ impl Client {
         self.request(&line).map(|_| ())
     }
 
+    /// Attach a persistent `div_storage` columnar table file (a path on
+    /// the *server's* filesystem) as a file-backed table.
+    pub fn attach(&mut self, table: &str, path: &str) -> Result<(), ClientError> {
+        self.request(&format!("MUTATE ATTACH {table} {path}"))
+            .map(|_| ())
+    }
+
     /// Drop a table from the served engine's catalog.
     pub fn drop_table(&mut self, table: &str) -> Result<(), ClientError> {
         self.request(&format!("MUTATE DROP {table}")).map(|_| ())

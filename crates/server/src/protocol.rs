@@ -190,6 +190,16 @@ pub enum Request {
     },
     /// Drop a table: `MUTATE DROP t`.
     Drop(String),
+    /// Attach a persistent `div_storage` columnar table file as an external
+    /// (file-backed) table: `MUTATE ATTACH t /path/to/t.divcol`. Queries
+    /// stream the file chunk-at-a-time with zone-map skipping instead of
+    /// loading it into catalog memory.
+    Attach {
+        /// Table name to register the file under.
+        table: String,
+        /// Filesystem path of the columnar table file (no whitespace).
+        path: String,
+    },
     /// Report this connection's session id (`OK session <id>`), the handle
     /// another connection needs to `CANCEL` this session's statements.
     Session,
@@ -316,8 +326,21 @@ fn parse_mutate(rest: &str) -> Result<Request, MalformedRequest> {
             Ok(Request::Drop(rest.to_string()))
         }
         "REGISTER" => parse_register(rest),
+        "ATTACH" => {
+            let (table, path) = rest
+                .split_once(char::is_whitespace)
+                .map(|(t, p)| (t, p.trim()))
+                .ok_or_else(|| malformed("usage: MUTATE ATTACH <table> <path>"))?;
+            if table.is_empty() || path.is_empty() || path.contains(char::is_whitespace) {
+                return Err(malformed("usage: MUTATE ATTACH <table> <path>"));
+            }
+            Ok(Request::Attach {
+                table: table.to_string(),
+                path: path.to_string(),
+            })
+        }
         _ => Err(malformed(
-            "usage: MUTATE REGISTER ... | MUTATE DROP <table>",
+            "usage: MUTATE REGISTER ... | MUTATE ATTACH <table> <path> | MUTATE DROP <table>",
         )),
     }
 }
@@ -691,6 +714,13 @@ mod tests {
             parse_request("MUTATE DROP t").unwrap(),
             Request::Drop("t".into())
         );
+        assert_eq!(
+            parse_request("MUTATE ATTACH big /tmp/spool/big.divcol").unwrap(),
+            Request::Attach {
+                table: "big".into(),
+                path: "/tmp/spool/big.divcol".into(),
+            }
+        );
         assert_eq!(parse_request("SESSION").unwrap(), Request::Session);
         assert_eq!(parse_request("CANCEL 42").unwrap(), Request::Cancel(42));
         assert_eq!(parse_request("CLOSE").unwrap(), Request::Close);
@@ -710,6 +740,9 @@ mod tests {
             "MUTATE",
             "MUTATE DROP",
             "MUTATE DROP two words",
+            "MUTATE ATTACH",
+            "MUTATE ATTACH lonely",
+            "MUTATE ATTACH t /path with spaces",
             "MUTATE REGISTER t () VALUES (1)",
             "MUTATE REGISTER t (a) VALUES (1, 2)",
             "MUTATE REGISTER t (a) VALUES 1",

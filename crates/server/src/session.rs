@@ -460,6 +460,32 @@ fn serve_request(
                 }
             }
         }
+        Request::Attach { table, path } => {
+            // Open (and validate) the file before touching the catalog so a
+            // bad path / corrupt file leaves the served catalog unchanged.
+            let opened = div_physical::failpoint::hit("attach", "open")
+                .map_err(Error::from)
+                .and_then(|()| {
+                    div_storage::TableReader::open(&path)
+                        .map_err(div_expr::ExprError::from)
+                        .map_err(Error::from)
+                });
+            match opened {
+                Ok(reader) => {
+                    let version = engine.mutate_catalog(|catalog| {
+                        catalog.register_external(table.as_str(), std::sync::Arc::new(reader));
+                        catalog.version()
+                    });
+                    terminal(writer, &format!("OK version {version}"))
+                        .map(|()| RequestOutcome::Continue)
+                }
+                Err(err) => {
+                    ServerMetrics::bump(&metrics.requests_failed);
+                    terminal(writer, &err_line(code_for(&err), &err.to_string()))
+                        .map(|()| RequestOutcome::Continue)
+                }
+            }
+        }
     };
     match result {
         Ok(outcome) => outcome,

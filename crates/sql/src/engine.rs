@@ -284,6 +284,9 @@ impl Cursor {
             }
         }
         let stats = exec.finish();
+        if let Some(metrics) = &self.metrics {
+            metrics.record_exec_stats(&stats);
+        }
         self.record_metrics();
         Ok(QueryOutput { relation, stats })
     }
@@ -294,6 +297,9 @@ impl Cursor {
     /// tables' cardinality.
     pub fn finish_stats(mut self) -> ExecStats {
         let stats = self.exec.take().expect("cursor not yet finished").finish();
+        if let Some(metrics) = &self.metrics {
+            metrics.record_exec_stats(&stats);
+        }
         self.record_metrics();
         stats
     }
@@ -402,6 +408,19 @@ impl EngineBuilder {
     /// Per-query guards ([`Engine::query_guarded`]) override this default.
     pub fn with_memory_budget(mut self, budget_rows: usize) -> Self {
         self.config = self.config.memory_budget_rows(budget_rows);
+        self
+    }
+
+    /// Let blocking hash operators spill to disk instead of aborting when
+    /// the memory budget would trip — shorthand for
+    /// [`PlannerConfig::spill_to_disk`]. Only meaningful together with
+    /// [`EngineBuilder::with_memory_budget`]: without a budget there is no
+    /// pressure signal and the flag is inert. Results are byte-identical to
+    /// the in-memory operators; `ExecStats::spill_partitions` (and the
+    /// `spill` counters in [`crate::MetricsSnapshot`]) show whether a query
+    /// actually spilled.
+    pub fn with_spill_to_disk(mut self, spill: bool) -> Self {
+        self.config = self.config.spill_to_disk(spill);
         self
     }
 
@@ -1259,6 +1278,14 @@ impl fmt::Display for Explain {
                 "  peak resident batches: {}",
                 stats.peak_resident_batches
             )?;
+            if stats.chunks_skipped > 0 {
+                writeln!(f, "  chunks skipped:      {}", stats.chunks_skipped)?;
+            }
+            if stats.spill_partitions > 0 {
+                writeln!(f, "  spill partitions:    {}", stats.spill_partitions)?;
+                writeln!(f, "  spill rows written:  {}", stats.spill_rows_written)?;
+                writeln!(f, "  spill rows read:     {}", stats.spill_rows_read)?;
+            }
             self.fmt_operator_tree(f, stats)?;
         }
         Ok(())

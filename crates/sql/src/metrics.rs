@@ -73,6 +73,11 @@ pub struct EngineMetrics {
     execute_ns: AtomicU64,
     latency_buckets: [AtomicU64; LATENCY_BUCKET_BOUNDS_NS.len()],
     law_applications: Mutex<BTreeMap<String, u64>>,
+    queries_spilled: AtomicU64,
+    spill_partitions: AtomicU64,
+    spill_rows_written: AtomicU64,
+    spill_rows_read: AtomicU64,
+    chunks_skipped: AtomicU64,
 }
 
 fn saturating_ns(elapsed: Duration) -> u64 {
@@ -108,6 +113,25 @@ impl EngineMetrics {
             .position(|&bound| ns <= bound)
             .expect("last bound is u64::MAX");
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one finished execution's out-of-core statistics into the
+    /// session counters: spill traffic from the hybrid hash operators and
+    /// zone-map chunk skips from attached-table scans.
+    pub(crate) fn record_exec_stats(&self, stats: &div_physical::ExecStats) {
+        if stats.spill_partitions > 0 {
+            self.queries_spilled.fetch_add(1, Ordering::Relaxed);
+            self.spill_partitions
+                .fetch_add(stats.spill_partitions as u64, Ordering::Relaxed);
+            self.spill_rows_written
+                .fetch_add(stats.spill_rows_written as u64, Ordering::Relaxed);
+            self.spill_rows_read
+                .fetch_add(stats.spill_rows_read as u64, Ordering::Relaxed);
+        }
+        if stats.chunks_skipped > 0 {
+            self.chunks_skipped
+                .fetch_add(stats.chunks_skipped as u64, Ordering::Relaxed);
+        }
     }
 
     pub(crate) fn record_prepare(&self) {
@@ -152,6 +176,11 @@ impl EngineMetrics {
                 .map(|b| b.load(Ordering::Relaxed))
                 .collect(),
             law_applications: self.law_applications.lock().expect("metrics lock").clone(),
+            queries_spilled: self.queries_spilled.load(Ordering::Relaxed),
+            spill_partitions: self.spill_partitions.load(Ordering::Relaxed),
+            spill_rows_written: self.spill_rows_written.load(Ordering::Relaxed),
+            spill_rows_read: self.spill_rows_read.load(Ordering::Relaxed),
+            chunks_skipped: self.chunks_skipped.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +219,19 @@ pub struct MetricsSnapshot {
     pub latency_buckets: Vec<u64>,
     /// How often each rewrite law fired at compile time, keyed by rule name.
     pub law_applications: BTreeMap<String, u64>,
+    /// Executions in which at least one hybrid hash operator spilled to
+    /// disk.
+    pub queries_spilled: u64,
+    /// Total spill partition files created across all executions.
+    pub spill_partitions: u64,
+    /// Total rows written to spill files (rows rewritten by recursive
+    /// re-partitioning count once per level).
+    pub spill_rows_written: u64,
+    /// Total rows read back from spill files.
+    pub spill_rows_read: u64,
+    /// Total attached-table chunks skipped via zone maps under pushed-down
+    /// filters.
+    pub chunks_skipped: u64,
 }
 
 /// Render `ns` with a human unit (ns/µs/ms/s).
@@ -254,6 +296,9 @@ impl MetricsSnapshot {
                 "\"prepared_cache_misses\": {}, \"parse_ns\": {}, ",
                 "\"optimize_ns\": {}, \"plan_ns\": {}, \"execute_ns\": {}, ",
                 "\"latency_bucket_bounds_ns\": [{}], \"latency_buckets\": [{}], ",
+                "\"queries_spilled\": {}, \"spill_partitions\": {}, ",
+                "\"spill_rows_written\": {}, \"spill_rows_read\": {}, ",
+                "\"chunks_skipped\": {}, ",
                 "\"law_applications\": {{{}}}}}"
             ),
             self.queries_executed,
@@ -267,6 +312,11 @@ impl MetricsSnapshot {
             self.execute_ns,
             bounds,
             buckets,
+            self.queries_spilled,
+            self.spill_partitions,
+            self.spill_rows_written,
+            self.spill_rows_read,
+            self.chunks_skipped,
             laws,
         )
     }
@@ -295,6 +345,21 @@ impl fmt::Display for MetricsSnapshot {
         for (i, count) in self.latency_buckets.iter().enumerate() {
             writeln!(f, "    {:>8}: {count}", bucket_label(i))?;
         }
+        writeln!(
+            f,
+            "  out-of-core:           {} spilled quer{}, {} partition(s), \
+             {} row(s) written, {} row(s) read, {} chunk(s) skipped",
+            self.queries_spilled,
+            if self.queries_spilled == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            self.spill_partitions,
+            self.spill_rows_written,
+            self.spill_rows_read,
+            self.chunks_skipped
+        )?;
         if self.law_applications.is_empty() {
             writeln!(f, "  rewrite laws applied:  none")?;
         } else {

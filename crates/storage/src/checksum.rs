@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+//!
+//! Every chunk payload and the file footer carry a CRC so that any flipped
+//! byte is detected as a typed [`StorageError`](crate::StorageError) instead
+//! of being decoded into silently wrong data (or a panic). The vendored
+//! dependency set has no checksum crate, so the classic 256-entry
+//! table-driven implementation lives here; it is more than fast enough for
+//! chunk-sized payloads.
+
+/// The CRC-32 lookup table for the reflected IEEE polynomial `0xEDB88320`.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (IEEE, reflected, init and final XOR `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), clean, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! Byte-level encoding of columns, chunks and zone maps.
+//!
+//! The on-disk layout mirrors the in-memory [`Column`] representation: the
+//! hot paths are plain `i64` vectors and dictionary-coded strings, both of
+//! which additionally get a run-length encoding the writer picks whenever
+//! it is smaller (sorted or low-cardinality columns compress well under
+//! RLE; random columns fall back to the plain form). The `Mixed` fallback
+//! serializes values verbatim — including nested sets — so the format
+//! round-trips every relation the algebra can produce, not just the
+//! well-typed ones.
+//!
+//! All integers are little-endian. Decoding is bounds-checked everywhere
+//! and returns [`StorageError::Corrupt`] instead of panicking: corrupted
+//! input that slips past the CRC (it cannot, but defense in depth is free
+//! here) still surfaces as a typed error.
+
+use crate::{Result, StorageError};
+use div_algebra::{CompareOp, Predicate, Schema, Value};
+use div_columnar::{Column, ColumnarBatch, StrColumn};
+
+// ---------------------------------------------------------------------------
+// Byte-level primitives
+// ---------------------------------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over a decoded byte slice.
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    context: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8], context: &'a str) -> Self {
+        ByteReader {
+            buf,
+            pos: 0,
+            context,
+        }
+    }
+
+    fn corrupt(&self, what: &str) -> StorageError {
+        StorageError::Corrupt {
+            context: format!("{}: truncated {what} at offset {}", self.context, self.pos),
+        }
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| self.corrupt("bytes"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.corrupt("utf-8 string"))
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Column encoding
+// ---------------------------------------------------------------------------
+
+const COL_INT: u8 = 0;
+const COL_BOOL: u8 = 1;
+const COL_STR: u8 = 2;
+const COL_MIXED: u8 = 3;
+
+const ENC_PLAIN: u8 = 0;
+const ENC_RLE: u8 = 1;
+
+const VAL_NULL: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_STR: u8 = 3;
+const VAL_SET: u8 = 4;
+
+fn put_validity(buf: &mut Vec<u8>, validity: &Option<Vec<bool>>) {
+    match validity {
+        None => put_u8(buf, 0),
+        Some(mask) => {
+            put_u8(buf, 1);
+            buf.extend(mask.iter().map(|&b| b as u8));
+        }
+    }
+}
+
+fn read_validity(r: &mut ByteReader<'_>, rows: usize) -> Result<Option<Vec<bool>>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.take(rows)?.iter().map(|&b| b != 0).collect())),
+        _ => Err(StorageError::Corrupt {
+            context: "invalid validity flag".into(),
+        }),
+    }
+}
+
+/// Count the runs a run-length encoding would need.
+fn run_count<T: PartialEq>(values: &[T]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<&T> = None;
+    for v in values {
+        if prev != Some(v) {
+            runs += 1;
+            prev = Some(v);
+        }
+    }
+    runs
+}
+
+/// RLE-or-plain encode a `i64` slice: `u8` encoding tag, then either the
+/// raw values or `(u32 run_len, i64 value)` pairs, whichever is smaller.
+fn put_i64s(buf: &mut Vec<u8>, values: &[i64]) {
+    let runs = run_count(values);
+    if runs * 12 < values.len() * 8 {
+        put_u8(buf, ENC_RLE);
+        put_u32(buf, runs as u32);
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            put_u32(buf, (j - i) as u32);
+            put_i64(buf, values[i]);
+            i = j;
+        }
+    } else {
+        put_u8(buf, ENC_PLAIN);
+        for &v in values {
+            put_i64(buf, v);
+        }
+    }
+}
+
+fn read_i64s(r: &mut ByteReader<'_>, rows: usize) -> Result<Vec<i64>> {
+    match r.u8()? {
+        ENC_PLAIN => (0..rows).map(|_| r.i64()).collect(),
+        ENC_RLE => {
+            let runs = r.u32()? as usize;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..runs {
+                let len = r.u32()? as usize;
+                let value = r.i64()?;
+                if out.len() + len > rows {
+                    return Err(StorageError::Corrupt {
+                        context: "rle overrun in int column".into(),
+                    });
+                }
+                out.extend(std::iter::repeat_n(value, len));
+            }
+            if out.len() != rows {
+                return Err(StorageError::Corrupt {
+                    context: "rle underrun in int column".into(),
+                });
+            }
+            Ok(out)
+        }
+        _ => Err(StorageError::Corrupt {
+            context: "invalid int encoding tag".into(),
+        }),
+    }
+}
+
+/// RLE-or-plain encode a `u32` slice (dictionary codes).
+fn put_u32s(buf: &mut Vec<u8>, values: &[u32]) {
+    let runs = run_count(values);
+    if runs * 8 < values.len() * 4 {
+        put_u8(buf, ENC_RLE);
+        put_u32(buf, runs as u32);
+        let mut i = 0;
+        while i < values.len() {
+            let mut j = i + 1;
+            while j < values.len() && values[j] == values[i] {
+                j += 1;
+            }
+            put_u32(buf, (j - i) as u32);
+            put_u32(buf, values[i]);
+            i = j;
+        }
+    } else {
+        put_u8(buf, ENC_PLAIN);
+        for &v in values {
+            put_u32(buf, v);
+        }
+    }
+}
+
+fn read_u32s(r: &mut ByteReader<'_>, rows: usize) -> Result<Vec<u32>> {
+    match r.u8()? {
+        ENC_PLAIN => (0..rows).map(|_| r.u32()).collect(),
+        ENC_RLE => {
+            let runs = r.u32()? as usize;
+            let mut out = Vec::with_capacity(rows);
+            for _ in 0..runs {
+                let len = r.u32()? as usize;
+                let value = r.u32()?;
+                if out.len() + len > rows {
+                    return Err(StorageError::Corrupt {
+                        context: "rle overrun in code column".into(),
+                    });
+                }
+                out.extend(std::iter::repeat_n(value, len));
+            }
+            if out.len() != rows {
+                return Err(StorageError::Corrupt {
+                    context: "rle underrun in code column".into(),
+                });
+            }
+            Ok(out)
+        }
+        _ => Err(StorageError::Corrupt {
+            context: "invalid code encoding tag".into(),
+        }),
+    }
+}
+
+fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => put_u8(buf, VAL_NULL),
+        Value::Bool(b) => {
+            put_u8(buf, VAL_BOOL);
+            put_u8(buf, *b as u8);
+        }
+        Value::Int(i) => {
+            put_u8(buf, VAL_INT);
+            put_i64(buf, *i);
+        }
+        Value::Str(s) => {
+            put_u8(buf, VAL_STR);
+            put_str(buf, s);
+        }
+        Value::Set(items) => {
+            put_u8(buf, VAL_SET);
+            put_u32(buf, items.len() as u32);
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    match r.u8()? {
+        VAL_NULL => Ok(Value::Null),
+        VAL_BOOL => Ok(Value::Bool(r.u8()? != 0)),
+        VAL_INT => Ok(Value::Int(r.i64()?)),
+        VAL_STR => Ok(Value::Str(r.str()?.into())),
+        VAL_SET => {
+            let len = r.u32()? as usize;
+            let mut items = std::collections::BTreeSet::new();
+            for _ in 0..len {
+                items.insert(read_value(r)?);
+            }
+            Ok(Value::Set(items))
+        }
+        _ => Err(StorageError::Corrupt {
+            context: "invalid value tag".into(),
+        }),
+    }
+}
+
+/// Serialize one column (of a chunk with a known row count) into `buf`.
+pub(crate) fn put_column(buf: &mut Vec<u8>, column: &Column) {
+    match column {
+        Column::Int { values, validity } => {
+            put_u8(buf, COL_INT);
+            put_validity(buf, validity);
+            put_i64s(buf, values);
+        }
+        Column::Bool { values, validity } => {
+            put_u8(buf, COL_BOOL);
+            put_validity(buf, validity);
+            buf.extend(values.iter().map(|&b| b as u8));
+        }
+        Column::Str(col) => {
+            put_u8(buf, COL_STR);
+            put_validity(buf, &col.validity);
+            put_u32(buf, col.dict.len() as u32);
+            for entry in &col.dict {
+                put_str(buf, entry);
+            }
+            put_u32s(buf, &col.codes);
+        }
+        Column::Mixed(values) => {
+            put_u8(buf, COL_MIXED);
+            for value in values {
+                put_value(buf, value);
+            }
+        }
+    }
+}
+
+/// Decode one column of `rows` rows.
+pub(crate) fn read_column(r: &mut ByteReader<'_>, rows: usize) -> Result<Column> {
+    match r.u8()? {
+        COL_INT => {
+            let validity = read_validity(r, rows)?;
+            let values = read_i64s(r, rows)?;
+            Ok(Column::Int { values, validity })
+        }
+        COL_BOOL => {
+            let validity = read_validity(r, rows)?;
+            let values = r.take(rows)?.iter().map(|&b| b != 0).collect();
+            Ok(Column::Bool { values, validity })
+        }
+        COL_STR => {
+            let validity = read_validity(r, rows)?;
+            let dict_len = r.u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(r.str()?.into());
+            }
+            let codes = read_u32s(r, rows)?;
+            if codes.iter().any(|&c| c as usize >= dict_len.max(1)) {
+                return Err(StorageError::Corrupt {
+                    context: "dictionary code out of range".into(),
+                });
+            }
+            Ok(Column::Str(StrColumn {
+                dict,
+                codes,
+                validity,
+            }))
+        }
+        COL_MIXED => {
+            let mut values = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                values.push(read_value(r)?);
+            }
+            Ok(Column::Mixed(values))
+        }
+        _ => Err(StorageError::Corrupt {
+            context: "invalid column tag".into(),
+        }),
+    }
+}
+
+/// Encode a whole chunk (all columns, back to back) into a fresh buffer.
+pub(crate) fn encode_chunk(batch: &ColumnarBatch) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for column in batch.columns() {
+        put_column(&mut buf, column);
+    }
+    buf
+}
+
+/// Decode a chunk payload into a batch of `rows` rows over `schema`.
+pub(crate) fn decode_chunk(bytes: &[u8], schema: &Schema, rows: usize) -> Result<ColumnarBatch> {
+    let mut r = ByteReader::new(bytes, "chunk");
+    let mut columns = Vec::with_capacity(schema.arity());
+    for _ in 0..schema.arity() {
+        columns.push(read_column(&mut r, rows)?);
+    }
+    if !r.is_empty() {
+        return Err(StorageError::Corrupt {
+            context: "trailing bytes after chunk columns".into(),
+        });
+    }
+    Ok(ColumnarBatch::from_parts(schema.clone(), columns, rows))
+}
+
+// ---------------------------------------------------------------------------
+// Zone maps
+// ---------------------------------------------------------------------------
+
+/// Per-column min/max statistics for one chunk, used to skip whole chunks
+/// under a pushed-down filter.
+///
+/// `null_count` matters for correctness, not just selectivity: the
+/// algebra's comparisons *error* on NULL operands (no three-valued logic),
+/// so a chunk containing NULLs in the filtered column is never skipped —
+/// skipping it would suppress the type error the in-memory path raises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnZone {
+    /// No statistics (mixed/bool/empty/all-null columns): never skip.
+    None,
+    /// Integer min/max over the valid rows.
+    Int {
+        /// Smallest valid value in the chunk.
+        min: i64,
+        /// Largest valid value in the chunk.
+        max: i64,
+        /// Number of NULL rows in the chunk.
+        null_count: u64,
+    },
+    /// Lexicographic string min/max over the valid rows.
+    Str {
+        /// Smallest valid value in the chunk.
+        min: Box<str>,
+        /// Largest valid value in the chunk.
+        max: Box<str>,
+        /// Number of NULL rows in the chunk.
+        null_count: u64,
+    },
+}
+
+const ZONE_NONE: u8 = 0;
+const ZONE_INT: u8 = 1;
+const ZONE_STR: u8 = 2;
+
+/// Compute the zone map of one column.
+pub(crate) fn column_zone(column: &Column) -> ColumnZone {
+    match column {
+        Column::Int { values, validity } => {
+            let mut min = i64::MAX;
+            let mut max = i64::MIN;
+            let mut null_count = 0u64;
+            let mut seen = false;
+            for (i, &v) in values.iter().enumerate() {
+                if validity.as_ref().is_some_and(|mask| !mask[i]) {
+                    null_count += 1;
+                } else {
+                    min = min.min(v);
+                    max = max.max(v);
+                    seen = true;
+                }
+            }
+            if seen {
+                ColumnZone::Int {
+                    min,
+                    max,
+                    null_count,
+                }
+            } else {
+                ColumnZone::None
+            }
+        }
+        Column::Str(col) => {
+            let mut min: Option<&str> = None;
+            let mut max: Option<&str> = None;
+            let mut null_count = 0u64;
+            for i in 0..col.codes.len() {
+                match col.get(i) {
+                    None => null_count += 1,
+                    Some(s) => {
+                        min = Some(min.map_or(s, |m| m.min(s)));
+                        max = Some(max.map_or(s, |m| m.max(s)));
+                    }
+                }
+            }
+            match (min, max) {
+                (Some(min), Some(max)) => ColumnZone::Str {
+                    min: min.into(),
+                    max: max.into(),
+                    null_count,
+                },
+                _ => ColumnZone::None,
+            }
+        }
+        Column::Bool { .. } | Column::Mixed(_) => ColumnZone::None,
+    }
+}
+
+pub(crate) fn put_zone(buf: &mut Vec<u8>, zone: &ColumnZone) {
+    match zone {
+        ColumnZone::None => put_u8(buf, ZONE_NONE),
+        ColumnZone::Int {
+            min,
+            max,
+            null_count,
+        } => {
+            put_u8(buf, ZONE_INT);
+            put_i64(buf, *min);
+            put_i64(buf, *max);
+            put_u64(buf, *null_count);
+        }
+        ColumnZone::Str {
+            min,
+            max,
+            null_count,
+        } => {
+            put_u8(buf, ZONE_STR);
+            put_str(buf, min);
+            put_str(buf, max);
+            put_u64(buf, *null_count);
+        }
+    }
+}
+
+pub(crate) fn read_zone(r: &mut ByteReader<'_>) -> Result<ColumnZone> {
+    match r.u8()? {
+        ZONE_NONE => Ok(ColumnZone::None),
+        ZONE_INT => Ok(ColumnZone::Int {
+            min: r.i64()?,
+            max: r.i64()?,
+            null_count: r.u64()?,
+        }),
+        ZONE_STR => Ok(ColumnZone::Str {
+            min: r.str()?.into(),
+            max: r.str()?.into(),
+            null_count: r.u64()?,
+        }),
+        _ => Err(StorageError::Corrupt {
+            context: "invalid zone tag".into(),
+        }),
+    }
+}
+
+/// Conservative chunk-level predicate test: `false` means *no row of the
+/// chunk can satisfy the predicate* (the chunk may be skipped); `true`
+/// means the chunk must be read. Unknown shapes, kind mismatches and
+/// chunks with NULLs in the compared column all answer `true`.
+pub fn chunk_may_match(predicate: &Predicate, schema: &Schema, zones: &[ColumnZone]) -> bool {
+    match predicate {
+        Predicate::True => true,
+        Predicate::False => false,
+        Predicate::And(a, b) => {
+            chunk_may_match(a, schema, zones) && chunk_may_match(b, schema, zones)
+        }
+        Predicate::Or(a, b) => {
+            chunk_may_match(a, schema, zones) || chunk_may_match(b, schema, zones)
+        }
+        Predicate::CompareValue {
+            attribute,
+            op,
+            value,
+        } => {
+            let Some(idx) = schema.index_of(attribute) else {
+                return true;
+            };
+            match (zones.get(idx), value) {
+                (
+                    Some(ColumnZone::Int {
+                        min,
+                        max,
+                        null_count: 0,
+                    }),
+                    Value::Int(v),
+                ) => range_may_match(*op, min, max, v),
+                (
+                    Some(ColumnZone::Str {
+                        min,
+                        max,
+                        null_count: 0,
+                    }),
+                    Value::Str(v),
+                ) => range_may_match(*op, &min.as_ref(), &max.as_ref(), &v.as_ref()),
+                _ => true,
+            }
+        }
+        // Negations, attribute-attribute and parameter comparisons: no
+        // pruning (parameters are bound before compile, but stay safe).
+        _ => true,
+    }
+}
+
+/// Can any value in `[min, max]` satisfy `value-op` against `v`?
+fn range_may_match<T: PartialOrd + PartialEq>(op: CompareOp, min: &T, max: &T, v: &T) -> bool {
+    match op {
+        CompareOp::Eq => min <= v && v <= max,
+        CompareOp::NotEq => !(min == max && min == v),
+        CompareOp::Lt => min < v,
+        CompareOp::LtEq => min <= v,
+        CompareOp::Gt => max > v,
+        CompareOp::GtEq => max >= v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use div_algebra::relation;
+
+    fn round_trip(batch: &ColumnarBatch) {
+        let bytes = encode_chunk(batch);
+        let back = decode_chunk(&bytes, batch.schema(), batch.num_rows()).unwrap();
+        assert_eq!(&back, batch);
+    }
+
+    #[test]
+    fn chunk_round_trips_every_column_kind() {
+        round_trip(&ColumnarBatch::from_relation(&relation! {
+            ["i", "s", "b"] => [1, "red", true], [2, "blue", false], [2, "red", true]
+        }));
+        // Mixed column (int + string in one attribute) and sets.
+        let rel = div_algebra::Relation::from_rows(
+            ["m"],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::str("x")],
+                vec![Value::set([1, 2])],
+                vec![Value::Null],
+            ],
+        )
+        .unwrap();
+        round_trip(&ColumnarBatch::from_relation(&rel));
+        // Empty batch.
+        round_trip(&ColumnarBatch::empty(Schema::of(["a", "b"])));
+    }
+
+    #[test]
+    fn rle_kicks_in_on_constant_columns() {
+        let rows: Vec<Vec<i64>> = (0..512).map(|i| vec![7, i]).collect();
+        let rel = div_algebra::Relation::from_rows(["c", "u"], rows).unwrap();
+        let batch = ColumnarBatch::from_relation(&rel);
+        let bytes = encode_chunk(&batch);
+        // The constant column must collapse to one run: far below the
+        // 512 * 8 bytes the plain form would need for each column.
+        assert!(bytes.len() < 512 * 8 + 512 * 2);
+        round_trip(&batch);
+    }
+
+    #[test]
+    fn zones_capture_min_max_and_nulls() {
+        let batch = ColumnarBatch::from_relation(&relation! {
+            ["a", "s"] => [3, "m"], [9, "z"], [5, "a"]
+        });
+        assert_eq!(
+            column_zone(batch.column(0)),
+            ColumnZone::Int {
+                min: 3,
+                max: 9,
+                null_count: 0
+            }
+        );
+        assert_eq!(
+            column_zone(batch.column(1)),
+            ColumnZone::Str {
+                min: "a".into(),
+                max: "z".into(),
+                null_count: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pruning_is_conservative_and_correct() {
+        let schema = Schema::of(["a", "s"]);
+        let zones = vec![
+            ColumnZone::Int {
+                min: 10,
+                max: 20,
+                null_count: 0,
+            },
+            ColumnZone::Str {
+                min: "b".into(),
+                max: "f".into(),
+                null_count: 0,
+            },
+        ];
+        let p = |pred: Predicate| chunk_may_match(&pred, &schema, &zones);
+        assert!(!p(Predicate::eq_value("a", 5)));
+        assert!(p(Predicate::eq_value("a", 15)));
+        assert!(!p(Predicate::cmp_value("a", CompareOp::Lt, 10)));
+        assert!(p(Predicate::cmp_value("a", CompareOp::LtEq, 10)));
+        assert!(!p(Predicate::cmp_value("a", CompareOp::Gt, 20)));
+        assert!(!p(Predicate::eq_value("s", "z")));
+        assert!(p(Predicate::eq_value("s", "c")));
+        // And / Or combine conservatively.
+        assert!(!p(
+            Predicate::eq_value("a", 15).and(Predicate::eq_value("s", "z"))
+        ));
+        assert!(p(
+            Predicate::eq_value("a", 5).or(Predicate::eq_value("s", "c"))
+        ));
+        // Kind mismatch and unknown attributes never prune.
+        assert!(p(Predicate::eq_value("a", "oops")));
+        assert!(p(Predicate::eq_value("missing", 1)));
+        // NULLs in the column disable pruning (comparisons error on NULL).
+        let nullable = vec![
+            ColumnZone::Int {
+                min: 10,
+                max: 20,
+                null_count: 1,
+            },
+            ColumnZone::None,
+        ];
+        assert!(chunk_may_match(
+            &Predicate::eq_value("a", 5),
+            &schema,
+            &nullable
+        ));
+    }
+}

@@ -22,7 +22,12 @@
 #   * governance pairs `unguarded` labels against their `guarded`
 #     counterparts (QueryGuard cancellation/deadline/budget checks off vs
 #     fully armed — the "speedup" is the guard overhead, expected close
-#     to 1.0).
+#     to 1.0);
+#   * out_of_core pairs `inmemory` labels against their `spilled`
+#     counterparts (unbudgeted execution vs hybrid hash operators squeezed
+#     to an eighth of their input — the "speedup" is the spill overhead
+#     factor), plus unpaired `file_scan/*` medians for the persistent
+#     columnar format (full drain vs zone-map skip vs RAM baseline).
 #
 # Re-run after touching the measured modules and commit the refreshed JSON
 # alongside the change.
@@ -59,8 +64,12 @@ governance)
     fast="unguarded"
     slow="guarded"
     ;;
+out_of_core)
+    fast="inmemory"
+    slow="spilled"
+    ;;
 *)
-    echo "unknown bench '$bench' (expected key_pipeline, streaming, observability or governance)" >&2
+    echo "unknown bench '$bench' (expected key_pipeline, streaming, observability, governance or out_of_core)" >&2
     exit 1
     ;;
 esac

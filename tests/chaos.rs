@@ -281,6 +281,144 @@ fn injected_delays_trip_an_armed_deadline() {
     assert!(result.is_ok());
 }
 
+/// Count the live spill directories this process has in the OS temp dir —
+/// the invariant under spill chaos is that this number returns to its
+/// starting value on every exit path (success *and* mid-spill abort).
+fn live_spill_dirs() -> usize {
+    let prefix = format!("div-spill-{}-", std::process::id());
+    std::fs::read_dir(std::env::temp_dir())
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().starts_with(&prefix))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+/// Faults at the spill-file boundary (`spill.write` on every partition
+/// write, `spill.read` on every open and chunk read) abort the spilling
+/// query with the typed failpoint error, release every resident row, and
+/// leave no spill directory behind.
+#[test]
+fn spill_faults_abort_cleanly_and_leave_no_files() {
+    let _serial = failpoint::test_serial();
+    let _cleanup = DisarmOnDrop;
+    failpoint::disarm_all();
+    let mut c = Catalog::new();
+    c.register(
+        "supplies",
+        Relation::from_rows(
+            ["s#", "p#"],
+            (0..60i64).flat_map(|s| (0..5i64).map(move |p| vec![s, p])),
+        )
+        .unwrap(),
+    );
+    c.register(
+        "wanted",
+        Relation::from_rows(["p#"], (0..5i64).map(|p| vec![p])).unwrap(),
+    );
+    let config = PlannerConfig::default()
+        .batch_size(4)
+        .memory_budget_rows(24)
+        .spill_to_disk(true);
+    let plan = plan_query(
+        &PlanBuilder::scan("supplies")
+            .divide(PlanBuilder::scan("wanted"))
+            .build(),
+        &config,
+    )
+    .unwrap();
+    let guard = || div_physical::QueryGuard::from_config(&config);
+    let dirs_before = live_spill_dirs();
+
+    // The clean run under this budget genuinely spills and cleans up.
+    let (baseline, stats) = drive(&plan, &c, &config, guard());
+    let baseline = baseline.expect("clean spilling run");
+    assert_eq!(baseline.len(), 60, "all 60 groups are complete");
+    let stats = stats.unwrap();
+    assert!(stats.spill_partitions > 0, "budget 24 must force spilling");
+    assert_eq!(stats.resident_rows_on_finish, 0);
+    assert_eq!(
+        live_spill_dirs(),
+        dirs_before,
+        "clean run leaked spill dirs"
+    );
+
+    for site in ["spill.write", "spill.read"] {
+        failpoint::arm(site, FailAction::Error("spill chaos".into()));
+        let (result, stats) = drive(&plan, &c, &config, guard());
+        failpoint::disarm(site);
+        let err = result.expect_err(site);
+        assert!(
+            err.to_string().contains(&format!("failpoint {site}")),
+            "site {site} surfaced as {err}"
+        );
+        assert_eq!(
+            stats.unwrap().resident_rows_on_finish,
+            0,
+            "site {site} leaked resident rows"
+        );
+        assert_eq!(
+            live_spill_dirs(),
+            dirs_before,
+            "site {site} left spill files behind"
+        );
+    }
+
+    // And the same plan still runs clean after the chaos.
+    let (after, _) = drive(&plan, &c, &config, guard());
+    assert_eq!(after.unwrap(), baseline);
+}
+
+/// `attach.open` chaos over the wire: a fault while opening the table file
+/// surfaces as a typed `ERR`, the catalog stays unchanged, the session
+/// survives, and a retry after disarming succeeds.
+#[test]
+fn attach_faults_surface_over_the_wire_and_leave_the_catalog_unchanged() {
+    let _serial = failpoint::test_serial();
+    let _cleanup = DisarmOnDrop;
+    failpoint::disarm_all();
+    use div_server::{Client, ClientError, Server, ServerConfig};
+    use div_sql::Engine;
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("div_chaos_attach_{}.divcol", std::process::id()));
+    let rel = relation! { ["a"] => [1], [2], [3] };
+    div_storage::TableWriter::write_relation(&path, &rel, 2).unwrap();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(Engine::new(Catalog::new())),
+        ServerConfig::default(),
+    )
+    .expect("bind ephemeral port");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let path_str = path.to_str().expect("utf-8 temp path");
+
+    failpoint::arm("attach.open", FailAction::Error("attach chaos".into()));
+    let err = client.attach("ext", path_str).unwrap_err();
+    failpoint::disarm_all();
+    match &err {
+        ClientError::Server { message, .. } => {
+            assert!(message.contains("failpoint attach.open"), "{message}")
+        }
+        other => panic!("expected a server error, got {other}"),
+    }
+    // The failed attach registered nothing.
+    let err = client.query("SELECT a FROM ext").unwrap_err();
+    assert!(err.to_string().contains("ext"), "{err}");
+
+    // After disarming, the same attach succeeds and the table serves.
+    client.attach("ext", path_str).unwrap();
+    let rows = client.query("SELECT a FROM ext").unwrap().rows;
+    assert_eq!(rows.len(), 3);
+
+    client.close().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
 /// Wire-level chaos: an injected fault reaches the client as the typed
 /// `ERR PLAN` terminal (faults ride the existing error channel), the
 /// session survives, and the server metrics reconcile with what the client
